@@ -1,0 +1,302 @@
+//! Fiduccia–Mattheyses iterative-improvement bipartitioning.
+//!
+//! The linear-time-per-pass successor of KL that the paper cites as [9]:
+//! single-vertex moves instead of swaps, a balance criterion instead of
+//! strict alternation, and gains maintained incrementally. Our move
+//! selection uses a lazy max-heap keyed on the cached gain (equivalent to
+//! the classic bucket array for correctness; stale entries are skipped),
+//! and gains are refreshed for the pins of the moved vertex's nets — the
+//! same set the FM critical-net rules touch.
+
+use std::collections::BinaryHeap;
+
+use fhp_core::{Bipartition, Bipartitioner, PartitionError};
+use fhp_hypergraph::{Hypergraph, VertexId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::moves::{random_balanced_start, MoveState};
+
+/// Fiduccia–Mattheyses bipartitioner with an r-style weight-balance
+/// criterion.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_baselines::FiducciaMattheyses;
+/// use fhp_core::{metrics, Bipartitioner};
+/// use fhp_hypergraph::Netlist;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = Netlist::parse("a: 1 2 3\nb: 3 4\nc: 4 5 6\n")?;
+/// let bp = FiducciaMattheyses::new(0).bipartition(nl.hypergraph())?;
+/// assert!(metrics::cut_size(nl.hypergraph(), &bp) <= 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FiducciaMattheyses {
+    seed: u64,
+    max_passes: usize,
+    /// Maximum allowed `|w(V_L) − w(V_R)|` after any move; raised to twice
+    /// the heaviest vertex if smaller (else no move might be legal).
+    imbalance_tolerance: u64,
+    restarts: usize,
+}
+
+impl FiducciaMattheyses {
+    /// FM with default tuning: up to 24 passes, tolerance of the heaviest
+    /// vertex's weight, single start.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            max_passes: 24,
+            imbalance_tolerance: 0, // raised adaptively in run()
+            restarts: 1,
+        }
+    }
+
+    /// Caps the improvement passes (default 24).
+    pub fn max_passes(mut self, passes: usize) -> Self {
+        self.max_passes = passes;
+        self
+    }
+
+    /// Sets the weight-imbalance tolerance (the r-bipartition slack). The
+    /// effective tolerance is never below twice the heaviest vertex weight.
+    pub fn imbalance_tolerance(mut self, tolerance: u64) -> Self {
+        self.imbalance_tolerance = tolerance;
+        self
+    }
+
+    /// Independent random restarts (default 1).
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+
+    fn effective_tolerance(&self, h: &Hypergraph) -> u64 {
+        let heaviest = h.vertices().map(|v| h.vertex_weight(v)).max().unwrap_or(1);
+        self.imbalance_tolerance.max(2 * heaviest)
+    }
+
+    /// One FM pass: move every vertex once (balance permitting), then roll
+    /// back to the best prefix. Returns the cut improvement.
+    fn pass(&self, st: &mut MoveState<'_>, tolerance: u64) -> u64 {
+        let h = st.hypergraph();
+        let n = h.num_vertices();
+        let mut locked = vec![false; n];
+        let mut gains: Vec<i64> = (0..n).map(|i| st.gain(VertexId::new(i))).collect();
+        let mut heap: BinaryHeap<(i64, u32)> =
+            (0..n as u32).map(|i| (gains[i as usize], i)).collect();
+        let start_cut = st.cut();
+        let mut best_cut = start_cut;
+        let mut best_prefix = 0usize;
+        let mut moves: Vec<VertexId> = Vec::new();
+        let mut deferred: Vec<(i64, u32)> = Vec::new();
+        let mut side_count = {
+            let (l, r) = st.partition().counts();
+            [l, r]
+        };
+
+        while let Some((g, i)) = heap.pop() {
+            let v = VertexId::new(i as usize);
+            if locked[i as usize] || g != gains[i as usize] {
+                continue; // stale heap entry
+            }
+            // A move may never empty a side: a one-sided assignment is not
+            // a cut, whatever its "cut size" says.
+            if side_count[st.side(v).index()] == 1 {
+                deferred.push((g, i));
+                continue;
+            }
+            // Balance feasibility of moving v.
+            let (wl, wr) = st.side_weights();
+            let vw = h.vertex_weight(v) as i64;
+            let imb = match st.side(v) {
+                fhp_core::Side::Left => (wl as i64 - vw) - (wr as i64 + vw),
+                fhp_core::Side::Right => (wl as i64 + vw) - (wr as i64 - vw),
+            };
+            if imb.unsigned_abs() > tolerance {
+                deferred.push((g, i));
+                continue;
+            }
+            // Legal highest-gain move: apply it. Re-queue deferred entries —
+            // the balance state just changed, they may be legal now.
+            heap.extend(deferred.drain(..));
+            side_count[st.side(v).index()] -= 1;
+            st.apply_flip(v);
+            side_count[st.side(v).index()] += 1;
+            locked[i as usize] = true;
+            moves.push(v);
+            if st.cut() < best_cut {
+                best_cut = st.cut();
+                best_prefix = moves.len();
+            }
+            // Refresh gains of free pins on v's nets (the critical-net set).
+            for &e in h.edges_of(v) {
+                for &p in h.pins(e) {
+                    if !locked[p.index()] {
+                        let g2 = st.gain(p);
+                        if g2 != gains[p.index()] {
+                            gains[p.index()] = g2;
+                            heap.push((g2, p.index() as u32));
+                        }
+                    }
+                }
+            }
+        }
+
+        for &v in moves[best_prefix..].iter().rev() {
+            st.apply_flip(v);
+        }
+        debug_assert_eq!(st.cut(), best_cut);
+        start_cut - best_cut
+    }
+
+    /// Improves an existing partition in place with FM passes until a pass
+    /// yields no gain. This is the refinement entry point used by
+    /// [`Refined`](crate::Refined) to post-process another partitioner's
+    /// cut; the weight-balance tolerance is widened to the start's own
+    /// imbalance if that is larger, so refinement never has to destroy a
+    /// deliberately unbalanced input to begin improving it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` does not cover `h`'s vertices.
+    pub fn refine(&self, h: &Hypergraph, start: Bipartition) -> Bipartition {
+        assert_eq!(start.len(), h.num_vertices(), "partition size mismatch");
+        let start_imbalance = fhp_core::metrics::weight_imbalance(h, &start);
+        let tolerance = self.effective_tolerance(h).max(start_imbalance);
+        self.run_once(h, start, tolerance)
+    }
+
+    fn run_once(&self, h: &Hypergraph, start: Bipartition, tolerance: u64) -> Bipartition {
+        let mut st = MoveState::new(h, start);
+        for _ in 0..self.max_passes {
+            if self.pass(&mut st, tolerance) == 0 {
+                break;
+            }
+        }
+        st.into_partition()
+    }
+}
+
+impl Bipartitioner for FiducciaMattheyses {
+    fn bipartition(&self, h: &Hypergraph) -> Result<Bipartition, PartitionError> {
+        if h.num_vertices() < 2 {
+            return Err(PartitionError::TooFewVertices {
+                found: h.num_vertices(),
+            });
+        }
+        let tolerance = self.effective_tolerance(h);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<(u64, Bipartition)> = None;
+        for _ in 0..self.restarts {
+            let start = random_balanced_start(h, &mut rng);
+            let bp = self.run_once(h, start, tolerance);
+            let cut = fhp_core::metrics::weighted_cut(h, &bp);
+            if best.as_ref().is_none_or(|(c, _)| cut < *c) {
+                best = Some((cut, bp));
+            }
+        }
+        Ok(best.expect("restarts >= 1").1)
+    }
+
+    fn name(&self) -> &str {
+        "FM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Exhaustive;
+    use fhp_core::metrics;
+    use fhp_hypergraph::intersection::paper_example;
+    use fhp_hypergraph::HypergraphBuilder;
+
+    fn barbell(k: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_vertices(2 * k);
+        for base in [0, k] {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    b.add_edge([VertexId::new(base + i), VertexId::new(base + j)])
+                        .unwrap();
+                }
+            }
+        }
+        b.add_edge([VertexId::new(0), VertexId::new(k)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn solves_barbell() {
+        let h = barbell(5);
+        let bp = FiducciaMattheyses::new(1).bipartition(&h).unwrap();
+        assert_eq!(metrics::cut_size(&h, &bp), 1);
+    }
+
+    #[test]
+    fn stays_within_tolerance() {
+        let h = paper_example();
+        let fm = FiducciaMattheyses::new(0);
+        let tol = fm.effective_tolerance(&h);
+        let bp = fm.bipartition(&h).unwrap();
+        assert!(metrics::weight_imbalance(&h, &bp) <= tol);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_small_instances() {
+        for seed in 0..3 {
+            let h = barbell(4);
+            let opt = Exhaustive::with_max_imbalance(2).min_cut_size(&h).unwrap();
+            let bp = FiducciaMattheyses::new(seed)
+                .restarts(3)
+                .bipartition(&h)
+                .unwrap();
+            assert!(metrics::cut_size(&h, &bp) <= opt.max(1));
+        }
+    }
+
+    #[test]
+    fn passes_never_hurt() {
+        let h = paper_example();
+        let mut rng = StdRng::seed_from_u64(5);
+        let start = random_balanced_start(&h, &mut rng);
+        let before = metrics::weighted_cut(&h, &start);
+        let fm = FiducciaMattheyses::new(5);
+        let tol = fm.effective_tolerance(&h);
+        let mut st = MoveState::new(&h, start);
+        let imp = fm.pass(&mut st, tol);
+        assert_eq!(st.cut() + imp, before);
+    }
+
+    #[test]
+    fn weighted_vertices_respected() {
+        let mut b = HypergraphBuilder::new();
+        let vs: Vec<_> = (0..8).map(|i| b.add_weighted_vertex(1 + i % 4)).collect();
+        for w in vs.windows(2) {
+            b.add_edge([w[0], w[1]]).unwrap();
+        }
+        let h = b.build();
+        let fm = FiducciaMattheyses::new(2).imbalance_tolerance(4);
+        let bp = fm.bipartition(&h).unwrap();
+        assert!(bp.is_valid_cut());
+        assert!(metrics::weight_imbalance(&h, &bp) <= fm.effective_tolerance(&h));
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = barbell(4);
+        let a = FiducciaMattheyses::new(3).bipartition(&h).unwrap();
+        let b = FiducciaMattheyses::new(3).bipartition(&h).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_tiny() {
+        let h = HypergraphBuilder::with_vertices(0).build();
+        assert!(FiducciaMattheyses::new(0).bipartition(&h).is_err());
+    }
+}

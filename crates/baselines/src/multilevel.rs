@@ -1,0 +1,224 @@
+//! A compact multilevel (V-cycle) partitioner.
+//!
+//! The lineage that followed the paper — hMETIS, MLPart, KaHyPar — won by
+//! sandwiching iterative refinement between coarsening and uncoarsening:
+//! cluster modules by affinity, contract, recurse until the hypergraph is
+//! tiny, partition the coarsest level well, then project back up one
+//! level at a time with FM refinement after each projection. This module
+//! implements that V-cycle from the workspace's own parts
+//! (`heavy_pair_clustering` + `Contraction` + any coarsest-level
+//! [`Bipartitioner`] + FM), both as a stronger modern baseline and to
+//! show Algorithm I slotting in as a coarsest-level engine.
+
+use fhp_core::{Algorithm1, Bipartition, Bipartitioner, PartitionConfig, PartitionError};
+use fhp_hypergraph::contract::{heavy_pair_clustering, Contraction};
+use fhp_hypergraph::Hypergraph;
+
+use crate::FiducciaMattheyses;
+
+/// Multilevel V-cycle bipartitioner.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_baselines::Multilevel;
+/// use fhp_core::{metrics, Bipartitioner};
+/// use fhp_hypergraph::Netlist;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = Netlist::parse("a: 1 2 3\nb: 3 4\nc: 4 5 6\nd: 1 6\n")?;
+/// let bp = Multilevel::new(0).bipartition(nl.hypergraph())?;
+/// assert!(bp.is_valid_cut());
+/// # Ok(())
+/// # }
+/// ```
+pub struct Multilevel {
+    seed: u64,
+    /// Stop coarsening at or below this many vertices.
+    coarsest_size: usize,
+    /// Give up coarsening if a level shrinks less than this factor.
+    min_shrink: f64,
+    /// Coarsest-level partitioner.
+    initial: Box<dyn Bipartitioner>,
+    fm: FiducciaMattheyses,
+}
+
+impl std::fmt::Debug for Multilevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Multilevel")
+            .field("seed", &self.seed)
+            .field("coarsest_size", &self.coarsest_size)
+            .field("initial", &self.initial.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Multilevel {
+    /// A V-cycle with the defaults that matter: coarsen to ≤ 60 vertices,
+    /// partition the coarsest level with Algorithm I (paper preset), FM
+    /// refinement at every level.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            coarsest_size: 60,
+            min_shrink: 0.95,
+            initial: Box::new(Algorithm1::new(PartitionConfig::paper().seed(seed))),
+            fm: FiducciaMattheyses::new(seed),
+        }
+    }
+
+    /// Overrides the coarsest-level partitioner.
+    pub fn initial_partitioner(mut self, p: Box<dyn Bipartitioner>) -> Self {
+        self.initial = p;
+        self
+    }
+
+    /// Sets the coarsening stop size (min 4).
+    pub fn coarsest_size(mut self, size: usize) -> Self {
+        self.coarsest_size = size.max(4);
+        self
+    }
+
+    /// Overrides the refinement stage.
+    pub fn refiner(mut self, fm: FiducciaMattheyses) -> Self {
+        self.fm = fm;
+        self
+    }
+}
+
+impl Bipartitioner for Multilevel {
+    fn bipartition(&self, h: &Hypergraph) -> Result<Bipartition, PartitionError> {
+        if h.num_vertices() < 2 {
+            return Err(PartitionError::TooFewVertices {
+                found: h.num_vertices(),
+            });
+        }
+        // Coarsening phase: keep cluster caps proportional so no
+        // super-module outgrows a fair share of the total weight. Each
+        // level keeps its fine hypergraph so refinement can run there on
+        // the way back up.
+        let total = h.total_vertex_weight();
+        let cap = (total / self.coarsest_size as u64).max(2);
+        let mut fines: Vec<Hypergraph> = Vec::new(); // fine side of levels[i]
+        let mut levels: Vec<Contraction> = Vec::new();
+        let mut current = h.clone();
+        while current.num_vertices() > self.coarsest_size {
+            let clusters = heavy_pair_clustering(&current, cap);
+            let c = Contraction::contract(&current, &clusters);
+            let shrank = (c.coarse().num_vertices() as f64)
+                < self.min_shrink * current.num_vertices() as f64;
+            if !shrank {
+                break; // clustering stalled; partition what we have
+            }
+            let coarse = c.coarse().clone();
+            fines.push(std::mem::replace(&mut current, coarse));
+            levels.push(c);
+        }
+
+        // Coarsest-level partition, refined in place.
+        let mut bp = self.initial.bipartition(&current)?;
+        bp = self.fm.refine(&current, bp);
+
+        // Uncoarsening: project one level, refine on that level's fine
+        // hypergraph, repeat down to the original.
+        for (c, fine) in levels.iter().zip(fines.iter()).rev() {
+            bp = Bipartition::from_sides(c.project(bp.as_slice()));
+            bp = self.fm.refine(fine, bp);
+        }
+        Ok(bp)
+    }
+
+    fn name(&self) -> &str {
+        "Multilevel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhp_core::metrics;
+    use fhp_gen::{CircuitNetlist, PlantedBisection, Technology};
+    use fhp_hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn produces_valid_cuts() {
+        let h = CircuitNetlist::new(Technology::StdCell, 200, 340)
+            .seed(1)
+            .generate()
+            .unwrap();
+        let bp = Multilevel::new(1).bipartition(&h).unwrap();
+        assert!(bp.is_valid_cut());
+        assert_eq!(bp.len(), h.num_vertices());
+    }
+
+    #[test]
+    fn competitive_with_flat_alg1() {
+        let h = CircuitNetlist::new(Technology::StdCell, 300, 520)
+            .seed(2)
+            .generate()
+            .unwrap();
+        let flat = Algorithm1::new(PartitionConfig::paper().seed(2))
+            .bipartition(&h)
+            .unwrap();
+        let ml = Multilevel::new(2).bipartition(&h).unwrap();
+        assert!(
+            metrics::cut_size(&h, &ml) <= 2 * metrics::cut_size(&h, &flat) + 4,
+            "multilevel {} vs flat {}",
+            metrics::cut_size(&h, &ml),
+            metrics::cut_size(&h, &flat)
+        );
+    }
+
+    #[test]
+    fn finds_planted_cuts() {
+        let inst = PlantedBisection::new(400, 560)
+            .cut_size(2)
+            .edge_size_range(2, 2)
+            .seed(3)
+            .generate()
+            .unwrap();
+        let bp = Multilevel::new(3).bipartition(inst.hypergraph()).unwrap();
+        assert!(metrics::cut_size(inst.hypergraph(), &bp) <= 2 * inst.planted_cut() + 2);
+    }
+
+    #[test]
+    fn small_inputs_skip_coarsening() {
+        let mut b = HypergraphBuilder::with_vertices(6);
+        for i in 0..5 {
+            b.add_edge([
+                fhp_hypergraph::VertexId::new(i),
+                fhp_hypergraph::VertexId::new(i + 1),
+            ])
+            .unwrap();
+        }
+        let h = b.build();
+        let bp = Multilevel::new(0).bipartition(&h).unwrap();
+        assert!(bp.is_valid_cut());
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = CircuitNetlist::new(Technology::Pcb, 150, 260)
+            .seed(4)
+            .generate()
+            .unwrap();
+        let a = Multilevel::new(5).bipartition(&h).unwrap();
+        let b = Multilevel::new(5).bipartition(&h).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_tiny() {
+        let h = HypergraphBuilder::with_vertices(1).build();
+        assert!(Multilevel::new(0).bipartition(&h).is_err());
+    }
+
+    #[test]
+    fn builders() {
+        let ml = Multilevel::new(0)
+            .coarsest_size(2)
+            .refiner(FiducciaMattheyses::new(1).max_passes(2));
+        assert_eq!(ml.coarsest_size, 4); // clamped
+        assert_eq!(ml.name(), "Multilevel");
+    }
+}

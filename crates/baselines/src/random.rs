@@ -1,0 +1,157 @@
+//! Random cuts — the null baseline.
+//!
+//! The paper's §1 motivates difficult inputs by noting that on random
+//! hypergraphs "even a random cut will differ from the optimum cut by at
+//! most a constant factor" (Bollobás [2]), so any heuristic must be judged
+//! against this trivial method.
+
+use fhp_core::{Bipartition, Bipartitioner, PartitionError, Side};
+use fhp_hypergraph::Hypergraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Uniformly random bipartitioner.
+///
+/// In balanced mode a random half of the vertices (by count) goes left; in
+/// unbalanced mode each vertex flips an independent fair coin (degenerate
+/// all-one-side outcomes are repaired by moving one vertex).
+///
+/// # Examples
+///
+/// ```
+/// use fhp_baselines::RandomCut;
+/// use fhp_core::Bipartitioner;
+/// use fhp_hypergraph::intersection::paper_example;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let h = paper_example();
+/// let bp = RandomCut::balanced(42).bipartition(&h)?;
+/// assert!(bp.is_bisection());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RandomCut {
+    seed: u64,
+    balanced: bool,
+}
+
+impl RandomCut {
+    /// Random bisection: sides differ in cardinality by at most one.
+    pub fn balanced(seed: u64) -> Self {
+        Self {
+            seed,
+            balanced: true,
+        }
+    }
+
+    /// Independent fair coin per vertex.
+    pub fn unbalanced(seed: u64) -> Self {
+        Self {
+            seed,
+            balanced: false,
+        }
+    }
+}
+
+impl Bipartitioner for RandomCut {
+    fn bipartition(&self, h: &Hypergraph) -> Result<Bipartition, PartitionError> {
+        let n = h.num_vertices();
+        if n < 2 {
+            return Err(PartitionError::TooFewVertices { found: n });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut bp = if self.balanced {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut rng);
+            let mut sides = vec![Side::Right; n];
+            for &i in &order[..n / 2] {
+                sides[i] = Side::Left;
+            }
+            Bipartition::from_sides(sides)
+        } else {
+            Bipartition::from_fn(n, |_| {
+                if rng.gen_bool(0.5) {
+                    Side::Left
+                } else {
+                    Side::Right
+                }
+            })
+        };
+        if !bp.is_valid_cut() {
+            bp.flip(fhp_hypergraph::VertexId::new(0));
+        }
+        Ok(bp)
+    }
+
+    fn name(&self) -> &str {
+        if self.balanced {
+            "Random (balanced)"
+        } else {
+            "Random"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhp_hypergraph::intersection::paper_example;
+    use fhp_hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn balanced_is_bisection() {
+        let h = paper_example();
+        for seed in 0..20 {
+            let bp = RandomCut::balanced(seed).bipartition(&h).unwrap();
+            assert!(bp.is_bisection());
+            assert!(bp.is_valid_cut());
+        }
+    }
+
+    #[test]
+    fn unbalanced_is_valid() {
+        let h = paper_example();
+        for seed in 0..20 {
+            let bp = RandomCut::unbalanced(seed).bipartition(&h).unwrap();
+            assert!(bp.is_valid_cut());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let h = paper_example();
+        let a = RandomCut::balanced(5).bipartition(&h).unwrap();
+        let b = RandomCut::balanced(5).bipartition(&h).unwrap();
+        assert_eq!(a, b);
+        let c = RandomCut::balanced(6).bipartition(&h).unwrap();
+        // different seeds usually differ (not guaranteed, but these do)
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn two_vertices() {
+        let mut b = HypergraphBuilder::with_vertices(2);
+        b.add_edge([
+            fhp_hypergraph::VertexId::new(0),
+            fhp_hypergraph::VertexId::new(1),
+        ])
+        .unwrap();
+        let h = b.build();
+        let bp = RandomCut::unbalanced(0).bipartition(&h).unwrap();
+        assert!(bp.is_valid_cut());
+    }
+
+    #[test]
+    fn rejects_tiny() {
+        let h = HypergraphBuilder::with_vertices(1).build();
+        assert!(RandomCut::balanced(0).bipartition(&h).is_err());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(RandomCut::balanced(0).name(), "Random (balanced)");
+        assert_eq!(RandomCut::unbalanced(0).name(), "Random");
+    }
+}

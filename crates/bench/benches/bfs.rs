@@ -1,0 +1,31 @@
+//! BFS primitives: single sweep, double sweep, and the dual-front cut —
+//! the per-start cost of Algorithm I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fhp_bench::{bench_instance, SIZES};
+use fhp_core::dual_bfs::two_front_bfs;
+use fhp_hypergraph::{bfs, IntersectionGraph};
+use std::hint::black_box;
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs");
+    for &n in &SIZES {
+        let h = bench_instance(n);
+        let ig = IntersectionGraph::build(&h);
+        let g = ig.graph().clone();
+        let sweep = bfs::double_sweep(&g, 0);
+        group.bench_with_input(BenchmarkId::new("single_sweep", n), &g, |b, g| {
+            b.iter(|| black_box(bfs::bfs(g, 0)))
+        });
+        group.bench_with_input(BenchmarkId::new("double_sweep", n), &g, |b, g| {
+            b.iter(|| black_box(bfs::double_sweep(g, 0)))
+        });
+        group.bench_with_input(BenchmarkId::new("two_front_cut", n), &g, |b, g| {
+            b.iter(|| black_box(two_front_bfs(g, sweep.u, sweep.v)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Complete-Cut throughput on boundary graphs: the paper's min-degree
+//! greedy vs the exact König completion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fhp_core::complete_cut::{complete_exact, complete_min_degree};
+use fhp_core::Side;
+use fhp_hypergraph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_bipartite(n_per_side: usize, p: f64, seed: u64) -> (Graph, Vec<Side>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 2 * n_per_side;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n_per_side as u32 {
+        for v in n_per_side as u32..n as u32 {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    let sides = (0..n)
+        .map(|i| {
+            if i < n_per_side {
+                Side::Left
+            } else {
+                Side::Right
+            }
+        })
+        .collect();
+    (b.build(), sides)
+}
+
+fn bench_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("complete_cut");
+    for &half in &[50usize, 200, 800] {
+        let (g, sides) = random_bipartite(half, (4.0 / half as f64).min(0.5), 7);
+        group.bench_with_input(BenchmarkId::new("min_degree", half), &g, |b, g| {
+            b.iter(|| black_box(complete_min_degree(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_konig", half), &g, |b, g| {
+            b.iter(|| black_box(complete_exact(g, &sides)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_completion);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Intersection-graph construction — the dominant term of Algorithm I's
+//! O(n²) bound, with and without the §3 large-edge threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fhp_bench::{bench_instance, SIZES};
+use fhp_hypergraph::IntersectionGraph;
+use std::hint::black_box;
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection_graph");
+    for &n in &SIZES {
+        let h = bench_instance(n);
+        group.bench_with_input(BenchmarkId::new("full", n), &h, |b, h| {
+            b.iter(|| black_box(IntersectionGraph::build(h)))
+        });
+        group.bench_with_input(BenchmarkId::new("threshold10", n), &h, |b, h| {
+            b.iter(|| black_box(IntersectionGraph::build_with_threshold(h, Some(10))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersection);
+criterion_main!(benches);

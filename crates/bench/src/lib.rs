@@ -1,0 +1,19 @@
+//! Shared instance construction for the Criterion benches.
+//!
+//! Each bench file regenerates a table/figure-adjacent measurement; the
+//! instances are built once per size here so all benches agree on the
+//! workload definition (std-cell circuit profile, signals n, modules 0.6n).
+
+use fhp_gen::{CircuitNetlist, Technology};
+use fhp_hypergraph::Hypergraph;
+
+/// The bench workload: a std-cell netlist with `n` signals.
+pub fn bench_instance(n: usize) -> Hypergraph {
+    CircuitNetlist::new(Technology::StdCell, (n * 6) / 10, n)
+        .seed(42)
+        .generate()
+        .expect("bench config is valid")
+}
+
+/// Sizes used by the scaling benches.
+pub const SIZES: [usize; 3] = [500, 1000, 2000];

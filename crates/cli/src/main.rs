@@ -1,0 +1,373 @@
+//! `fhp` — command-line hypergraph bipartitioner.
+//!
+//! Reads a netlist in the `signal: modules...` text format (see
+//! `fhp_hypergraph::netlist`) or, for `.hgr` files, the hMETIS exchange
+//! format; partitions it; and prints the cut.
+//!
+//! ```text
+//! fhp <netlist-file> [options]
+//! fhp --demo [options]            # run on a built-in demo netlist
+//!
+//! options:
+//!   -a, --algorithm <alg1|kl|fm|sa|random>   partitioner (default alg1)
+//!   -s, --starts <N>        random longest paths for alg1 (default 50)
+//!       --seed <S>          RNG seed (default 0)
+//!   -t, --threshold <K>     ignore signals with K or more pins
+//!       --balance           engineer's-method weighted completion (alg1)
+//!       --objective <cut|quotient|ratio>     alg1 ranking objective
+//!   -q, --quiet             print only the cut size
+//! ```
+
+use std::process::ExitCode;
+
+use fhp_baselines::{FiducciaMattheyses, KernighanLin, RandomCut, SimulatedAnnealing};
+use fhp_core::{
+    metrics, Algorithm1, Bipartitioner, CompletionStrategy, Objective, PartitionConfig, Side,
+};
+use fhp_hypergraph::Netlist;
+
+struct Options {
+    path: Option<String>,
+    demo: bool,
+    algorithm: String,
+    starts: usize,
+    seed: u64,
+    threshold: Option<usize>,
+    balance: bool,
+    objective: Objective,
+    quiet: bool,
+    blocks: usize,
+    place: Option<(usize, usize)>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        path: None,
+        demo: false,
+        algorithm: "alg1".to_string(),
+        starts: 50,
+        seed: 0,
+        threshold: None,
+        balance: false,
+        objective: Objective::CutSize,
+        quiet: false,
+        blocks: 2,
+        place: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "-a" | "--algorithm" => opts.algorithm = value("--algorithm")?,
+            "-s" | "--starts" => {
+                opts.starts = value("--starts")?
+                    .parse()
+                    .map_err(|_| "starts must be a positive integer".to_string())?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "seed must be an integer".to_string())?
+            }
+            "-t" | "--threshold" => {
+                opts.threshold = Some(
+                    value("--threshold")?
+                        .parse()
+                        .map_err(|_| "threshold must be an integer".to_string())?,
+                )
+            }
+            "--balance" => opts.balance = true,
+            "--objective" => {
+                opts.objective = match value("--objective")?.as_str() {
+                    "cut" => Objective::CutSize,
+                    "quotient" => Objective::QuotientCut,
+                    "ratio" => Objective::RatioCut,
+                    other => return Err(format!("unknown objective `{other}`")),
+                }
+            }
+            "-q" | "--quiet" => opts.quiet = true,
+            "--place" => {
+                let spec = value("--place")?;
+                let (r, c) = spec
+                    .split_once('x')
+                    .ok_or_else(|| "expected --place ROWSxCOLS, e.g. 8x8".to_string())?;
+                let rows: usize = r.parse().map_err(|_| "bad --place rows".to_string())?;
+                let cols: usize = c.parse().map_err(|_| "bad --place cols".to_string())?;
+                if rows == 0 || cols == 0 {
+                    return Err("--place dimensions must be positive".to_string());
+                }
+                opts.place = Some((rows, cols));
+            }
+            "-k" | "--blocks" => {
+                opts.blocks = value("--blocks")?
+                    .parse()
+                    .map_err(|_| "blocks must be a positive integer".to_string())?;
+                if opts.blocks == 0 {
+                    return Err("blocks must be at least 1".to_string());
+                }
+            }
+            "--demo" => opts.demo = true,
+            "-h" | "--help" => return Err(String::new()),
+            other if !other.starts_with('-') && opts.path.is_none() => {
+                opts.path = Some(other.to_string())
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if opts.path.is_none() && !opts.demo {
+        return Err("expected a netlist file (or --demo)".to_string());
+    }
+    Ok(opts)
+}
+
+const DEMO_NETLIST: &str = "\
+a: 1 2 11
+b: 2 4 11
+c: 1 3 4 12
+d: 3 5
+e: 4 6 7
+f: 5 6 8
+g: 6 8
+h: 7 9 10
+i: 6 7 9 10
+";
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let text = if opts.demo {
+        DEMO_NETLIST.to_string()
+    } else {
+        let path = opts.path.as_deref().expect("checked in parse_args");
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let is_hgr = opts.path.as_deref().is_some_and(|p| p.ends_with(".hgr"));
+    let netlist = if is_hgr {
+        match fhp_hypergraph::hgr::parse_hgr(&text) {
+            Ok(h) => Netlist::from_hypergraph(h),
+            Err(e) => {
+                eprintln!("error: hgr parse failure: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match Netlist::parse(&text) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("error: parse failure: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let h = netlist.hypergraph();
+
+    let completion = if opts.balance {
+        CompletionStrategy::EngineerWeighted
+    } else {
+        CompletionStrategy::MinDegree
+    };
+    let partitioner: Box<dyn Bipartitioner> = match opts.algorithm.as_str() {
+        "alg1" => Box::new(Algorithm1::new(
+            PartitionConfig::new()
+                .starts(opts.starts)
+                .seed(opts.seed)
+                .edge_size_threshold(opts.threshold)
+                .completion(completion)
+                .objective(opts.objective),
+        )),
+        "kl" => Box::new(KernighanLin::new(opts.seed)),
+        "fm" => Box::new(FiducciaMattheyses::new(opts.seed)),
+        "sa" => Box::new(SimulatedAnnealing::thorough(opts.seed)),
+        "random" => Box::new(RandomCut::balanced(opts.seed)),
+        other => {
+            eprintln!("error: unknown algorithm `{other}` (alg1|kl|fm|sa|random)");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some((rows, cols)) = opts.place {
+        return run_place(&opts, &netlist, rows, cols);
+    }
+    if opts.blocks > 2 {
+        return run_multiway(&opts, &netlist, partitioner);
+    }
+    let started = std::time::Instant::now();
+    let bp = match partitioner.bipartition(h) {
+        Ok(bp) => bp,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+
+    let report = metrics::CutReport::new(h, &bp);
+    if opts.quiet {
+        println!("{}", report.cut_size);
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{}: {} modules, {} signals",
+        partitioner.name(),
+        h.num_vertices(),
+        h.num_edges()
+    );
+    println!(
+        "cut size {} (weighted {}), sides {}/{} modules, weights {}/{}, quotient {:.3}",
+        report.cut_size,
+        report.weighted_cut,
+        report.counts.0,
+        report.counts.1,
+        report.weights.0,
+        report.weights.1,
+        report.quotient
+    );
+    let names = |side: Side| {
+        bp.vertices_on(side)
+            .iter()
+            .map(|&v| netlist.module_name(v).to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!("left : {}", names(Side::Left));
+    println!("right: {}", names(Side::Right));
+    let crossing: Vec<String> = metrics::crossing_edges(h, &bp)
+        .iter()
+        .map(|&e| netlist.signal_name(e).to_string())
+        .collect();
+    println!("crossing signals: {}", crossing.join(" "));
+    println!("elapsed: {elapsed:?}");
+    ExitCode::SUCCESS
+}
+
+fn run_place(opts: &Options, netlist: &Netlist, rows: usize, cols: usize) -> ExitCode {
+    use fhp_place::{wirelength, MinCutPlacer, SlotGrid};
+    let h = netlist.hypergraph();
+    let base = PartitionConfig::new()
+        .starts(opts.starts.min(10))
+        .edge_size_threshold(opts.threshold)
+        .objective(opts.objective);
+    let seed = opts.seed;
+    let placer = MinCutPlacer::new(move |region| {
+        Box::new(Algorithm1::new(base.seed(seed ^ region))) as Box<dyn Bipartitioner>
+    });
+    let started = std::time::Instant::now();
+    let placement = match placer.place(h, SlotGrid::new(rows, cols)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+    let hpwl = wirelength::total_hpwl(h, &placement);
+    if opts.quiet {
+        println!("{hpwl}");
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "min-cut placement of {} modules into {rows}x{cols} slots",
+        h.num_vertices()
+    );
+    println!(
+        "HPWL {hpwl}, peak vertical cut {}",
+        wirelength::max_vertical_cut(h, &placement)
+    );
+    for r in 0..rows {
+        let mut row: Vec<&str> = Vec::new();
+        for c in 0..cols {
+            let cell = h
+                .vertices()
+                .find(|&v| placement.slot_of(v).row == r && placement.slot_of(v).col == c)
+                .map(|v| netlist.module_name(v))
+                .unwrap_or(".");
+            row.push(cell);
+        }
+        println!("  {}", row.join(" "));
+    }
+    println!("elapsed: {elapsed:?}");
+    ExitCode::SUCCESS
+}
+
+fn run_multiway(opts: &Options, netlist: &Netlist, _two_way: Box<dyn Bipartitioner>) -> ExitCode {
+    use fhp_core::multiway::recursive_bisection;
+    let h = netlist.hypergraph();
+    let started = std::time::Instant::now();
+    let completion = if opts.balance {
+        CompletionStrategy::EngineerWeighted
+    } else {
+        CompletionStrategy::MinDegree
+    };
+    let base = PartitionConfig::new()
+        .starts(opts.starts)
+        .edge_size_threshold(opts.threshold)
+        .completion(completion)
+        .objective(opts.objective);
+    let mp = match recursive_bisection(h, opts.blocks, |region| {
+        Box::new(Algorithm1::new(base.seed(opts.seed ^ region))) as Box<dyn Bipartitioner>
+    }) {
+        Ok(mp) => mp,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+    if opts.quiet {
+        println!("{}", mp.cut_size(h));
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "Alg I (recursive): {} modules, {} signals, k = {}",
+        h.num_vertices(),
+        h.num_edges(),
+        opts.blocks
+    );
+    println!(
+        "cut nets {} , connectivity {}, block sizes {:?}",
+        mp.cut_size(h),
+        mp.connectivity(h),
+        mp.block_sizes()
+    );
+    for b in 0..opts.blocks as u32 {
+        let members: Vec<&str> = h
+            .vertices()
+            .filter(|&v| mp.block_of(v) == b)
+            .map(|v| netlist.module_name(v))
+            .collect();
+        println!("block {b}: {}", members.join(" "));
+    }
+    println!("elapsed: {elapsed:?}");
+    ExitCode::SUCCESS
+}
+
+fn usage() -> &'static str {
+    "usage: fhp <netlist-file> [options]\n\
+     \x20      fhp --demo [options]\n\
+     \n\
+     options:\n\
+     \x20 -a, --algorithm <alg1|kl|fm|sa|random>  partitioner (default alg1)\n\
+     \x20 -s, --starts <N>      random longest paths for alg1 (default 50)\n\
+     \x20     --seed <S>        RNG seed (default 0)\n\
+     \x20 -t, --threshold <K>   ignore signals with K or more pins\n\
+     \x20     --balance         engineer's-method weighted completion\n\
+     \x20     --objective <cut|quotient|ratio>\n\
+     \x20 -k, --blocks <K>      k-way decomposition by recursive Alg I (default 2)\n\
+     \x20     --place <RxC>     min-cut placement into an R x C slot grid\n\
+     \x20 -q, --quiet           print only the cut size\n"
+}

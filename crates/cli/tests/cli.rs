@@ -1,0 +1,105 @@
+//! End-to-end tests of the `fhp` binary: argument handling, file formats,
+//! and every output mode, exercised through a real process.
+
+use std::process::Command;
+
+fn fhp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fhp"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = fhp().args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn demo_partitions_with_cut_two() {
+    let (stdout, _, ok) = run(&["--demo"]);
+    assert!(ok);
+    assert!(stdout.contains("cut size 2"), "{stdout}");
+    assert!(stdout.contains("crossing signals"));
+}
+
+#[test]
+fn quiet_prints_only_the_number() {
+    let (stdout, _, ok) = run(&["--demo", "-q"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "2");
+}
+
+#[test]
+fn every_algorithm_runs_on_the_demo() {
+    for alg in ["alg1", "kl", "fm", "sa", "random"] {
+        let (stdout, stderr, ok) = run(&["--demo", "-a", alg, "-q"]);
+        assert!(ok, "{alg}: {stderr}");
+        let cut: usize = stdout.trim().parse().unwrap_or(usize::MAX);
+        assert!(cut <= 9, "{alg} cut {cut}");
+    }
+}
+
+#[test]
+fn multiway_mode() {
+    let (stdout, _, ok) = run(&["--demo", "-k", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("k = 3"), "{stdout}");
+    assert!(stdout.contains("block 2:"));
+}
+
+#[test]
+fn place_mode() {
+    let (stdout, _, ok) = run(&["--demo", "--place", "3x4"]);
+    assert!(ok);
+    assert!(stdout.contains("HPWL"), "{stdout}");
+    let (quiet, _, ok2) = run(&["--demo", "--place", "3x4", "-q"]);
+    assert!(ok2);
+    assert!(quiet.trim().parse::<u64>().is_ok(), "{quiet}");
+}
+
+#[test]
+fn reads_netlist_and_hgr_files() {
+    let dir = std::env::temp_dir();
+    let nl = dir.join("fhp_cli_test.net");
+    std::fs::write(&nl, "a: 1 2\nb: 2 3\nc: 3 4\n").unwrap();
+    let (stdout, _, ok) = run(&[nl.to_str().unwrap(), "-q"]);
+    assert!(ok);
+    assert!(stdout.trim().parse::<usize>().unwrap() <= 2);
+
+    let hg = dir.join("fhp_cli_test.hgr");
+    std::fs::write(&hg, "3 4\n1 2\n2 3\n3 4\n").unwrap();
+    let (stdout, _, ok) = run(&[hg.to_str().unwrap(), "-q"]);
+    assert!(ok);
+    assert!(stdout.trim().parse::<usize>().unwrap() <= 2);
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let (_, stderr, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+    let (_, stderr2, ok2) = run(&["--demo", "-a", "nope"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("unknown algorithm"));
+    let (_, stderr3, ok3) = run(&["--demo", "--place", "banana"]);
+    assert!(!ok3);
+    assert!(stderr3.contains("ROWSxCOLS"));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let (_, stderr, ok) = run(&["/definitely/not/here.net"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let p = std::env::temp_dir().join("fhp_cli_bad.net");
+    std::fs::write(&p, "a: 1 2\nbroken line\n").unwrap();
+    let (_, stderr, ok) = run(&[p.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}

@@ -1,0 +1,685 @@
+//! Algorithm I: the complete fast hypergraph bipartitioner.
+//!
+//! The pipeline (paper §2.3), repeated over `starts` random longest BFS
+//! paths (the paper's test runs used 50) and keeping the best cut:
+//!
+//! 1. build the intersection graph `G` (optionally dropping hyperedges at
+//!    or above a size threshold, §3);
+//! 2. pick a random vertex, BFS to a furthest vertex `u`, BFS again to a
+//!    furthest vertex `v` — a longest BFS path;
+//! 3. grow BFS fronts from `u` and `v` simultaneously to cut `G`;
+//! 4. read off the boundary set and the implied partial bipartition of the
+//!    hypergraph;
+//! 5. run Complete-Cut on the bipartite boundary graph; winners pull their
+//!    modules to their side;
+//! 6. place any remaining modules on the lighter side.
+//!
+//! Total cost is `O(n²)` in the number of signals `n`, dominated by the
+//! intersection-graph construction and the BFS sweeps.
+//!
+//! If the hypergraph is disconnected (the paper's "completely pathological"
+//! `c = 0` case), the BFS structure discovers it and the partitioner
+//! short-circuits: whole components are packed onto the two sides and the
+//! returned cut has size 0, while move-based heuristics typically get stuck
+//! at a locally-minimum cut of size `Θ(|E|)` (§4).
+
+use fhp_hypergraph::{Hypergraph, IntersectionGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::boundary::BoundaryDecomposition;
+use crate::complete_cut::{complete, place_winner_pins, CompletionStrategy};
+use crate::dual_bfs::{random_longest_path_endpoints, two_front_bfs_with_policy, FrontPolicy};
+use crate::metrics::{CutReport, Objective};
+use crate::{Bipartition, PartitionError, Side};
+
+/// Implemented by every bipartitioner in the workspace (Algorithm I and all
+/// baselines), so experiments and applications can treat them uniformly.
+pub trait Bipartitioner {
+    /// Produces a two-way cut of `h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::TooFewVertices`] for inputs with fewer
+    /// than two vertices; other variants are implementation-specific.
+    fn bipartition(&self, h: &Hypergraph) -> Result<Bipartition, PartitionError>;
+
+    /// Short human-readable name used in experiment tables.
+    fn name(&self) -> &str;
+}
+
+/// Configuration for [`Algorithm1`], built with chained setters.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_core::{CompletionStrategy, Objective, PartitionConfig};
+///
+/// let config = PartitionConfig::new()
+///     .seed(7)
+///     .starts(50)
+///     .edge_size_threshold(Some(10))
+///     .completion(CompletionStrategy::EngineerWeighted)
+///     .objective(Objective::QuotientCut);
+/// assert_eq!(config.starts_count(), 50);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PartitionConfig {
+    seed: u64,
+    starts: usize,
+    edge_size_threshold: Option<usize>,
+    completion: CompletionStrategy,
+    objective: Objective,
+    front_policy: FrontPolicy,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            starts: 1,
+            edge_size_threshold: None,
+            completion: CompletionStrategy::MinDegree,
+            objective: Objective::CutSize,
+            front_policy: FrontPolicy::Both,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// The basic algorithm: one start, no edge filtering, min-degree
+    /// completion, cut-size objective.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The configuration of the paper's reported test runs: 50 random
+    /// longest paths and the §3 large-edge threshold of 10.
+    pub fn paper() -> Self {
+        Self::new().starts(50).edge_size_threshold(Some(10))
+    }
+
+    /// Seeds the random start selection (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of random longest paths to try (default 1).
+    pub fn starts(mut self, starts: usize) -> Self {
+        self.starts = starts;
+        self
+    }
+
+    /// Ignore hyperedges with `size ≥ threshold` when building `G`
+    /// (default `None` — keep everything).
+    pub fn edge_size_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.edge_size_threshold = threshold;
+        self
+    }
+
+    /// Boundary completion strategy (default [`CompletionStrategy::MinDegree`]).
+    pub fn completion(mut self, strategy: CompletionStrategy) -> Self {
+        self.completion = strategy;
+        self
+    }
+
+    /// Objective used to rank the multi-start candidates (default
+    /// [`Objective::CutSize`]).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// How the dual BFS fronts take turns (default [`FrontPolicy::Both`]:
+    /// each start tries both concrete sweeps and keeps the better cut).
+    pub fn front_policy(mut self, policy: FrontPolicy) -> Self {
+        self.front_policy = policy;
+        self
+    }
+
+    /// The configured front policy.
+    pub fn front_policy_value(&self) -> FrontPolicy {
+        self.front_policy
+    }
+
+    /// The configured number of starts.
+    pub fn starts_count(&self) -> usize {
+        self.starts
+    }
+
+    /// The configured seed.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured edge-size threshold.
+    pub fn threshold_value(&self) -> Option<usize> {
+        self.edge_size_threshold
+    }
+
+    /// The configured completion strategy.
+    pub fn completion_strategy(&self) -> CompletionStrategy {
+        self.completion
+    }
+
+    /// The configured objective.
+    pub fn objective_value(&self) -> Objective {
+        self.objective
+    }
+
+    fn validate(&self) -> Result<(), PartitionError> {
+        if self.starts == 0 {
+            return Err(PartitionError::InvalidConfig {
+                reason: "starts must be at least 1",
+            });
+        }
+        if self.edge_size_threshold == Some(0) || self.edge_size_threshold == Some(1) {
+            return Err(PartitionError::InvalidConfig {
+                reason: "edge size threshold below 2 filters every edge",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Diagnostics from a [`Algorithm1::run`] call, reported for the winning
+/// start.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RunStats {
+    /// Number of starts actually executed.
+    pub starts: usize,
+    /// G-vertices (kept signals) in the intersection graph.
+    pub num_g_vertices: usize,
+    /// Boundary set size `|B|` of the best start (0 for shortcuts).
+    pub boundary_len: usize,
+    /// Length of the best start's longest BFS path (0 for shortcuts).
+    pub bfs_path_length: u32,
+    /// Modules committed by the best start's partial bipartition.
+    pub num_placed_by_partial: usize,
+    /// The hypergraph was disconnected and component packing was used.
+    pub used_component_shortcut: bool,
+    /// The intersection graph was too small to cut; a weight-balanced
+    /// fallback split was used.
+    pub used_fallback_split: bool,
+}
+
+/// A finished partition plus its metrics and run diagnostics.
+#[derive(Clone, Debug)]
+pub struct PartitionOutcome {
+    /// The cut itself.
+    pub bipartition: Bipartition,
+    /// Quality metrics of the cut.
+    pub report: CutReport,
+    /// Diagnostics of the winning start.
+    pub stats: RunStats,
+}
+
+/// The paper's Algorithm I.
+///
+/// # Examples
+///
+/// Partition the paper's running example:
+///
+/// ```
+/// use fhp_core::{Algorithm1, PartitionConfig};
+/// use fhp_hypergraph::intersection::paper_example;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let h = paper_example();
+/// let outcome = Algorithm1::new(PartitionConfig::new().starts(10)).run(&h)?;
+/// assert!(outcome.bipartition.is_valid_cut());
+/// assert!(outcome.report.cut_size <= 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Algorithm1 {
+    config: PartitionConfig,
+}
+
+impl Algorithm1 {
+    /// Creates the partitioner with the given configuration.
+    pub fn new(config: PartitionConfig) -> Self {
+        Self { config }
+    }
+
+    /// The paper's reported test configuration (50 starts, threshold 10).
+    pub fn paper() -> Self {
+        Self::new(PartitionConfig::paper())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PartitionConfig {
+        &self.config
+    }
+
+    /// Runs the partitioner, returning the cut plus metrics and
+    /// diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::TooFewVertices`] if `h` has fewer than two
+    /// vertices; [`PartitionError::InvalidConfig`] for a zero start count
+    /// or a degenerate edge-size threshold.
+    pub fn run(&self, h: &Hypergraph) -> Result<PartitionOutcome, PartitionError> {
+        self.config.validate()?;
+        if h.num_vertices() < 2 {
+            return Err(PartitionError::TooFewVertices {
+                found: h.num_vertices(),
+            });
+        }
+
+        // Pathological case (§4): a disconnected hypergraph has a cut of
+        // size 0 — pack whole components onto the lighter side.
+        let (comp, n_comps) = h.connected_components();
+        if n_comps >= 2 {
+            let bipartition = pack_components(h, &comp, n_comps);
+            let report = CutReport::new(h, &bipartition);
+            return Ok(PartitionOutcome {
+                bipartition,
+                report,
+                stats: RunStats {
+                    starts: 0,
+                    num_g_vertices: 0,
+                    boundary_len: 0,
+                    bfs_path_length: 0,
+                    num_placed_by_partial: 0,
+                    used_component_shortcut: true,
+                    used_fallback_split: false,
+                },
+            });
+        }
+
+        let ig = IntersectionGraph::build_with_threshold(h, self.config.edge_size_threshold);
+        let g = ig.graph();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let mut best: Option<(f64, PartitionOutcome)> = None;
+        let mut any_endpoints = false;
+        for _ in 0..self.config.starts {
+            let Some((u, v)) = random_longest_path_endpoints(g, &mut rng) else {
+                break;
+            };
+            any_endpoints = true;
+            for &sweep in self.config.front_policy.sweeps() {
+                let cut = two_front_bfs_with_policy(g, u, v, sweep);
+                let dec = BoundaryDecomposition::new(h, &ig, &cut);
+                let completion = complete(self.config.completion, h, &ig, &dec);
+                let bipartition = assemble(h, &ig, &dec, &completion);
+                let score = self.config.objective.evaluate(h, &bipartition);
+                let better = match &best {
+                    None => true,
+                    Some((s, o)) => {
+                        score < *s
+                            || (score == *s
+                                && crate::metrics::weight_imbalance(h, &bipartition)
+                                    < crate::metrics::weight_imbalance(h, &o.bipartition))
+                    }
+                };
+                if better {
+                    let report = CutReport::new(h, &bipartition);
+                    let path_length = fhp_hypergraph::bfs::bfs(g, u).dist(v).unwrap_or(0);
+                    let stats = RunStats {
+                        starts: self.config.starts,
+                        num_g_vertices: ig.num_g_vertices(),
+                        boundary_len: dec.boundary_len(),
+                        bfs_path_length: path_length,
+                        num_placed_by_partial: dec.num_placed(),
+                        used_component_shortcut: false,
+                        used_fallback_split: false,
+                    };
+                    best = Some((
+                        score,
+                        PartitionOutcome {
+                            bipartition,
+                            report,
+                            stats,
+                        },
+                    ));
+                }
+            }
+        }
+
+        if let Some((_, outcome)) = best {
+            return Ok(outcome);
+        }
+
+        // G too small to cut (fewer than two G-vertices, or no usable BFS
+        // endpoints): fall back to a weight-balanced split.
+        debug_assert!(!any_endpoints);
+        let bipartition = balanced_fallback(h);
+        let report = CutReport::new(h, &bipartition);
+        Ok(PartitionOutcome {
+            bipartition,
+            report,
+            stats: RunStats {
+                starts: 0,
+                num_g_vertices: ig.num_g_vertices(),
+                boundary_len: 0,
+                bfs_path_length: 0,
+                num_placed_by_partial: 0,
+                used_component_shortcut: false,
+                used_fallback_split: true,
+            },
+        })
+    }
+}
+
+impl Bipartitioner for Algorithm1 {
+    fn bipartition(&self, h: &Hypergraph) -> Result<Bipartition, PartitionError> {
+        self.run(h).map(|o| o.bipartition)
+    }
+
+    fn name(&self) -> &str {
+        "Alg I"
+    }
+}
+
+/// Assembles the final hypergraph bipartition from the partial assignment,
+/// the winners, and a lighter-side sweep for the leftovers.
+fn assemble(
+    h: &Hypergraph,
+    ig: &IntersectionGraph,
+    dec: &BoundaryDecomposition,
+    completion: &crate::complete_cut::Completion,
+) -> Bipartition {
+    let mut placed: Vec<Option<Side>> = dec.partial().to_vec();
+    place_winner_pins(h, ig, dec, completion, &mut placed);
+
+    // Leftovers: modules touched only by losers or filtered-out large
+    // signals (or isolated). Biggest first onto the lighter side keeps the
+    // weights near-equal (LPT rule).
+    let mut weights = [0u64; 2];
+    for (i, p) in placed.iter().enumerate() {
+        if let Some(s) = p {
+            weights[s.index()] += h.vertex_weight(VertexId::new(i));
+        }
+    }
+    let mut leftovers: Vec<VertexId> = placed
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.is_none())
+        .map(|(i, _)| VertexId::new(i))
+        .collect();
+    leftovers.sort_by_key(|&v| std::cmp::Reverse(h.vertex_weight(v)));
+    for v in leftovers {
+        let side = if weights[0] <= weights[1] {
+            Side::Left
+        } else {
+            Side::Right
+        };
+        placed[v.index()] = Some(side);
+        weights[side.index()] += h.vertex_weight(v);
+    }
+
+    let mut bp = Bipartition::from_sides(
+        placed
+            .into_iter()
+            .map(|p| p.expect("all modules placed"))
+            .collect(),
+    );
+    ensure_valid_cut(h, &mut bp);
+    bp
+}
+
+/// Packs whole connected components onto the lighter side (LPT), yielding a
+/// zero cut for disconnected hypergraphs.
+fn pack_components(h: &Hypergraph, comp: &[u32], n_comps: usize) -> Bipartition {
+    let mut comp_weight = vec![0u64; n_comps];
+    for v in h.vertices() {
+        comp_weight[comp[v.index()] as usize] += h.vertex_weight(v);
+    }
+    let mut order: Vec<usize> = (0..n_comps).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(comp_weight[c]));
+    let mut side_of_comp = vec![Side::Left; n_comps];
+    let mut weights = [0u64; 2];
+    for c in order {
+        let side = if weights[0] <= weights[1] {
+            Side::Left
+        } else {
+            Side::Right
+        };
+        side_of_comp[c] = side;
+        weights[side.index()] += comp_weight[c];
+    }
+    let mut bp = Bipartition::from_fn(h.num_vertices(), |v| side_of_comp[comp[v.index()] as usize]);
+    ensure_valid_cut(h, &mut bp);
+    bp
+}
+
+/// Weight-balanced split used when there is no intersection graph to cut.
+fn balanced_fallback(h: &Hypergraph) -> Bipartition {
+    let mut order: Vec<VertexId> = h.vertices().collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(h.vertex_weight(v)));
+    let mut weights = [0u64; 2];
+    let mut bp = Bipartition::all_left(h.num_vertices());
+    for v in order {
+        let side = if weights[0] <= weights[1] {
+            Side::Left
+        } else {
+            Side::Right
+        };
+        bp.set(v, side);
+        weights[side.index()] += h.vertex_weight(v);
+    }
+    bp
+}
+
+/// Moves the lightest vertex across if one side ended up empty (only
+/// possible in degenerate single-signal cases).
+fn ensure_valid_cut(h: &Hypergraph, bp: &mut Bipartition) {
+    if bp.is_valid_cut() || bp.len() < 2 {
+        return;
+    }
+    let lightest = h
+        .vertices()
+        .min_by_key(|&v| h.vertex_weight(v))
+        .expect("at least two vertices");
+    bp.flip(lightest);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use fhp_hypergraph::intersection::paper_example;
+    use fhp_hypergraph::HypergraphBuilder;
+
+    fn two_clusters(cross_edges: usize) -> Hypergraph {
+        // two size-6 cliques of 2-pin signals, joined by `cross_edges`
+        // bridging signals
+        let mut b = HypergraphBuilder::with_vertices(12);
+        for base in [0usize, 6] {
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    b.add_edge([VertexId::new(base + i), VertexId::new(base + j)])
+                        .unwrap();
+                }
+            }
+        }
+        for k in 0..cross_edges {
+            b.add_edge([VertexId::new(k % 6), VertexId::new(6 + (k % 6))])
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_planted_cut_in_two_clusters() {
+        let h = two_clusters(1);
+        let out = Algorithm1::new(PartitionConfig::new().starts(10).seed(3))
+            .run(&h)
+            .unwrap();
+        assert_eq!(out.report.cut_size, 1, "{}", out.bipartition);
+        assert!(out.bipartition.is_valid_cut());
+        assert_eq!(out.bipartition.counts(), (6, 6));
+    }
+
+    #[test]
+    fn cut_size_report_matches_metrics() {
+        let h = paper_example();
+        let out = Algorithm1::new(PartitionConfig::new().starts(5))
+            .run(&h)
+            .unwrap();
+        assert_eq!(out.report.cut_size, metrics::cut_size(&h, &out.bipartition));
+        assert_eq!(out.stats.num_g_vertices, 9);
+        assert!(out.stats.boundary_len > 0);
+        assert!(out.stats.bfs_path_length > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let h = two_clusters(2);
+        let a = Algorithm1::new(PartitionConfig::new().starts(5).seed(9))
+            .run(&h)
+            .unwrap();
+        let b = Algorithm1::new(PartitionConfig::new().starts(5).seed(9))
+            .run(&h)
+            .unwrap();
+        assert_eq!(a.bipartition, b.bipartition);
+    }
+
+    #[test]
+    fn too_few_vertices() {
+        let h = HypergraphBuilder::with_vertices(1).build();
+        assert_eq!(
+            Algorithm1::default().run(&h).unwrap_err(),
+            PartitionError::TooFewVertices { found: 1 }
+        );
+        let h0 = HypergraphBuilder::new().build();
+        assert!(Algorithm1::default().run(&h0).is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let h = paper_example();
+        assert!(matches!(
+            Algorithm1::new(PartitionConfig::new().starts(0)).run(&h),
+            Err(PartitionError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Algorithm1::new(PartitionConfig::new().edge_size_threshold(Some(1))).run(&h),
+            Err(PartitionError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_shortcut_gives_zero_cut() {
+        let mut b = HypergraphBuilder::with_vertices(6);
+        b.add_edge([VertexId::new(0), VertexId::new(1), VertexId::new(2)])
+            .unwrap();
+        b.add_edge([VertexId::new(3), VertexId::new(4)]).unwrap();
+        // vertex 5 isolated
+        let h = b.build();
+        let out = Algorithm1::default().run(&h).unwrap();
+        assert_eq!(out.report.cut_size, 0);
+        assert!(out.stats.used_component_shortcut);
+        assert!(out.bipartition.is_valid_cut());
+    }
+
+    #[test]
+    fn edgeless_hypergraph_falls_back() {
+        let h = HypergraphBuilder::with_vertices(4).build();
+        // 4 isolated vertices: disconnected, handled by component packing
+        let out = Algorithm1::default().run(&h).unwrap();
+        assert!(out.stats.used_component_shortcut);
+        assert_eq!(out.bipartition.counts(), (2, 2));
+    }
+
+    #[test]
+    fn single_signal_connected_uses_fallback() {
+        let mut b = HypergraphBuilder::with_vertices(3);
+        b.add_edge([VertexId::new(0), VertexId::new(1), VertexId::new(2)])
+            .unwrap();
+        let h = b.build();
+        let out = Algorithm1::default().run(&h).unwrap();
+        assert!(out.stats.used_fallback_split);
+        assert!(out.bipartition.is_valid_cut());
+        assert_eq!(out.report.cut_size, 1); // the one signal must cross
+    }
+
+    #[test]
+    fn threshold_filters_without_breaking() {
+        let h = paper_example();
+        let out = Algorithm1::new(
+            PartitionConfig::new()
+                .starts(5)
+                .edge_size_threshold(Some(4)),
+        )
+        .run(&h)
+        .unwrap();
+        assert_eq!(out.stats.num_g_vertices, 7);
+        assert!(out.bipartition.is_valid_cut());
+    }
+
+    #[test]
+    fn multi_start_never_worse_than_single() {
+        let h = two_clusters(3);
+        let single = Algorithm1::new(PartitionConfig::new().starts(1).seed(1))
+            .run(&h)
+            .unwrap();
+        let multi = Algorithm1::new(PartitionConfig::new().starts(20).seed(1))
+            .run(&h)
+            .unwrap();
+        assert!(multi.report.cut_size <= single.report.cut_size);
+    }
+
+    #[test]
+    fn objective_quotient_prefers_balanced() {
+        let h = two_clusters(2);
+        let out = Algorithm1::new(
+            PartitionConfig::new()
+                .starts(10)
+                .objective(Objective::QuotientCut),
+        )
+        .run(&h)
+        .unwrap();
+        assert!(out.bipartition.is_valid_cut());
+        assert!(out.report.quotient.is_finite());
+    }
+
+    #[test]
+    fn engineer_completion_balances_weights() {
+        // heavy modules on one flank; engineer strategy should still give a
+        // valid, reasonably balanced cut
+        let mut b = HypergraphBuilder::new();
+        let vs: Vec<_> = (0..10)
+            .map(|i| b.add_weighted_vertex(1 + (i % 3)))
+            .collect();
+        for w in vs.windows(2) {
+            b.add_edge([w[0], w[1]]).unwrap();
+        }
+        let h = b.build();
+        let out = Algorithm1::new(
+            PartitionConfig::new()
+                .starts(5)
+                .completion(CompletionStrategy::EngineerWeighted),
+        )
+        .run(&h)
+        .unwrap();
+        assert!(out.bipartition.is_valid_cut());
+        let imb = metrics::weight_imbalance(&h, &out.bipartition);
+        assert!(imb <= h.total_vertex_weight() / 2, "imbalance {imb}");
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let h = paper_example();
+        let p: Box<dyn Bipartitioner> = Box::new(Algorithm1::paper());
+        let bp = p.bipartition(&h).unwrap();
+        assert!(bp.is_valid_cut());
+        assert_eq!(p.name(), "Alg I");
+    }
+
+    #[test]
+    fn config_accessors() {
+        let c = PartitionConfig::paper().seed(3);
+        assert_eq!(c.starts_count(), 50);
+        assert_eq!(c.seed_value(), 3);
+        assert_eq!(c.threshold_value(), Some(10));
+        assert_eq!(c.completion_strategy(), CompletionStrategy::MinDegree);
+        assert_eq!(c.objective_value(), Objective::CutSize);
+    }
+}

@@ -1,0 +1,524 @@
+//! Completing a partial bipartition: the paper's *Complete-Cut* method and
+//! its variants.
+//!
+//! On the bipartite boundary graph `G′`, every vertex (a signal on the
+//! boundary of the initial G-cut) ends as a **winner** — all its modules on
+//! one side, it does not cross — or a **loser** — it crosses the cut. A
+//! winner's neighbours in `G′` must all be losers, so the winners form an
+//! independent set and minimizing losers is a minimum vertex cover problem.
+//!
+//! Three strategies are provided:
+//!
+//! - [`CompletionStrategy::MinDegree`] — the paper's §2.2 greedy: repeatedly
+//!   make the minimum-degree remaining vertex a winner, its neighbours
+//!   losers, and delete them. The paper states (proof omitted) that this is
+//!   within 1 of the optimum completion when `G′` is connected; our
+//!   property testing **refutes that bound as stated** — connected
+//!   counterexamples with a gap of 2 exist from 10 vertices up (see the
+//!   `within_one_counterexample` test and EXPERIMENTS.md) — though the
+//!   greedy is within 1 on the overwhelming majority of random boundary
+//!   graphs and its cuts remain excellent end to end.
+//! - [`CompletionStrategy::EngineerWeighted`] — the paper's §3 weighted
+//!   r-bipartition rule ("engineer's method"): like the greedy, but the next
+//!   winner is drawn from whichever side of the partition currently carries
+//!   less module weight.
+//! - [`CompletionStrategy::ExactKonig`] — the true optimum via
+//!   Hopcroft–Karp maximum matching and König's minimum vertex cover
+//!   (`G′` is bipartite, so this is polynomial). Not in the paper; used as
+//!   the reference implementation and as an upgrade option.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fhp_hypergraph::{Graph, Hypergraph, IntersectionGraph};
+
+use crate::boundary::BoundaryDecomposition;
+use crate::matching::{hopcroft_karp, konig_cover};
+use crate::Side;
+
+/// How the boundary graph is completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum CompletionStrategy {
+    /// The paper's min-degree greedy (within 1 of optimal on most
+    /// connected `G′`, but not all — see the module docs).
+    #[default]
+    MinDegree,
+    /// The paper's weight-balancing variant: the next winner is the
+    /// smallest-degree remaining vertex on the lighter side.
+    EngineerWeighted,
+    /// Exact minimum-loser completion via König's theorem.
+    ExactKonig,
+}
+
+/// The outcome of completing a boundary graph: which G′ vertices won.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    winner: Vec<bool>,
+}
+
+impl Completion {
+    /// True if G′ vertex `b` is a winner (does not cross the cut).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn is_winner(&self, b: u32) -> bool {
+        self.winner[b as usize]
+    }
+
+    /// Per-vertex winner flags.
+    pub fn winners(&self) -> &[bool] {
+        &self.winner
+    }
+
+    /// Number of losers — the completion's upper bound on the number of
+    /// boundary signals that cross.
+    pub fn num_losers(&self) -> usize {
+        self.winner.iter().filter(|&&w| !w).count()
+    }
+
+    /// Number of winners.
+    pub fn num_winners(&self) -> usize {
+        self.winner.iter().filter(|&&w| w).count()
+    }
+
+    fn assert_independent(&self, gprime: &Graph) {
+        debug_assert!(
+            gprime
+                .edges()
+                .all(|(u, v)| !(self.winner[u as usize] && self.winner[v as usize])),
+            "winners are not an independent set"
+        );
+    }
+}
+
+/// Runs the selected completion strategy on the boundary decomposition.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_core::boundary::BoundaryDecomposition;
+/// use fhp_core::complete_cut::{complete, CompletionStrategy};
+/// use fhp_core::dual_bfs::two_front_bfs;
+/// use fhp_hypergraph::{intersection::paper_example, IntersectionGraph};
+///
+/// let h = paper_example();
+/// let ig = IntersectionGraph::build(&h);
+/// let cut = two_front_bfs(ig.graph(), 0, 8);
+/// let dec = BoundaryDecomposition::new(&h, &ig, &cut);
+/// let done = complete(CompletionStrategy::MinDegree, &h, &ig, &dec);
+/// assert_eq!(done.num_winners() + done.num_losers(), dec.boundary_len());
+/// ```
+pub fn complete(
+    strategy: CompletionStrategy,
+    h: &Hypergraph,
+    ig: &IntersectionGraph,
+    dec: &BoundaryDecomposition,
+) -> Completion {
+    let c = match strategy {
+        CompletionStrategy::MinDegree => complete_min_degree(dec.gprime()),
+        CompletionStrategy::EngineerWeighted => complete_engineer(h, ig, dec),
+        CompletionStrategy::ExactKonig => complete_exact(dec.gprime(), dec.sides()),
+    };
+    c.assert_independent(dec.gprime());
+    c
+}
+
+/// The paper's Complete-Cut greedy on an arbitrary graph:
+///
+/// 1. select the minimum-degree remaining vertex and mark it a winner;
+/// 2. mark all its remaining neighbours losers;
+/// 3. delete the winner and the losers; repeat while vertices remain.
+///
+/// Implemented with a lazy binary heap keyed on current degree —
+/// `O((n + m) log n)`, matching the paper's `O(n log n)` for bounded-degree
+/// boundary graphs.
+pub fn complete_min_degree(gprime: &Graph) -> Completion {
+    let n = gprime.num_vertices();
+    let mut alive = vec![true; n];
+    let mut winner = vec![false; n];
+    let mut deg: Vec<usize> = (0..n as u32).map(|v| gprime.degree(v)).collect();
+    let mut heap: BinaryHeap<Reverse<(usize, u32)>> = (0..n as u32)
+        .map(|v| Reverse((deg[v as usize], v)))
+        .collect();
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if !alive[v as usize] || d != deg[v as usize] {
+            continue; // stale entry
+        }
+        winner[v as usize] = true;
+        alive[v as usize] = false;
+        for &u in gprime.neighbors(v) {
+            if !alive[u as usize] {
+                continue;
+            }
+            alive[u as usize] = false; // loser
+            for &w in gprime.neighbors(u) {
+                if alive[w as usize] {
+                    deg[w as usize] -= 1;
+                    heap.push(Reverse((deg[w as usize], w)));
+                }
+            }
+        }
+    }
+    Completion { winner }
+}
+
+/// Exact minimum-loser completion: the losers are a minimum vertex cover of
+/// the bipartite `G′`, obtained by König's construction from a maximum
+/// matching.
+pub fn complete_exact(gprime: &Graph, sides: &[Side]) -> Completion {
+    let matching = hopcroft_karp(gprime, sides);
+    let cover = konig_cover(gprime, sides, &matching);
+    Completion {
+        winner: cover.into_iter().map(|c| !c).collect(),
+    }
+}
+
+/// The engineer's-method weighted completion (paper §3):
+///
+/// > If the left (right) side of the partition has less weight than the
+/// > right (left), pick the smallest-degree vertex remaining in `G′_L`
+/// > (`G′_R`) as the next winner.
+///
+/// Side weights start from the partial bipartition's committed modules and
+/// grow as each winner pulls its still-unplaced modules to its side.
+pub fn complete_engineer(
+    h: &Hypergraph,
+    ig: &IntersectionGraph,
+    dec: &BoundaryDecomposition,
+) -> Completion {
+    let gprime = dec.gprime();
+    let n = gprime.num_vertices();
+    let mut alive = vec![true; n];
+    let mut winner = vec![false; n];
+    let mut deg: Vec<usize> = (0..n as u32).map(|v| gprime.degree(v)).collect();
+    let mut placed: Vec<Option<Side>> = dec.partial().to_vec();
+    let (mut wl, mut wr) = dec.placed_weights(h);
+    let mut alive_count = [0usize; 2];
+    let mut heaps: [BinaryHeap<Reverse<(usize, u32)>>; 2] = [BinaryHeap::new(), BinaryHeap::new()];
+    for b in 0..n as u32 {
+        let s = dec.side_of(b);
+        heaps[s.index()].push(Reverse((deg[b as usize], b)));
+        alive_count[s.index()] += 1;
+    }
+
+    while alive_count[0] + alive_count[1] > 0 {
+        // Prefer the lighter side; fall back if it has no vertices left.
+        let prefer = if wl <= wr { Side::Left } else { Side::Right };
+        let side = if alive_count[prefer.index()] > 0 {
+            prefer
+        } else {
+            prefer.opposite()
+        };
+        let v = loop {
+            let Reverse((d, v)) = heaps[side.index()]
+                .pop()
+                .expect("alive_count tracked a vertex");
+            if alive[v as usize] && d == deg[v as usize] {
+                break v;
+            }
+        };
+        winner[v as usize] = true;
+        alive[v as usize] = false;
+        alive_count[side.index()] -= 1;
+        // Pull the winner's unplaced modules to its side.
+        for &p in h.pins(ig.edge_of(dec.g_vertex(v))) {
+            if placed[p.index()].is_none() {
+                placed[p.index()] = Some(side);
+                match side {
+                    Side::Left => wl += h.vertex_weight(p),
+                    Side::Right => wr += h.vertex_weight(p),
+                }
+            }
+        }
+        for &u in gprime.neighbors(v) {
+            if !alive[u as usize] {
+                continue;
+            }
+            alive[u as usize] = false; // loser
+            alive_count[dec.side_of(u).index()] -= 1;
+            for &w in gprime.neighbors(u) {
+                if alive[w as usize] {
+                    deg[w as usize] -= 1;
+                    heaps[dec.side_of(w).index()].push(Reverse((deg[w as usize], w)));
+                }
+            }
+        }
+    }
+    Completion { winner }
+}
+
+/// Brute-force minimum number of losers (maximum independent set
+/// complement) for verification.
+///
+/// # Panics
+///
+/// Panics if `gprime` has more than 24 vertices.
+pub fn brute_force_min_losers(gprime: &Graph) -> usize {
+    let n = gprime.num_vertices();
+    assert!(n <= 24, "brute force limited to 24 vertices, got {n}");
+    let adj: Vec<u32> = (0..n as u32)
+        .map(|v| gprime.neighbors(v).iter().fold(0u32, |m, &u| m | (1 << u)))
+        .collect();
+    let mut best_winners = 0usize;
+    for mask in 0u32..(1 << n) {
+        let mut ok = true;
+        for (v, &mask_v) in adj.iter().enumerate() {
+            if mask & (1 << v) != 0 && mask_v & mask != 0 {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            best_winners = best_winners.max(mask.count_ones() as usize);
+        }
+    }
+    n - best_winners
+}
+
+/// Unplaced-module cleanup shared by the assembly code: true if the vertex
+/// `p` has been committed by `placed`.
+pub(crate) fn place_winner_pins(
+    h: &Hypergraph,
+    ig: &IntersectionGraph,
+    dec: &BoundaryDecomposition,
+    completion: &Completion,
+    placed: &mut [Option<Side>],
+) {
+    for b in 0..dec.boundary_len() as u32 {
+        if !completion.is_winner(b) {
+            continue;
+        }
+        let side = dec.side_of(b);
+        for &p in h.pins(ig.edge_of(dec.g_vertex(b))) {
+            debug_assert!(
+                placed[p.index()].is_none() || placed[p.index()] == Some(side),
+                "winner {b} conflicts at module {p}"
+            );
+            placed[p.index()] = Some(side);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual_bfs::two_front_bfs;
+    use fhp_hypergraph::intersection::paper_example;
+
+    fn sides_pattern(pattern: &str) -> Vec<Side> {
+        pattern
+            .chars()
+            .map(|c| if c == 'L' { Side::Left } else { Side::Right })
+            .collect()
+    }
+
+    #[test]
+    fn min_degree_on_star_sacrifices_center() {
+        let g = Graph::from_edges(5, (1..5).map(|i| (0, i)));
+        let c = complete_min_degree(&g);
+        assert!(!c.is_winner(0));
+        for v in 1..5 {
+            assert!(c.is_winner(v));
+        }
+        assert_eq!(c.num_losers(), 1);
+        assert_eq!(c.num_winners(), 4);
+    }
+
+    #[test]
+    fn min_degree_on_path_matches_optimum() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let c = complete_min_degree(&g);
+        assert_eq!(c.num_losers(), brute_force_min_losers(&g));
+    }
+
+    #[test]
+    fn exact_equals_brute_force_on_small_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..60 {
+            let nl = rng.gen_range(1..6usize);
+            let nr = rng.gen_range(1..6usize);
+            let n = nl + nr;
+            let sides: Vec<Side> = (0..n)
+                .map(|i| if i < nl { Side::Left } else { Side::Right })
+                .collect();
+            let mut edges = Vec::new();
+            for u in 0..nl as u32 {
+                for v in nl as u32..n as u32 {
+                    if rng.gen_bool(0.4) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, edges);
+            let exact = complete_exact(&g, &sides);
+            assert_eq!(exact.num_losers(), brute_force_min_losers(&g));
+            exact.assert_independent(&g);
+        }
+    }
+
+    #[test]
+    fn within_one_holds_on_most_connected_bipartite_graphs() {
+        // Paper §2.2 theorem (proof omitted there): for connected G′ the
+        // greedy completion is within one of the optimum. Our testing shows
+        // this holds for the overwhelming majority of random connected
+        // boundary graphs — but not all (see within_one_counterexample), so
+        // the check here is statistical.
+        use fhp_hypergraph::bfs;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut tested = 0;
+        let mut within_one = 0;
+        while tested < 200 {
+            let nl = rng.gen_range(2..8usize);
+            let nr = rng.gen_range(2..8usize);
+            let n = nl + nr;
+            let sides: Vec<Side> = (0..n)
+                .map(|i| if i < nl { Side::Left } else { Side::Right })
+                .collect();
+            let mut edges = Vec::new();
+            for u in 0..nl as u32 {
+                for v in nl as u32..n as u32 {
+                    if rng.gen_bool(0.45) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, edges);
+            if !bfs::is_connected(&g) {
+                continue;
+            }
+            tested += 1;
+            let greedy = complete_min_degree(&g).num_losers();
+            let exact = complete_exact(&g, &sides).num_losers();
+            assert!(greedy >= exact);
+            if greedy <= exact + 1 {
+                within_one += 1;
+            }
+        }
+        assert!(
+            within_one * 100 >= tested * 95,
+            "within-one held on only {within_one}/{tested} graphs"
+        );
+    }
+
+    #[test]
+    fn within_one_counterexample() {
+        // Connected bipartite graph (L = 0..5, R = 5..12) where the paper's
+        // greedy is optimal + 2, refuting the stated within-one theorem.
+        // Greedy eats the left side bottom-up (degree-1 vertex 1 first) and
+        // concedes all seven right vertices; the optimum sacrifices five.
+        let g = Graph::from_edges(
+            12,
+            [
+                (0u32, 9u32),
+                (0, 10),
+                (1, 8),
+                (2, 7),
+                (2, 11),
+                (3, 5),
+                (3, 6),
+                (3, 7),
+                (3, 8),
+                (3, 10),
+                (4, 5),
+                (4, 6),
+                (4, 9),
+                (4, 11),
+            ],
+        );
+        assert!(fhp_hypergraph::bfs::is_connected(&g));
+        let greedy = complete_min_degree(&g).num_losers();
+        let optimal = brute_force_min_losers(&g);
+        assert_eq!(optimal, 5);
+        assert_eq!(greedy, 7, "gap of two beyond the claimed bound");
+        // the exact König strategy recovers the optimum, as always
+        let sides: Vec<Side> = (0..12)
+            .map(|i| if i < 5 { Side::Left } else { Side::Right })
+            .collect();
+        assert_eq!(complete_exact(&g, &sides).num_losers(), optimal);
+    }
+
+    #[test]
+    fn empty_boundary_graph_all_win() {
+        let g = Graph::empty(3);
+        let c = complete_min_degree(&g);
+        assert_eq!(c.num_winners(), 3);
+        assert_eq!(c.num_losers(), 0);
+        let e = complete_exact(&g, &sides_pattern("LLR"));
+        assert_eq!(e.num_losers(), 0);
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let g = Graph::empty(0);
+        assert_eq!(complete_min_degree(&g).num_losers(), 0);
+        assert_eq!(brute_force_min_losers(&g), 0);
+    }
+
+    #[test]
+    fn engineer_strategy_produces_independent_winners() {
+        let h = paper_example();
+        let ig = IntersectionGraph::build(&h);
+        let cut = two_front_bfs(ig.graph(), 0, 8);
+        let dec = BoundaryDecomposition::new(&h, &ig, &cut);
+        for strategy in [
+            CompletionStrategy::MinDegree,
+            CompletionStrategy::EngineerWeighted,
+            CompletionStrategy::ExactKonig,
+        ] {
+            let c = complete(strategy, &h, &ig, &dec);
+            c.assert_independent(dec.gprime());
+            assert_eq!(c.num_winners() + c.num_losers(), dec.boundary_len());
+        }
+    }
+
+    #[test]
+    fn exact_never_worse_than_greedy() {
+        let h = paper_example();
+        let ig = IntersectionGraph::build(&h);
+        for (a, b) in [(0u32, 8u32), (1, 7), (3, 5)] {
+            let cut = two_front_bfs(ig.graph(), a, b);
+            let dec = BoundaryDecomposition::new(&h, &ig, &cut);
+            let greedy = complete(CompletionStrategy::MinDegree, &h, &ig, &dec);
+            let exact = complete(CompletionStrategy::ExactKonig, &h, &ig, &dec);
+            assert!(exact.num_losers() <= greedy.num_losers());
+        }
+    }
+
+    #[test]
+    fn figure3_style_boundary_graph() {
+        // A bipartite boundary graph in the spirit of the paper's Figure 3:
+        // winners should be the large independent side.
+        // L = {0,1,2} (high degree hubs), R = {3..8} leaves hanging off hubs.
+        let g = Graph::from_edges(
+            9,
+            [
+                (0, 3),
+                (0, 4),
+                (1, 4),
+                (1, 5),
+                (1, 6),
+                (2, 6),
+                (2, 7),
+                (2, 8),
+            ],
+        );
+        let c = complete_min_degree(&g);
+        // leaves (degree ≤ 2) should win; hubs lose
+        assert!(c.is_winner(3));
+        assert!(c.is_winner(8));
+        assert_eq!(c.num_losers(), brute_force_min_losers(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn brute_force_guards_size() {
+        let g = Graph::empty(25);
+        let _ = brute_force_min_losers(&g);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by every partitioner in the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a bipartitioner could not produce a cut.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_core::{Algorithm1, Bipartitioner, PartitionError};
+/// use fhp_hypergraph::HypergraphBuilder;
+///
+/// let tiny = HypergraphBuilder::with_vertices(1).build();
+/// let err = Algorithm1::default().bipartition(&tiny).unwrap_err();
+/// assert_eq!(err, PartitionError::TooFewVertices { found: 1 });
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// A cut needs two nonempty sides, so at least two vertices.
+    TooFewVertices {
+        /// How many vertices the input had.
+        found: usize,
+    },
+    /// A configuration field was out of its valid range.
+    InvalidConfig {
+        /// Human-readable description of the offending field.
+        reason: &'static str,
+    },
+    /// The instance is too large for an exact method (e.g. exhaustive
+    /// search beyond its vertex limit).
+    TooLarge {
+        /// Vertex count of the input.
+        found: usize,
+        /// Maximum the method supports.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooFewVertices { found } => {
+                write!(f, "bipartitioning needs at least 2 vertices, found {found}")
+            }
+            Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::TooLarge { found, limit } => {
+                write!(f, "instance has {found} vertices, exact limit is {limit}")
+            }
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PartitionError::TooFewVertices { found: 0 }
+            .to_string()
+            .contains("at least 2"));
+        assert!(PartitionError::InvalidConfig {
+            reason: "starts = 0"
+        }
+        .to_string()
+        .contains("starts = 0"));
+        assert!(PartitionError::TooLarge {
+            found: 30,
+            limit: 24
+        }
+        .to_string()
+        .contains("30"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<PartitionError>();
+    }
+}

@@ -1,0 +1,289 @@
+//! Netlist granularization (paper §4, *Extensions*).
+//!
+//! > "Another extension we are investigating involves netlist
+//! > granularization by replacing larger modules with linked uniform small
+//! > modules. This seems to work particularly well in the standard-cell
+//! > regime, where cell area is roughly proportional to the number of
+//! > I/Os. […] it seems that the weight bipartition is more balanced."
+//!
+//! [`granularize`] splits every module heavier than a grain size into a
+//! chain of near-uniform sub-modules linked by dedicated 2-pin signals; the
+//! original module's signal pins are spread round-robin over the
+//! sub-modules (mirroring area ∝ I/O count). [`GranularizeMap::project`]
+//! maps a partition of the granular netlist back to the original modules by
+//! weighted majority.
+
+use fhp_hypergraph::{Hypergraph, HypergraphBuilder, VertexId};
+
+use crate::{Bipartition, Side};
+
+/// The correspondence between an original hypergraph and its granularized
+/// version.
+#[derive(Clone, Debug)]
+pub struct GranularizeMap {
+    /// For each granular vertex, the original vertex it came from.
+    origin: Vec<VertexId>,
+    /// Number of original vertices.
+    original_len: usize,
+    /// Signals of the granular hypergraph that are link chains (not
+    /// original signals). Original signal `e` keeps id `e`.
+    num_original_edges: usize,
+}
+
+impl GranularizeMap {
+    /// The original module behind granular vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn origin(&self, v: VertexId) -> VertexId {
+        self.origin[v.index()]
+    }
+
+    /// Number of vertices in the original hypergraph.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Number of granular vertices.
+    pub fn granular_len(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// Number of signals carried over from the original netlist; granular
+    /// edge ids `>= num_original_edges` are link signals.
+    pub fn num_original_edges(&self) -> usize {
+        self.num_original_edges
+    }
+
+    /// Projects a bipartition of the granular hypergraph back onto the
+    /// original modules by weight-of-grain majority (ties go Left).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bp` does not match the granular vertex count.
+    pub fn project(&self, granular: &Hypergraph, bp: &Bipartition) -> Bipartition {
+        assert_eq!(bp.len(), self.granular_len(), "partition size mismatch");
+        let mut vote = vec![[0u64; 2]; self.original_len];
+        for v in granular.vertices() {
+            vote[self.origin(v).index()][bp.side(v).index()] += granular.vertex_weight(v);
+        }
+        Bipartition::from_fn(self.original_len, |v| {
+            let [l, r] = vote[v.index()];
+            if l >= r {
+                Side::Left
+            } else {
+                Side::Right
+            }
+        })
+    }
+}
+
+/// Splits modules heavier than `grain` into chains of sub-modules of weight
+/// at most `grain`, linked by high-weight 2-pin signals; original signals'
+/// pins are distributed round-robin over the sub-modules.
+///
+/// Original signal ids are preserved (`0..h.num_edges()`); link signals are
+/// appended after them with weight `link_weight` (use a weight well above
+/// typical signal weights so partitioners keep grains together).
+///
+/// # Panics
+///
+/// Panics if `grain == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_core::granularize::granularize;
+/// use fhp_hypergraph::HypergraphBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new();
+/// let big = b.add_weighted_vertex(10);
+/// let small = b.add_vertex();
+/// b.add_edge([big, small])?;
+/// let h = b.build();
+///
+/// let (g, map) = granularize(&h, 4, 100);
+/// assert_eq!(map.granular_len(), 4); // 10 → grains of 4+4+2, plus `small`
+/// assert_eq!(g.total_vertex_weight(), h.total_vertex_weight());
+/// # Ok(())
+/// # }
+/// ```
+pub fn granularize(h: &Hypergraph, grain: u64, link_weight: u64) -> (Hypergraph, GranularizeMap) {
+    assert!(grain > 0, "grain size must be positive");
+    let mut b = HypergraphBuilder::new();
+    let mut origin = Vec::new();
+    // grains_of[v] = granular ids for original v
+    let mut grains_of: Vec<Vec<VertexId>> = Vec::with_capacity(h.num_vertices());
+    for v in h.vertices() {
+        let w = h.vertex_weight(v);
+        let parts = w.div_ceil(grain).max(1);
+        let mut ids = Vec::with_capacity(parts as usize);
+        let mut remaining = w;
+        for _ in 0..parts {
+            let piece = remaining.min(grain);
+            remaining -= piece;
+            let id = b.add_weighted_vertex(piece);
+            origin.push(v);
+            ids.push(id);
+        }
+        grains_of.push(ids);
+    }
+    // Original signals: pins round-robin over grains. A signal touching
+    // module v through its k-th incidence lands on grain k mod |grains|.
+    let mut incidence_counter = vec![0usize; h.num_vertices()];
+    for e in h.edges() {
+        let pins: Vec<VertexId> = h
+            .pins(e)
+            .iter()
+            .map(|&p| {
+                let grains = &grains_of[p.index()];
+                let k = incidence_counter[p.index()];
+                incidence_counter[p.index()] += 1;
+                grains[k % grains.len()]
+            })
+            .collect();
+        b.add_weighted_edge(pins, h.edge_weight(e))
+            .expect("original signal stays nonempty");
+    }
+    let num_original_edges = h.num_edges();
+    // Link chains.
+    for grains in &grains_of {
+        for pair in grains.windows(2) {
+            b.add_weighted_edge([pair[0], pair[1]], link_weight)
+                .expect("link signal is nonempty");
+        }
+    }
+    let granular = b.build();
+    let map = GranularizeMap {
+        origin,
+        original_len: h.num_vertices(),
+        num_original_edges,
+    };
+    (granular, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhp_hypergraph::EdgeId;
+
+    fn heavy_pair() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let a = b.add_weighted_vertex(9);
+        let c = b.add_weighted_vertex(2);
+        let d = b.add_vertex();
+        b.add_edge([a, c]).unwrap();
+        b.add_edge([a, d]).unwrap();
+        b.add_edge([a, c, d]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn weight_is_preserved() {
+        let h = heavy_pair();
+        let (g, map) = granularize(&h, 3, 50);
+        assert_eq!(g.total_vertex_weight(), h.total_vertex_weight());
+        assert_eq!(map.original_len(), 3);
+        // 9 -> 3+3+3, 2 -> one grain, 1 -> one grain
+        assert_eq!(map.granular_len(), 5);
+    }
+
+    #[test]
+    fn grains_never_exceed_grain_size() {
+        let h = heavy_pair();
+        let (g, _) = granularize(&h, 4, 50);
+        for v in g.vertices() {
+            assert!(g.vertex_weight(v) <= 4);
+        }
+    }
+
+    #[test]
+    fn link_chains_connect_grains() {
+        let h = heavy_pair();
+        let (g, map) = granularize(&h, 3, 50);
+        // 9 -> 3 grains -> 2 link signals
+        assert_eq!(g.num_edges(), h.num_edges() + 2);
+        assert_eq!(map.num_original_edges(), h.num_edges());
+        for e in h.num_edges()..g.num_edges() {
+            let e = EdgeId::new(e);
+            assert_eq!(g.edge_size(e), 2);
+            assert_eq!(g.edge_weight(e), 50);
+            let pins = g.pins(e);
+            assert_eq!(map.origin(pins[0]), map.origin(pins[1]));
+        }
+    }
+
+    #[test]
+    fn original_signal_ids_preserved() {
+        let h = heavy_pair();
+        let (g, map) = granularize(&h, 3, 50);
+        for e in h.edges() {
+            assert_eq!(g.edge_weight(e), h.edge_weight(e));
+            // every granular pin originates from an original pin
+            for &p in g.pins(e) {
+                assert!(h.pins(e).contains(&map.origin(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn pins_spread_round_robin() {
+        let h = heavy_pair(); // module a (id 0) has 3 incidences, 3 grains
+        let (g, map) = granularize(&h, 3, 50);
+        let grains_of_a: Vec<_> = g
+            .vertices()
+            .filter(|&v| map.origin(v) == VertexId::new(0))
+            .collect();
+        assert_eq!(grains_of_a.len(), 3);
+        // each of a's three signals should touch a distinct grain
+        let touched: std::collections::HashSet<_> = h
+            .edges()
+            .flat_map(|e| g.pins(e).iter().copied())
+            .filter(|&p| map.origin(p) == VertexId::new(0))
+            .collect();
+        assert_eq!(touched.len(), 3);
+    }
+
+    #[test]
+    fn projection_majority() {
+        let h = heavy_pair();
+        let (g, map) = granularize(&h, 3, 50);
+        // put all grains of module 0 Left except one, others Right
+        let mut bp = Bipartition::all_left(g.num_vertices());
+        let grains_of_a: Vec<_> = g
+            .vertices()
+            .filter(|&v| map.origin(v) == VertexId::new(0))
+            .collect();
+        bp.set(grains_of_a[0], Side::Right);
+        for v in g.vertices() {
+            if map.origin(v) != VertexId::new(0) {
+                bp.set(v, Side::Right);
+            }
+        }
+        let proj = map.project(&g, &bp);
+        assert_eq!(proj.side(VertexId::new(0)), Side::Left); // 6 vs 3 weight
+        assert_eq!(proj.side(VertexId::new(1)), Side::Right);
+        assert_eq!(proj.len(), 3);
+    }
+
+    #[test]
+    fn light_modules_untouched() {
+        let mut b = HypergraphBuilder::with_vertices(3);
+        b.add_edge([VertexId::new(0), VertexId::new(1), VertexId::new(2)])
+            .unwrap();
+        let h = b.build();
+        let (g, map) = granularize(&h, 5, 10);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(map.granular_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_grain_panics() {
+        let h = heavy_pair();
+        let _ = granularize(&h, 0, 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Cut quality metrics.
+//!
+//! All partitioners in the workspace are scored by these functions, so the
+//! numbers in every experiment table are computed by exactly one piece of
+//! code. Besides the paper's primary objective (hyperedge cut size) the
+//! module provides the weighted cut, balance measures, and the *quotient
+//! cut* and *ratio cut* objectives discussed in the paper's §1 and §4
+//! (Leighton–Rao, the paper's ref. \[20\]).
+
+use fhp_hypergraph::{EdgeId, Hypergraph};
+
+use crate::Bipartition;
+
+/// True if hyperedge `e` has pins on both sides of `bp`.
+///
+/// # Panics
+///
+/// Panics if `e` is out of range or `bp` is smaller than `h`'s vertex count.
+pub fn edge_crosses(h: &Hypergraph, bp: &Bipartition, e: EdgeId) -> bool {
+    let pins = h.pins(e);
+    let first = bp.side(pins[0]);
+    pins[1..].iter().any(|&p| bp.side(p) != first)
+}
+
+/// The number of hyperedges crossing the cut — the paper's *cut size*.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_core::{metrics, Bipartition, Side};
+/// use fhp_hypergraph::intersection::paper_example;
+///
+/// let h = paper_example();
+/// let all_left = Bipartition::all_left(h.num_vertices());
+/// assert_eq!(metrics::cut_size(&h, &all_left), 0);
+/// ```
+pub fn cut_size(h: &Hypergraph, bp: &Bipartition) -> usize {
+    h.edges().filter(|&e| edge_crosses(h, bp, e)).count()
+}
+
+/// Sum of the weights of crossing hyperedges.
+pub fn weighted_cut(h: &Hypergraph, bp: &Bipartition) -> u64 {
+    h.edges()
+        .filter(|&e| edge_crosses(h, bp, e))
+        .map(|e| h.edge_weight(e))
+        .sum()
+}
+
+/// The crossing hyperedges themselves, ascending.
+pub fn crossing_edges(h: &Hypergraph, bp: &Bipartition) -> Vec<EdgeId> {
+    h.edges().filter(|&e| edge_crosses(h, bp, e)).collect()
+}
+
+/// Absolute vertex-weight imbalance `|w(V_L) − w(V_R)|`.
+pub fn weight_imbalance(h: &Hypergraph, bp: &Bipartition) -> u64 {
+    let (l, r) = bp.weights(h);
+    l.abs_diff(r)
+}
+
+/// The quotient cut `cut / min(|V_L|, |V_R|)`.
+///
+/// Returns `f64::INFINITY` when a side is empty (no cut exists).
+pub fn quotient_cut(h: &Hypergraph, bp: &Bipartition) -> f64 {
+    let (l, r) = bp.counts();
+    let denom = l.min(r);
+    if denom == 0 {
+        return f64::INFINITY;
+    }
+    cut_size(h, bp) as f64 / denom as f64
+}
+
+/// The ratio cut `cut / (|V_L| · |V_R|)` of Wei–Cheng / Leighton–Rao.
+///
+/// Returns `f64::INFINITY` when a side is empty.
+pub fn ratio_cut(h: &Hypergraph, bp: &Bipartition) -> f64 {
+    let (l, r) = bp.counts();
+    if l == 0 || r == 0 {
+        return f64::INFINITY;
+    }
+    cut_size(h, bp) as f64 / (l as f64 * r as f64)
+}
+
+/// Per-edge pin counts on each side: `counts[e.index()][side.index()]`.
+///
+/// This is the incremental-state seed used by the move-based baselines
+/// (FM, SA); exposed here so their invariants can be property-tested
+/// against the ground-truth metrics above.
+pub fn pin_counts(h: &Hypergraph, bp: &Bipartition) -> Vec<[u32; 2]> {
+    let mut counts = vec![[0u32; 2]; h.num_edges()];
+    for e in h.edges() {
+        for &p in h.pins(e) {
+            counts[e.index()][bp.side(p).index()] += 1;
+        }
+    }
+    counts
+}
+
+/// A cut summary bundling the standard metrics, convenient for printing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CutReport {
+    /// Number of crossing hyperedges.
+    pub cut_size: usize,
+    /// Weighted cut.
+    pub weighted_cut: u64,
+    /// `(left count, right count)`.
+    pub counts: (usize, usize),
+    /// `(left weight, right weight)`.
+    pub weights: (u64, u64),
+    /// Quotient cut value.
+    pub quotient: f64,
+}
+
+impl CutReport {
+    /// Computes the full report for `bp` on `h`.
+    pub fn new(h: &Hypergraph, bp: &Bipartition) -> Self {
+        Self {
+            cut_size: cut_size(h, bp),
+            weighted_cut: weighted_cut(h, bp),
+            counts: bp.counts(),
+            weights: bp.weights(h),
+            quotient: quotient_cut(h, bp),
+        }
+    }
+}
+
+/// The objective a partitioner optimizes when comparing candidate cuts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Objective {
+    /// Minimize the number of crossing hyperedges (the paper's default).
+    #[default]
+    CutSize,
+    /// Minimize the weighted cut.
+    WeightedCut,
+    /// Minimize the quotient cut `cut / min(|V_L|, |V_R|)`.
+    QuotientCut,
+    /// Minimize the ratio cut `cut / (|V_L| · |V_R|)`.
+    RatioCut,
+}
+
+impl Objective {
+    /// Evaluates the objective (lower is better). Invalid cuts (an empty
+    /// side) score `f64::INFINITY` under every objective.
+    pub fn evaluate(self, h: &Hypergraph, bp: &Bipartition) -> f64 {
+        if !bp.is_valid_cut() {
+            return f64::INFINITY;
+        }
+        match self {
+            Objective::CutSize => cut_size(h, bp) as f64,
+            Objective::WeightedCut => weighted_cut(h, bp) as f64,
+            Objective::QuotientCut => quotient_cut(h, bp),
+            Objective::RatioCut => ratio_cut(h, bp),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Side;
+    use fhp_hypergraph::{HypergraphBuilder, VertexId as V};
+
+    /// Two triangles joined by one bridge edge.
+    fn bridged() -> Hypergraph {
+        let mut b = HypergraphBuilder::with_vertices(6);
+        b.add_edge([V::new(0), V::new(1), V::new(2)]).unwrap();
+        b.add_weighted_edge([V::new(2), V::new(3)], 5).unwrap();
+        b.add_edge([V::new(3), V::new(4), V::new(5)]).unwrap();
+        b.build()
+    }
+
+    fn half_split() -> Bipartition {
+        Bipartition::from_fn(6, |v| {
+            if v.index() < 3 {
+                Side::Left
+            } else {
+                Side::Right
+            }
+        })
+    }
+
+    #[test]
+    fn cut_counts_only_crossing_edges() {
+        let h = bridged();
+        let bp = half_split();
+        assert_eq!(cut_size(&h, &bp), 1);
+        assert_eq!(crossing_edges(&h, &bp), vec![EdgeId::new(1)]);
+        assert!(edge_crosses(&h, &bp, EdgeId::new(1)));
+        assert!(!edge_crosses(&h, &bp, EdgeId::new(0)));
+    }
+
+    #[test]
+    fn weighted_cut_respects_edge_weights() {
+        let h = bridged();
+        assert_eq!(weighted_cut(&h, &half_split()), 5);
+    }
+
+    #[test]
+    fn quotient_and_ratio() {
+        let h = bridged();
+        let bp = half_split();
+        assert!((quotient_cut(&h, &bp) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ratio_cut(&h, &bp) - 1.0 / 9.0).abs() < 1e-12);
+        let degenerate = Bipartition::all_left(6);
+        assert!(quotient_cut(&h, &degenerate).is_infinite());
+        assert!(ratio_cut(&h, &degenerate).is_infinite());
+    }
+
+    #[test]
+    fn imbalance() {
+        let h = bridged();
+        assert_eq!(weight_imbalance(&h, &half_split()), 0);
+        let mut bp = half_split();
+        bp.set(V::new(3), Side::Left);
+        assert_eq!(weight_imbalance(&h, &bp), 2);
+    }
+
+    #[test]
+    fn pin_counts_match_direct() {
+        let h = bridged();
+        let bp = half_split();
+        let counts = pin_counts(&h, &bp);
+        assert_eq!(counts[0], [3, 0]);
+        assert_eq!(counts[1], [1, 1]);
+        assert_eq!(counts[2], [0, 3]);
+        // edge crosses iff both side counts positive
+        for e in h.edges() {
+            let c = counts[e.index()];
+            assert_eq!(c[0] > 0 && c[1] > 0, edge_crosses(&h, &bp, e));
+        }
+    }
+
+    #[test]
+    fn report_bundles_consistently() {
+        let h = bridged();
+        let bp = half_split();
+        let r = CutReport::new(&h, &bp);
+        assert_eq!(r.cut_size, 1);
+        assert_eq!(r.weighted_cut, 5);
+        assert_eq!(r.counts, (3, 3));
+        assert_eq!(r.weights, (3, 3));
+        assert!((r.quotient - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objectives_evaluate() {
+        let h = bridged();
+        let bp = half_split();
+        assert_eq!(Objective::CutSize.evaluate(&h, &bp), 1.0);
+        assert_eq!(Objective::WeightedCut.evaluate(&h, &bp), 5.0);
+        assert!((Objective::QuotientCut.evaluate(&h, &bp) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((Objective::RatioCut.evaluate(&h, &bp) - 1.0 / 9.0).abs() < 1e-12);
+        assert!(Objective::CutSize
+            .evaluate(&h, &Bipartition::all_left(6))
+            .is_infinite());
+        assert_eq!(Objective::default(), Objective::CutSize);
+    }
+
+    #[test]
+    fn single_pin_edge_never_crosses() {
+        let mut b = HypergraphBuilder::with_vertices(2);
+        b.add_edge([V::new(0)]).unwrap();
+        let h = b.build();
+        let bp = Bipartition::from_sides(vec![Side::Left, Side::Right]);
+        assert_eq!(cut_size(&h, &bp), 0);
+    }
+}

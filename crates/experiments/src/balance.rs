@@ -1,0 +1,76 @@
+//! Weighted r-bipartition — §3's engineer's method.
+//!
+//! "This method results in a very balanced weight partition … In practice,
+//! we find that the improved weight partition is obtained at the cost of
+//! slightly higher cutsizes, much as one would suspect." The engineer's
+//! rule acts on the boundary graph, so its leverage scales with the
+//! boundary: with the paper's size-10 threshold boundaries are tiny and
+//! all strategies coincide, while on the unfiltered intersection graph
+//! (big boundary) the rule visibly trades cutsize for balance. Both
+//! regimes are reported.
+
+use fhp_core::{metrics, Algorithm1, CompletionStrategy, PartitionConfig};
+use fhp_gen::{CircuitNetlist, Technology};
+
+use crate::util::{banner, mean, Table};
+
+pub fn run(quick: bool) {
+    banner("Completion-strategy ablation: cutsize vs weight balance");
+    let trials: u64 = if quick { 3 } else { 8 };
+    let strategies = [
+        ("MinDegree (paper)", CompletionStrategy::MinDegree),
+        ("EngineerWeighted", CompletionStrategy::EngineerWeighted),
+        ("ExactKonig", CompletionStrategy::ExactKonig),
+    ];
+    println!(
+        "weighted Hybrid netlists (260 modules / 440 signals); mean over {trials} seeds;\n\
+         imbalance = |w_L - w_R| / W\n"
+    );
+
+    let mut table = Table::new(["G filtering", "Strategy", "cutsize", "imbalance"]);
+    for (filter_name, threshold) in [
+        ("threshold 10 (small |B|)", Some(10)),
+        ("none (large |B|)", None),
+    ] {
+        for (name, strategy) in strategies {
+            let mut cuts = Vec::new();
+            let mut imbs = Vec::new();
+            for seed in 0..trials {
+                let h = CircuitNetlist::new(Technology::Hybrid, 260, 440)
+                    .seed(600 + seed)
+                    .generate()
+                    .expect("static config");
+                let out = Algorithm1::new(
+                    PartitionConfig::new()
+                        .starts(50)
+                        .edge_size_threshold(threshold)
+                        .completion(strategy)
+                        .seed(seed),
+                )
+                .run(&h)
+                .expect("valid instance");
+                cuts.push(out.report.cut_size as f64);
+                imbs.push(
+                    metrics::weight_imbalance(&h, &out.bipartition) as f64
+                        / h.total_vertex_weight() as f64,
+                );
+            }
+            table.row([
+                filter_name.to_string(),
+                name.to_string(),
+                format!("{:.1}", mean(&cuts)),
+                format!("{:.3}", mean(&imbs)),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\npaper shape: where the boundary graph is large enough to matter\n\
+         (no filtering), EngineerWeighted buys a much tighter weight split\n\
+         at a visibly higher cutsize — the paper's \"improved weight\n\
+         partition … at the cost of slightly higher cutsizes\". With the\n\
+         size-10 threshold the boundary is tiny, the strategies nearly\n\
+         coincide, and balance is instead set by the initial partial\n\
+         assignment plus the final lighter-side sweep."
+    );
+}

@@ -1,0 +1,90 @@
+//! BFS depth vs true diameter — §3's theorems on random graphs.
+//!
+//! Two claims back the use of longest BFS paths in place of true diameters
+//! (which would cost O(nm)):
+//!
+//! 1. "For a connected random graph G with bounded degree, the depth of BFS
+//!    starting at a random node equals diam(G) − O(1) with probability
+//!    near 1."
+//! 2. (Bollobás–de la Vega) "The diameter of random connected graphs with
+//!    bounded degree is O(log n)."
+//!
+//! We sample near-regular random graphs (unions of random Hamiltonian
+//! cycles — connected by construction), compute exact diameters by
+//! all-pairs BFS, and report the gap distribution and the diam/ln n ratio.
+
+use fhp_hypergraph::{bfs, Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::util::{banner, mean, Table};
+
+/// Union of `k` random Hamiltonian cycles: a connected 2k-regular
+/// multigraph (parallel edges collapse, so degrees are ≤ 2k).
+fn random_regularish(n: usize, k: usize, rng: &mut StdRng) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..k {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(rng);
+        for i in 0..n {
+            b.add_edge(order[i], order[(i + 1) % n]);
+        }
+    }
+    b.build()
+}
+
+pub fn run(quick: bool) {
+    banner("BFS depth vs exact diameter on bounded-degree random graphs");
+    let (sizes, samples): (&[usize], usize) = if quick {
+        (&[200, 400], 5)
+    } else {
+        (&[200, 400, 800, 1600], 10)
+    };
+    println!("graphs: union of 2 random Hamiltonian cycles (degree <= 4)\n");
+
+    let mut table = Table::new([
+        "n",
+        "diam (mean)",
+        "BFS depth (mean)",
+        "gap mean",
+        "gap max",
+        "double sweep = diam",
+        "diam / ln n",
+    ]);
+    let mut rng = StdRng::seed_from_u64(77);
+    for &n in sizes {
+        let mut diams = Vec::new();
+        let mut depths = Vec::new();
+        let mut gaps = Vec::new();
+        let mut sweep_exact = 0usize;
+        for _ in 0..samples {
+            let g = random_regularish(n, 2, &mut rng);
+            let diam = bfs::exact_diameter(&g).expect("connected by construction");
+            let start = rng.gen_range(0..n as u32);
+            let depth = bfs::bfs(&g, start).depth();
+            let sweep = bfs::double_sweep(&g, start).length;
+            diams.push(diam as f64);
+            depths.push(depth as f64);
+            gaps.push((diam - depth) as f64);
+            if sweep == diam {
+                sweep_exact += 1;
+            }
+        }
+        table.row([
+            n.to_string(),
+            format!("{:.1}", mean(&diams)),
+            format!("{:.1}", mean(&depths)),
+            format!("{:.2}", mean(&gaps)),
+            format!("{:.0}", gaps.iter().fold(0.0f64, |a, &b| a.max(b))),
+            format!("{sweep_exact}/{samples}"),
+            format!("{:.2}", mean(&diams) / (n as f64).ln()),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper shape: the gap stays O(1) (it must not grow with n), and\n\
+         diam / ln n stays near a constant (the O(log n) diameter theorem).\n\
+         The double sweep Algorithm I actually uses is even closer to exact."
+    );
+}

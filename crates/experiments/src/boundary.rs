@@ -1,0 +1,72 @@
+//! Boundary-set size — §3's corollary.
+//!
+//! "For a connected intersection graph G with bounded degree ≤ d, the
+//! expected size of the boundary set |B| is c·n, where c is a constant.
+//! So, partition quality does not vary with size of the input hypergraph."
+//! And from §3's threshold discussion: "in practice we find that the
+//! sparser hypergraph will have greater graph diameter of G, so the size
+//! of the boundary set is smaller."
+//!
+//! We sweep instance sizes and report |B| / |G| — the fraction should be
+//! roughly flat in n — plus the diameter correlation across densities.
+
+use fhp_core::{Algorithm1, PartitionConfig};
+use fhp_gen::{CircuitNetlist, RandomHypergraph, Technology};
+use fhp_hypergraph::Hypergraph;
+
+use crate::util::{banner, mean, stddev, Table};
+
+pub fn run(quick: bool) {
+    banner("Boundary set size |B| as a fraction of |G|");
+    let sizes: &[usize] = if quick {
+        &[200, 400, 800]
+    } else {
+        &[200, 400, 800, 1600, 3200]
+    };
+    let trials: u64 = if quick { 3 } else { 6 };
+    println!("single-start Alg I; std-cell circuit and random H(n,d,r) families\n");
+
+    let mut table = Table::new(["n (signals)", "circuit |B|/n", "random |B|/n"]);
+    for &n in sizes {
+        let mut frac = [Vec::new(), Vec::new()];
+        for seed in 0..trials {
+            let circuit = CircuitNetlist::new(Technology::StdCell, (n * 6) / 10, n)
+                .seed(100 + seed)
+                .generate()
+                .expect("static config");
+            let random = RandomHypergraph::new((n * 6) / 10, n)
+                .edge_size_range(2, 4)
+                .connected(true)
+                .seed(100 + seed)
+                .generate()
+                .expect("static config");
+            for (slot, h) in [circuit, random].iter().enumerate() {
+                if let Some(f) = boundary_fraction(h, seed) {
+                    frac[slot].push(f);
+                }
+            }
+        }
+        table.row([
+            n.to_string(),
+            format!("{:.3} ± {:.3}", mean(&frac[0]), stddev(&frac[0])),
+            format!("{:.3} ± {:.3}", mean(&frac[1]), stddev(&frac[1])),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper shape: for the random (expander-like) family the fraction is\n\
+         a size-independent constant — the corollary's |B| = c.n. For the\n\
+         hierarchical circuit family the fraction is far smaller and even\n\
+         shrinks with n: longer intersection-graph diameters mean thinner\n\
+         BFS level sets, matching the paper's closing observation that the\n\
+         method suits real circuits even better than random hypergraphs."
+    );
+}
+
+fn boundary_fraction(h: &Hypergraph, seed: u64) -> Option<f64> {
+    let out = Algorithm1::new(PartitionConfig::new().seed(seed))
+        .run(h)
+        .ok()?;
+    (out.stats.num_g_vertices > 0)
+        .then(|| out.stats.boundary_len as f64 / out.stats.num_g_vertices as f64)
+}

@@ -1,0 +1,71 @@
+//! Large-edge crossing probability — §3's theorem.
+//!
+//! "In a random hypergraph H, if an edge e has degree k, e will traverse
+//! the min-cut bipartition with probability 1 − O(2^{−k})." We plant one
+//! tracked edge of each size `k` into small random hypergraphs, compute the
+//! exact min-cut bisection by exhaustive search, and measure how often the
+//! tracked edge crosses, against the balanced-cut reference 1 − 2^{1−k}.
+
+use fhp_baselines::Exhaustive;
+use fhp_core::{metrics, Bipartitioner};
+use fhp_gen::RandomHypergraph;
+use fhp_hypergraph::{EdgeId, HypergraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::util::{banner, Table};
+
+pub fn run(quick: bool) {
+    banner("Crossing probability of a size-k edge under the exact min-cut bisection");
+    let n = 14usize; // exhaustive-friendly
+    let extra_edges = 22usize;
+    let trials = if quick { 25 } else { 120 };
+    println!(
+        "{n}-module random hypergraphs, {extra_edges} background signals, {trials} trials per k\n"
+    );
+
+    let mut table = Table::new(["k", "measured P(cross)", "reference 1 - 2^(1-k)"]);
+    let mut rng = StdRng::seed_from_u64(4242);
+    for k in [2usize, 3, 4, 5, 6, 8, 10, 12] {
+        let mut crossed = 0usize;
+        for _ in 0..trials {
+            // background random hypergraph
+            let base = RandomHypergraph::new(n, extra_edges)
+                .edge_size_range(2, 3)
+                .connected(true)
+                .seed(rng.gen())
+                .generate()
+                .expect("static config");
+            // re-build with one tracked edge of size k appended
+            let mut b = HypergraphBuilder::with_vertices(n);
+            for e in base.edges() {
+                b.add_edge(base.pins(e).iter().copied()).expect("valid");
+            }
+            let mut pins: Vec<VertexId> = (0..n).map(VertexId::new).collect();
+            pins.shuffle(&mut rng);
+            pins.truncate(k);
+            let tracked = b.add_edge(pins).expect("valid");
+            let h = b.build();
+
+            let bp = Exhaustive::bisection()
+                .bipartition(&h)
+                .expect("small instance");
+            if metrics::edge_crosses(&h, &bp, EdgeId::new(tracked.index())) {
+                crossed += 1;
+            }
+        }
+        table.row([
+            k.to_string(),
+            format!("{:.2}", crossed as f64 / trials as f64),
+            format!("{:.2}", 1.0 - (2.0f64).powi(1 - k as i32)),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper shape: measured probability climbs to ~1 geometrically in k.\n\
+         (The min-cut bisection avoids small edges when it can — visible as\n\
+         measured < reference at k = 2..3 — but has no room to save large\n\
+         ones, which is the license to ignore signals above k ~ 10.)"
+    );
+}

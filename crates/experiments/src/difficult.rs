@@ -1,0 +1,116 @@
+//! Difficult inputs — §4's optimality claim.
+//!
+//! "For difficult examples with bounded d and r, and with optimum cutsize
+//! of o(n^{1−1/d}), Algorithm I always found a min-cut bipartition, while
+//! Kernighan-Lin and annealing methods often became stuck at a terrible
+//! bipartition." We sweep planted-cut instances over size and cut, run
+//! each partitioner over several seeds, and report the rate at which each
+//! finds a cut no worse than the planted one, plus the mean ratio to the
+//! planted cut when it fails.
+
+use fhp_baselines::{FiducciaMattheyses, KernighanLin, RandomCut, SimulatedAnnealing};
+use fhp_core::{metrics, Algorithm1, Bipartitioner, FrontPolicy, PartitionConfig};
+use fhp_gen::PlantedBisection;
+
+use crate::util::{banner, mean, Table};
+
+pub fn run(quick: bool) {
+    banner("Difficult inputs: success rate at finding the planted minimum cut");
+    let (sizes, trials): (&[usize], u64) = if quick {
+        (&[800, 1600], 3)
+    } else {
+        (&[800, 1600, 3200], 8)
+    };
+    let cuts = [2usize, 4, 8];
+    println!(
+        "planted bisections in the sparse regime (2-pin signals, 1.35 signals\n\
+         per module — Bui et al.'s hard class); {trials} seeds per cell\n"
+    );
+
+    let mut table = Table::new([
+        "n (modules)",
+        "planted c",
+        "Alg I",
+        "Alg I (alt fronts)",
+        "FM",
+        "KL",
+        "SA",
+        "Random",
+    ]);
+    // success rate at cut <= planted, and mean achieved-cut / planted-cut
+    for &n in sizes {
+        for &c in &cuts {
+            let mut success = [0usize; 5];
+            let mut ratio: [Vec<f64>; 6] = Default::default();
+            for seed in 0..trials {
+                let inst = PlantedBisection::new(n, (n * 135) / 100)
+                    .cut_size(c)
+                    .edge_size_range(2, 2)
+                    .seed(9000 + seed)
+                    .generate()
+                    .expect("static config");
+                let h = inst.hypergraph();
+                let target = inst.planted_cut();
+
+                let results: [usize; 5] = [
+                    Algorithm1::new(PartitionConfig::paper().seed(seed))
+                        .run(h)
+                        .expect("valid")
+                        .report
+                        .cut_size,
+                    Algorithm1::new(
+                        PartitionConfig::paper()
+                            .front_policy(FrontPolicy::Alternate)
+                            .seed(seed),
+                    )
+                    .run(h)
+                    .expect("valid")
+                    .report
+                    .cut_size,
+                    cut_of(&FiducciaMattheyses::new(seed), h),
+                    cut_of(&KernighanLin::new(seed), h),
+                    cut_of(&SimulatedAnnealing::fast(seed), h),
+                ];
+                for (slot, &cut) in results.iter().enumerate() {
+                    if cut <= target {
+                        success[slot] += 1;
+                    }
+                    ratio[slot].push(cut as f64 / target.max(1) as f64);
+                }
+                let rnd = cut_of(&RandomCut::balanced(seed), h);
+                ratio[5].push(rnd as f64 / target.max(1) as f64);
+            }
+            let cell = |slot: usize| {
+                format!(
+                    "{:3.0} % ({:.1}x)",
+                    100.0 * success[slot] as f64 / trials as f64,
+                    mean(&ratio[slot])
+                )
+            };
+            table.row([
+                n.to_string(),
+                c.to_string(),
+                cell(0),
+                cell(1),
+                cell(2),
+                cell(3),
+                cell(4),
+                format!("{:.0}x", mean(&ratio[5])),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\npaper shape: Alg I finds the planted optimum (or comes within a\n\
+         couple of signals at the largest c) while the move-based heuristics\n\
+         get stuck one to two orders of magnitude away — the paper's \"often\n\
+         became stuck at a terrible bipartition\". The alternate-fronts\n\
+         ablation shows why the smaller-first sweep matters: it lets the\n\
+         meeting line settle on the sparse waist instead of the equidistant\n\
+         line. A random cut calibrates \"terrible\"."
+    );
+}
+
+fn cut_of(p: &dyn Bipartitioner, h: &fhp_hypergraph::Hypergraph) -> usize {
+    metrics::cut_size(h, &p.bipartition(h).expect("valid instance"))
+}

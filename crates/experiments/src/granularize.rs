@@ -1,0 +1,85 @@
+//! Granularization ablation — §4's second extension.
+//!
+//! "Another extension … involves netlist granularization by replacing
+//! larger modules with linked uniform small modules. […] it seems that the
+//! weight bipartition is more balanced." We partition weighted netlists
+//! directly and through granularization (split → partition → project) and
+//! compare weight imbalance and cutsize.
+
+use fhp_core::granularize::granularize;
+use fhp_core::{metrics, Algorithm1, PartitionConfig};
+use fhp_gen::{CircuitNetlist, Technology};
+
+use crate::util::{banner, mean, Table};
+
+pub fn run(quick: bool) {
+    banner("Granularization: split heavy modules into linked unit modules");
+    let trials: u64 = if quick { 3 } else { 8 };
+    println!(
+        "Hybrid netlists (macro blocks up to weight 60); grain = 2; mean over {trials} seeds\n"
+    );
+
+    let mut table = Table::new([
+        "pipeline",
+        "cutsize",
+        "imbalance |wL-wR|/W",
+        "max module wt",
+    ]);
+    type Row = (&'static str, Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut rows: [Row; 2] = [
+        ("direct", Vec::new(), Vec::new(), Vec::new()),
+        ("granularized (grain 2)", Vec::new(), Vec::new(), Vec::new()),
+    ];
+    for seed in 0..trials {
+        let h = CircuitNetlist::new(Technology::Hybrid, 240, 420)
+            .seed(900 + seed)
+            .generate()
+            .expect("static config");
+        let total = h.total_vertex_weight() as f64;
+        let max_w = h.vertices().map(|v| h.vertex_weight(v)).max().unwrap_or(1) as f64;
+
+        let direct = Algorithm1::new(PartitionConfig::paper().seed(seed))
+            .run(&h)
+            .expect("valid instance");
+        rows[0].1.push(direct.report.cut_size as f64);
+        rows[0]
+            .2
+            .push(metrics::weight_imbalance(&h, &direct.bipartition) as f64 / total);
+        rows[0].3.push(max_w);
+
+        let (hg, map) = granularize(&h, 2, 8);
+        let gran = Algorithm1::new(
+            PartitionConfig::paper()
+                .objective(fhp_core::Objective::WeightedCut)
+                .seed(seed),
+        )
+        .run(&hg)
+        .expect("valid instance");
+        let projected = map.project(&hg, &gran.bipartition);
+        rows[1].1.push(metrics::cut_size(&h, &projected) as f64);
+        rows[1]
+            .2
+            .push(metrics::weight_imbalance(&h, &projected) as f64 / total);
+        rows[1].3.push(
+            hg.vertices()
+                .map(|v| hg.vertex_weight(v))
+                .max()
+                .unwrap_or(1) as f64,
+        );
+    }
+    for (name, cuts, imbs, maxw) in &rows {
+        table.row([
+            name.to_string(),
+            format!("{:.1}", mean(cuts)),
+            format!("{:.3}", mean(imbs)),
+            format!("{:.0}", mean(maxw)),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper shape: the paper reports this extension as incomplete (\"it\n\
+         seems that the weight bipartition is more balanced\"); our averaged\n\
+         runs show the same soft, seed-dependent effect — a modest mean\n\
+         balance gain for a small cutsize premium. See EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,134 @@
+//! Experiment harness regenerating every table and figure of Kahng's
+//! *Fast Hypergraph Partition* (DAC 1989). See DESIGN.md for the
+//! experiment index and EXPERIMENTS.md for recorded results.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments <id>... [--quick]
+//! experiments all [--quick]
+//! experiments --list
+//! ```
+
+mod balance;
+mod bfs_depth;
+mod boundary;
+mod crossing_prob;
+mod difficult;
+mod example;
+mod granularize;
+mod modern;
+mod multistart;
+mod pathological;
+mod placement;
+mod quotient;
+mod scaling;
+mod table1;
+mod table2;
+mod threshold;
+mod util;
+
+type Experiment = (&'static str, &'static str, fn(bool));
+
+const EXPERIMENTS: &[Experiment] = &[
+    (
+        "table1",
+        "Table 1: large-signal crossing % per technology",
+        table1::run,
+    ),
+    (
+        "table2",
+        "Table 2: Alg I vs SA vs KL cutsizes and CPU",
+        table2::run,
+    ),
+    (
+        "example",
+        "Figures 1-4: the worked example, traced",
+        example::run,
+    ),
+    (
+        "scaling",
+        "O(n^2) runtime claim: wall-clock scaling sweep",
+        scaling::run,
+    ),
+    (
+        "difficult",
+        "Difficult inputs: planted min-cut success rates",
+        difficult::run,
+    ),
+    (
+        "pathological",
+        "c = 0 disconnected inputs",
+        pathological::run,
+    ),
+    (
+        "bfs-depth",
+        "BFS depth vs exact diameter theorems",
+        bfs_depth::run,
+    ),
+    (
+        "boundary",
+        "Boundary set size |B| = c.n corollary",
+        boundary::run,
+    ),
+    (
+        "crossing-prob",
+        "P(size-k edge crosses the min cut)",
+        crossing_prob::run,
+    ),
+    (
+        "multistart",
+        "Extension: 50 random longest paths ablation",
+        multistart::run,
+    ),
+    (
+        "balance",
+        "Engineer's method: balance vs cutsize",
+        balance::run,
+    ),
+    ("threshold", "Large-edge threshold ablation", threshold::run),
+    ("granularize", "Granularization extension", granularize::run),
+    ("quotient", "Quotient-cut objective", quotient::run),
+    (
+        "placement",
+        "Application: min-cut placement HPWL by engine",
+        placement::run,
+    ),
+    (
+        "modern",
+        "Epilogue: Alg I vs hybrid vs multilevel",
+        modern::run,
+    ),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if args.iter().any(|a| a == "--list") || ids.is_empty() {
+        eprintln!("usage: experiments <id>... [--quick]   (or: experiments all)");
+        eprintln!("\navailable experiments:");
+        for (id, desc, _) in EXPERIMENTS {
+            eprintln!("  {id:<14} {desc}");
+        }
+        std::process::exit(if ids.is_empty() && !args.iter().any(|a| a == "--list") {
+            2
+        } else {
+            0
+        });
+    }
+
+    let run_all = ids.iter().any(|id| id.as_str() == "all");
+    let mut matched = false;
+    for (id, _, f) in EXPERIMENTS {
+        if run_all || ids.iter().any(|want| want.as_str() == *id) {
+            matched = true;
+            f(quick);
+        }
+    }
+    if !matched {
+        eprintln!("unknown experiment id(s): {ids:?}; try --list");
+        std::process::exit(2);
+    }
+}

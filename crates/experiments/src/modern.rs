@@ -1,0 +1,76 @@
+//! Epilogue: Algorithm I against what came after.
+//!
+//! Not in the paper — historical context. Flat constructive (Alg I), flat
+//! iterative (FM), the constructive+iterative hybrid (Alg I + FM), and a
+//! compact multilevel V-cycle (the hMETIS-family scheme that eventually
+//! superseded every flat method) on the named instance suite. The
+//! interesting questions: how much of the multilevel gap does simply
+//! refining Alg I's cut close, and does Alg I's planted-cut superpower
+//! survive inside a V-cycle (it is the coarsest-level engine there).
+
+use fhp_baselines::{FiducciaMattheyses, Multilevel, Refined, SpectralBisection};
+use fhp_core::{metrics, Algorithm1, Bipartitioner, PartitionConfig};
+use fhp_gen::PaperInstance;
+
+use crate::util::{banner, fmt_duration, timed, Table};
+
+pub fn run(quick: bool) {
+    banner("Epilogue: Alg I vs hybrid vs multilevel (not in the paper)");
+    println!("same named instances as Table 2\n");
+
+    let mut table = Table::new([
+        "Example",
+        "Alg I",
+        "FM",
+        "Spectral",
+        "Alg I + FM",
+        "Multilevel",
+        "t(Alg I)",
+        "t(ML)",
+    ]);
+    for inst in PaperInstance::ALL {
+        if quick && inst == PaperInstance::Ic2 {
+            continue;
+        }
+        let named = inst.generate();
+        let h = named.hypergraph();
+        let (alg1, t_alg1) = timed(|| {
+            Algorithm1::new(PartitionConfig::paper().seed(1))
+                .bipartition(h)
+                .expect("valid")
+        });
+        let fm = FiducciaMattheyses::new(1)
+            .restarts(2)
+            .bipartition(h)
+            .expect("valid");
+        let spectral = SpectralBisection::new().bipartition(h).expect("valid");
+        let hybrid = Refined::alg1(PartitionConfig::paper(), 1)
+            .bipartition(h)
+            .expect("valid");
+        let (ml, t_ml) = timed(|| Multilevel::new(1).bipartition(h).expect("valid"));
+
+        let suffix = match inst.planted_cut() {
+            Some(c) => format!(" [planted {c}]"),
+            None => String::new(),
+        };
+        table.row([
+            format!("{}{suffix}", inst.name()),
+            metrics::cut_size(h, &alg1).to_string(),
+            metrics::cut_size(h, &fm).to_string(),
+            metrics::cut_size(h, &spectral).to_string(),
+            metrics::cut_size(h, &hybrid).to_string(),
+            metrics::cut_size(h, &ml).to_string(),
+            fmt_duration(t_alg1),
+            fmt_duration(t_ml),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nreading: FM refinement on top of Alg I is nearly free and closes\n\
+         most of whatever gap exists; the V-cycle's advantage concentrates\n\
+         on the hierarchical circuit rows, while the planted Diff rows are\n\
+         already solved by Alg I's global BFS geometry — the two approaches\n\
+         see different structure, which is why Alg I makes a good coarsest-\n\
+         level engine inside the multilevel scheme."
+    );
+}

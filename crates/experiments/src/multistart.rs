@@ -1,0 +1,55 @@
+//! Multi-start ablation — §4's first extension.
+//!
+//! "Because the algorithm is so fast, a natural extension of our method
+//! involves examining more than one initial longest path in G. The test
+//! runs reported below examined 50 random longest paths and selected the
+//! best result." This sweep shows the quality/starts curve that justifies
+//! the number 50.
+
+use fhp_core::{Algorithm1, PartitionConfig};
+use fhp_gen::{CircuitNetlist, PaperInstance, Technology};
+
+use crate::util::{banner, mean, Table};
+
+pub fn run(quick: bool) {
+    banner("Multi-start ablation: cutsize vs number of random longest paths");
+    let starts: &[usize] = &[1, 2, 5, 10, 20, 50];
+    let trials: u64 = if quick { 3 } else { 8 };
+    println!("mean cutsize over {trials} seeds\n");
+
+    let bd3 = PaperInstance::Bd3.generate();
+    let ic1 = PaperInstance::Ic1.generate();
+    let hybrid = CircuitNetlist::new(Technology::Hybrid, 300, 520)
+        .seed(5)
+        .generate()
+        .expect("static config");
+    let cases = [
+        ("Bd3", bd3.hypergraph()),
+        ("IC1", ic1.hypergraph()),
+        ("Hybrid-300", &hybrid),
+    ];
+
+    let mut headers = vec!["starts".to_string()];
+    headers.extend(cases.iter().map(|(n, _)| n.to_string()));
+    let mut table = Table::new(headers);
+    for &s in starts {
+        let mut cells = vec![s.to_string()];
+        for (_, h) in &cases {
+            let mut cuts = Vec::new();
+            for seed in 0..trials {
+                let out = Algorithm1::new(PartitionConfig::paper().starts(s).seed(seed))
+                    .run(h)
+                    .expect("valid instance");
+                cuts.push(out.report.cut_size as f64);
+            }
+            cells.push(format!("{:.1}", mean(&cuts)));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!(
+        "\npaper shape: monotone improvement with diminishing returns; most\n\
+         of the gain arrives well before 50 starts, which is why 50 is a\n\
+         comfortable setting given the O(n^2) per-start cost."
+    );
+}

@@ -1,0 +1,65 @@
+//! Pathological `c = 0` inputs — §4's disconnectedness claim.
+//!
+//! "For completely pathological cases where c = 0, BFS in G finds the
+//! unconnectedness while standard heuristics will often output a locally
+//! minimum cut of size Θ(|E|)." Algorithm I's component shortcut must
+//! return a zero cut; the move-based baselines start from a random
+//! balanced cut and have to dismantle it swap by swap.
+
+use fhp_baselines::{FiducciaMattheyses, KernighanLin, RandomCut, SimulatedAnnealing};
+use fhp_core::{metrics, Algorithm1, Bipartitioner, PartitionConfig};
+use fhp_gen::DisconnectedClusters;
+
+use crate::util::{banner, mean, Table};
+
+pub fn run(quick: bool) {
+    banner("Pathological c = 0 inputs (disconnected hypergraphs)");
+    let configs: &[(usize, usize)] = if quick {
+        &[(2, 40), (4, 30)]
+    } else {
+        &[(2, 40), (2, 150), (4, 60), (8, 40)]
+    };
+    let trials: u64 = if quick { 3 } else { 6 };
+    println!("k clusters of m modules, density 2.5 signals/module; {trials} seeds\n");
+
+    let mut table = Table::new(["clusters x m", "|E|", "Alg I", "FM", "KL", "SA", "Random"]);
+    for &(k, m) in configs {
+        let mut cuts: [Vec<f64>; 5] = Default::default();
+        let mut edges = 0;
+        for seed in 0..trials {
+            let h = DisconnectedClusters::new(k, m)
+                .density(2.5)
+                .seed(seed)
+                .generate()
+                .expect("static config");
+            edges = h.num_edges();
+            let ps: [&dyn Bipartitioner; 5] = [
+                &Algorithm1::new(PartitionConfig::new().seed(seed)),
+                &FiducciaMattheyses::new(seed),
+                &KernighanLin::new(seed),
+                &SimulatedAnnealing::fast(seed),
+                &RandomCut::balanced(seed),
+            ];
+            for (slot, p) in ps.iter().enumerate() {
+                let bp = p.bipartition(&h).expect("valid instance");
+                cuts[slot].push(metrics::cut_size(&h, &bp) as f64);
+            }
+        }
+        table.row([
+            format!("{k} x {m}"),
+            edges.to_string(),
+            format!("{:.1}", mean(&cuts[0])),
+            format!("{:.1}", mean(&cuts[1])),
+            format!("{:.1}", mean(&cuts[2])),
+            format!("{:.1}", mean(&cuts[3])),
+            format!("{:.1}", mean(&cuts[4])),
+        ]);
+    }
+    table.print();
+    println!(
+        "\npaper shape: Alg I reports 0 (BFS discovers the components); the\n\
+         move-based heuristics often retain a positive locally-minimum cut,\n\
+         especially when cluster counts/sizes defeat the balance constraint,\n\
+         and a random cut slices Theta(|E|) signals."
+    );
+}

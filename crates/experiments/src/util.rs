@@ -1,0 +1,93 @@
+//! Table rendering and small statistics helpers shared by the experiments.
+
+use std::time::{Duration, Instant};
+
+/// A simple left-aligned text table with a markdown-style header rule.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::from("|");
+            for (w, cell) in widths.iter().zip(cells) {
+                s.push_str(&format!(" {cell:<w$} |"));
+            }
+            s
+        };
+        println!("{}", line(&self.headers));
+        let mut rule = String::from("|");
+        for w in &widths {
+            rule.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        println!("{rule}");
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+}
+
+/// Times a closure, returning its value and the wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.0} µs", s * 1e6)
+    }
+}
+
+/// Section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("== {title} ==");
+    println!();
+}

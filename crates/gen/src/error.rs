@@ -1,0 +1,50 @@
+//! Error type for generator configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a generator configuration cannot produce an instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenError {
+    /// A size/count field is out of its valid range.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl GenError {
+    pub(crate) fn invalid(reason: impl Into<String>) -> Self {
+        Self::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid generator config: {reason}"),
+        }
+    }
+}
+
+impl Error for GenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = GenError::invalid("needs at least 2 modules");
+        assert!(e.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn is_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<GenError>();
+    }
+}

@@ -1,0 +1,46 @@
+//! Seeded workload generators for the `fhp` experiments.
+//!
+//! Every generator is deterministic given its seed, validates its
+//! configuration, and produces [`fhp_hypergraph::Hypergraph`] instances:
+//!
+//! - [`RandomHypergraph`] — the paper's probabilistic model `H(n, d, r)`;
+//! - [`PlantedBisection`] — "difficult" inputs with a hidden small cut
+//!   (`c = o(n^{1−1/d})`, Bui et al.), with ground truth exposed;
+//! - [`CircuitNetlist`] — hierarchical circuit-like netlists in four
+//!   [`Technology`] profiles (PCB, standard cell, gate array, hybrid),
+//!   standing in for the paper's proprietary industry suite;
+//! - [`DisconnectedClusters`] — the pathological `c = 0` case;
+//! - [`PaperInstance`] — the eight Table 2 instances at their published
+//!   sizes.
+//!
+//! # Examples
+//!
+//! ```
+//! use fhp_core::{Algorithm1, PartitionConfig};
+//! use fhp_gen::{CircuitNetlist, Technology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let h = CircuitNetlist::new(Technology::Pcb, 100, 180).seed(1).generate()?;
+//! let out = Algorithm1::new(PartitionConfig::new().starts(10)).run(&h)?;
+//! assert!(out.bipartition.is_valid_cut());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod circuit;
+mod error;
+mod named;
+mod pathological;
+mod planted;
+mod random;
+
+pub use circuit::{CircuitNetlist, Technology};
+pub use error::GenError;
+pub use named::{NamedInstance, PaperInstance};
+pub use pathological::DisconnectedClusters;
+pub use planted::{PlantedBisection, PlantedInstance};
+pub use random::RandomHypergraph;

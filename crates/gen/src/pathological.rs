@@ -1,0 +1,155 @@
+//! Pathological `c = 0` inputs: disconnected hypergraphs.
+//!
+//! §4: "For completely pathological cases where c = 0, BFS in G finds the
+//! unconnectedness while standard heuristics will often output a locally
+//! minimum cut of size Θ(|E|)." The clusters here are internally dense, so
+//! a move-based heuristic started from a random balanced cut has to fight
+//! through a huge barrier to reunite them.
+
+use fhp_hypergraph::{Hypergraph, HypergraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::GenError;
+
+/// Generator for disconnected, internally dense cluster hypergraphs.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_gen::DisconnectedClusters;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let h = DisconnectedClusters::new(4, 10).seed(3).generate()?;
+/// assert_eq!(h.num_vertices(), 40);
+/// assert_eq!(h.connected_components().1, 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct DisconnectedClusters {
+    clusters: usize,
+    modules_per_cluster: usize,
+    /// Signals per cluster = `density · modules_per_cluster`.
+    density: f64,
+    seed: u64,
+}
+
+impl DisconnectedClusters {
+    /// `clusters` components of `modules_per_cluster` modules each, with
+    /// signal density 2.0 and seed 0.
+    pub fn new(clusters: usize, modules_per_cluster: usize) -> Self {
+        Self {
+            clusters,
+            modules_per_cluster,
+            density: 2.0,
+            seed: 0,
+        }
+    }
+
+    /// Signals per cluster as a multiple of its module count (min 1.0 so
+    /// each cluster stays connected).
+    pub fn density(mut self, density: f64) -> Self {
+        self.density = density.max(1.0);
+        self
+    }
+
+    /// Seeds the generator.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the instance.
+    ///
+    /// # Errors
+    ///
+    /// [`GenError::InvalidConfig`] for fewer than 2 clusters or clusters
+    /// of fewer than 2 modules.
+    pub fn generate(&self) -> Result<Hypergraph, GenError> {
+        if self.clusters < 2 {
+            return Err(GenError::invalid("needs at least 2 clusters"));
+        }
+        if self.modules_per_cluster < 2 {
+            return Err(GenError::invalid("clusters need at least 2 modules"));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let m = self.modules_per_cluster;
+        let mut b = HypergraphBuilder::with_vertices(self.clusters * m);
+        for c in 0..self.clusters {
+            let base = c * m;
+            // ring for connectivity
+            for i in 0..m {
+                b.add_edge([VertexId::new(base + i), VertexId::new(base + (i + 1) % m)])
+                    .expect("ring edge valid");
+            }
+            // extra random intra-cluster signals
+            let extra = ((self.density - 1.0) * m as f64).round() as usize;
+            for _ in 0..extra {
+                let size = rng.gen_range(2..=3.min(m));
+                let mut pins = Vec::with_capacity(size);
+                while pins.len() < size {
+                    let v = VertexId::new(base + rng.gen_range(0..m));
+                    if !pins.contains(&v) {
+                        pins.push(v);
+                    }
+                }
+                b.add_edge(pins).expect("intra edge valid");
+            }
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_count_matches() {
+        for k in [2, 3, 7] {
+            let h = DisconnectedClusters::new(k, 8).generate().unwrap();
+            assert_eq!(h.connected_components().1, k);
+        }
+    }
+
+    #[test]
+    fn density_scales_signals() {
+        let sparse = DisconnectedClusters::new(2, 20)
+            .density(1.0)
+            .generate()
+            .unwrap();
+        let dense = DisconnectedClusters::new(2, 20)
+            .density(3.0)
+            .generate()
+            .unwrap();
+        assert!(dense.num_edges() > sparse.num_edges());
+    }
+
+    #[test]
+    fn zero_cut_exists() {
+        use fhp_core::{metrics, Bipartition, Side};
+        let h = DisconnectedClusters::new(2, 10).generate().unwrap();
+        let bp = Bipartition::from_fn(20, |v| {
+            if v.index() < 10 {
+                Side::Left
+            } else {
+                Side::Right
+            }
+        });
+        assert_eq!(metrics::cut_size(&h, &bp), 0);
+    }
+
+    #[test]
+    fn invalid_configs() {
+        assert!(DisconnectedClusters::new(1, 10).generate().is_err());
+        assert!(DisconnectedClusters::new(3, 1).generate().is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = DisconnectedClusters::new(3, 9).seed(5).generate().unwrap();
+        let b = DisconnectedClusters::new(3, 9).seed(5).generate().unwrap();
+        assert_eq!(a, b);
+    }
+}

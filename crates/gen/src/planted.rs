@@ -1,0 +1,312 @@
+//! Planted-bisection "difficult" instances.
+//!
+//! §1 and §3 of the paper argue that random hypergraphs are *easy* — even a
+//! random cut is within a constant factor of optimal — so a heuristic's
+//! worth shows on inputs whose minimum cut is *smaller than expected*:
+//! the Bui–Chaudhuri–Leighton–Sipser class `H(n, d, r, c)` with
+//! `c = o(n^{1−1/d})`. This generator plants a hidden bisection with
+//! exactly `cut_size` crossing signals, keeps each half internally
+//! connected and reasonably dense, and exposes the planted ground truth so
+//! experiments can check "found the minimum cut" exactly.
+
+use fhp_core::{Bipartition, Side};
+use fhp_hypergraph::{Hypergraph, HypergraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::GenError;
+
+/// A generated difficult instance together with its planted bisection.
+#[derive(Clone, Debug)]
+pub struct PlantedInstance {
+    hypergraph: Hypergraph,
+    planted: Bipartition,
+    planted_cut: usize,
+}
+
+impl PlantedInstance {
+    /// The hypergraph.
+    pub fn hypergraph(&self) -> &Hypergraph {
+        &self.hypergraph
+    }
+
+    /// The planted bisection (left half vs right half).
+    pub fn planted(&self) -> &Bipartition {
+        &self.planted
+    }
+
+    /// Number of signals crossing the planted bisection (an upper bound on
+    /// the minimum cut; for the densities used it is the minimum with high
+    /// probability).
+    pub fn planted_cut(&self) -> usize {
+        self.planted_cut
+    }
+
+    /// Consumes the instance, returning its parts.
+    pub fn into_parts(self) -> (Hypergraph, Bipartition, usize) {
+        (self.hypergraph, self.planted, self.planted_cut)
+    }
+}
+
+/// Configuration for planted-bisection instances.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_core::metrics;
+/// use fhp_gen::PlantedBisection;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inst = PlantedBisection::new(100, 160).cut_size(4).seed(5).generate()?;
+/// let cut = metrics::cut_size(inst.hypergraph(), inst.planted());
+/// assert_eq!(cut, 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedBisection {
+    num_vertices: usize,
+    num_edges: usize,
+    edge_size_min: usize,
+    edge_size_max: usize,
+    cut_size: usize,
+    seed: u64,
+}
+
+impl PlantedBisection {
+    /// A planted instance over `num_vertices` modules and `num_edges`
+    /// signals with sizes 2–4, planted cut 4, seed 0.
+    pub fn new(num_vertices: usize, num_edges: usize) -> Self {
+        Self {
+            num_vertices,
+            num_edges,
+            edge_size_min: 2,
+            edge_size_max: 4,
+            cut_size: 4,
+            seed: 0,
+        }
+    }
+
+    /// Sets the inclusive edge-size range.
+    pub fn edge_size_range(mut self, min: usize, max: usize) -> Self {
+        self.edge_size_min = min;
+        self.edge_size_max = max;
+        self
+    }
+
+    /// Sets the exact number of planted crossing signals.
+    pub fn cut_size(mut self, c: usize) -> Self {
+        self.cut_size = c;
+        self
+    }
+
+    /// Seeds the generator.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the instance.
+    ///
+    /// # Errors
+    ///
+    /// [`GenError::InvalidConfig`] for inconsistent sizes: fewer than 4
+    /// vertices, a bad size range, or an edge budget too small for the two
+    /// connectivity chains plus the planted crossing signals.
+    pub fn generate(&self) -> Result<PlantedInstance, GenError> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let half = self.num_vertices / 2;
+        let mut b = HypergraphBuilder::with_vertices(self.num_vertices);
+        let mut edges_used = 0usize;
+
+        // Connectivity chains inside each half.
+        for range in [0..half, half..self.num_vertices] {
+            let mut order: Vec<VertexId> = range.map(VertexId::new).collect();
+            order.shuffle(&mut rng);
+            let span = self.edge_size_max;
+            let mut i = 0;
+            while i + 1 < order.len() {
+                let end = (i + span).min(order.len());
+                b.add_edge(order[i..end].to_vec()).expect("valid chain");
+                edges_used += 1;
+                i = end - 1;
+            }
+        }
+
+        // Exactly `cut_size` crossing signals: at least one pin per half.
+        for _ in 0..self.cut_size {
+            let size = rng.gen_range(self.edge_size_min.max(2)..=self.edge_size_max);
+            let mut pins = vec![
+                VertexId::new(rng.gen_range(0..half)),
+                VertexId::new(rng.gen_range(half..self.num_vertices)),
+            ];
+            while pins.len() < size {
+                let v = VertexId::new(rng.gen_range(0..self.num_vertices));
+                if !pins.contains(&v) {
+                    // keep the minority side to a single pin so the planted
+                    // cut stays exactly as configured even under vertex moves
+                    let in_left = v.index() < half;
+                    if in_left == (pins[0].index() < half) || rng.gen_bool(0.2) {
+                        pins.push(v);
+                    }
+                }
+            }
+            b.add_edge(pins).expect("valid crossing signal");
+            edges_used += 1;
+        }
+
+        // Fill with intra-half signals, alternating halves for balance.
+        let mut fill_left = true;
+        while edges_used < self.num_edges {
+            let (lo, hi) = if fill_left {
+                (0, half)
+            } else {
+                (half, self.num_vertices)
+            };
+            fill_left = !fill_left;
+            let width = hi - lo;
+            let size = rng
+                .gen_range(self.edge_size_min..=self.edge_size_max)
+                .min(width);
+            let mut pins = Vec::with_capacity(size);
+            while pins.len() < size {
+                let v = VertexId::new(rng.gen_range(lo..hi));
+                if !pins.contains(&v) {
+                    pins.push(v);
+                }
+            }
+            b.add_edge(pins).expect("valid fill signal");
+            edges_used += 1;
+        }
+
+        let hypergraph = b.build();
+        let planted = Bipartition::from_fn(self.num_vertices, |v| {
+            if v.index() < half {
+                Side::Left
+            } else {
+                Side::Right
+            }
+        });
+        let planted_cut = fhp_core::metrics::cut_size(&hypergraph, &planted);
+        debug_assert_eq!(planted_cut, self.cut_size);
+        Ok(PlantedInstance {
+            hypergraph,
+            planted,
+            planted_cut,
+        })
+    }
+
+    fn validate(&self) -> Result<(), GenError> {
+        if self.num_vertices < 4 {
+            return Err(GenError::invalid("needs at least 4 vertices"));
+        }
+        if self.edge_size_min < 2 || self.edge_size_min > self.edge_size_max {
+            return Err(GenError::invalid(
+                "edge size range must satisfy 2 <= min <= max",
+            ));
+        }
+        let half = self.num_vertices / 2;
+        if self.edge_size_max > half {
+            return Err(GenError::invalid("edge size exceeds half size"));
+        }
+        let span = self.edge_size_max;
+        let chain = 2 * half.saturating_sub(1).div_ceil(span - 1) + 2;
+        if chain + self.cut_size > self.num_edges {
+            return Err(GenError::invalid(
+                "edge budget too small for chains plus planted cut",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhp_core::metrics;
+
+    #[test]
+    fn planted_cut_is_exact() {
+        for c in [0, 1, 4, 10] {
+            let inst = PlantedBisection::new(60, 100)
+                .cut_size(c)
+                .seed(c as u64)
+                .generate()
+                .unwrap();
+            assert_eq!(inst.planted_cut(), c);
+            assert_eq!(metrics::cut_size(inst.hypergraph(), inst.planted()), c);
+        }
+    }
+
+    #[test]
+    fn halves_are_connected() {
+        let inst = PlantedBisection::new(80, 140)
+            .cut_size(2)
+            .generate()
+            .unwrap();
+        let h = inst.hypergraph();
+        // with crossing signals the whole graph is connected for c >= 1
+        assert_eq!(h.connected_components().1, 1);
+    }
+
+    #[test]
+    fn zero_cut_gives_disconnected() {
+        let inst = PlantedBisection::new(40, 80)
+            .cut_size(0)
+            .generate()
+            .unwrap();
+        assert_eq!(inst.hypergraph().connected_components().1, 2);
+    }
+
+    #[test]
+    fn planted_is_bisection() {
+        let inst = PlantedBisection::new(51, 90).generate().unwrap();
+        assert!(inst.planted().is_bisection() || inst.planted().cardinality_imbalance() == 1);
+        let (h, bp, c) = inst.into_parts();
+        assert_eq!(metrics::cut_size(&h, &bp), c);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = PlantedBisection::new(40, 80).seed(3).generate().unwrap();
+        let b = PlantedBisection::new(40, 80).seed(3).generate().unwrap();
+        assert_eq!(a.hypergraph(), b.hypergraph());
+    }
+
+    #[test]
+    fn respects_counts() {
+        let inst = PlantedBisection::new(100, 170)
+            .cut_size(6)
+            .generate()
+            .unwrap();
+        assert_eq!(inst.hypergraph().num_vertices(), 100);
+        assert_eq!(inst.hypergraph().num_edges(), 170);
+    }
+
+    #[test]
+    fn invalid_configs() {
+        assert!(PlantedBisection::new(3, 10).generate().is_err());
+        assert!(PlantedBisection::new(40, 5).generate().is_err());
+        assert!(PlantedBisection::new(40, 80)
+            .edge_size_range(3, 2)
+            .generate()
+            .is_err());
+        assert!(PlantedBisection::new(10, 30)
+            .edge_size_range(2, 8)
+            .generate()
+            .is_err());
+    }
+
+    #[test]
+    fn difficult_scaling_class() {
+        // c = o(n^{1-1/d}): for n=200, d≈5, n^{0.8} ≈ 69 — c=4 qualifies
+        let inst = PlantedBisection::new(200, 340)
+            .cut_size(4)
+            .generate()
+            .unwrap();
+        let s = fhp_hypergraph::stats::HypergraphStats::of(inst.hypergraph());
+        assert!(inst.planted_cut() < s.num_edges / 10);
+    }
+}

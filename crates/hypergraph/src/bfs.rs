@@ -1,0 +1,331 @@
+//! Breadth-first-search primitives on [`Graph`].
+//!
+//! Algorithm I never computes a true graph diameter — the fastest known
+//! exact methods cost `O(nm)` — it uses *longest BFS paths* instead: BFS
+//! from a random vertex reaches depth `diam(G) − O(1)` with probability near
+//! 1 on connected bounded-degree random graphs (paper §3). This module
+//! provides the level structures, the double-sweep pseudo-diameter used by
+//! the partitioner, and exact all-pairs diameters for verification at small
+//! scale.
+
+use crate::Graph;
+
+/// Distance label for vertices not reached by a search.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// The level structure produced by one breadth-first search.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_hypergraph::{bfs, Graph};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// let levels = bfs::bfs(&g, 0);
+/// assert_eq!(levels.dist(3), Some(3));
+/// assert_eq!(levels.depth(), 3);
+/// assert_eq!(levels.farthest(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsLevels {
+    source: u32,
+    dist: Vec<u32>,
+    /// Vertices in visit order (a valid BFS ordering).
+    order: Vec<u32>,
+    depth: u32,
+    farthest: u32,
+}
+
+impl BfsLevels {
+    /// The search's source vertex.
+    pub fn source(&self) -> u32 {
+        self.source
+    }
+
+    /// Distance from the source to `v`, or `None` if unreachable.
+    pub fn dist(&self, v: u32) -> Option<u32> {
+        let d = self.dist[v as usize];
+        (d != UNREACHED).then_some(d)
+    }
+
+    /// Raw distance array (`UNREACHED` for unreachable vertices).
+    pub fn raw_dist(&self) -> &[u32] {
+        &self.dist
+    }
+
+    /// Vertices reachable from the source, in BFS visit order (source first).
+    pub fn visit_order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Depth of the search: the largest finite distance (the source's
+    /// eccentricity within its component).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// A vertex at maximum distance from the source. The *last visited*
+    /// deepest vertex is returned, which for the partitioner's purposes is
+    /// an arbitrary deterministic representative.
+    pub fn farthest(&self) -> u32 {
+        self.farthest
+    }
+
+    /// Number of vertices reached (including the source).
+    pub fn num_reached(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// Runs BFS from `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs(g: &Graph, source: u32) -> BfsLevels {
+    assert!(
+        (source as usize) < g.num_vertices(),
+        "bfs source {source} out of range"
+    );
+    let mut dist = vec![UNREACHED; g.num_vertices()];
+    let mut order = Vec::new();
+    dist[source as usize] = 0;
+    order.push(source);
+    let mut head = 0usize;
+    let mut depth = 0u32;
+    let mut farthest = source;
+    while head < order.len() {
+        let v = order[head];
+        head += 1;
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == UNREACHED {
+                dist[u as usize] = dv + 1;
+                if dv + 1 >= depth {
+                    depth = dv + 1;
+                    farthest = u;
+                }
+                order.push(u);
+            }
+        }
+    }
+    BfsLevels {
+        source,
+        dist,
+        order,
+        depth,
+        farthest,
+    }
+}
+
+/// Result of a double-sweep pseudo-diameter search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DoubleSweep {
+    /// First endpoint (the farthest vertex found from the seed).
+    pub u: u32,
+    /// Second endpoint (the farthest vertex found from `u`).
+    pub v: u32,
+    /// `dist(u, v)` — a lower bound on the component's diameter.
+    pub length: u32,
+}
+
+/// Double-sweep heuristic: BFS from `seed` to find `u`, then BFS from `u`
+/// to find `v`. `dist(u, v)` lower-bounds the diameter of `seed`'s
+/// component and is exact on trees.
+///
+/// # Panics
+///
+/// Panics if `seed` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_hypergraph::{bfs, Graph};
+///
+/// let path = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+/// let ds = bfs::double_sweep(&path, 2);
+/// assert_eq!(ds.length, 4);
+/// ```
+pub fn double_sweep(g: &Graph, seed: u32) -> DoubleSweep {
+    let first = bfs(g, seed);
+    let u = first.farthest();
+    let second = bfs(g, u);
+    DoubleSweep {
+        u,
+        v: second.farthest(),
+        length: second.depth(),
+    }
+}
+
+/// Connected components by repeated BFS.
+///
+/// Returns `(component_of, count)`; ids are assigned in order of first
+/// discovery scanning vertex indices ascending.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut comp = vec![UNREACHED; g.num_vertices()];
+    let mut count = 0u32;
+    let mut queue = Vec::new();
+    for s in g.vertices() {
+        if comp[s as usize] != UNREACHED {
+            continue;
+        }
+        comp[s as usize] = count;
+        queue.push(s);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            for &u in g.neighbors(v) {
+                if comp[u as usize] == UNREACHED {
+                    comp[u as usize] = count;
+                    queue.push(u);
+                }
+            }
+        }
+        queue.clear();
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// True if the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_vertices() == 0 || bfs(g, 0).num_reached() == g.num_vertices()
+}
+
+/// Exact diameter by all-pairs BFS: `O(n·m)`.
+///
+/// Returns `None` for a graph that is empty or disconnected (the diameter
+/// is undefined/infinite there). Intended for verification experiments and
+/// tests, not for the partitioning hot path.
+pub fn exact_diameter(g: &Graph) -> Option<u32> {
+    if g.num_vertices() == 0 || !is_connected(g) {
+        return None;
+    }
+    Some(
+        g.vertices()
+            .map(|v| bfs(g, v).depth())
+            .max()
+            .expect("nonempty"),
+    )
+}
+
+/// Eccentricity of `v` within its component (its BFS depth).
+pub fn eccentricity(g: &Graph, v: u32) -> u32 {
+    bfs(g, v).depth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32).map(|i| (i, ((i + 1) % n as u32))))
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let l = bfs(&g, 1);
+        assert_eq!(l.dist(0), Some(1));
+        assert_eq!(l.dist(1), Some(0));
+        assert_eq!(l.dist(3), Some(2));
+        assert_eq!(l.depth(), 2);
+        assert_eq!(l.farthest(), 3);
+        assert_eq!(l.num_reached(), 4);
+        assert_eq!(l.source(), 1);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1)]); // 2, 3 isolated
+        let l = bfs(&g, 0);
+        assert_eq!(l.dist(2), None);
+        assert_eq!(l.num_reached(), 2);
+        assert_eq!(l.raw_dist()[3], UNREACHED);
+    }
+
+    #[test]
+    fn bfs_visit_order_is_valid() {
+        let g = cycle(6);
+        let l = bfs(&g, 0);
+        // distances along visit order are non-decreasing
+        let ds: Vec<_> = l
+            .visit_order()
+            .iter()
+            .map(|&v| l.dist(v).unwrap())
+            .collect();
+        assert!(ds.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(l.visit_order()[0], 0);
+    }
+
+    #[test]
+    fn double_sweep_on_path_finds_true_diameter() {
+        let g = Graph::from_edges(7, (0..6).map(|i| (i, i + 1)));
+        for seed in 0..7 {
+            let ds = double_sweep(&g, seed);
+            assert_eq!(ds.length, 6, "seed {seed}");
+            assert!(ds.u == 0 || ds.u == 6);
+            assert!(ds.v == 0 || ds.v == 6);
+            assert_ne!(ds.u, ds.v);
+        }
+    }
+
+    #[test]
+    fn double_sweep_lower_bounds_diameter() {
+        let g = cycle(9);
+        let ds = double_sweep(&g, 3);
+        assert!(ds.length <= exact_diameter(&g).unwrap());
+        assert!(ds.length >= 1);
+    }
+
+    #[test]
+    fn exact_diameter_cycle() {
+        assert_eq!(exact_diameter(&cycle(8)), Some(4));
+        assert_eq!(exact_diameter(&cycle(9)), Some(4));
+    }
+
+    #[test]
+    fn exact_diameter_disconnected_is_none() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(exact_diameter(&g), None);
+        assert_eq!(exact_diameter(&Graph::empty(0)), None);
+    }
+
+    #[test]
+    fn components() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&cycle(5)));
+        assert!(is_connected(&Graph::empty(0)));
+    }
+
+    #[test]
+    fn eccentricity_matches_bfs_depth() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(eccentricity(&g, 0), 3);
+        assert_eq!(eccentricity(&g, 1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_bad_source_panics() {
+        let g = Graph::empty(1);
+        let _ = bfs(&g, 1);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = Graph::empty(1);
+        let l = bfs(&g, 0);
+        assert_eq!(l.depth(), 0);
+        assert_eq!(l.farthest(), 0);
+        assert_eq!(exact_diameter(&g), Some(0));
+    }
+}

@@ -1,0 +1,334 @@
+//! Cluster contraction — collapsing vertex groups into coarse vertices.
+//!
+//! Contraction is the workhorse of clustering-based partitioning flows:
+//! groups of modules are merged into super-modules (weights add), each
+//! signal is re-pinned onto the clusters it touches, signals falling
+//! inside one cluster disappear, and *identical* coarse signals merge
+//! with summed weight. [`Contraction::project`] expands a coarse
+//! partition back to the original modules.
+//!
+//! [`heavy_pair_clustering`] provides a simple deterministic clustering
+//! (greedy matching on co-signal affinity) to drive it.
+
+use std::collections::HashMap;
+
+use crate::{EdgeId, Hypergraph, HypergraphBuilder, VertexId};
+
+/// A contracted hypergraph plus the fine↔coarse correspondence.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_hypergraph::contract::Contraction;
+/// use fhp_hypergraph::intersection::paper_example;
+///
+/// let h = paper_example();
+/// // pair up modules (0,1), (2,3), … into 6 clusters
+/// let cluster_of: Vec<u32> = (0..12).map(|i| (i / 2) as u32).collect();
+/// let c = Contraction::contract(&h, &cluster_of);
+/// assert_eq!(c.coarse().num_vertices(), 6);
+/// assert!(c.coarse().num_edges() <= h.num_edges());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Contraction {
+    coarse: Hypergraph,
+    cluster_of: Vec<u32>,
+    /// For each coarse edge, the fine edges merged into it.
+    fine_edges: Vec<Vec<EdgeId>>,
+}
+
+impl Contraction {
+    /// Contracts `h` according to `cluster_of` (fine vertex → cluster id).
+    /// Cluster ids must be dense: every id in `0..max+1` must occur.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_of` does not cover `h`'s vertices or its ids are
+    /// not dense.
+    pub fn contract(h: &Hypergraph, cluster_of: &[u32]) -> Self {
+        assert_eq!(cluster_of.len(), h.num_vertices(), "cluster map mismatch");
+        let k = cluster_of
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let mut seen = vec![false; k];
+        for &c in cluster_of {
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "cluster ids must be dense");
+
+        let mut b = HypergraphBuilder::new();
+        let mut weights = vec![0u64; k];
+        for v in h.vertices() {
+            weights[cluster_of[v.index()] as usize] += h.vertex_weight(v);
+        }
+        for w in weights {
+            b.add_weighted_vertex(w);
+        }
+
+        // Re-pin edges; merge identical coarse pin sets.
+        let mut merged: HashMap<Vec<VertexId>, usize> = HashMap::new();
+        let mut coarse_edges: Vec<(Vec<VertexId>, u64, Vec<EdgeId>)> = Vec::new();
+        for e in h.edges() {
+            let mut pins: Vec<VertexId> = h
+                .pins(e)
+                .iter()
+                .map(|p| VertexId::new(cluster_of[p.index()] as usize))
+                .collect();
+            pins.sort_unstable();
+            pins.dedup();
+            if pins.len() < 2 {
+                continue; // swallowed by a cluster
+            }
+            match merged.entry(pins.clone()) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let idx = *slot.get();
+                    coarse_edges[idx].1 += h.edge_weight(e);
+                    coarse_edges[idx].2.push(e);
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(coarse_edges.len());
+                    coarse_edges.push((pins, h.edge_weight(e), vec![e]));
+                }
+            }
+        }
+        let mut fine_edges = Vec::with_capacity(coarse_edges.len());
+        for (pins, weight, fines) in coarse_edges {
+            b.add_weighted_edge(pins, weight)
+                .expect("coarse pins are valid");
+            fine_edges.push(fines);
+        }
+
+        Self {
+            coarse: b.build(),
+            cluster_of: cluster_of.to_vec(),
+            fine_edges,
+        }
+    }
+
+    /// The contracted hypergraph.
+    pub fn coarse(&self) -> &Hypergraph {
+        &self.coarse
+    }
+
+    /// Cluster of fine vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn cluster_of(&self, v: VertexId) -> u32 {
+        self.cluster_of[v.index()]
+    }
+
+    /// Number of fine vertices.
+    pub fn fine_len(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// The fine edges merged into coarse edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn fine_edges(&self, e: EdgeId) -> &[EdgeId] {
+        &self.fine_edges[e.index()]
+    }
+
+    /// Expands a per-coarse-vertex labelling to the fine vertices.
+    ///
+    /// The label type is generic so both bipartitions (`Side`) and k-way
+    /// labellings (`u32`) project with the same call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coarse_labels` does not cover the coarse vertices.
+    pub fn project<L: Copy>(&self, coarse_labels: &[L]) -> Vec<L> {
+        assert_eq!(
+            coarse_labels.len(),
+            self.coarse.num_vertices(),
+            "coarse labelling mismatch"
+        );
+        self.cluster_of
+            .iter()
+            .map(|&c| coarse_labels[c as usize])
+            .collect()
+    }
+}
+
+/// Greedy affinity matching: pairs each unclustered module with the
+/// neighbour it shares the most signal weight with (rating each shared
+/// signal `w(e) / (|e| − 1)`, the standard heavy-edge rating), subject to
+/// `max_cluster_weight`. Unmatched modules become singleton clusters.
+/// Deterministic: vertices are visited in id order.
+///
+/// Returns a dense cluster map suitable for [`Contraction::contract`].
+///
+/// # Examples
+///
+/// ```
+/// use fhp_hypergraph::contract::{heavy_pair_clustering, Contraction};
+/// use fhp_hypergraph::intersection::paper_example;
+///
+/// let h = paper_example();
+/// let clusters = heavy_pair_clustering(&h, 4);
+/// let c = Contraction::contract(&h, &clusters);
+/// assert!(c.coarse().num_vertices() <= h.num_vertices());
+/// assert!(c.coarse().num_vertices() >= h.num_vertices() / 2);
+/// ```
+pub fn heavy_pair_clustering(h: &Hypergraph, max_cluster_weight: u64) -> Vec<u32> {
+    const UNMATCHED: u32 = u32::MAX;
+    let mut cluster_of = vec![UNMATCHED; h.num_vertices()];
+    let mut next = 0u32;
+    let mut affinity: HashMap<VertexId, f64> = HashMap::new();
+    for v in h.vertices() {
+        if cluster_of[v.index()] != UNMATCHED {
+            continue;
+        }
+        affinity.clear();
+        for &e in h.edges_of(v) {
+            let size = h.edge_size(e);
+            if size < 2 {
+                continue;
+            }
+            let rating = h.edge_weight(e) as f64 / (size - 1) as f64;
+            for &u in h.pins(e) {
+                if u != v && cluster_of[u.index()] == UNMATCHED {
+                    *affinity.entry(u).or_insert(0.0) += rating;
+                }
+            }
+        }
+        let partner = affinity
+            .iter()
+            .filter(|(u, _)| h.vertex_weight(**u) + h.vertex_weight(v) <= max_cluster_weight)
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.0.cmp(a.0)) // deterministic tie-break: lowest id
+            })
+            .map(|(&u, _)| u);
+        cluster_of[v.index()] = next;
+        if let Some(u) = partner {
+            cluster_of[u.index()] = next;
+        }
+        next += 1;
+    }
+    cluster_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersection::paper_example;
+
+    #[test]
+    fn contraction_preserves_weight() {
+        let h = paper_example();
+        let clusters: Vec<u32> = (0..12).map(|i| (i / 3) as u32).collect();
+        let c = Contraction::contract(&h, &clusters);
+        assert_eq!(c.coarse().total_vertex_weight(), h.total_vertex_weight());
+        assert_eq!(c.coarse().num_vertices(), 4);
+        assert_eq!(c.fine_len(), 12);
+    }
+
+    #[test]
+    fn internal_edges_vanish() {
+        let h = paper_example();
+        // everything in one cluster except module 12 (index 11)
+        let clusters: Vec<u32> = (0..12).map(|i| u32::from(i == 11)).collect();
+        let c = Contraction::contract(&h, &clusters);
+        // only signal c = {1,3,4,12} touches module 12
+        assert_eq!(c.coarse().num_edges(), 1);
+        assert_eq!(c.fine_edges(EdgeId::new(0)), &[EdgeId::new(2)]);
+    }
+
+    #[test]
+    fn parallel_coarse_edges_merge_with_summed_weight() {
+        let mut b = HypergraphBuilder::with_vertices(4);
+        b.add_weighted_edge([VertexId::new(0), VertexId::new(2)], 2)
+            .unwrap();
+        b.add_weighted_edge([VertexId::new(1), VertexId::new(3)], 3)
+            .unwrap();
+        let h = b.build();
+        // clusters {0,1} and {2,3}: both edges become {c0, c1}
+        let c = Contraction::contract(&h, &[0, 0, 1, 1]);
+        assert_eq!(c.coarse().num_edges(), 1);
+        assert_eq!(c.coarse().edge_weight(EdgeId::new(0)), 5);
+        assert_eq!(c.fine_edges(EdgeId::new(0)).len(), 2);
+    }
+
+    #[test]
+    fn projection_expands_labels() {
+        let h = paper_example();
+        let clusters: Vec<u32> = (0..12).map(|i| (i % 3) as u32).collect();
+        let c = Contraction::contract(&h, &clusters);
+        let labels = ['a', 'b', 'c'];
+        let fine = c.project(&labels);
+        for v in h.vertices() {
+            assert_eq!(fine[v.index()], labels[v.index() % 3]);
+        }
+    }
+
+    #[test]
+    fn identity_contraction_is_lossless_modulo_merging() {
+        let h = paper_example();
+        let clusters: Vec<u32> = (0..12u32).collect();
+        let c = Contraction::contract(&h, &clusters);
+        assert_eq!(c.coarse().num_vertices(), h.num_vertices());
+        assert_eq!(c.coarse().num_edges(), h.num_edges());
+        assert_eq!(c.coarse().num_pins(), h.num_pins());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_cluster_ids_panic() {
+        let h = paper_example();
+        let mut clusters: Vec<u32> = (0..12u32).collect();
+        clusters[0] = 20;
+        let _ = Contraction::contract(&h, &clusters);
+    }
+
+    #[test]
+    fn clustering_respects_weight_cap() {
+        let mut b = HypergraphBuilder::new();
+        let heavy = b.add_weighted_vertex(10);
+        let light1 = b.add_vertex();
+        let light2 = b.add_vertex();
+        b.add_edge([heavy, light1]).unwrap();
+        b.add_edge([light1, light2]).unwrap();
+        let h = b.build();
+        let clusters = heavy_pair_clustering(&h, 4);
+        // heavy (weight 10) cannot pair under cap 4; lights pair up
+        assert_ne!(clusters[heavy.index()], clusters[light1.index()]);
+        assert_eq!(clusters[light1.index()], clusters[light2.index()]);
+    }
+
+    #[test]
+    fn clustering_is_deterministic_and_dense() {
+        let h = paper_example();
+        let a = heavy_pair_clustering(&h, 4);
+        let b = heavy_pair_clustering(&h, 4);
+        assert_eq!(a, b);
+        let k = *a.iter().max().unwrap() as usize + 1;
+        let mut seen = vec![false; k];
+        for &c in &a {
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // pairing: every cluster has 1 or 2 members
+        let mut sizes = vec![0usize; k];
+        for &c in &a {
+            sizes[c as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| (1..=2).contains(&s)));
+    }
+
+    #[test]
+    fn contraction_after_clustering_shrinks() {
+        let h = paper_example();
+        let clusters = heavy_pair_clustering(&h, 12);
+        let c = Contraction::contract(&h, &clusters);
+        assert!(c.coarse().num_vertices() < h.num_vertices());
+        assert!(c.coarse().total_vertex_weight() == h.total_vertex_weight());
+    }
+}

@@ -1,0 +1,292 @@
+//! Plain undirected graphs in CSR form.
+//!
+//! The partitioner never works with the input hypergraph directly when
+//! cutting: it works with the *intersection graph* (see
+//! [`crate::intersection`]) and the bipartite *boundary graph*. Both are
+//! ordinary undirected graphs, represented here compactly. Vertices of a
+//! [`Graph`] are bare `u32` indices — unlike hypergraph ids they have no
+//! domain meaning of their own (the owning structure records what each index
+//! stands for).
+
+/// An immutable undirected graph with `u32` vertices in CSR representation.
+///
+/// No self-loops, no parallel edges. Construct with [`GraphBuilder`] or
+/// [`Graph::from_edges`].
+///
+/// # Examples
+///
+/// ```
+/// use fhp_hypergraph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.degree(0), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list over `n` vertices.
+    ///
+    /// Self-loops are dropped; duplicate edges (in either orientation) are
+    /// collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// A graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True if `u` and `v` are adjacent (binary search on `u`'s list).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over vertex indices `0..num_vertices()`.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = u32> {
+        0..self.num_vertices() as u32
+    }
+
+    /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+}
+
+/// Builder accumulating an edge list before CSR finalization.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_hypergraph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate, collapsed
+/// b.add_edge(2, 2); // self-loop, dropped
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// assert_eq!(g.degree(2), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Records an undirected edge. Self-loops are silently dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for {} vertices",
+            self.n
+        );
+        if u == v {
+            return;
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Number of edge records so far (before dedup).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalizes the CSR structure, deduplicating parallel edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut degree = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; acc];
+        // Insert in sorted-edge order: (u, v) pairs sorted lexicographically
+        // give each u an ascending neighbor list, but v's lists need a final
+        // per-vertex sort since v entries arrive in u order... actually they
+        // also arrive ascending in u, so both directions come out sorted.
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        for &(u, v) in &self.edges {
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // The forward pass writes each u's higher neighbors ascending; the
+        // backward pass then appends lower neighbors ascending, so lists are
+        // two sorted runs — merge with a sort per vertex (cheap, lists are
+        // short for bounded-degree graphs).
+        let g = Graph { offsets, neighbors };
+        let mut fixed = g.neighbors.clone();
+        for v in 0..self.n {
+            fixed[g.offsets[v]..g.offsets[v + 1]].sort_unstable();
+        }
+        Graph {
+            offsets: g.offsets,
+            neighbors: fixed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(3), &[2]);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted_even_with_shuffled_input() {
+        let g = Graph::from_edges(5, [(4, 2), (2, 0), (2, 3), (1, 2)]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = Graph::from_edges(3, [(0, 2)]);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 1), (3, 2)]);
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        let g0 = Graph::empty(0);
+        assert_eq!(g0.num_vertices(), 0);
+        assert_eq!(g0.max_degree(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn builder_len() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.is_empty());
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        assert_eq!(b.len(), 2); // dedup happens at build
+        assert_eq!(b.build().num_edges(), 1);
+    }
+}

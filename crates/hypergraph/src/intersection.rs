@@ -1,0 +1,295 @@
+//! The dual *intersection graph* of a hypergraph.
+//!
+//! Given a hypergraph `H`, the intersection graph `G` has one vertex per
+//! hyperedge of `H`, with two vertices adjacent iff the corresponding
+//! hyperedges share a module (paper §2, Figure 1). Algorithm I operates
+//! entirely on `G`: a graph cut in `G` whose boundary is handled by
+//! Complete-Cut yields a hypergraph cut in `H`.
+//!
+//! The paper's §3 observes that a hyperedge of size `k` crosses the min-cut
+//! bipartition with probability `1 − O(2^{−k})`, so edges above a size
+//! threshold (as low as 10) can be *ignored* during partitioning with very
+//! small expected error — and doing so keeps `G`'s degree bounded, which the
+//! probabilistic guarantees need. [`IntersectionGraph::build_with_threshold`]
+//! implements that filter; ignored edges simply have no G-vertex and are
+//! scored at the end on the final hypergraph partition.
+
+use crate::{EdgeId, Graph, GraphBuilder, Hypergraph, VertexId};
+
+/// The intersection graph `G` dual to a hypergraph `H`, with the mapping
+/// between G-vertices and H-hyperedges.
+///
+/// When built with a size threshold, only hyperedges *below* the threshold
+/// receive a G-vertex; the mapping is then a compaction.
+///
+/// # Examples
+///
+/// The paper's Figure 1 hypergraph (8 modules, 5 signals A–E):
+///
+/// ```
+/// use fhp_hypergraph::{HypergraphBuilder, IntersectionGraph, VertexId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::with_vertices(8);
+/// let v = |i: usize| VertexId::new(i);
+/// let a = b.add_edge([v(0), v(1)])?;
+/// let bb = b.add_edge([v(1), v(2), v(3)])?;
+/// let c = b.add_edge([v(3), v(4)])?;
+/// let d = b.add_edge([v(4), v(5), v(6)])?;
+/// let e = b.add_edge([v(6), v(7)])?;
+/// let h = b.build();
+/// let ig = IntersectionGraph::build(&h);
+///
+/// assert_eq!(ig.num_g_vertices(), 5);
+/// assert!(ig.graph().has_edge(ig.g_vertex_of(a).unwrap(), ig.g_vertex_of(bb).unwrap()));
+/// assert!(!ig.graph().has_edge(ig.g_vertex_of(a).unwrap(), ig.g_vertex_of(c).unwrap()));
+/// # let _ = (d, e);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct IntersectionGraph {
+    graph: Graph,
+    /// `kept[g]` = hyperedge represented by G-vertex `g`.
+    kept: Vec<EdgeId>,
+    /// `g_of[e]` = G-vertex of hyperedge `e`, or `u32::MAX` if filtered out.
+    g_of: Vec<u32>,
+    threshold: Option<usize>,
+}
+
+const FILTERED: u32 = u32::MAX;
+
+impl IntersectionGraph {
+    /// Builds the full intersection graph (no size filtering).
+    pub fn build(h: &Hypergraph) -> Self {
+        Self::build_with_threshold(h, None)
+    }
+
+    /// Builds the intersection graph over hyperedges of size `< threshold`
+    /// (if `Some`); hyperedges at or above the threshold get no G-vertex.
+    ///
+    /// Cost is `O(Σ_v deg(v)²)` pair generation plus sorting; for
+    /// bounded-degree netlists this is linear in pins.
+    pub fn build_with_threshold(h: &Hypergraph, threshold: Option<usize>) -> Self {
+        let keep = |e: EdgeId| match threshold {
+            Some(t) => h.edge_size(e) < t,
+            None => true,
+        };
+        let mut kept = Vec::new();
+        let mut g_of = vec![FILTERED; h.num_edges()];
+        for e in h.edges() {
+            if keep(e) {
+                g_of[e.index()] = u32::try_from(kept.len()).expect("too many edges");
+                kept.push(e);
+            }
+        }
+        let mut gb = GraphBuilder::new(kept.len());
+        for v in h.vertices() {
+            let inc = h.edges_of(v);
+            for (i, &a) in inc.iter().enumerate() {
+                let ga = g_of[a.index()];
+                if ga == FILTERED {
+                    continue;
+                }
+                for &b in &inc[i + 1..] {
+                    let gb2 = g_of[b.index()];
+                    if gb2 != FILTERED {
+                        gb.add_edge(ga, gb2);
+                    }
+                }
+            }
+        }
+        Self {
+            graph: gb.build(),
+            kept,
+            g_of,
+            threshold,
+        }
+    }
+
+    /// The underlying simple graph `G`.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of G-vertices (kept hyperedges).
+    pub fn num_g_vertices(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// The hyperedge represented by G-vertex `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn edge_of(&self, g: u32) -> EdgeId {
+        self.kept[g as usize]
+    }
+
+    /// The G-vertex of hyperedge `e`, or `None` if it was filtered out by
+    /// the size threshold.
+    pub fn g_vertex_of(&self, e: EdgeId) -> Option<u32> {
+        let g = self.g_of[e.index()];
+        (g != FILTERED).then_some(g)
+    }
+
+    /// The threshold this graph was built with.
+    pub fn threshold(&self) -> Option<usize> {
+        self.threshold
+    }
+
+    /// Hyperedges that were filtered out (size ≥ threshold).
+    pub fn filtered_edges<'a>(&'a self, h: &'a Hypergraph) -> impl Iterator<Item = EdgeId> + 'a {
+        h.edges().filter(|e| self.g_of[e.index()] == FILTERED)
+    }
+
+    /// Vertices of `H` covered by at least one kept hyperedge.
+    pub fn covered_vertices(&self, h: &Hypergraph) -> Vec<bool> {
+        let mut covered = vec![false; h.num_vertices()];
+        for &e in &self.kept {
+            for &p in h.pins(e) {
+                covered[p.index()] = true;
+            }
+        }
+        covered
+    }
+}
+
+/// Convenience: builds the paper's Figure 4 running-example hypergraph
+/// (12 modules `1..=12` as vertices `0..=11`, 9 signals `a..=i`).
+///
+/// Used by documentation, tests and the `quickstart` example. The signals
+/// are, in order a–i:
+/// `{1,2,11}, {2,4,11}, {1,3,4,12}, {3,5}, {4,6,7}, {5,6,8}, {6,8}, {7,9,10}, {6,7,9,10}`.
+pub fn paper_example() -> Hypergraph {
+    let mut b = crate::HypergraphBuilder::with_vertices(12);
+    let v = |i: usize| VertexId::new(i - 1); // paper modules are 1-based
+    let signals: [&[usize]; 9] = [
+        &[1, 2, 11],
+        &[2, 4, 11],
+        &[1, 3, 4, 12],
+        &[3, 5],
+        &[4, 6, 7],
+        &[5, 6, 8],
+        &[6, 8],
+        &[7, 9, 10],
+        &[6, 7, 9, 10],
+    ];
+    for pins in signals {
+        b.add_edge(pins.iter().map(|&i| v(i)))
+            .expect("static example is valid");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+
+    fn chain_hypergraph() -> Hypergraph {
+        // edges: {0,1}, {1,2}, {2,3} -> G is a path a-b-c
+        let mut b = HypergraphBuilder::with_vertices(4);
+        for i in 0..3u32 {
+            b.add_edge([VertexId::new(i as usize), VertexId::new(i as usize + 1)])
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chain_dualizes_to_path() {
+        let h = chain_hypergraph();
+        let ig = IntersectionGraph::build(&h);
+        assert_eq!(ig.num_g_vertices(), 3);
+        let g = ig.graph();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn adjacency_iff_shared_module() {
+        let h = paper_example();
+        let ig = IntersectionGraph::build(&h);
+        for a in h.edges() {
+            for b in h.edges() {
+                if a >= b {
+                    continue;
+                }
+                let share = h.pins(a).iter().any(|p| h.pins(b).contains(p));
+                let (ga, gb) = (ig.g_vertex_of(a).unwrap(), ig.g_vertex_of(b).unwrap());
+                assert_eq!(ig.graph().has_edge(ga, gb), share, "edges {a} and {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_figure4_adjacency() {
+        // Spot-check figure 4: c is adjacent to a, b, d, e; k... the paper's
+        // letters map to indices a=0..i=8.
+        let h = paper_example();
+        let ig = IntersectionGraph::build(&h);
+        let g = ig.graph();
+        let idx = |ch: char| (ch as u8 - b'a') as u32;
+        assert!(g.has_edge(idx('a'), idx('b'))); // share modules 2, 11
+        assert!(g.has_edge(idx('a'), idx('c'))); // share module 1
+        assert!(g.has_edge(idx('c'), idx('d'))); // share module 3
+        assert!(g.has_edge(idx('h'), idx('i'))); // share 7, 9, 10
+        assert!(!g.has_edge(idx('a'), idx('i')));
+        assert!(!g.has_edge(idx('d'), idx('h')));
+    }
+
+    #[test]
+    fn threshold_filters_large_edges() {
+        let h = paper_example(); // max edge size 4
+        let ig = IntersectionGraph::build_with_threshold(&h, Some(4));
+        // signals c (size 4) and i (size 4) filtered out
+        assert_eq!(ig.num_g_vertices(), 7);
+        assert_eq!(ig.g_vertex_of(EdgeId::new(2)), None);
+        assert_eq!(ig.g_vertex_of(EdgeId::new(8)), None);
+        let filtered: Vec<_> = ig.filtered_edges(&h).collect();
+        assert_eq!(filtered, vec![EdgeId::new(2), EdgeId::new(8)]);
+        assert_eq!(ig.threshold(), Some(4));
+        // round trip mapping on kept edges
+        for g in 0..ig.num_g_vertices() as u32 {
+            assert_eq!(ig.g_vertex_of(ig.edge_of(g)), Some(g));
+        }
+    }
+
+    #[test]
+    fn covered_vertices_accounts_for_filtering() {
+        let mut b = HypergraphBuilder::with_vertices(5);
+        b.add_edge([VertexId::new(0), VertexId::new(1)]).unwrap();
+        b.add_edge((0..5).map(VertexId::new)).unwrap(); // size 5
+        let h = b.build();
+        let ig = IntersectionGraph::build_with_threshold(&h, Some(5));
+        let covered = ig.covered_vertices(&h);
+        assert_eq!(covered, vec![true, true, false, false, false]);
+    }
+
+    #[test]
+    fn no_self_adjacency() {
+        let h = chain_hypergraph();
+        let ig = IntersectionGraph::build(&h);
+        for g in ig.graph().vertices() {
+            assert!(!ig.graph().has_edge(g, g));
+        }
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        let h = paper_example();
+        assert_eq!(h.num_vertices(), 12);
+        assert_eq!(h.num_edges(), 9);
+        assert_eq!(h.max_edge_size(), 4);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let h = HypergraphBuilder::with_vertices(3).build();
+        let ig = IntersectionGraph::build(&h);
+        assert_eq!(ig.num_g_vertices(), 0);
+        assert_eq!(ig.covered_vertices(&h), vec![false; 3]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the substrate: BFS distances against a reference
+//! all-pairs computation, intersection-graph adjacency against the
+//! definition, CSR integrity under arbitrary construction orders.
+
+use fhp_hypergraph::{bfs, Graph, GraphBuilder, HypergraphBuilder, IntersectionGraph, VertexId};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_graph()(
+        n in 1usize..24,
+        edges in proptest::collection::vec((0usize..24, 0usize..24), 0..60),
+    ) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge((u % n) as u32, (v % n) as u32);
+        }
+        b.build()
+    }
+}
+
+/// Reference distances by Floyd–Warshall.
+fn floyd_warshall(g: &Graph) -> Vec<Vec<u32>> {
+    const INF: u32 = u32::MAX / 4;
+    let n = g.num_vertices();
+    let mut d = vec![vec![INF; n]; n];
+    for (v, row) in d.iter_mut().enumerate() {
+        row[v] = 0;
+    }
+    for (u, v) in g.edges() {
+        d[u as usize][v as usize] = 1;
+        d[v as usize][u as usize] = 1;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k].saturating_add(d[k][j]);
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bfs_matches_floyd_warshall(g in arb_graph(), src_raw in 0usize..24) {
+        let src = (src_raw % g.num_vertices()) as u32;
+        let levels = bfs::bfs(&g, src);
+        let reference = floyd_warshall(&g);
+        for v in g.vertices() {
+            let want = reference[src as usize][v as usize];
+            match levels.dist(v) {
+                Some(d) => prop_assert_eq!(d, want, "vertex {}", v),
+                None => prop_assert!(want > g.num_vertices() as u32, "unreachable mismatch"),
+            }
+        }
+        // depth is the max finite distance
+        let max_finite = g
+            .vertices()
+            .filter_map(|v| levels.dist(v))
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(levels.depth(), max_finite);
+    }
+
+    #[test]
+    fn double_sweep_bounds_the_diameter(g in arb_graph(), seed in 0usize..24) {
+        let src = (seed % g.num_vertices()) as u32;
+        let ds = bfs::double_sweep(&g, src);
+        if let Some(diam) = bfs::exact_diameter(&g) {
+            prop_assert!(ds.length <= diam);
+            // the classic guarantee: double sweep >= half the diameter
+            prop_assert!(2 * ds.length >= diam, "sweep {} diam {}", ds.length, diam);
+        }
+    }
+
+    #[test]
+    fn graph_csr_integrity(g in arb_graph()) {
+        let mut total = 0usize;
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            total += ns.len();
+            // sorted, deduplicated, no self loops, symmetric
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            for &u in ns {
+                prop_assert_ne!(u, v);
+                prop_assert!(g.has_edge(u, v));
+                prop_assert!(g.neighbors(u).contains(&v));
+            }
+        }
+        prop_assert_eq!(total, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn intersection_adjacency_is_shared_pin(
+        nv in 2usize..12,
+        raw_edges in proptest::collection::vec(
+            proptest::collection::vec(0usize..12, 2..5),
+            1..12,
+        ),
+        threshold in proptest::option::of(2usize..6),
+    ) {
+        let mut b = HypergraphBuilder::with_vertices(nv);
+        for pins in &raw_edges {
+            let pins: Vec<VertexId> = pins.iter().map(|&p| VertexId::new(p % nv)).collect();
+            let mut dedup = pins.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            if !dedup.is_empty() {
+                b.add_edge(dedup).expect("valid pins");
+            }
+        }
+        let h = b.build();
+        let ig = IntersectionGraph::build_with_threshold(&h, threshold);
+        for a in h.edges() {
+            for c in h.edges() {
+                if a >= c { continue; }
+                let (Some(ga), Some(gc)) = (ig.g_vertex_of(a), ig.g_vertex_of(c)) else {
+                    continue;
+                };
+                let share = h.pins(a).iter().any(|p| h.pins(c).contains(p));
+                prop_assert_eq!(ig.graph().has_edge(ga, gc), share);
+            }
+        }
+        // filtered edges are exactly those at/above the threshold
+        for e in h.edges() {
+            let kept = ig.g_vertex_of(e).is_some();
+            match threshold {
+                Some(t) => prop_assert_eq!(kept, h.edge_size(e) < t),
+                None => prop_assert!(kept),
+            }
+        }
+    }
+
+    #[test]
+    fn hypergraph_incidence_is_an_involution(
+        nv in 1usize..16,
+        raw_edges in proptest::collection::vec(
+            proptest::collection::vec(0usize..16, 1..6),
+            0..16,
+        ),
+    ) {
+        let mut b = HypergraphBuilder::with_vertices(nv);
+        for pins in &raw_edges {
+            let pins: Vec<VertexId> = pins.iter().map(|&p| VertexId::new(p % nv)).collect();
+            let _ = b.add_edge(pins);
+        }
+        let h = b.build();
+        for e in h.edges() {
+            for &p in h.pins(e) {
+                prop_assert!(h.edges_of(p).contains(&e));
+            }
+        }
+        for v in h.vertices() {
+            for &e in h.edges_of(v) {
+                prop_assert!(h.pins(e).contains(&v));
+            }
+        }
+        let pin_total: usize = h.edges().map(|e| h.edge_size(e)).sum();
+        prop_assert_eq!(pin_total, h.num_pins());
+        let deg_total: usize = h.vertices().map(|v| h.vertex_degree(v)).sum();
+        prop_assert_eq!(deg_total, h.num_pins());
+    }
+}

@@ -1,0 +1,222 @@
+//! Slot grids and placements.
+//!
+//! Min-cut placement assigns each module to a *slot* of a rectangular
+//! grid (a single row models standard-cell row placement; a full grid
+//! models 2-D block placement). [`Placement`] is the assignment; quality
+//! metrics live in [`crate::wirelength`].
+
+use std::fmt;
+
+use fhp_hypergraph::{Hypergraph, VertexId};
+
+use crate::PlaceError;
+
+/// A rectangular array of placement slots.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_place::SlotGrid;
+///
+/// let grid = SlotGrid::new(2, 8);
+/// assert_eq!(grid.num_slots(), 16);
+/// assert_eq!(grid.slot(1, 3).index(&grid), 11);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SlotGrid {
+    rows: usize,
+    cols: usize,
+}
+
+impl SlotGrid {
+    /// A grid with `rows × cols` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        Self { rows, cols }
+    }
+
+    /// A single placement row with `cols` slots.
+    pub fn row(cols: usize) -> Self {
+        Self::new(1, cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total slot count.
+    pub fn num_slots(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The slot at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn slot(&self, row: usize, col: usize) -> Slot {
+        assert!(row < self.rows && col < self.cols, "slot out of range");
+        Slot { row, col }
+    }
+}
+
+impl fmt::Display for SlotGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// One position in a [`SlotGrid`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Slot {
+    /// Row coordinate.
+    pub row: usize,
+    /// Column coordinate.
+    pub col: usize,
+}
+
+impl Slot {
+    /// Linearized index within `grid` (row-major).
+    pub fn index(&self, grid: &SlotGrid) -> usize {
+        self.row * grid.cols() + self.col
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+/// An assignment of every module to a distinct slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    grid: SlotGrid,
+    position: Vec<Slot>,
+}
+
+impl Placement {
+    /// Builds a placement from per-module slots.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaceError::GridTooSmall`] if there are more modules than slots;
+    /// [`PlaceError::SlotCollision`] if two modules share a slot.
+    pub fn new(grid: SlotGrid, position: Vec<Slot>) -> Result<Self, PlaceError> {
+        if position.len() > grid.num_slots() {
+            return Err(PlaceError::GridTooSmall {
+                modules: position.len(),
+                slots: grid.num_slots(),
+            });
+        }
+        let mut used = vec![false; grid.num_slots()];
+        for (i, s) in position.iter().enumerate() {
+            if s.row >= grid.rows() || s.col >= grid.cols() {
+                return Err(PlaceError::SlotOutOfRange {
+                    module: VertexId::new(i),
+                    slot: *s,
+                });
+            }
+            let idx = s.index(&grid);
+            if used[idx] {
+                return Err(PlaceError::SlotCollision {
+                    module: VertexId::new(i),
+                    slot: *s,
+                });
+            }
+            used[idx] = true;
+        }
+        Ok(Self { grid, position })
+    }
+
+    /// The grid this placement lives on.
+    pub fn grid(&self) -> &SlotGrid {
+        &self.grid
+    }
+
+    /// Slot of module `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn slot_of(&self, v: VertexId) -> Slot {
+        self.position[v.index()]
+    }
+
+    /// Number of placed modules.
+    pub fn len(&self) -> usize {
+        self.position.len()
+    }
+
+    /// True if nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.position.is_empty()
+    }
+
+    /// The raw position vector, indexed by module id.
+    pub fn positions(&self) -> &[Slot] {
+        &self.position
+    }
+
+    /// True if this placement covers exactly `h`'s modules.
+    pub fn covers(&self, h: &Hypergraph) -> bool {
+        self.position.len() == h.num_vertices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let g = SlotGrid::new(3, 4);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 4);
+        assert_eq!(g.num_slots(), 12);
+        assert_eq!(g.to_string(), "3x4");
+        assert_eq!(SlotGrid::row(5).rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_grid_panics() {
+        let _ = SlotGrid::new(0, 3);
+    }
+
+    #[test]
+    fn slot_indexing() {
+        let g = SlotGrid::new(2, 3);
+        assert_eq!(g.slot(0, 0).index(&g), 0);
+        assert_eq!(g.slot(1, 2).index(&g), 5);
+        assert_eq!(g.slot(1, 0).to_string(), "(1, 0)");
+    }
+
+    #[test]
+    fn placement_validation() {
+        let g = SlotGrid::row(3);
+        let ok = Placement::new(g, vec![g.slot(0, 0), g.slot(0, 2)]).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.slot_of(VertexId::new(1)).col, 2);
+        assert!(!ok.is_empty());
+
+        let too_many = Placement::new(g, vec![Slot::default(); 4]);
+        assert!(matches!(too_many, Err(PlaceError::GridTooSmall { .. })));
+
+        let collision = Placement::new(g, vec![g.slot(0, 1), g.slot(0, 1)]);
+        assert!(matches!(collision, Err(PlaceError::SlotCollision { .. })));
+
+        let oob = Placement::new(g, vec![Slot { row: 2, col: 0 }]);
+        assert!(matches!(oob, Err(PlaceError::SlotOutOfRange { .. })));
+    }
+}

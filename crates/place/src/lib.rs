@@ -1,0 +1,51 @@
+//! Recursive min-cut placement on top of the `fhp` partitioners.
+//!
+//! The DAC'89 paper's motivation is *min-cut placement* (Breuer): a layout
+//! is produced by recursively bipartitioning the netlist, each cut
+//! deciding which half of the remaining region a module occupies. The
+//! quality of the layout tracks the quality of the cuts, and the runtime
+//! tracks the partitioner — which is exactly why an `O(n²)` bipartitioner
+//! with KL-level quality matters.
+//!
+//! This crate provides:
+//!
+//! - [`SlotGrid`] / [`Placement`] — rectangular slot arrays and module
+//!   assignments;
+//! - [`MinCutPlacer`] — quadrature placement with a pluggable
+//!   [`Bipartitioner`](fhp_core::Bipartitioner) per region, capacity
+//!   repair, and terminal alignment (a light-weight form of
+//!   Dunlop–Kernighan terminal propagation);
+//! - [`wirelength`] — half-perimeter wirelength and vertical cut profiles.
+//!
+//! # Examples
+//!
+//! ```
+//! use fhp_core::{Algorithm1, Bipartitioner, PartitionConfig};
+//! use fhp_hypergraph::Netlist;
+//! use fhp_place::{wirelength, MinCutPlacer, SlotGrid};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nl = Netlist::parse("a: 1 2\nb: 2 3\nc: 3 4\nd: 4 5\n")?;
+//! let placer = MinCutPlacer::new(|region| {
+//!     Box::new(Algorithm1::new(PartitionConfig::new().starts(4).seed(region)))
+//!         as Box<dyn Bipartitioner>
+//! });
+//! let placement = placer.place(nl.hypergraph(), SlotGrid::row(5))?;
+//! println!("HPWL = {}", wirelength::total_hpwl(nl.hypergraph(), &placement));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod grid;
+mod mincut;
+
+pub mod wirelength;
+
+pub use error::PlaceError;
+pub use grid::{Placement, Slot, SlotGrid};
+pub use mincut::MinCutPlacer;

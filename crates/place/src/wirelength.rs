@@ -1,0 +1,163 @@
+//! Placement quality metrics.
+//!
+//! The standard figure of merit is half-perimeter wirelength (HPWL): each
+//! net costs the half-perimeter of the bounding box of its pins' slots,
+//! the classic lower bound on its routed length. The *cut profile* — how
+//! many nets cross each vertical grid line — connects placement quality
+//! back to the partitioning view: min-cut placement is exactly the greedy
+//! minimization of the profile's peaks, which is why the paper's faster
+//! bipartitioner matters to placement.
+
+use fhp_hypergraph::{EdgeId, Hypergraph};
+
+use crate::Placement;
+
+/// Half-perimeter wirelength of one net: `(Δrow + Δcol)` of its pin
+/// bounding box, weighted by the net's weight.
+///
+/// # Panics
+///
+/// Panics if `e` is out of range or the placement does not cover `h`.
+pub fn net_hpwl(h: &Hypergraph, p: &Placement, e: EdgeId) -> u64 {
+    assert!(p.covers(h), "placement does not cover the hypergraph");
+    let mut rows = (usize::MAX, 0usize);
+    let mut cols = (usize::MAX, 0usize);
+    for &pin in h.pins(e) {
+        let s = p.slot_of(pin);
+        rows = (rows.0.min(s.row), rows.1.max(s.row));
+        cols = (cols.0.min(s.col), cols.1.max(s.col));
+    }
+    ((rows.1 - rows.0) + (cols.1 - cols.0)) as u64 * h.edge_weight(e)
+}
+
+/// Total HPWL over all nets.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_hypergraph::Netlist;
+/// use fhp_place::{wirelength, Placement, SlotGrid};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nl = Netlist::parse("n: a b\n")?;
+/// let grid = SlotGrid::row(2);
+/// let p = Placement::new(grid, vec![grid.slot(0, 0), grid.slot(0, 1)])?;
+/// assert_eq!(wirelength::total_hpwl(nl.hypergraph(), &p), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn total_hpwl(h: &Hypergraph, p: &Placement) -> u64 {
+    h.edges().map(|e| net_hpwl(h, p, e)).sum()
+}
+
+/// Number of nets whose bounding box crosses the vertical line between
+/// columns `col` and `col + 1`, for every such line.
+///
+/// The maximum entry is the channel-density lower bound a router sees.
+pub fn vertical_cut_profile(h: &Hypergraph, p: &Placement) -> Vec<usize> {
+    assert!(p.covers(h), "placement does not cover the hypergraph");
+    let cols = p.grid().cols();
+    if cols <= 1 {
+        return Vec::new();
+    }
+    let mut profile = vec![0usize; cols - 1];
+    for e in h.edges() {
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for &pin in h.pins(e) {
+            let c = p.slot_of(pin).col;
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        for slot in &mut profile[lo..hi] {
+            *slot += 1;
+        }
+    }
+    profile
+}
+
+/// The largest vertical cut-profile entry (0 for single-column grids).
+pub fn max_vertical_cut(h: &Hypergraph, p: &Placement) -> usize {
+    vertical_cut_profile(h, p).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SlotGrid;
+    use fhp_hypergraph::{HypergraphBuilder, VertexId};
+
+    fn line_netlist() -> Hypergraph {
+        // modules 0..4, nets {0,1}, {1,2,3}, {0,3}
+        let mut b = HypergraphBuilder::with_vertices(4);
+        b.add_edge([VertexId::new(0), VertexId::new(1)]).unwrap();
+        b.add_edge([VertexId::new(1), VertexId::new(2), VertexId::new(3)])
+            .unwrap();
+        b.add_weighted_edge([VertexId::new(0), VertexId::new(3)], 2)
+            .unwrap();
+        b.build()
+    }
+
+    fn identity_row(n: usize) -> Placement {
+        let grid = SlotGrid::row(n);
+        Placement::new(grid, (0..n).map(|c| grid.slot(0, c)).collect()).unwrap()
+    }
+
+    #[test]
+    fn hpwl_on_a_row() {
+        let h = line_netlist();
+        let p = identity_row(4);
+        assert_eq!(net_hpwl(&h, &p, fhp_hypergraph::EdgeId::new(0)), 1);
+        assert_eq!(net_hpwl(&h, &p, fhp_hypergraph::EdgeId::new(1)), 2);
+        // weighted net spans 3 columns, weight 2
+        assert_eq!(net_hpwl(&h, &p, fhp_hypergraph::EdgeId::new(2)), 6);
+        assert_eq!(total_hpwl(&h, &p), 9);
+    }
+
+    #[test]
+    fn hpwl_in_two_dimensions() {
+        let h = line_netlist();
+        let grid = SlotGrid::new(2, 2);
+        let p = Placement::new(
+            grid,
+            vec![
+                grid.slot(0, 0),
+                grid.slot(0, 1),
+                grid.slot(1, 0),
+                grid.slot(1, 1),
+            ],
+        )
+        .unwrap();
+        // net {1,2,3}: rows 0..1, cols 0..1 -> 2
+        assert_eq!(net_hpwl(&h, &p, fhp_hypergraph::EdgeId::new(1)), 2);
+    }
+
+    #[test]
+    fn cut_profile_counts_spans() {
+        let h = line_netlist();
+        let p = identity_row(4);
+        // line 0|1: nets {0,1} and {0,3} -> 2; line 1|2: {1,2,3}, {0,3};
+        // line 2|3: {1,2,3}, {0,3}
+        assert_eq!(vertical_cut_profile(&h, &p), vec![2, 2, 2]);
+        assert_eq!(max_vertical_cut(&h, &p), 2);
+    }
+
+    #[test]
+    fn single_column_profile_empty() {
+        let mut b = HypergraphBuilder::with_vertices(1);
+        b.add_edge([VertexId::new(0)]).unwrap();
+        let h = b.build();
+        let grid = SlotGrid::new(3, 1);
+        let p = Placement::new(grid, vec![grid.slot(1, 0)]).unwrap();
+        assert!(vertical_cut_profile(&h, &p).is_empty());
+        assert_eq!(max_vertical_cut(&h, &p), 0);
+        assert_eq!(total_hpwl(&h, &p), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn mismatched_placement_panics() {
+        let h = line_netlist();
+        let p = identity_row(3);
+        let _ = total_hpwl(&h, &p);
+    }
+}

@@ -1,0 +1,67 @@
+//! Difficult inputs: where Algorithm I shines and local search gets stuck.
+//!
+//! Generates a sparse planted-bisection instance (the Bui et al. class the
+//! paper's analysis targets) and shows Algorithm I recovering the hidden
+//! minimum cut while Kernighan–Lin and annealing land orders of magnitude
+//! away.
+//!
+//! Run with `cargo run --release --example difficult_inputs`.
+
+use fhp::baselines::{KernighanLin, SimulatedAnnealing};
+use fhp::core::{metrics, Algorithm1, Bipartitioner, PartitionConfig};
+use fhp::gen::PlantedBisection;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let inst = PlantedBisection::new(1200, 1620)
+        .cut_size(3)
+        .edge_size_range(2, 2) // sparse graph regime: hardest for local search
+        .seed(5)
+        .generate()?;
+    let h = inst.hypergraph();
+    println!(
+        "planted instance: {} modules, {} signals, hidden bisection cuts {} signals\n",
+        h.num_vertices(),
+        h.num_edges(),
+        inst.planted_cut()
+    );
+
+    let alg1 = Algorithm1::new(PartitionConfig::paper().seed(0)).run(h)?;
+    println!(
+        "Algorithm I      : cut {}  (planted {}) — {}",
+        alg1.report.cut_size,
+        inst.planted_cut(),
+        verdict(alg1.report.cut_size, inst.planted_cut())
+    );
+
+    for (name, bp) in [
+        ("Kernighan-Lin", KernighanLin::new(0).bipartition(h)?),
+        (
+            "Simulated annealing",
+            SimulatedAnnealing::thorough(0).bipartition(h)?,
+        ),
+    ] {
+        let cut = metrics::cut_size(h, &bp);
+        println!(
+            "{name:<17}: cut {cut}  ({}x the planted optimum) — {}",
+            cut / inst.planted_cut().max(1),
+            verdict(cut, inst.planted_cut())
+        );
+    }
+    println!(
+        "\nwhy: the planted cut is far below the random-cut expectation, so\n\
+         the energy landscape is a plain with a needle in it. Local moves see\n\
+         no gradient; the dual-BFS sweep walks the intersection graph's\n\
+         geometry straight to the waist."
+    );
+    Ok(())
+}
+
+fn verdict(cut: usize, planted: usize) -> &'static str {
+    if cut <= planted {
+        "found the minimum"
+    } else if cut <= 2 * planted {
+        "close"
+    } else {
+        "stuck at a terrible bipartition"
+    }
+}

@@ -1,0 +1,48 @@
+//! k-way partitioning for multi-board / multi-row decomposition.
+//!
+//! Splitting a netlist across k boards (or k standard-cell rows) is
+//! recursive bipartitioning; the figure of merit is the number of
+//! inter-board nets (hyperedge cut) and how many boards each net touches
+//! (connectivity). This example decomposes a PCB-profile netlist into 2,
+//! 4 and 6 boards with Algorithm I driving every cut.
+//!
+//! Run with `cargo run --release --example multiway_partition`.
+
+use fhp::core::multiway::recursive_bisection;
+use fhp::core::{Algorithm1, Bipartitioner, PartitionConfig};
+use fhp::gen::{CircuitNetlist, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let h = CircuitNetlist::new(Technology::Pcb, 240, 430)
+        .seed(21)
+        .generate()?;
+    println!(
+        "decomposing {} modules / {} signals (PCB profile)\n",
+        h.num_vertices(),
+        h.num_edges()
+    );
+    println!(
+        "{:>3} {:>12} {:>14} {:>20}",
+        "k", "cut nets", "connectivity", "block sizes"
+    );
+    for k in [2usize, 4, 6] {
+        let mp = recursive_bisection(&h, k, |region| {
+            Box::new(Algorithm1::new(
+                PartitionConfig::paper().starts(10).seed(region),
+            )) as Box<dyn Bipartitioner>
+        })?;
+        let sizes: Vec<String> = mp.block_sizes().iter().map(|s| s.to_string()).collect();
+        println!(
+            "{:>3} {:>12} {:>14} {:>20}",
+            k,
+            mp.cut_size(&h),
+            mp.connectivity(&h),
+            sizes.join("/")
+        );
+    }
+    println!(
+        "\ncut nets grow sub-linearly in k when the netlist has logical\n\
+         clustering — each extra cut lands on a natural seam."
+    );
+    Ok(())
+}

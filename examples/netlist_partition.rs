@@ -1,0 +1,46 @@
+//! Compare every partitioner on a synthetic standard-cell netlist.
+//!
+//! Run with `cargo run --release --example netlist_partition`.
+
+use fhp::baselines::{FiducciaMattheyses, KernighanLin, RandomCut, SimulatedAnnealing};
+use fhp::core::{metrics, Algorithm1, Bipartitioner, PartitionConfig};
+use fhp::gen::{CircuitNetlist, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let h = CircuitNetlist::new(Technology::StdCell, 400, 640)
+        .seed(7)
+        .generate()?;
+    println!(
+        "std-cell netlist: {} modules, {} signals, {} pins\n",
+        h.num_vertices(),
+        h.num_edges(),
+        h.num_pins()
+    );
+
+    let alg1 = Algorithm1::new(PartitionConfig::paper().seed(0));
+    let fm = FiducciaMattheyses::new(0);
+    let kl = KernighanLin::new(0);
+    let sa = SimulatedAnnealing::thorough(0);
+    let random = RandomCut::balanced(0);
+    let partitioners: [&dyn Bipartitioner; 5] = [&alg1, &fm, &kl, &sa, &random];
+
+    println!(
+        "{:<20} {:>8} {:>10} {:>12} {:>12}",
+        "algorithm", "cut", "quotient", "|L|/|R|", "time"
+    );
+    for p in partitioners {
+        let started = std::time::Instant::now();
+        let bp = p.bipartition(&h)?;
+        let elapsed = started.elapsed();
+        let (l, r) = bp.counts();
+        println!(
+            "{:<20} {:>8} {:>10.3} {:>12} {:>12}",
+            p.name(),
+            metrics::cut_size(&h, &bp),
+            metrics::quotient_cut(&h, &bp),
+            format!("{l}/{r}"),
+            format!("{elapsed:.2?}")
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Recursive min-cut placement — the application that motivates the paper.
+//!
+//! Breuer-style min-cut placement assigns cells to a slot grid by
+//! recursively bipartitioning the netlist: each cut decides which half of
+//! the chip a cell lands in, and good cuts keep tightly-connected cells
+//! adjacent. `fhp_place::MinCutPlacer` drives the recursion with any
+//! `Bipartitioner`; this example compares Algorithm I against a random
+//! engine on a 16×16 standard-cell grid and prints the router-facing
+//! metrics (half-perimeter wirelength and peak vertical cut density).
+//!
+//! Run with `cargo run --release --example standard_cell_placement`.
+
+use fhp::baselines::RandomCut;
+use fhp::core::{Algorithm1, Bipartitioner, PartitionConfig};
+use fhp::gen::{CircuitNetlist, Technology};
+use fhp::hypergraph::Hypergraph;
+use fhp::place::{wirelength, MinCutPlacer, PlaceError, Placement, SlotGrid};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let h = CircuitNetlist::new(Technology::StdCell, 256, 420)
+        .seed(11)
+        .generate()?;
+    let grid = SlotGrid::new(16, 16);
+    println!(
+        "placing {} cells ({} nets) into a {grid} grid by recursive min-cut\n",
+        h.num_vertices(),
+        h.num_edges()
+    );
+
+    println!(
+        "{:<36} {:>8} {:>18} {:>12}",
+        "engine", "HPWL", "peak vertical cut", "time"
+    );
+
+    let alg1 = MinCutPlacer::new(|region| {
+        Box::new(Algorithm1::new(
+            PartitionConfig::paper().starts(10).seed(region),
+        )) as Box<dyn Bipartitioner>
+    });
+    run_engine("Algorithm I + terminal alignment", &h, grid, |g| {
+        alg1.place(&h, g)
+    })?;
+
+    let no_align = MinCutPlacer::new(|region| {
+        Box::new(Algorithm1::new(
+            PartitionConfig::paper().starts(10).seed(region),
+        )) as Box<dyn Bipartitioner>
+    })
+    .terminal_alignment(false);
+    run_engine("Algorithm I, no alignment", &h, grid, |g| {
+        no_align.place(&h, g)
+    })?;
+
+    let random =
+        MinCutPlacer::new(|region| Box::new(RandomCut::balanced(region)) as Box<dyn Bipartitioner>);
+    run_engine("random bipartitions", &h, grid, |g| random.place(&h, g))?;
+
+    println!(
+        "\nevery engine runs the same quadrature recursion — the wirelength\n\
+         gap is pure cut quality, which is what the paper's fast partitioner\n\
+         delivers inside this loop at O(n^2) per region."
+    );
+    Ok(())
+}
+
+fn run_engine(
+    name: &str,
+    h: &Hypergraph,
+    grid: SlotGrid,
+    place: impl FnOnce(SlotGrid) -> Result<Placement, PlaceError>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let started = std::time::Instant::now();
+    let placement = place(grid)?;
+    let elapsed = started.elapsed();
+    println!(
+        "{:<36} {:>8} {:>18} {:>12}",
+        name,
+        wirelength::total_hpwl(h, &placement),
+        wirelength::max_vertical_cut(h, &placement),
+        format!("{elapsed:.2?}")
+    );
+    Ok(())
+}

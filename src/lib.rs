@@ -1,0 +1,40 @@
+//! # fhp — Fast Hypergraph Partition
+//!
+//! A complete implementation of Andrew B. Kahng's *Fast Hypergraph
+//! Partition* (DAC 1989): an `O(n²)` heuristic for hypergraph min-cut
+//! bipartitioning via the dual intersection graph, together with the
+//! baselines the paper compares against (Kernighan–Lin,
+//! Fiduccia–Mattheyses, simulated annealing), workload generators, and an
+//! experiment harness regenerating the paper's evaluation.
+//!
+//! This meta-crate re-exports the workspace's public API:
+//!
+//! - [`hypergraph`] — data structures (hypergraphs, graphs, the dual
+//!   intersection graph, BFS, the netlist text format);
+//! - [`core`] — Algorithm I and its building blocks;
+//! - [`baselines`] — comparison partitioners;
+//! - [`gen`] — seeded instance generators;
+//! - [`place`] — recursive min-cut placement, the application domain.
+//!
+//! # Examples
+//!
+//! ```
+//! use fhp::core::{Algorithm1, PartitionConfig};
+//! use fhp::hypergraph::Netlist;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nl = Netlist::parse("n1: a b c\nn2: c d\nn3: d e f\n")?;
+//! let out = Algorithm1::new(PartitionConfig::new().starts(8)).run(nl.hypergraph())?;
+//! println!("cut = {}", out.report.cut_size);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fhp_baselines as baselines;
+pub use fhp_core as core;
+pub use fhp_gen as gen;
+pub use fhp_hypergraph as hypergraph;
+pub use fhp_place as place;

@@ -1,0 +1,195 @@
+//! Property-based tests over randomly generated hypergraphs.
+//!
+//! Proptest drives instance shapes (vertex counts, edge counts, size
+//! ranges, seeds) and the invariants must hold for every draw: valid
+//! cuts, metric consistency, completion optimality bounds, and generator
+//! contracts.
+
+use fhp::baselines::{Exhaustive, FiducciaMattheyses, KernighanLin, RandomCut};
+use fhp::core::complete_cut::{brute_force_min_losers, complete_exact, complete_min_degree};
+use fhp::core::{metrics, Algorithm1, Bipartitioner, PartitionConfig, Side};
+use fhp::gen::{CircuitNetlist, PlantedBisection, RandomHypergraph, Technology};
+use fhp::hypergraph::{Graph, GraphBuilder};
+use proptest::prelude::*;
+
+prop_compose! {
+    /// A connected random hypergraph with proptest-chosen shape.
+    fn arb_hypergraph()(
+        nv in 4usize..60,
+        extra_edges in 0usize..60,
+        max_size in 2usize..6,
+        seed in 0u64..1000,
+    ) -> fhp::hypergraph::Hypergraph {
+        let max_size = max_size.min(nv);
+        let chain = nv.saturating_sub(1).div_ceil(max_size.max(2) - 1);
+        RandomHypergraph::new(nv, chain + extra_edges)
+            .edge_size_range(2, max_size)
+            .connected(true)
+            .seed(seed)
+            .generate()
+            .expect("proptest config is valid")
+    }
+}
+
+prop_compose! {
+    /// A random bipartite graph plus its side labels.
+    fn arb_bipartite()(
+        nl in 1usize..8,
+        nr in 1usize..8,
+        edge_bits in proptest::collection::vec(any::<bool>(), 64),
+    ) -> (Graph, Vec<Side>) {
+        let n = nl + nr;
+        let mut b = GraphBuilder::new(n);
+        let mut k = 0;
+        for u in 0..nl as u32 {
+            for v in nl as u32..n as u32 {
+                if edge_bits[k % edge_bits.len()] {
+                    b.add_edge(u, v);
+                }
+                k += 1;
+            }
+        }
+        let sides = (0..n)
+            .map(|i| if i < nl { Side::Left } else { Side::Right })
+            .collect();
+        (b.build(), sides)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn alg1_always_produces_a_valid_cut(h in arb_hypergraph(), starts in 1usize..6) {
+        let out = Algorithm1::new(PartitionConfig::new().starts(starts).seed(1))
+            .run(&h)
+            .expect("valid instance");
+        prop_assert!(out.bipartition.is_valid_cut());
+        prop_assert_eq!(out.bipartition.len(), h.num_vertices());
+        prop_assert_eq!(out.report.cut_size, metrics::cut_size(&h, &out.bipartition));
+        prop_assert!(out.report.cut_size <= h.num_edges());
+    }
+
+    #[test]
+    fn metrics_are_mutually_consistent(h in arb_hypergraph(), seed in 0u64..50) {
+        let bp = RandomCut::unbalanced(seed).bipartition(&h).expect("valid");
+        let cut = metrics::cut_size(&h, &bp);
+        prop_assert_eq!(cut, metrics::crossing_edges(&h, &bp).len());
+        let counts = metrics::pin_counts(&h, &bp);
+        let via_counts = counts.iter().filter(|c| c[0] > 0 && c[1] > 0).count();
+        prop_assert_eq!(cut, via_counts);
+        let (l, r) = bp.counts();
+        prop_assert_eq!(l + r, h.num_vertices());
+        if cut > 0 {
+            prop_assert!(metrics::quotient_cut(&h, &bp) > 0.0);
+            prop_assert!(metrics::ratio_cut(&h, &bp) <= metrics::quotient_cut(&h, &bp));
+        }
+    }
+
+    #[test]
+    fn exact_completion_is_optimal_and_greedy_close((g, sides) in arb_bipartite()) {
+        let exact = complete_exact(&g, &sides);
+        let brute = brute_force_min_losers(&g);
+        prop_assert_eq!(exact.num_losers(), brute);
+        let greedy = complete_min_degree(&g);
+        prop_assert!(greedy.num_losers() >= brute);
+        // NOTE: the paper claims greedy <= optimal + 1 for connected G′;
+        // our testing found connected counterexamples with a gap of 2
+        // (enshrined in fhp-core's within_one_counterexample test), so only
+        // the one-sided bound is asserted per-case here.
+        prop_assert!(greedy.num_losers() <= g.num_vertices());
+        // winners always form an independent set
+        for (u, v) in g.edges() {
+            prop_assert!(!(greedy.is_winner(u) && greedy.is_winner(v)));
+            prop_assert!(!(exact.is_winner(u) && exact.is_winner(v)));
+        }
+    }
+
+    #[test]
+    fn planted_generator_contract(
+        nv in 8usize..80,
+        c in 0usize..6,
+        seed in 0u64..100,
+    ) {
+        let edges = 2 * nv + c;
+        if let Ok(inst) = PlantedBisection::new(nv, edges).cut_size(c).seed(seed).generate() {
+            prop_assert_eq!(inst.hypergraph().num_vertices(), nv);
+            prop_assert_eq!(inst.hypergraph().num_edges(), edges);
+            prop_assert_eq!(
+                metrics::cut_size(inst.hypergraph(), inst.planted()),
+                c
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_generator_contract(
+        modules in 8usize..80,
+        extra in 0usize..60,
+        seed in 0u64..100,
+    ) {
+        let signals = modules + extra;
+        let h = CircuitNetlist::new(Technology::StdCell, modules, signals)
+            .seed(seed)
+            .generate()
+            .expect("valid config");
+        prop_assert_eq!(h.num_vertices(), modules);
+        prop_assert_eq!(h.num_edges(), signals);
+        prop_assert_eq!(h.connected_components().1, 1);
+        for e in h.edges() {
+            prop_assert!(h.edge_size(e) >= 2);
+        }
+    }
+
+    #[test]
+    fn heuristics_never_beat_exhaustive(
+        nv in 4usize..12,
+        extra in 0usize..12,
+        seed in 0u64..40,
+    ) {
+        let h = RandomHypergraph::new(nv, nv + extra)
+            .connected(true)
+            .edge_size_range(2, 3.min(nv))
+            .seed(seed)
+            .generate()
+            .expect("valid config");
+        let opt = Exhaustive::unconstrained().min_cut_size(&h).expect("small");
+        for p in [
+            &Algorithm1::new(PartitionConfig::new().starts(3).seed(seed)) as &dyn Bipartitioner,
+            &KernighanLin::new(seed),
+            &FiducciaMattheyses::new(seed),
+        ] {
+            let cut = metrics::cut_size(&h, &p.bipartition(&h).expect("valid"));
+            prop_assert!(cut >= opt, "{} found {} < optimum {}", p.name(), cut, opt);
+        }
+    }
+
+    #[test]
+    fn mirroring_preserves_every_metric(h in arb_hypergraph(), seed in 0u64..50) {
+        let mut bp = RandomCut::balanced(seed).bipartition(&h).expect("valid");
+        let cut = metrics::cut_size(&h, &bp);
+        let quot = metrics::quotient_cut(&h, &bp);
+        let imb = metrics::weight_imbalance(&h, &bp);
+        bp.mirror();
+        prop_assert_eq!(metrics::cut_size(&h, &bp), cut);
+        prop_assert_eq!(metrics::quotient_cut(&h, &bp), quot);
+        prop_assert_eq!(metrics::weight_imbalance(&h, &bp), imb);
+    }
+
+    #[test]
+    fn netlist_round_trip(h in arb_hypergraph()) {
+        // serialize through the text format and back: hypergraph unchanged
+        use std::fmt::Write;
+        let mut text = String::new();
+        for e in h.edges() {
+            write!(text, "n{}:", e.index()).unwrap();
+            for &p in h.pins(e) {
+                write!(text, " m{}", p.index()).unwrap();
+            }
+            text.push('\n');
+        }
+        let nl = fhp::hypergraph::Netlist::parse(&text).expect("round trip parses");
+        prop_assert_eq!(nl.hypergraph().num_edges(), h.num_edges());
+        prop_assert_eq!(nl.hypergraph().num_pins(), h.num_pins());
+    }
+}

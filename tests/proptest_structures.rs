@@ -1,0 +1,173 @@
+//! Property-based tests for the structural utilities: contraction,
+//! sub-hypergraphs, multiway partitioning, placement, and the `.hgr`
+//! format. These are the pieces a downstream flow composes, so their
+//! contracts are tested against arbitrary shapes, not just the
+//! hand-picked unit-test cases.
+
+use fhp::core::multiway::recursive_bisection;
+use fhp::core::{metrics, Algorithm1, Bipartition, Bipartitioner, PartitionConfig, Side};
+use fhp::gen::RandomHypergraph;
+use fhp::hypergraph::contract::{heavy_pair_clustering, Contraction};
+use fhp::hypergraph::subhypergraph::Subhypergraph;
+use fhp::hypergraph::{hgr, Hypergraph, VertexId};
+use fhp::place::{wirelength, MinCutPlacer, SlotGrid};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_hypergraph()(
+        nv in 4usize..40,
+        extra in 0usize..40,
+        max_size in 2usize..5,
+        seed in 0u64..500,
+    ) -> Hypergraph {
+        let max_size = max_size.min(nv);
+        let chain = nv.saturating_sub(1).div_ceil(max_size.max(2) - 1);
+        RandomHypergraph::new(nv, chain + extra)
+            .edge_size_range(2, max_size)
+            .connected(true)
+            .seed(seed)
+            .generate()
+            .expect("valid config")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn contraction_preserves_totals_and_projection_preserves_cuts(
+        h in arb_hypergraph(),
+        cap in 2u64..8,
+    ) {
+        let clusters = heavy_pair_clustering(&h, cap);
+        let c = Contraction::contract(&h, &clusters);
+        prop_assert_eq!(c.coarse().total_vertex_weight(), h.total_vertex_weight());
+        prop_assert!(c.coarse().num_vertices() <= h.num_vertices());
+        prop_assert_eq!(c.fine_len(), h.num_vertices());
+        if c.coarse().num_vertices() >= 2 {
+            let coarse_bp = Algorithm1::new(PartitionConfig::new().starts(2).seed(1))
+                .bipartition(c.coarse())
+                .expect("valid coarse instance");
+            let fine = Bipartition::from_sides(c.project(coarse_bp.as_slice()));
+            // projection preserves the weighted cut exactly
+            prop_assert_eq!(
+                metrics::weighted_cut(&h, &fine),
+                metrics::weighted_cut(c.coarse(), &coarse_bp)
+            );
+        }
+    }
+
+    #[test]
+    fn clustering_output_is_a_dense_pairing(h in arb_hypergraph(), cap in 2u64..10) {
+        let clusters = heavy_pair_clustering(&h, cap);
+        prop_assert_eq!(clusters.len(), h.num_vertices());
+        let k = *clusters.iter().max().unwrap() as usize + 1;
+        let mut sizes = vec![0usize; k];
+        let mut weights = vec![0u64; k];
+        for v in h.vertices() {
+            sizes[clusters[v.index()] as usize] += 1;
+            weights[clusters[v.index()] as usize] += h.vertex_weight(v);
+        }
+        for (i, &s) in sizes.iter().enumerate() {
+            prop_assert!((1..=2).contains(&s), "cluster {i} has {s} members");
+            if s == 2 {
+                prop_assert!(weights[i] <= cap, "cluster {i} over cap");
+            }
+        }
+    }
+
+    #[test]
+    fn subhypergraph_cut_matches_parent_restriction(
+        h in arb_hypergraph(),
+        keep_bits in proptest::collection::vec(any::<bool>(), 40),
+        seed in 0u64..50,
+    ) {
+        let keep: Vec<VertexId> = h
+            .vertices()
+            .filter(|v| keep_bits[v.index() % keep_bits.len()])
+            .collect();
+        let sub = Subhypergraph::induce(&h, &keep);
+        prop_assert_eq!(sub.hypergraph().num_vertices(), keep.len());
+        if sub.hypergraph().num_vertices() < 2 {
+            return Ok(());
+        }
+        // any partition of the child counts exactly the crossing restricted
+        // parent edges
+        let bp = fhp::baselines::RandomCut::unbalanced(seed)
+            .bipartition(sub.hypergraph())
+            .expect("valid");
+        let child_cut = metrics::cut_size(sub.hypergraph(), &bp);
+        let mut parent_cut = 0usize;
+        for e in sub.hypergraph().edges() {
+            let parent = sub.parent_edge(e);
+            let sides: std::collections::HashSet<Side> = sub
+                .hypergraph()
+                .pins(e)
+                .iter()
+                .map(|&p| bp.side(p))
+                .collect();
+            let _ = parent;
+            if sides.len() > 1 {
+                parent_cut += 1;
+            }
+        }
+        prop_assert_eq!(child_cut, parent_cut);
+    }
+
+    #[test]
+    fn multiway_blocks_are_near_balanced(h in arb_hypergraph(), k in 2usize..6) {
+        if k > h.num_vertices() {
+            return Ok(());
+        }
+        let mp = recursive_bisection(&h, k, |r| {
+            Box::new(Algorithm1::new(PartitionConfig::new().starts(2).seed(r)))
+        })
+        .expect("valid");
+        let sizes = mp.block_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), h.num_vertices());
+        let ideal = h.num_vertices() as f64 / k as f64;
+        for &s in &sizes {
+            // each level rounds up at most once; tolerate log2(k)+1 slack
+            prop_assert!(
+                (s as f64) <= ideal + (k as f64).log2() + 2.0,
+                "block of {s} vs ideal {ideal}"
+            );
+            prop_assert!(s >= 1);
+        }
+        prop_assert!(mp.connectivity(&h) >= mp.cut_size(&h) as u64);
+    }
+
+    #[test]
+    fn placement_is_always_a_permutation(h in arb_hypergraph(), seed in 0u64..20) {
+        let placer = MinCutPlacer::new(move |r| {
+            Box::new(Algorithm1::new(PartitionConfig::new().starts(2).seed(r ^ seed)))
+                as Box<dyn Bipartitioner>
+        });
+        let p = placer.place_row(&h).expect("row always fits");
+        let mut seen = std::collections::HashSet::new();
+        for v in h.vertices() {
+            prop_assert!(seen.insert(p.slot_of(v)), "slot reused");
+            prop_assert!(p.slot_of(v).col < h.num_vertices());
+        }
+        // HPWL is bounded by every net spanning the whole row
+        let bound: u64 = h
+            .edges()
+            .map(|e| (h.num_vertices() as u64 - 1) * h.edge_weight(e))
+            .sum();
+        prop_assert!(wirelength::total_hpwl(&h, &p) <= bound);
+        // and 2-D placement on a near-square grid also fits
+        let cols = (h.num_vertices() as f64).sqrt().ceil() as usize;
+        let rows = h.num_vertices().div_ceil(cols);
+        let p2 = placer
+            .place(&h, SlotGrid::new(rows, cols))
+            .expect("grid fits");
+        prop_assert_eq!(p2.len(), h.num_vertices());
+    }
+
+    #[test]
+    fn hgr_round_trips_arbitrary_instances(h in arb_hypergraph()) {
+        let text = hgr::write_hgr(&h);
+        let back = hgr::parse_hgr(&text).expect("own output parses");
+        prop_assert_eq!(back, h);
+    }
+}
