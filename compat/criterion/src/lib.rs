@@ -1,0 +1,302 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so this workspace-local
+//! crate provides the API shape the fhp benches use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size` and
+//! `bench_with_input`, `Bencher::iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple adaptive wall-clock
+//! timer instead of criterion's statistical machinery.
+//!
+//! Each benchmark is calibrated so a sample lasts at least a millisecond,
+//! a handful of samples are taken, and the median per-iteration time is
+//! printed as `group/name/param  time: …`. Under `cargo test` (which runs
+//! bench targets with `--test`) every benchmark executes exactly once so
+//! the benches stay compile- and smoke-checked for free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The top-level harness handle passed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Criterion {
+    /// Builds the harness from the process arguments: `--test` selects
+    /// one-shot smoke mode, the first non-flag argument is a substring
+    /// filter on `group/name/param` ids, other flags are ignored.
+    pub fn from_args() -> Self {
+        let mut c = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.quick = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => c.filter = Some(a.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let quick = self.quick;
+        if self.skips(&id) {
+            return;
+        }
+        let mut b = Bencher::new(quick);
+        f(&mut b);
+        b.report(&id);
+    }
+
+    /// Prints the trailing summary line.
+    pub fn final_summary(&self) {
+        if !self.quick {
+            println!("benchmarks complete");
+        }
+    }
+
+    fn skips(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (minimum 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive timer sizes its own
+    /// measurement window.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f` against `input` under the given id.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.skips(&full) {
+            return self;
+        }
+        let mut b = Bencher::new(self.criterion.quick);
+        b.samples = self.sample_size;
+        f(&mut b, input);
+        b.report(&full);
+        self
+    }
+
+    /// Times `f` under the given id.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.criterion.skips(&full) {
+            return self;
+        }
+        let mut b = Bencher::new(self.criterion.quick);
+        b.samples = self.sample_size;
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group as `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs and times the benchmarked closure.
+#[derive(Debug)]
+pub struct Bencher {
+    quick: bool,
+    samples: usize,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    fn new(quick: bool) -> Self {
+        Self {
+            quick,
+            samples: 10,
+            median_ns: None,
+        }
+    }
+
+    /// Times one closure: calibrates an iteration count so a sample lasts
+    /// at least ~1 ms, takes `samples` samples (shrunk for slow bodies so
+    /// a benchmark stays under a few seconds), records the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            return;
+        }
+        let t0 = {
+            let started = Instant::now();
+            black_box(f());
+            started.elapsed()
+        };
+        let inner = if t0 < Duration::from_millis(1) {
+            (Duration::from_millis(1).as_nanos() / t0.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        } else {
+            1
+        };
+        let per_sample = t0 * inner as u32;
+        let budget = Duration::from_secs(3);
+        let samples = if per_sample.is_zero() {
+            self.samples
+        } else {
+            self.samples
+                .min((budget.as_nanos() / per_sample.as_nanos().max(1)) as usize)
+                .max(3)
+        };
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let started = Instant::now();
+            for _ in 0..inner {
+                black_box(f());
+            }
+            times.push(started.elapsed().as_nanos() as f64 / inner as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.median_ns = Some(times[times.len() / 2]);
+    }
+
+    fn report(&self, id: &str) {
+        if self.quick {
+            println!("{id}: ok (smoke)");
+            return;
+        }
+        let Some(ns) = self.median_ns else {
+            println!("{id}: no measurement recorded");
+            return;
+        };
+        println!("{id}  time: [{}]", format_ns(ns));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_median() {
+        let mut b = Bencher::new(false);
+        b.samples = 3;
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.median_ns.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut count = 0;
+        let mut b = Bencher::new(true);
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with(" s"));
+    }
+
+    #[test]
+    fn ids_compose() {
+        let id = BenchmarkId::new("alg", 42);
+        assert_eq!(id.id, "alg/42");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

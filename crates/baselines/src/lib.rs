@@ -61,7 +61,7 @@ mod spectral;
 pub mod moves;
 
 pub use annealing::SimulatedAnnealing;
-pub use exhaustive::{Exhaustive, EXHAUSTIVE_VERTEX_LIMIT};
+pub use exhaustive::{exhaustive_min_losers, Exhaustive, EXHAUSTIVE_VERTEX_LIMIT};
 pub use fm::FiducciaMattheyses;
 pub use hybrid::Refined;
 pub use kl::KernighanLin;

@@ -173,9 +173,7 @@ impl Bipartitioner for SpectralBisection {
                 cut += is_cut as i64 - was_cut as i64;
             }
             let left_size = placed + 1;
-            if (lo..=hi).contains(&left_size)
-                && best.is_none_or(|(c, _)| cut < c)
-            {
+            if (lo..=hi).contains(&left_size) && best.is_none_or(|(c, _)| cut < c) {
                 best = Some((cut, left_size));
             }
         }
@@ -228,7 +226,9 @@ mod tests {
             .seed(1)
             .generate()
             .unwrap();
-        let bp = SpectralBisection::new().bipartition(inst.hypergraph()).unwrap();
+        let bp = SpectralBisection::new()
+            .bipartition(inst.hypergraph())
+            .unwrap();
         assert!(
             metrics::cut_size(inst.hypergraph(), &bp) <= 3 * inst.planted_cut(),
             "cut {}",

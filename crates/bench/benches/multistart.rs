@@ -1,0 +1,37 @@
+//! Scaling of the deterministic parallel multi-start engine: the paper's
+//! 50-start configuration at paper scale, across worker counts. Because
+//! the engine is bit-identical for every thread count, the only thing
+//! that may change here is wall-clock time — the bench asserts exactly
+//! that by fingerprinting each run against the single-threaded result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fhp_bench::bench_instance;
+use fhp_core::{Algorithm1, PartitionConfig};
+use std::hint::black_box;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_multistart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multistart");
+    group.sample_size(10);
+    let h = bench_instance(2000);
+    let baseline = Algorithm1::new(PartitionConfig::paper().seed(1).threads(1))
+        .run(&h)
+        .expect("valid")
+        .fingerprint();
+    for &threads in &WORKERS {
+        let p = Algorithm1::new(PartitionConfig::paper().seed(1).threads(threads));
+        assert_eq!(
+            p.run(&h).expect("valid").fingerprint(),
+            baseline,
+            "threads = {threads} must not change the outcome"
+        );
+        group.bench_with_input(BenchmarkId::new("paper50", threads), &h, |b, h| {
+            b.iter(|| black_box(p.run(h).expect("valid")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multistart);
+criterion_main!(benches);

@@ -12,6 +12,9 @@
 //!   -a, --algorithm <alg1|kl|fm|sa|random>   partitioner (default alg1)
 //!   -s, --starts <N>        random longest paths for alg1 (default 50)
 //!       --seed <S>          RNG seed (default 0)
+//!       --threads <N>       worker threads for alg1's multi-start engine
+//!                           (default 0 = one per core; the cut is
+//!                           identical for every value)
 //!   -t, --threshold <K>     ignore signals with K or more pins
 //!       --balance           engineer's-method weighted completion (alg1)
 //!       --objective <cut|quotient|ratio>     alg1 ranking objective
@@ -32,6 +35,7 @@ struct Options {
     algorithm: String,
     starts: usize,
     seed: u64,
+    threads: usize,
     threshold: Option<usize>,
     balance: bool,
     objective: Objective,
@@ -47,6 +51,7 @@ fn parse_args() -> Result<Options, String> {
         algorithm: "alg1".to_string(),
         starts: 50,
         seed: 0,
+        threads: 0,
         threshold: None,
         balance: false,
         objective: Objective::CutSize,
@@ -68,6 +73,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.seed = value("--seed")?
                     .parse()
                     .map_err(|_| "seed must be an integer".to_string())?
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "threads must be an integer (0 = auto)".to_string())?
             }
             "-t" | "--threshold" => {
                 opts.threshold = Some(
@@ -186,6 +196,7 @@ fn main() -> ExitCode {
             PartitionConfig::new()
                 .starts(opts.starts)
                 .seed(opts.seed)
+                .threads(opts.threads)
                 .edge_size_threshold(opts.threshold)
                 .completion(completion)
                 .objective(opts.objective),
@@ -260,6 +271,7 @@ fn run_place(opts: &Options, netlist: &Netlist, rows: usize, cols: usize) -> Exi
     let h = netlist.hypergraph();
     let base = PartitionConfig::new()
         .starts(opts.starts.min(10))
+        .threads(opts.threads)
         .edge_size_threshold(opts.threshold)
         .objective(opts.objective);
     let seed = opts.seed;
@@ -315,6 +327,7 @@ fn run_multiway(opts: &Options, netlist: &Netlist, _two_way: Box<dyn Bipartition
     };
     let base = PartitionConfig::new()
         .starts(opts.starts)
+        .threads(opts.threads)
         .edge_size_threshold(opts.threshold)
         .completion(completion)
         .objective(opts.objective);
@@ -364,6 +377,8 @@ fn usage() -> &'static str {
      \x20 -a, --algorithm <alg1|kl|fm|sa|random>  partitioner (default alg1)\n\
      \x20 -s, --starts <N>      random longest paths for alg1 (default 50)\n\
      \x20     --seed <S>        RNG seed (default 0)\n\
+     \x20     --threads <N>     alg1 worker threads (default 0 = one per core;\n\
+     \x20                       same cut for every value)\n\
      \x20 -t, --threshold <K>   ignore signals with K or more pins\n\
      \x20     --balance         engineer's-method weighted completion\n\
      \x20     --objective <cut|quotient|ratio>\n\

@@ -42,6 +42,20 @@ fn every_algorithm_runs_on_the_demo() {
 }
 
 #[test]
+fn threads_flag_does_not_change_the_cut() {
+    let baseline = run(&["--demo", "-q", "--seed", "7", "--threads", "1"]);
+    assert!(baseline.2, "{}", baseline.1);
+    for threads in ["2", "8", "0"] {
+        let (stdout, stderr, ok) = run(&["--demo", "-q", "--seed", "7", "--threads", threads]);
+        assert!(ok, "{stderr}");
+        assert_eq!(stdout, baseline.0, "--threads {threads} changed the cut");
+    }
+    let (_, stderr, ok) = run(&["--demo", "--threads", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("threads"), "{stderr}");
+}
+
+#[test]
 fn multiway_mode() {
     let (stdout, _, ok) = run(&["--demo", "-k", "3"]);
     assert!(ok);

@@ -23,14 +23,15 @@
 //! returned cut has size 0, while move-based heuristics typically get stuck
 //! at a locally-minimum cut of size `Θ(|E|)` (§4).
 
+use std::time::Duration;
+
 use fhp_hypergraph::{Hypergraph, IntersectionGraph, VertexId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::boundary::BoundaryDecomposition;
 use crate::complete_cut::{complete, place_winner_pins, CompletionStrategy};
 use crate::dual_bfs::{random_longest_path_endpoints, two_front_bfs_with_policy, FrontPolicy};
 use crate::metrics::{CutReport, Objective};
+use crate::runner::{resolve_threads, run_starts, SplitMix64};
 use crate::{Bipartition, PartitionError, Side};
 
 /// Implemented by every bipartitioner in the workspace (Algorithm I and all
@@ -67,6 +68,7 @@ pub trait Bipartitioner {
 pub struct PartitionConfig {
     seed: u64,
     starts: usize,
+    threads: usize,
     edge_size_threshold: Option<usize>,
     completion: CompletionStrategy,
     objective: Objective,
@@ -78,6 +80,7 @@ impl Default for PartitionConfig {
         Self {
             seed: 0,
             starts: 1,
+            threads: 1,
             edge_size_threshold: None,
             completion: CompletionStrategy::MinDegree,
             objective: Objective::CutSize,
@@ -108,6 +111,16 @@ impl PartitionConfig {
     /// Number of random longest paths to try (default 1).
     pub fn starts(mut self, starts: usize) -> Self {
         self.starts = starts;
+        self
+    }
+
+    /// Worker threads for the multi-start engine (default 1; `0` means
+    /// one per available core). Every start draws from its own
+    /// counter-derived RNG stream and the reduction is by start index, so
+    /// the outcome is bit-identical for every thread count — this knob
+    /// only trades wall-clock time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -148,6 +161,11 @@ impl PartitionConfig {
         self.starts
     }
 
+    /// The configured thread count (`0` means auto).
+    pub fn threads_value(&self) -> usize {
+        self.threads
+    }
+
     /// The configured seed.
     pub fn seed_value(&self) -> u64 {
         self.seed
@@ -183,6 +201,21 @@ impl PartitionConfig {
     }
 }
 
+/// What one multi-start attempt did: its cut (if it produced one), its
+/// wall-clock cost, and its contained panic message (if it failed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StartStat {
+    /// The start index in `0..starts`.
+    pub start: usize,
+    /// Cut size of this start's best candidate; `None` if the start
+    /// found no usable BFS endpoints or failed.
+    pub cut_size: Option<usize>,
+    /// Wall-clock time the start took on whichever worker ran it.
+    pub wall: Duration,
+    /// The contained panic message if this start failed.
+    pub error: Option<String>,
+}
+
 /// Diagnostics from a [`Algorithm1::run`] call, reported for the winning
 /// start.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -203,6 +236,54 @@ pub struct RunStats {
     /// The intersection graph was too small to cut; a weight-balanced
     /// fallback split was used.
     pub used_fallback_split: bool,
+    /// Index of the start that produced the returned cut (`None` when a
+    /// shortcut or fallback path was taken instead).
+    pub chosen_start: Option<usize>,
+    /// Worker threads the multi-start engine ran with (0 when it never
+    /// ran, i.e. the component shortcut fired).
+    pub threads: usize,
+    /// Per-start outcomes in start order (empty for the shortcut path).
+    pub per_start: Vec<StartStat>,
+}
+
+impl RunStats {
+    /// Distribution of per-start cut sizes: cut size → how many starts
+    /// landed on it. Starts without a cut (failed, or no endpoints) are
+    /// omitted.
+    pub fn cut_histogram(&self) -> std::collections::BTreeMap<usize, usize> {
+        let mut hist = std::collections::BTreeMap::new();
+        for s in &self.per_start {
+            if let Some(c) = s.cut_size {
+                *hist.entry(c).or_insert(0) += 1;
+            }
+        }
+        hist
+    }
+}
+
+/// The deterministic identity of a run: everything a
+/// [`PartitionOutcome`] asserts about its input, minus timing. Two runs
+/// of the same `(hypergraph, config)` pair must produce equal
+/// fingerprints regardless of thread count — this is the object the
+/// determinism regression tests compare.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct OutcomeFingerprint {
+    /// The full side assignment.
+    pub bipartition: Bipartition,
+    /// Unweighted cut size.
+    pub cut_size: usize,
+    /// Weighted cut size.
+    pub weighted_cut: u64,
+    /// Vertices per side.
+    pub counts: (usize, usize),
+    /// Weight per side.
+    pub weights: (u64, u64),
+    /// Which start won.
+    pub chosen_start: Option<usize>,
+    /// Every start's cut size, in start order.
+    pub per_start_cuts: Vec<Option<usize>>,
+    /// Every start's contained panic message, in start order.
+    pub per_start_errors: Vec<Option<String>>,
 }
 
 /// A finished partition plus its metrics and run diagnostics.
@@ -214,6 +295,27 @@ pub struct PartitionOutcome {
     pub report: CutReport,
     /// Diagnostics of the winning start.
     pub stats: RunStats,
+}
+
+impl PartitionOutcome {
+    /// The timing-free identity of this run; see [`OutcomeFingerprint`].
+    pub fn fingerprint(&self) -> OutcomeFingerprint {
+        OutcomeFingerprint {
+            bipartition: self.bipartition.clone(),
+            cut_size: self.report.cut_size,
+            weighted_cut: self.report.weighted_cut,
+            counts: self.report.counts,
+            weights: self.report.weights,
+            chosen_start: self.stats.chosen_start,
+            per_start_cuts: self.stats.per_start.iter().map(|s| s.cut_size).collect(),
+            per_start_errors: self
+                .stats
+                .per_start
+                .iter()
+                .map(|s| s.error.clone())
+                .collect(),
+        }
+    }
 }
 
 /// The paper's Algorithm I.
@@ -288,67 +390,81 @@ impl Algorithm1 {
                     num_placed_by_partial: 0,
                     used_component_shortcut: true,
                     used_fallback_split: false,
+                    chosen_start: None,
+                    threads: 0,
+                    per_start: Vec::new(),
                 },
             });
         }
 
         let ig = IntersectionGraph::build_with_threshold(h, self.config.edge_size_threshold);
-        let g = ig.graph();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let workers = resolve_threads(self.config.threads).clamp(1, self.config.starts);
+        let config = self.config;
+        let records = run_starts(self.config.starts, workers, |start| {
+            evaluate_start(h, &ig, &config, start)
+        });
 
-        let mut best: Option<(f64, PartitionOutcome)> = None;
-        let mut any_endpoints = false;
-        for _ in 0..self.config.starts {
-            let Some((u, v)) = random_longest_path_endpoints(g, &mut rng) else {
-                break;
-            };
-            any_endpoints = true;
-            for &sweep in self.config.front_policy.sweeps() {
-                let cut = two_front_bfs_with_policy(g, u, v, sweep);
-                let dec = BoundaryDecomposition::new(h, &ig, &cut);
-                let completion = complete(self.config.completion, h, &ig, &dec);
-                let bipartition = assemble(h, &ig, &dec, &completion);
-                let score = self.config.objective.evaluate(h, &bipartition);
-                let better = match &best {
-                    None => true,
-                    Some((s, o)) => {
-                        score < *s
-                            || (score == *s
-                                && crate::metrics::weight_imbalance(h, &bipartition)
-                                    < crate::metrics::weight_imbalance(h, &o.bipartition))
+        // Deterministic reduction: scan in start order with a strictly-
+        // better rule, so the winner (and every tie-break) is the one the
+        // sequential loop would have kept, whatever the worker count.
+        let mut per_start = Vec::with_capacity(records.len());
+        let mut best: Option<(usize, StartCandidate)> = None;
+        let mut num_failed = 0usize;
+        let mut first_error = None;
+        for record in records {
+            let (cut_size, error) = match record.outcome {
+                Ok(candidate) => {
+                    let cut_size = candidate.as_ref().map(|c| c.cut_size);
+                    if let Some(c) = candidate {
+                        if best.as_ref().is_none_or(|(_, b)| c.beats(b)) {
+                            best = Some((record.index, c));
+                        }
                     }
-                };
-                if better {
-                    let report = CutReport::new(h, &bipartition);
-                    let path_length = fhp_hypergraph::bfs::bfs(g, u).dist(v).unwrap_or(0);
-                    let stats = RunStats {
-                        starts: self.config.starts,
-                        num_g_vertices: ig.num_g_vertices(),
-                        boundary_len: dec.boundary_len(),
-                        bfs_path_length: path_length,
-                        num_placed_by_partial: dec.num_placed(),
-                        used_component_shortcut: false,
-                        used_fallback_split: false,
-                    };
-                    best = Some((
-                        score,
-                        PartitionOutcome {
-                            bipartition,
-                            report,
-                            stats,
-                        },
-                    ));
+                    (cut_size, None)
                 }
-            }
+                Err(e) => {
+                    num_failed += 1;
+                    if first_error.is_none() {
+                        first_error = Some(e.clone());
+                    }
+                    (None, Some(e))
+                }
+            };
+            per_start.push(StartStat {
+                start: record.index,
+                cut_size,
+                wall: record.wall,
+                error,
+            });
+        }
+        if num_failed == self.config.starts {
+            return Err(PartitionError::AllStartsFailed {
+                error: first_error.expect("starts >= 1 was validated"),
+            });
         }
 
-        if let Some((_, outcome)) = best {
-            return Ok(outcome);
+        if let Some((chosen, cand)) = best {
+            let report = CutReport::new(h, &cand.bipartition);
+            return Ok(PartitionOutcome {
+                bipartition: cand.bipartition,
+                report,
+                stats: RunStats {
+                    starts: self.config.starts,
+                    num_g_vertices: ig.num_g_vertices(),
+                    boundary_len: cand.boundary_len,
+                    bfs_path_length: cand.path_length,
+                    num_placed_by_partial: cand.num_placed,
+                    used_component_shortcut: false,
+                    used_fallback_split: false,
+                    chosen_start: Some(chosen),
+                    threads: workers,
+                    per_start,
+                },
+            });
         }
 
         // G too small to cut (fewer than two G-vertices, or no usable BFS
         // endpoints): fall back to a weight-balanced split.
-        debug_assert!(!any_endpoints);
         let bipartition = balanced_fallback(h);
         let report = CutReport::new(h, &bipartition);
         Ok(PartitionOutcome {
@@ -362,9 +478,75 @@ impl Algorithm1 {
                 num_placed_by_partial: 0,
                 used_component_shortcut: false,
                 used_fallback_split: true,
+                chosen_start: None,
+                threads: workers,
+                per_start,
             },
         })
     }
+}
+
+/// One start's best candidate cut, with the diagnostics [`RunStats`]
+/// reports if it wins.
+struct StartCandidate {
+    bipartition: Bipartition,
+    score: f64,
+    imbalance: u64,
+    cut_size: usize,
+    boundary_len: usize,
+    num_placed: usize,
+    path_length: u32,
+}
+
+impl StartCandidate {
+    /// The multi-start preference order: lower objective score, then
+    /// lower weight imbalance, then whichever came first (strict `<` on
+    /// both keys — the caller keeps the incumbent on a full tie, which
+    /// is what makes earlier starts/sweeps win ties deterministically).
+    fn beats(&self, other: &Self) -> bool {
+        match self.score.total_cmp(&other.score) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => self.imbalance < other.imbalance,
+            std::cmp::Ordering::Greater => false,
+        }
+    }
+}
+
+/// Runs one multi-start attempt: draw a random longest path from the
+/// start's own counter-derived RNG stream, sweep the configured front
+/// policies, and keep the start's best candidate. A pure function of
+/// `(h, ig, config, start)` — the foundation of the engine's
+/// thread-count invariance.
+fn evaluate_start(
+    h: &Hypergraph,
+    ig: &IntersectionGraph,
+    config: &PartitionConfig,
+    start: usize,
+) -> Option<StartCandidate> {
+    let g = ig.graph();
+    let mut rng = SplitMix64::for_start(config.seed, start);
+    let (u, v) = random_longest_path_endpoints(g, &mut rng)?;
+    let path_length = fhp_hypergraph::bfs::bfs(g, u).dist(v).unwrap_or(0);
+    let mut best: Option<StartCandidate> = None;
+    for &sweep in config.front_policy.sweeps() {
+        let cut = two_front_bfs_with_policy(g, u, v, sweep);
+        let dec = BoundaryDecomposition::new(h, ig, &cut);
+        let completion = complete(config.completion, h, ig, &dec);
+        let bipartition = assemble(h, ig, &dec, &completion);
+        let candidate = StartCandidate {
+            score: config.objective.evaluate(h, &bipartition),
+            imbalance: crate::metrics::weight_imbalance(h, &bipartition),
+            cut_size: crate::metrics::cut_size(h, &bipartition),
+            boundary_len: dec.boundary_len(),
+            num_placed: dec.num_placed(),
+            path_length,
+            bipartition,
+        };
+        if best.as_ref().is_none_or(|b| candidate.beats(b)) {
+            best = Some(candidate);
+        }
+    }
+    best
 }
 
 impl Bipartitioner for Algorithm1 {
@@ -675,11 +857,73 @@ mod tests {
 
     #[test]
     fn config_accessors() {
-        let c = PartitionConfig::paper().seed(3);
+        let c = PartitionConfig::paper().seed(3).threads(4);
         assert_eq!(c.starts_count(), 50);
         assert_eq!(c.seed_value(), 3);
+        assert_eq!(c.threads_value(), 4);
         assert_eq!(c.threshold_value(), Some(10));
         assert_eq!(c.completion_strategy(), CompletionStrategy::MinDegree);
         assert_eq!(c.objective_value(), Objective::CutSize);
+    }
+
+    #[test]
+    fn identical_fingerprint_for_every_thread_count() {
+        let h = two_clusters(3);
+        let run = |threads| {
+            Algorithm1::new(PartitionConfig::new().starts(12).seed(5).threads(threads))
+                .run(&h)
+                .unwrap()
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 8, 0] {
+            let parallel = run(threads);
+            assert_eq!(
+                sequential.fingerprint(),
+                parallel.fingerprint(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_record_every_start() {
+        let h = two_clusters(2);
+        let out = Algorithm1::new(PartitionConfig::new().starts(7).seed(1).threads(2))
+            .run(&h)
+            .unwrap();
+        assert_eq!(out.stats.per_start.len(), 7);
+        assert_eq!(out.stats.threads, 2);
+        let chosen = out.stats.chosen_start.expect("a start won");
+        assert_eq!(
+            out.stats.per_start[chosen].cut_size,
+            Some(out.report.cut_size)
+        );
+        for (i, s) in out.stats.per_start.iter().enumerate() {
+            assert_eq!(s.start, i);
+            assert!(s.error.is_none());
+        }
+        let hist = out.stats.cut_histogram();
+        assert_eq!(hist.values().sum::<usize>(), 7);
+        assert_eq!(
+            *hist.keys().next().unwrap(),
+            out.report.cut_size,
+            "the winner has the smallest cut in the histogram"
+        );
+    }
+
+    #[test]
+    fn chosen_start_respects_reduction_order() {
+        let h = two_clusters(1);
+        let out = Algorithm1::new(PartitionConfig::new().starts(20).seed(2))
+            .run(&h)
+            .unwrap();
+        let chosen = out.stats.chosen_start.unwrap();
+        let best_cut = out.report.cut_size;
+        assert_eq!(out.stats.per_start[chosen].cut_size, Some(best_cut));
+        // no earlier start may hold a strictly better cut — under the
+        // cut-size objective that would have won the reduction
+        for s in &out.stats.per_start[..chosen] {
+            assert!(s.cut_size.is_none_or(|c| c >= best_cut));
+        }
     }
 }

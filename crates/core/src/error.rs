@@ -36,6 +36,12 @@ pub enum PartitionError {
         /// Maximum the method supports.
         limit: usize,
     },
+    /// Every multi-start attempt panicked; the panics were contained by
+    /// the runner and the first message is reported here.
+    AllStartsFailed {
+        /// The first start's contained panic message.
+        error: String,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -47,6 +53,9 @@ impl fmt::Display for PartitionError {
             Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             Self::TooLarge { found, limit } => {
                 write!(f, "instance has {found} vertices, exact limit is {limit}")
+            }
+            Self::AllStartsFailed { error } => {
+                write!(f, "every multi-start attempt failed; first error: {error}")
             }
         }
     }
@@ -74,6 +83,11 @@ mod tests {
         }
         .to_string()
         .contains("30"));
+        assert!(PartitionError::AllStartsFailed {
+            error: "boom".to_string()
+        }
+        .to_string()
+        .contains("boom"));
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //! 4. completes the partition on the bipartite *boundary graph* with the
 //!    greedy *Complete-Cut* rule (winners/losers), which is within one of
 //!    the optimum completion for connected boundary graphs;
-//! 5. optionally repeats over many random longest paths, keeping the best
-//!    cut under the configured [`Objective`].
+//! 5. optionally repeats over many random longest paths — fanned across a
+//!    deterministic worker pool (see [`runner`]) — keeping the best cut
+//!    under the configured [`Objective`]. The result is bit-identical for
+//!    every thread count.
 //!
 //! # Examples
 //!
@@ -52,8 +54,12 @@ pub mod granularize;
 pub mod matching;
 pub mod metrics;
 pub mod multiway;
+pub mod runner;
 
-pub use algorithm1::{Algorithm1, Bipartitioner, PartitionConfig, PartitionOutcome, RunStats};
+pub use algorithm1::{
+    Algorithm1, Bipartitioner, OutcomeFingerprint, PartitionConfig, PartitionOutcome, RunStats,
+    StartStat,
+};
 pub use complete_cut::CompletionStrategy;
 pub use dual_bfs::FrontPolicy;
 pub use error::PartitionError;

@@ -1,0 +1,244 @@
+//! The deterministic parallel start engine behind [`Algorithm1`]'s
+//! multi-start loop.
+//!
+//! [`Algorithm1`]: crate::Algorithm1
+//!
+//! The paper runs Algorithm I over 50 random longest BFS paths and keeps
+//! the best cut. Those starts are independent — the intersection graph is
+//! built once and only read — which makes the loop the natural place to
+//! put every core the machine has. The engine here fans a `starts`-sized
+//! index space over a scoped worker pool and guarantees the final answer
+//! is **bit-identical for every worker count**, by construction:
+//!
+//! 1. **Counter-derived RNG streams.** Start `i` draws from its own
+//!    [`SplitMix64`] seeded with `seed ⊕ i`, so what a start explores
+//!    depends only on `(seed, i)` — never on which worker ran it, or on
+//!    how many other starts ran before it. (The previous implementation
+//!    threaded a single sequential RNG through the loop, which made start
+//!    `i`'s draws depend on all earlier starts and would have ordered the
+//!    whole loop.)
+//! 2. **Dynamic claiming, ordered reduction.** Workers claim the next
+//!    unclaimed start index from an atomic counter (cheap load balancing
+//!    — starts vary in cost), record results by index, and the reduction
+//!    scans indices `0..starts` with a strict lexicographic rule, so the
+//!    winner is independent of completion order.
+//! 3. **Panic containment.** Each start runs under
+//!    [`std::panic::catch_unwind`]; a poisoned start becomes a recorded
+//!    error in its [`StartRecord`] instead of tearing down the run (or
+//!    the process — a panic crossing a [`std::thread::scope`] join would
+//!    otherwise propagate).
+//!
+//! The engine is generic over the per-start work so the containment and
+//! determinism machinery can be tested in isolation from the partitioner.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use rand::RngCore;
+
+/// SplitMix64 (Steele, Lea & Flood 2014): the engine's per-start
+/// generator. One 64-bit add plus a three-stage finalizer per draw; any
+/// two distinct seeds give independent-looking streams, which is exactly
+/// what counter-derived seeding needs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The stream for start `index` of a run seeded with `seed`.
+    pub fn for_start(seed: u64, index: usize) -> Self {
+        Self::new(seed ^ index as u64)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// What one start produced: its index, its wall-clock cost on whichever
+/// worker ran it, and its value — or the panic message if it was
+/// contained.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StartRecord<T> {
+    /// The start index in `0..starts`.
+    pub index: usize,
+    /// Wall-clock time this start took.
+    pub wall: Duration,
+    /// The start's value, or the contained panic's message.
+    pub outcome: Result<T, String>,
+}
+
+/// Runs `work(i)` for every `i in 0..starts` across `workers` scoped
+/// threads and returns the records **in index order**, regardless of
+/// which worker finished what when.
+///
+/// `work` must be a pure function of its index (up to timing); that is
+/// what makes the caller's reduction bit-identical for every `workers`
+/// value, including 1 (which runs inline on the caller's thread). A
+/// panicking call is contained and recorded, and the remaining starts
+/// still run.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_core::runner::run_starts;
+///
+/// let records = run_starts(8, 4, |i| i * i);
+/// assert_eq!(records.len(), 8);
+/// assert_eq!(records[3].index, 3);
+/// assert_eq!(records[3].outcome, Ok(9));
+/// ```
+pub fn run_starts<T, F>(starts: usize, workers: usize, work: F) -> Vec<StartRecord<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let run_one = |index: usize| -> StartRecord<T> {
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| work(index))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "start panicked with a non-string payload".to_string()
+            }
+        });
+        StartRecord {
+            index,
+            wall: started.elapsed(),
+            outcome,
+        }
+    };
+
+    let workers = workers.clamp(1, starts.max(1));
+    if workers == 1 {
+        return (0..starts).map(run_one).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<StartRecord<T>>>> = Mutex::new((0..starts).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= starts {
+                    break;
+                }
+                let record = run_one(index);
+                slots.lock().expect("no panics hold this lock")[index] = Some(record);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+/// Resolves a configured thread count: `0` means one worker per
+/// available core, anything else is taken literally.
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        configured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn splitmix_streams_are_seed_functions() {
+        let mut a = SplitMix64::for_start(42, 3);
+        let mut b = SplitMix64::for_start(42, 3);
+        let mut c = SplitMix64::for_start(42, 4);
+        let draws_a: Vec<u64> = (0..32).map(|_| a.gen()).collect();
+        let draws_b: Vec<u64> = (0..32).map(|_| b.gen()).collect();
+        let draws_c: Vec<u64> = (0..32).map(|_| c.gen()).collect();
+        assert_eq!(draws_a, draws_b);
+        assert_ne!(draws_a, draws_c);
+    }
+
+    #[test]
+    fn records_arrive_in_index_order_for_any_worker_count() {
+        for workers in [1, 2, 3, 8, 64] {
+            let records = run_starts(23, workers, |i| 100 - i);
+            assert_eq!(records.len(), 23);
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(r.index, i);
+                assert_eq!(r.outcome, Ok(100 - i));
+            }
+        }
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let run = |workers| -> Vec<Result<u64, String>> {
+            run_starts(17, workers, |i| {
+                let mut rng = SplitMix64::for_start(7, i);
+                (0..50)
+                    .map(|_| rng.gen::<u64>())
+                    .fold(0u64, u64::wrapping_add)
+            })
+            .into_iter()
+            .map(|r| r.outcome)
+            .collect()
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(2));
+        assert_eq!(sequential, run(8));
+    }
+
+    #[test]
+    fn panics_are_contained_and_recorded() {
+        let records = run_starts(6, 3, |i| {
+            assert!(i != 2 && i != 4, "start {i} poisoned");
+            i
+        });
+        assert_eq!(records.len(), 6);
+        for r in &records {
+            match r.index {
+                2 | 4 => {
+                    let msg = r.outcome.as_ref().unwrap_err();
+                    assert!(msg.contains("poisoned"), "message was {msg}");
+                }
+                i => assert_eq!(r.outcome, Ok(i)),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_starts_and_excess_workers() {
+        let empty = run_starts(0, 8, |i| i);
+        assert!(empty.is_empty());
+        let one = run_starts(1, 8, |i| i + 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].outcome, Ok(1));
+    }
+
+    #[test]
+    fn resolve_threads_auto_and_literal() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

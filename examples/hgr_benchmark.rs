@@ -50,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sa = SimulatedAnnealing::thorough(0);
     let spectral = SpectralBisection::new();
     let random = RandomCut::balanced(0);
-    let entries: [&dyn Bipartitioner; 8] =
-        [&alg1, &hybrid, &ml, &spectral, &fm, &kl, &sa, &random];
+    let entries: [&dyn Bipartitioner; 8] = [&alg1, &hybrid, &ml, &spectral, &fm, &kl, &sa, &random];
 
     println!(
         "{:<22} {:>8} {:>12} {:>12}",

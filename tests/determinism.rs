@@ -1,0 +1,117 @@
+//! The determinism contract of the parallel multi-start engine: for any
+//! hypergraph, seed, and configuration, `run()` produces the same
+//! [`fhp::core::PartitionOutcome`] — same side assignment, same cut,
+//! same winning start, same per-start cut profile — for every thread
+//! count, including the inline single-threaded path.
+//!
+//! This is a regression test for the engine's three load-bearing
+//! guarantees: counter-derived per-start RNG streams (`seed ⊕ start`),
+//! index-ordered lexicographic reduction, and dynamic work claiming
+//! whose schedule never leaks into the result.
+
+use fhp::core::{Algorithm1, CompletionStrategy, Objective, PartitionConfig};
+use fhp::gen::{CircuitNetlist, PlantedBisection, RandomHypergraph, Technology};
+use fhp::hypergraph::Hypergraph;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs `config` on `h` at every thread count and asserts the outcomes
+/// are indistinguishable (modulo timing, which the fingerprint excludes
+/// by construction).
+fn assert_thread_invariant(label: &str, h: &Hypergraph, config: PartitionConfig) {
+    let baseline = Algorithm1::new(config.threads(THREAD_COUNTS[0]))
+        .run(h)
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    for &threads in &THREAD_COUNTS[1..] {
+        let outcome = Algorithm1::new(config.threads(threads))
+            .run(h)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(
+            baseline.fingerprint(),
+            outcome.fingerprint(),
+            "{label}: outcome diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.bipartition, outcome.bipartition,
+            "{label}: side assignment diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.stats.chosen_start, outcome.stats.chosen_start,
+            "{label}: winning start diverged at {threads} threads"
+        );
+        assert_eq!(
+            baseline.stats.cut_histogram(),
+            outcome.stats.cut_histogram(),
+            "{label}: per-start cut profile diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn circuit_netlists_are_thread_invariant() {
+    for (seed, technology) in [(1, Technology::Pcb), (2, Technology::StdCell)] {
+        let h = CircuitNetlist::new(technology, 120, 200)
+            .seed(seed)
+            .generate()
+            .expect("valid generator config");
+        assert_thread_invariant(
+            &format!("circuit seed {seed}"),
+            &h,
+            PartitionConfig::paper().seed(seed),
+        );
+    }
+}
+
+#[test]
+fn planted_bisections_are_thread_invariant() {
+    for seed in [3, 11] {
+        let inst = PlantedBisection::new(80, 160)
+            .cut_size(4)
+            .seed(seed)
+            .generate()
+            .expect("valid generator config");
+        assert_thread_invariant(
+            &format!("planted seed {seed}"),
+            inst.hypergraph(),
+            PartitionConfig::new().starts(16).seed(seed),
+        );
+    }
+}
+
+#[test]
+fn random_hypergraphs_are_thread_invariant_across_configs() {
+    let h = RandomHypergraph::new(100, 150)
+        .seed(7)
+        .generate()
+        .expect("valid generator config");
+    // exercise the reduction under different scoring rules and sweep
+    // policies, not just the default cut-size objective
+    let configs = [
+        PartitionConfig::new().starts(10).seed(7),
+        PartitionConfig::new()
+            .starts(10)
+            .seed(7)
+            .objective(Objective::QuotientCut),
+        PartitionConfig::new()
+            .starts(10)
+            .seed(7)
+            .completion(CompletionStrategy::EngineerWeighted)
+            .edge_size_threshold(Some(8)),
+    ];
+    for (i, config) in configs.into_iter().enumerate() {
+        assert_thread_invariant(&format!("random config {i}"), &h, config);
+    }
+}
+
+#[test]
+fn repeated_runs_are_identical_not_just_equivalent() {
+    // same thread count twice: guards against any hidden global state
+    let h = CircuitNetlist::new(Technology::GateArray, 90, 150)
+        .seed(5)
+        .generate()
+        .expect("valid generator config");
+    let config = PartitionConfig::paper().seed(5).threads(8);
+    let a = Algorithm1::new(config).run(&h).expect("runs");
+    let b = Algorithm1::new(config).run(&h).expect("runs");
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}

@@ -125,3 +125,90 @@ fn example_balanced_six_six() {
     // the natural min cut of this netlist splits the modules 6/6
     assert_eq!(out.bipartition.counts(), (6, 6));
 }
+
+// ---------------------------------------------------------------------
+// Golden values. Everything below pins exact intermediate and final
+// artifacts of the pipeline on the worked example, so any behavioral
+// drift — in the intersection-graph construction, the two-front BFS, the
+// boundary decomposition, or the multi-start engine — fails loudly
+// instead of silently shifting cuts. If a change is *intended* to alter
+// these values, re-derive them by printing the quantities below and
+// update the constants in the same commit.
+// ---------------------------------------------------------------------
+
+/// Signals a..i are G-vertices 0..9; two signals are adjacent iff they
+/// share a module (Figure 2's adjacency, re-derived by hand from the
+/// reconstructed netlist).
+const GOLDEN_G_EDGES: [(u32, u32); 15] = [
+    (0, 1),
+    (0, 2),
+    (1, 2),
+    (1, 4),
+    (2, 3),
+    (2, 4),
+    (3, 5),
+    (4, 5),
+    (4, 6),
+    (4, 7),
+    (4, 8),
+    (5, 6),
+    (5, 8),
+    (6, 8),
+    (7, 8),
+];
+
+#[test]
+fn golden_intersection_graph_adjacency() {
+    let h = paper_example();
+    let ig = IntersectionGraph::build(&h);
+    let edges: Vec<(u32, u32)> = ig.graph().edges().collect();
+    assert_eq!(edges, GOLDEN_G_EDGES);
+}
+
+#[test]
+fn golden_boundary_of_the_0_8_cut() {
+    let h = paper_example();
+    let ig = IntersectionGraph::build(&h);
+    let cut = two_front_bfs(ig.graph(), 0, 8);
+    let dec = BoundaryDecomposition::new(&h, &ig, &cut);
+    let boundary: Vec<u32> = ig
+        .graph()
+        .vertices()
+        .filter(|&v| dec.gprime_index(v).is_some())
+        .collect();
+    assert_eq!(
+        boundary,
+        [1, 2, 3, 4, 5],
+        "boundary set of the u=0, v=8 cut"
+    );
+    // the partial bipartition this cut commits: modules 1, 2, 11 to the
+    // u-side; 7, 8, 9, 10, 6 to the v-side; the rest left open
+    let partial: Vec<Option<fhp::core::Side>> = dec.partial().to_vec();
+    let committed: Vec<String> = partial
+        .iter()
+        .map(|p| match p {
+            Some(fhp::core::Side::Left) => "L".to_string(),
+            Some(fhp::core::Side::Right) => "R".to_string(),
+            None => ".".to_string(),
+        })
+        .collect();
+    assert_eq!(committed.join(""), "LL...RRRRRL.");
+}
+
+#[test]
+fn golden_final_partition() {
+    let h = paper_example();
+    let out = Algorithm1::new(PartitionConfig::new().starts(10).seed(0))
+        .run(&h)
+        .expect("valid");
+    assert_eq!(out.bipartition.to_string(), "LLLLRRRRRRLL");
+    assert_eq!(out.report.cut_size, 2);
+    assert_eq!(out.report.counts, (6, 6));
+    // the engine's deterministic reduction: every one of the 10 starts
+    // finds the cut of 2, so the lowest index wins
+    assert_eq!(out.stats.chosen_start, Some(0));
+    assert_eq!(
+        out.stats.cut_histogram(),
+        std::collections::BTreeMap::from([(2, 10)])
+    );
+}
