@@ -1,0 +1,186 @@
+//! The dualization kernel's perf trajectory: wall time and kernel
+//! counters on circuit instances across thread counts, plus the
+//! hub-adversary insertion-ratio check, written to `BENCH_dualize.json`
+//! at the workspace root.
+//!
+//! Two hard assertions run even in smoke mode (`--test`, or
+//! `FHP_BENCH_SMOKE=1`):
+//!
+//! - on the hub instance (hub modules of degree ≥ 512) the naive
+//!   pair-spray builder performs ≥ 4× more edge insertions than the
+//!   sparse kernel — measured by the [`DualizeStats`] counters, not by
+//!   timing, so the check is exact and machine-independent;
+//! - every thread count builds a bit-identical graph (adjacency,
+//!   weights, and mapping equal to the single-thread build).
+//!
+//! Smoke mode times one sample of the smallest circuit size so CI stays
+//! fast; the full run (`cargo bench -p fhp-bench --bench dualize`) takes
+//! the median of several samples per (size, threads) cell.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fhp_bench::{bench_instance, hub_instance, SIZES};
+use fhp_hypergraph::{DualizeStats, Dualizer, IntersectionGraph};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const HUB_SIGNALS: usize = 512;
+const HUB_MODULES: usize = 8;
+
+struct Cell {
+    n: usize,
+    threads: usize,
+    median_ns: u128,
+    stats: DualizeStats,
+}
+
+fn median_ns(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time_build(
+    h: &fhp_hypergraph::Hypergraph,
+    threads: usize,
+    samples: usize,
+) -> (u128, DualizeStats) {
+    let d = Dualizer::new().threshold(Some(10)).threads(threads);
+    let mut walls = Vec::with_capacity(samples);
+    let mut stats = None;
+    for _ in 0..samples {
+        let started = Instant::now();
+        let ig = d.build(h).expect("bench instance fits u32 ids");
+        walls.push(started.elapsed().as_nanos());
+        stats = Some(ig.stats().clone());
+    }
+    (median_ns(&mut walls), stats.expect("at least one sample"))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test")
+        || std::env::var("FHP_BENCH_SMOKE").is_ok_and(|v| v != "0");
+
+    // --- Hub adversary: counter-based insertion-ratio acceptance check ---
+    let hub = hub_instance(HUB_SIGNALS, HUB_MODULES);
+    let started = Instant::now();
+    let kernel = Dualizer::new().threads(2).build(&hub).expect("fits u32");
+    let hub_wall_ns = started.elapsed().as_nanos();
+    let naive = IntersectionGraph::build_naive_with_threshold(&hub, None);
+    let naive_insertions = naive.stats().pairs_generated;
+    let kernel_insertions = kernel.stats().unique_edges;
+    assert_eq!(
+        naive_insertions,
+        kernel.stats().pairs_generated,
+        "kernel and naive builder must generate the same pair stream"
+    );
+    assert_eq!(
+        kernel.graph(),
+        naive.graph(),
+        "hub graphs must be identical"
+    );
+    let ratio = naive_insertions as f64 / kernel_insertions as f64;
+    println!(
+        "dualize/hub: naive {naive_insertions} insertions, kernel {kernel_insertions} \
+         ({ratio:.1}x fewer), hub degree {HUB_SIGNALS}"
+    );
+    assert!(
+        ratio >= 4.0,
+        "acceptance: kernel must insert >= 4x fewer edges than naive on the hub instance \
+         (got {ratio:.2}x)"
+    );
+
+    // --- Thread invariance on a circuit instance ---
+    let h_small = bench_instance(SIZES[0]);
+    let base = Dualizer::new()
+        .threshold(Some(10))
+        .threads(1)
+        .build(&h_small)
+        .expect("fits");
+    for &t in &THREADS[1..] {
+        let other = Dualizer::new()
+            .threshold(Some(10))
+            .threads(t)
+            .build(&h_small)
+            .expect("fits");
+        assert_eq!(
+            base.graph(),
+            other.graph(),
+            "threads = {t} changed the graph"
+        );
+        for g in base.graph().vertices() {
+            assert_eq!(
+                base.multiplicities_of(g),
+                other.multiplicities_of(g),
+                "threads = {t} changed multiplicities of {g}"
+            );
+        }
+    }
+    println!("dualize/invariance: graphs identical across threads {THREADS:?}");
+
+    // --- Timing grid ---
+    let sizes: &[usize] = if smoke { &SIZES[..1] } else { &SIZES };
+    let samples = if smoke { 1 } else { 7 };
+    let mut cells = Vec::new();
+    for &n in sizes {
+        let h = bench_instance(n);
+        for &threads in &THREADS {
+            let (ns, stats) = time_build(&h, threads, samples);
+            println!(
+                "dualize/circuit/{n}/threads={threads}  time: {:.2} ms  \
+                 (pairs {}, merged {}, edges {})",
+                ns as f64 / 1e6,
+                stats.pairs_generated,
+                stats.duplicates_merged,
+                stats.unique_edges
+            );
+            cells.push(Cell {
+                n,
+                threads,
+                median_ns: ns,
+                stats,
+            });
+        }
+    }
+
+    // --- BENCH_dualize.json at the workspace root ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"dualize\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"threshold\": 10,");
+    let _ = writeln!(json, "  \"hub\": {{");
+    let _ = writeln!(json, "    \"signals\": {HUB_SIGNALS},");
+    let _ = writeln!(json, "    \"hub_modules\": {HUB_MODULES},");
+    let _ = writeln!(json, "    \"hub_degree\": {HUB_SIGNALS},");
+    let _ = writeln!(json, "    \"naive_insertions\": {naive_insertions},");
+    let _ = writeln!(json, "    \"kernel_insertions\": {kernel_insertions},");
+    let _ = writeln!(json, "    \"insertion_ratio\": {ratio:.3},");
+    let _ = writeln!(json, "    \"kernel_wall_ns\": {hub_wall_ns}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"circuit\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"signals\": {}, \"threads\": {}, \"median_wall_ns\": {}, \
+             \"pairs_generated\": {}, \"duplicates_merged\": {}, \"unique_edges\": {}, \
+             \"kept_edges\": {}, \"filtered_edges\": {}, \"shards\": {}}}{comma}",
+            c.n,
+            c.threads,
+            c.median_ns,
+            c.stats.pairs_generated,
+            c.stats.duplicates_merged,
+            c.stats.unique_edges,
+            c.stats.kept_edges,
+            c.stats.filtered_edges,
+            c.stats.shards,
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("FHP_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dualize.json").to_string()
+    });
+    std::fs::write(&out, &json).expect("can write BENCH_dualize.json");
+    println!("wrote {out}");
+}

@@ -18,6 +18,7 @@
 //!   -t, --threshold <K>     ignore signals with K or more pins
 //!       --balance           engineer's-method weighted completion (alg1)
 //!       --objective <cut|quotient|ratio>     alg1 ranking objective
+//!       --stats             print per-phase `[stats]` lines (alg1 two-way)
 //!   -q, --quiet             print only the cut size
 //! ```
 
@@ -39,6 +40,7 @@ struct Options {
     threshold: Option<usize>,
     balance: bool,
     objective: Objective,
+    stats: bool,
     quiet: bool,
     blocks: usize,
     place: Option<(usize, usize)>,
@@ -55,6 +57,7 @@ fn parse_args() -> Result<Options, String> {
         threshold: None,
         balance: false,
         objective: Objective::CutSize,
+        stats: false,
         quiet: false,
         blocks: 2,
         place: None,
@@ -95,6 +98,7 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown objective `{other}`")),
                 }
             }
+            "--stats" => opts.stats = true,
             "-q" | "--quiet" => opts.quiet = true,
             "--place" => {
                 let spec = value("--place")?;
@@ -191,16 +195,15 @@ fn main() -> ExitCode {
     } else {
         CompletionStrategy::MinDegree
     };
+    let alg1_config = PartitionConfig::new()
+        .starts(opts.starts)
+        .seed(opts.seed)
+        .threads(opts.threads)
+        .edge_size_threshold(opts.threshold)
+        .completion(completion)
+        .objective(opts.objective);
     let partitioner: Box<dyn Bipartitioner> = match opts.algorithm.as_str() {
-        "alg1" => Box::new(Algorithm1::new(
-            PartitionConfig::new()
-                .starts(opts.starts)
-                .seed(opts.seed)
-                .threads(opts.threads)
-                .edge_size_threshold(opts.threshold)
-                .completion(completion)
-                .objective(opts.objective),
-        )),
+        "alg1" => Box::new(Algorithm1::new(alg1_config)),
         "kl" => Box::new(KernighanLin::new(opts.seed)),
         "fm" => Box::new(FiducciaMattheyses::new(opts.seed)),
         "sa" => Box::new(SimulatedAnnealing::thorough(opts.seed)),
@@ -211,6 +214,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.stats && (opts.algorithm != "alg1" || opts.place.is_some() || opts.blocks > 2) {
+        eprintln!("error: --stats is only supported for two-way alg1 runs");
+        return ExitCode::from(2);
+    }
     if let Some((rows, cols)) = opts.place {
         return run_place(&opts, &netlist, rows, cols);
     }
@@ -218,11 +225,21 @@ fn main() -> ExitCode {
         return run_multiway(&opts, &netlist, partitioner);
     }
     let started = std::time::Instant::now();
-    let bp = match partitioner.bipartition(h) {
-        Ok(bp) => bp,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    let (bp, run_stats) = if opts.stats {
+        match Algorithm1::new(alg1_config).run(h) {
+            Ok(out) => (out.bipartition, Some(out.stats)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match partitioner.bipartition(h) {
+            Ok(bp) => (bp, None),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     let elapsed = started.elapsed();
@@ -230,6 +247,9 @@ fn main() -> ExitCode {
     let report = metrics::CutReport::new(h, &bp);
     if opts.quiet {
         println!("{}", report.cut_size);
+        if let Some(stats) = &run_stats {
+            print_stats(stats);
+        }
         return ExitCode::SUCCESS;
     }
     println!(
@@ -262,8 +282,49 @@ fn main() -> ExitCode {
         .map(|&e| netlist.signal_name(e).to_string())
         .collect();
     println!("crossing signals: {}", crossing.join(" "));
+    if let Some(stats) = &run_stats {
+        print_stats(stats);
+    }
     println!("elapsed: {elapsed:?}");
     ExitCode::SUCCESS
+}
+
+/// Prints the run's phase-level diagnostics as stable `[stats] key value`
+/// lines (one fact per line, machine-greppable; documented in README).
+fn print_stats(stats: &fhp_core::RunStats) {
+    let d = &stats.phases.dualize;
+    let line = |key: &str, value: String| println!("[stats] {key} {value}");
+    line("dualize_pairs_generated", d.pairs_generated.to_string());
+    line("dualize_duplicates_merged", d.duplicates_merged.to_string());
+    line("dualize_unique_edges", d.unique_edges.to_string());
+    line("dualize_kept_edges", d.kept_edges.to_string());
+    line("dualize_filtered_edges", d.filtered_edges.to_string());
+    line("dualize_shards", d.shards.to_string());
+    line("dualize_threads", d.threads.to_string());
+    line("dualize_wall_us", d.wall.as_micros().to_string());
+    let p = &stats.phases;
+    line(
+        "longest_path_bfs_wall_us",
+        p.longest_path_bfs.as_micros().to_string(),
+    );
+    line(
+        "dual_front_bfs_wall_us",
+        p.dual_front_bfs.as_micros().to_string(),
+    );
+    line(
+        "complete_cut_wall_us",
+        p.complete_cut.as_micros().to_string(),
+    );
+    line("starts", stats.starts.to_string());
+    line("engine_threads", stats.threads.to_string());
+    line(
+        "chosen_start",
+        stats
+            .chosen_start
+            .map_or("none".to_string(), |s| s.to_string()),
+    );
+    line("num_g_vertices", stats.num_g_vertices.to_string());
+    line("boundary_len", stats.boundary_len.to_string());
 }
 
 fn run_place(opts: &Options, netlist: &Netlist, rows: usize, cols: usize) -> ExitCode {
@@ -382,6 +443,9 @@ fn usage() -> &'static str {
      \x20 -t, --threshold <K>   ignore signals with K or more pins\n\
      \x20     --balance         engineer's-method weighted completion\n\
      \x20     --objective <cut|quotient|ratio>\n\
+     \x20     --stats           print per-phase `[stats] key value` lines\n\
+     \x20                       (dualization counters + phase wall times;\n\
+     \x20                       two-way alg1 only)\n\
      \x20 -k, --blocks <K>      k-way decomposition by recursive Alg I (default 2)\n\
      \x20     --place <RxC>     min-cut placement into an R x C slot grid\n\
      \x20 -q, --quiet           print only the cut size\n"

@@ -56,6 +56,79 @@ fn threads_flag_does_not_change_the_cut() {
 }
 
 #[test]
+fn stats_flag_prints_phase_lines() {
+    let (stdout, stderr, ok) = run(&["--demo", "--stats"]);
+    assert!(ok, "{stderr}");
+    for key in [
+        "dualize_pairs_generated",
+        "dualize_duplicates_merged",
+        "dualize_unique_edges",
+        "dualize_kept_edges",
+        "dualize_filtered_edges",
+        "dualize_wall_us",
+        "longest_path_bfs_wall_us",
+        "dual_front_bfs_wall_us",
+        "complete_cut_wall_us",
+        "starts",
+        "engine_threads",
+        "chosen_start",
+        "num_g_vertices",
+        "boundary_len",
+    ] {
+        assert!(
+            stdout.contains(&format!("[stats] {key} ")),
+            "missing {key} in:\n{stdout}"
+        );
+    }
+    // the counters balance: generated = unique + duplicates
+    let field = |key: &str| -> u64 {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("[stats] {key} ")))
+            .unwrap_or_else(|| panic!("missing {key}"))
+            .trim()
+            .parse()
+            .expect("numeric stat")
+    };
+    assert_eq!(
+        field("dualize_pairs_generated"),
+        field("dualize_unique_edges") + field("dualize_duplicates_merged")
+    );
+    assert_eq!(field("dualize_kept_edges"), 9);
+
+    // quiet mode keeps the number first but still prints the stats
+    let (quiet, _, ok) = run(&["--demo", "--stats", "-q"]);
+    assert!(ok);
+    assert_eq!(quiet.lines().next().unwrap().trim(), "2");
+    assert!(quiet.contains("[stats] dualize_unique_edges"));
+
+    // stats with a filtered threshold reports the filtered count
+    let (filtered, _, ok) = run(&["--demo", "--stats", "-t", "4"]);
+    assert!(ok);
+    assert!(
+        filtered.contains("[stats] dualize_kept_edges 7"),
+        "{filtered}"
+    );
+    assert!(
+        filtered.contains("[stats] dualize_filtered_edges 2"),
+        "{filtered}"
+    );
+}
+
+#[test]
+fn stats_flag_rejected_outside_two_way_alg1() {
+    for args in [
+        &["--demo", "--stats", "-a", "kl"][..],
+        &["--demo", "--stats", "-k", "3"][..],
+        &["--demo", "--stats", "--place", "2x2"][..],
+    ] {
+        let (_, stderr, ok) = run(args);
+        assert!(!ok, "{args:?}");
+        assert!(stderr.contains("--stats"), "{stderr}");
+    }
+}
+
+#[test]
 fn multiway_mode() {
     let (stdout, _, ok) = run(&["--demo", "-k", "3"]);
     assert!(ok);

@@ -23,14 +23,14 @@
 //! returned cut has size 0, while move-based heuristics typically get stuck
 //! at a locally-minimum cut of size `Θ(|E|)` (§4).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use fhp_hypergraph::{Hypergraph, IntersectionGraph, VertexId};
+use fhp_hypergraph::{Dualizer, Hypergraph, IntersectionGraph, VertexId};
 
 use crate::boundary::BoundaryDecomposition;
 use crate::complete_cut::{complete, place_winner_pins, CompletionStrategy};
 use crate::dual_bfs::{random_longest_path_endpoints, two_front_bfs_with_policy, FrontPolicy};
-use crate::metrics::{CutReport, Objective};
+use crate::metrics::{CutReport, Objective, PhaseStats};
 use crate::runner::{resolve_threads, run_starts, SplitMix64};
 use crate::{Bipartition, PartitionError, Side};
 
@@ -244,6 +244,9 @@ pub struct RunStats {
     pub threads: usize,
     /// Per-start outcomes in start order (empty for the shortcut path).
     pub per_start: Vec<StartStat>,
+    /// Per-phase wall time and dualization counters (all zero for the
+    /// component shortcut, which never builds `G`).
+    pub phases: PhaseStats,
 }
 
 impl RunStats {
@@ -393,11 +396,22 @@ impl Algorithm1 {
                     chosen_start: None,
                     threads: 0,
                     per_start: Vec::new(),
+                    phases: PhaseStats::default(),
                 },
             });
         }
 
-        let ig = IntersectionGraph::build_with_threshold(h, self.config.edge_size_threshold);
+        // The dualization kernel takes the raw `threads` knob (not clamped
+        // to `starts`): shard parallelism is independent of how many
+        // starts there are, and the built graph is thread-count-invariant.
+        let ig = Dualizer::new()
+            .threshold(self.config.edge_size_threshold)
+            .threads(self.config.threads)
+            .build(h)?;
+        let mut phases = PhaseStats {
+            dualize: ig.stats().clone(),
+            ..PhaseStats::default()
+        };
         let workers = resolve_threads(self.config.threads).clamp(1, self.config.starts);
         let config = self.config;
         let records = run_starts(self.config.starts, workers, |start| {
@@ -413,7 +427,10 @@ impl Algorithm1 {
         let mut first_error = None;
         for record in records {
             let (cut_size, error) = match record.outcome {
-                Ok(candidate) => {
+                Ok((candidate, start_phases)) => {
+                    phases.longest_path_bfs += start_phases.longest_path_bfs;
+                    phases.dual_front_bfs += start_phases.dual_front_bfs;
+                    phases.complete_cut += start_phases.complete_cut;
                     let cut_size = candidate.as_ref().map(|c| c.cut_size);
                     if let Some(c) = candidate {
                         if best.as_ref().is_none_or(|(_, b)| c.beats(b)) {
@@ -459,6 +476,7 @@ impl Algorithm1 {
                     chosen_start: Some(chosen),
                     threads: workers,
                     per_start,
+                    phases,
                 },
             });
         }
@@ -481,6 +499,7 @@ impl Algorithm1 {
                 chosen_start: None,
                 threads: workers,
                 per_start,
+                phases,
             },
         })
     }
@@ -512,6 +531,16 @@ impl StartCandidate {
     }
 }
 
+/// Wall-clock time one start spent in each downstream phase; summed into
+/// [`PhaseStats`] by the reduction. Timing only — never consulted by any
+/// decision, so it cannot perturb determinism.
+#[derive(Clone, Copy, Debug, Default)]
+struct StartPhases {
+    longest_path_bfs: Duration,
+    dual_front_bfs: Duration,
+    complete_cut: Duration,
+}
+
 /// Runs one multi-start attempt: draw a random longest path from the
 /// start's own counter-derived RNG stream, sweep the configured front
 /// policies, and keep the start's best candidate. A pure function of
@@ -522,17 +551,29 @@ fn evaluate_start(
     ig: &IntersectionGraph,
     config: &PartitionConfig,
     start: usize,
-) -> Option<StartCandidate> {
+) -> (Option<StartCandidate>, StartPhases) {
     let g = ig.graph();
+    let mut phases = StartPhases::default();
     let mut rng = SplitMix64::for_start(config.seed, start);
-    let (u, v) = random_longest_path_endpoints(g, &mut rng)?;
-    let path_length = fhp_hypergraph::bfs::bfs(g, u).dist(v).unwrap_or(0);
+    let clock = Instant::now();
+    let endpoints = random_longest_path_endpoints(g, &mut rng);
+    let path_length = endpoints
+        .map(|(u, v)| fhp_hypergraph::bfs::bfs(g, u).dist(v).unwrap_or(0))
+        .unwrap_or(0);
+    phases.longest_path_bfs = clock.elapsed();
+    let Some((u, v)) = endpoints else {
+        return (None, phases);
+    };
     let mut best: Option<StartCandidate> = None;
     for &sweep in config.front_policy.sweeps() {
+        let clock = Instant::now();
         let cut = two_front_bfs_with_policy(g, u, v, sweep);
         let dec = BoundaryDecomposition::new(h, ig, &cut);
+        phases.dual_front_bfs += clock.elapsed();
+        let clock = Instant::now();
         let completion = complete(config.completion, h, ig, &dec);
         let bipartition = assemble(h, ig, &dec, &completion);
+        phases.complete_cut += clock.elapsed();
         let candidate = StartCandidate {
             score: config.objective.evaluate(h, &bipartition),
             imbalance: crate::metrics::weight_imbalance(h, &bipartition),
@@ -546,7 +587,7 @@ fn evaluate_start(
             best = Some(candidate);
         }
     }
-    best
+    (best, phases)
 }
 
 impl Bipartitioner for Algorithm1 {
@@ -909,6 +950,34 @@ mod tests {
             out.report.cut_size,
             "the winner has the smallest cut in the histogram"
         );
+    }
+
+    #[test]
+    fn phase_stats_populated_on_normal_runs() {
+        let h = two_clusters(2);
+        let out = Algorithm1::new(PartitionConfig::new().starts(4).seed(1))
+            .run(&h)
+            .unwrap();
+        let p = &out.stats.phases;
+        assert_eq!(p.dualize.kept_edges, h.num_edges());
+        assert_eq!(p.dualize.filtered_edges, 0);
+        assert_eq!(
+            p.dualize.pairs_generated,
+            p.dualize.unique_edges + p.dualize.duplicates_merged
+        );
+        let ig = fhp_hypergraph::IntersectionGraph::build(&h);
+        assert_eq!(p.dualize.unique_edges, ig.graph().num_edges() as u64);
+        assert!(p.total_wall() >= p.dualize.wall);
+    }
+
+    #[test]
+    fn component_shortcut_reports_zero_phases() {
+        let mut b = HypergraphBuilder::with_vertices(4);
+        b.add_edge([VertexId::new(0), VertexId::new(1)]).unwrap();
+        b.add_edge([VertexId::new(2), VertexId::new(3)]).unwrap();
+        let out = Algorithm1::default().run(&b.build()).unwrap();
+        assert!(out.stats.used_component_shortcut);
+        assert_eq!(out.stats.phases, crate::PhaseStats::default());
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use fhp_hypergraph::BuildGraphError;
+
 /// Why a bipartitioner could not produce a cut.
 ///
 /// # Examples
@@ -42,6 +44,18 @@ pub enum PartitionError {
         /// The first start's contained panic message.
         error: String,
     },
+    /// Building the dual intersection graph failed — the instance
+    /// overflows the `u32` id space somewhere (see [`BuildGraphError`]).
+    GraphBuild {
+        /// The underlying construction error.
+        error: BuildGraphError,
+    },
+}
+
+impl From<BuildGraphError> for PartitionError {
+    fn from(error: BuildGraphError) -> Self {
+        Self::GraphBuild { error }
+    }
 }
 
 impl fmt::Display for PartitionError {
@@ -57,11 +71,21 @@ impl fmt::Display for PartitionError {
             Self::AllStartsFailed { error } => {
                 write!(f, "every multi-start attempt failed; first error: {error}")
             }
+            Self::GraphBuild { error } => {
+                write!(f, "building the intersection graph failed: {error}")
+            }
         }
     }
 }
 
-impl Error for PartitionError {}
+impl Error for PartitionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::GraphBuild { error } => Some(error),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -94,5 +118,15 @@ mod tests {
     fn is_send_sync_error() {
         fn check<E: Error + Send + Sync + 'static>() {}
         check::<PartitionError>();
+    }
+
+    #[test]
+    fn graph_build_errors_convert_and_chain() {
+        let inner = BuildGraphError::TooManyGVertices { found: 99 };
+        let e: PartitionError = inner.into();
+        assert_eq!(e, PartitionError::GraphBuild { error: inner });
+        assert!(e.to_string().contains("intersection graph"));
+        let source = e.source().expect("wraps a cause");
+        assert_eq!(source.to_string(), inner.to_string());
     }
 }

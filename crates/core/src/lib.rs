@@ -63,5 +63,5 @@ pub use algorithm1::{
 pub use complete_cut::CompletionStrategy;
 pub use dual_bfs::FrontPolicy;
 pub use error::PartitionError;
-pub use metrics::{CutReport, Objective};
+pub use metrics::{CutReport, Objective, PhaseStats};
 pub use partition::{Bipartition, Side};

@@ -7,9 +7,58 @@
 //! cut* and *ratio cut* objectives discussed in the paper's §1 and §4
 //! (Leighton–Rao, the paper's ref. \[20\]).
 
-use fhp_hypergraph::{EdgeId, Hypergraph};
+use std::time::Duration;
+
+use fhp_hypergraph::{DualizeStats, EdgeId, Hypergraph};
 
 use crate::Bipartition;
+
+/// Wall-clock time (and dualization counters) per pipeline phase of one
+/// [`Algorithm1::run`](crate::Algorithm1::run) call.
+///
+/// Dualization happens once per run; the three downstream phases run once
+/// per start per sweep, and their durations here are **summed across every
+/// start** — so on a multi-thread run the BFS/Complete-Cut totals can
+/// exceed the run's wall-clock time. Timing is diagnostics only: it is
+/// excluded from [`OutcomeFingerprint`](crate::OutcomeFingerprint), and no
+/// decision in the pipeline reads a clock.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_core::{Algorithm1, PartitionConfig};
+/// use fhp_hypergraph::intersection::paper_example;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let out = Algorithm1::new(PartitionConfig::new().starts(4)).run(&paper_example())?;
+/// let p = &out.stats.phases;
+/// assert_eq!(p.dualize.kept_edges, 9);
+/// assert_eq!(p.dualize.pairs_generated,
+///            p.dualize.unique_edges + p.dualize.duplicates_merged);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct PhaseStats {
+    /// Counters and wall time of the dualization kernel (one run).
+    pub dualize: DualizeStats,
+    /// Total time drawing random longest BFS paths, across all starts.
+    pub longest_path_bfs: Duration,
+    /// Total time growing the dual BFS fronts and reading off boundary
+    /// decompositions, across all starts and sweeps.
+    pub dual_front_bfs: Duration,
+    /// Total time running Complete-Cut and assembling final partitions,
+    /// across all starts and sweeps.
+    pub complete_cut: Duration,
+}
+
+impl PhaseStats {
+    /// Sum of all phase durations (dualization plus the per-start phases).
+    pub fn total_wall(&self) -> Duration {
+        self.dualize.wall + self.longest_path_bfs + self.dual_front_bfs + self.complete_cut
+    }
+}
 
 /// True if hyperedge `e` has pins on both sides of `bp`.
 ///

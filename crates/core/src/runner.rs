@@ -30,6 +30,11 @@
 //!
 //! The engine is generic over the per-start work so the containment and
 //! determinism machinery can be tested in isolation from the partitioner.
+//!
+//! The same claim-by-atomic-counter / record-by-index pattern (points 2
+//! and 3 minus containment) powers the sparse dualization kernel's shard
+//! pool in `fhp_hypergraph::intersection` — that crate sits below this
+//! one, so it carries its own copy rather than depending upward.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

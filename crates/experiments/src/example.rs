@@ -39,15 +39,28 @@ pub fn run(_quick: bool) {
 
     let ig = IntersectionGraph::build(&h);
     let g = ig.graph();
-    println!("\nintersection graph G (adjacency):");
+    println!("\nintersection graph G (adjacency, xN = N shared modules):");
     for v in g.vertices() {
+        let mults = ig.multiplicities_of(v);
         let ns: Vec<String> = g
             .neighbors(v)
             .iter()
-            .map(|&u| signal(u).to_string())
+            .zip(mults)
+            .map(|(&u, &m)| {
+                if m > 1 {
+                    format!("{}x{m}", signal(u))
+                } else {
+                    signal(u).to_string()
+                }
+            })
             .collect();
         println!("  {} - {}", signal(v), ns.join(" "));
     }
+    let ds = ig.stats();
+    println!(
+        "dualization: {} pairs generated, {} duplicates merged, {} G-edges",
+        ds.pairs_generated, ds.duplicates_merged, ds.unique_edges
+    );
 
     let sweep = bfs::double_sweep(g, 0);
     println!(

@@ -26,12 +26,16 @@ pub fn run(quick: bool) {
         "|G| (kept signals)",
         "pseudo-diam(G)",
         "|B|",
+        "dual pairs",
+        "dup merged",
     ]);
     for &t in &thresholds {
         let mut cuts = Vec::new();
         let mut kept = Vec::new();
         let mut diams = Vec::new();
         let mut bounds = Vec::new();
+        let mut pairs = Vec::new();
+        let mut dups = Vec::new();
         for seed in 0..trials {
             let h = CircuitNetlist::new(Technology::Pcb, 300, 560)
                 .seed(800 + seed)
@@ -39,6 +43,8 @@ pub fn run(quick: bool) {
                 .expect("static config");
             let ig = IntersectionGraph::build_with_threshold(&h, t);
             kept.push(ig.num_g_vertices() as f64);
+            pairs.push(ig.stats().pairs_generated as f64);
+            dups.push(ig.stats().duplicates_merged as f64);
             if ig.num_g_vertices() > 1 {
                 diams.push(bfs::double_sweep(ig.graph(), 0).length as f64);
             }
@@ -59,6 +65,8 @@ pub fn run(quick: bool) {
             format!("{:.0}", mean(&kept)),
             format!("{:.1}", mean(&diams)),
             format!("{:.1}", mean(&bounds)),
+            format!("{:.0}", mean(&pairs)),
+            format!("{:.0}", mean(&dups)),
         ]);
     }
     table.print();

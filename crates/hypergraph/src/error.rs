@@ -60,6 +60,59 @@ impl fmt::Display for BuildHypergraphError {
 
 impl Error for BuildHypergraphError {}
 
+/// Error constructing a graph-level structure (a [`Graph`](crate::Graph)
+/// or an [`IntersectionGraph`](crate::IntersectionGraph)) whose index
+/// space overflows the `u32` vertex addressing.
+///
+/// These conditions used to be `expect`-panics deep inside construction
+/// (`u32::try_from(kept.len()).expect("too many edges")` and friends);
+/// they are typed now so servers partitioning untrusted inputs can reject
+/// oversized instances instead of aborting.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_hypergraph::BuildGraphError;
+///
+/// let err = BuildGraphError::TooManyGVertices { found: usize::MAX };
+/// assert!(err.to_string().contains("u32"));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BuildGraphError {
+    /// The dualization kept more hyperedges than `u32` G-vertex ids can
+    /// address (one id, `u32::MAX`, is reserved as the "filtered"
+    /// sentinel).
+    TooManyGVertices {
+        /// Number of kept hyperedges.
+        found: usize,
+    },
+    /// A graph (or restricted vertex set) was declared over more vertices
+    /// than `u32` indices can address.
+    TooManyVertices {
+        /// Declared vertex count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for BuildGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooManyGVertices { found } => {
+                write!(
+                    f,
+                    "{found} kept hyperedges overflow the u32 G-vertex id space"
+                )
+            }
+            Self::TooManyVertices { found } => {
+                write!(f, "{found} vertices overflow the u32 vertex id space")
+            }
+        }
+    }
+}
+
+impl Error for BuildGraphError {}
+
 /// Error parsing the line-oriented netlist text format.
 ///
 /// See [`crate::netlist`] for the grammar. Every variant carries the
@@ -259,5 +312,16 @@ mod tests {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<BuildHypergraphError>();
         assert_err::<ParseNetlistError>();
+        assert_err::<BuildGraphError>();
+    }
+
+    #[test]
+    fn build_graph_errors_name_the_overflowing_count() {
+        let e = BuildGraphError::TooManyGVertices {
+            found: 5_000_000_000,
+        };
+        assert!(e.to_string().contains("5000000000"));
+        let e = BuildGraphError::TooManyVertices { found: 7 };
+        assert!(e.to_string().contains('7'));
     }
 }

@@ -8,6 +8,8 @@
 //! domain meaning of their own (the owning structure records what each index
 //! stands for).
 
+use crate::BuildGraphError;
+
 /// An immutable undirected graph with `u32` vertices in CSR representation.
 ///
 /// No self-loops, no parallel edges. Construct with [`GraphBuilder`] or
@@ -114,6 +116,52 @@ impl Graph {
                 .map(move |v| (u, v))
         })
     }
+
+    /// The range of indices in the flat adjacency array holding `v`'s
+    /// neighbor list. Parallel per-adjacency data (e.g. the intersection
+    /// graph's shared-module multiplicities) is aligned to these slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn slot_range(&self, v: u32) -> std::ops::Range<usize> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// The index in the flat adjacency array of the slot storing `v`
+    /// inside `u`'s neighbor list, or `None` if the edge does not exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn edge_slot(&self, u: u32, v: u32) -> Option<usize> {
+        let range = self.slot_range(u);
+        self.neighbors[range.clone()]
+            .binary_search(&v)
+            .ok()
+            .map(|i| range.start + i)
+    }
+
+    /// Builds a graph directly from finished CSR parts.
+    ///
+    /// The caller promises: `offsets` is a monotone prefix-sum array with
+    /// `offsets[0] == 0` and final entry `neighbors.len()`, and each
+    /// vertex's slice of `neighbors` is strictly ascending (sorted,
+    /// duplicate-free, no self-loop) and symmetric. The sparse
+    /// dualization kernel produces exactly this shape without ever
+    /// materializing an edge list. Debug builds verify the invariants.
+    pub(crate) fn from_parts(offsets: Vec<usize>, neighbors: Vec<u32>) -> Self {
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert_eq!(offsets.last(), Some(&neighbors.len()));
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        let g = Self { offsets, neighbors };
+        debug_assert!(g.vertices().all(|v| {
+            let ns = g.neighbors(v);
+            ns.windows(2).all(|w| w[0] < w[1]) && !ns.contains(&v)
+        }));
+        g
+    }
 }
 
 /// Builder accumulating an edge list before CSR finalization.
@@ -174,7 +222,28 @@ impl GraphBuilder {
     }
 
     /// Finalizes the CSR structure, deduplicating parallel edges.
-    pub fn build(mut self) -> Graph {
+    ///
+    /// Returns [`BuildGraphError::TooManyVertices`] if the declared vertex
+    /// count cannot be addressed by `u32` indices (the silent-truncation
+    /// path `build` used to hit in `vertices()`).
+    pub fn try_build(self) -> Result<Graph, BuildGraphError> {
+        if self.n > u32::MAX as usize {
+            return Err(BuildGraphError::TooManyVertices { found: self.n });
+        }
+        Ok(self.build_unchecked())
+    }
+
+    /// Finalizes the CSR structure, deduplicating parallel edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex count overflows `u32` addressing; use
+    /// [`GraphBuilder::try_build`] to handle that case as an error.
+    pub fn build(self) -> Graph {
+        self.try_build().expect("graph vertex count overflows u32")
+    }
+
+    fn build_unchecked(mut self) -> Graph {
         self.edges.sort_unstable();
         self.edges.dedup();
         let mut degree = vec![0usize; self.n];
@@ -278,6 +347,37 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn edge_slots_align_with_neighbor_lists() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        for v in g.vertices() {
+            let range = g.slot_range(v);
+            assert_eq!(range.len(), g.degree(v));
+            for (i, &u) in g.neighbors(v).iter().enumerate() {
+                assert_eq!(g.edge_slot(v, u), Some(range.start + i));
+            }
+        }
+        assert_eq!(g.edge_slot(0, 2), None);
+    }
+
+    #[test]
+    fn from_parts_round_trips_builder_output() {
+        let g = Graph::from_edges(5, [(4, 2), (2, 0), (2, 3), (1, 2)]);
+        let (mut offsets, mut neighbors) = (vec![0usize], Vec::new());
+        for v in g.vertices() {
+            neighbors.extend_from_slice(g.neighbors(v));
+            offsets.push(neighbors.len());
+        }
+        assert_eq!(Graph::from_parts(offsets, neighbors), g);
+    }
+
+    #[test]
+    fn try_build_accepts_normal_sizes() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        assert_eq!(b.try_build().unwrap().num_edges(), 1);
     }
 
     #[test]

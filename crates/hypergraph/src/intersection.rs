@@ -10,14 +10,196 @@
 //! bipartition with probability `1 − O(2^{−k})`, so edges above a size
 //! threshold (as low as 10) can be *ignored* during partitioning with very
 //! small expected error — and doing so keeps `G`'s degree bounded, which the
-//! probabilistic guarantees need. [`IntersectionGraph::build_with_threshold`]
-//! implements that filter; ignored edges simply have no G-vertex and are
-//! scored at the end on the final hypergraph partition.
+//! probabilistic guarantees need. The size filter is a [`Dualizer`] option;
+//! ignored edges simply have no G-vertex and are scored at the end on the
+//! final hypergraph partition.
+//!
+//! # The sparse dualization kernel
+//!
+//! Dualization generates one candidate G-edge per *(module, incident signal
+//! pair)* — `Σ_v C(deg(v), 2)` pairs, with a duplicate for every extra
+//! module two signals share. The historical builder pushed every pair into
+//! a [`GraphBuilder`] edge list and deduplicated at the end, so a hub
+//! module of degree `d` cost `C(d, 2)` insertions *per hub* even when the
+//! pairs were all duplicates of each other. The kernel here instead:
+//!
+//! 1. splits the module space into contiguous, **degree-bucketed shards**
+//!    (boundaries chosen so each shard owns roughly equal pair mass);
+//! 2. generates each shard's pairs locally, sorts them, and collapses
+//!    duplicates by run-length counting — keeping the count, the
+//!    *shared-module multiplicity*, as the G-edge weight;
+//! 3. k-way-merges the sorted shard runs (summing multiplicities of equal
+//!    pairs) and writes the CSR adjacency directly, never materializing a
+//!    global pair list.
+//!
+//! Shards are data-parallel; a scoped worker pool (the same
+//! claim-by-atomic-counter pattern as `fhp_core::runner`) executes them.
+//! The merged output is the sorted multiset union of the shard runs, which
+//! is a pure function of `(H, threshold)` — **not** of the shard
+//! boundaries, the worker count, or the completion order — so the built
+//! graph is bit-identical for every `threads` value. [`DualizeStats`]
+//! reports what the kernel did: pairs generated, duplicates merged, unique
+//! edges inserted, and wall time.
 
-use crate::{EdgeId, Graph, GraphBuilder, Hypergraph, VertexId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::{BuildGraphError, EdgeId, Graph, GraphBuilder, Hypergraph, VertexId};
+
+const FILTERED: u32 = u32::MAX;
+
+/// Counters and timing from one dualization run; see the
+/// [module docs](self) for the kernel the counters describe.
+///
+/// `pairs_generated − duplicates_merged = unique_edges` always holds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DualizeStats {
+    /// Candidate pairs generated, `Σ_v C(kept-deg(v), 2)`. This is also
+    /// the number of edge insertions the naive pair-spray builder
+    /// performs.
+    pub pairs_generated: u64,
+    /// Pairs collapsed into an already-seen adjacency (shard-local plus
+    /// cross-shard merging).
+    pub duplicates_merged: u64,
+    /// Unique G-edges inserted into the CSR — the kernel's edge-insertion
+    /// count.
+    pub unique_edges: u64,
+    /// Hyperedges that received a G-vertex.
+    pub kept_edges: usize,
+    /// Hyperedges dropped by the size threshold.
+    pub filtered_edges: usize,
+    /// Shards the module space was split into.
+    pub shards: usize,
+    /// Worker threads the kernel ran with.
+    pub threads: usize,
+    /// Wall-clock time of the whole dualization.
+    pub wall: Duration,
+}
+
+/// Configures and runs the sparse dualization kernel.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_hypergraph::{Dualizer, intersection::paper_example};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let h = paper_example();
+/// let ig = Dualizer::new().threshold(Some(10)).threads(2).build(&h)?;
+/// assert_eq!(ig.num_g_vertices(), 9);
+/// let stats = ig.stats();
+/// assert_eq!(stats.pairs_generated, stats.unique_edges + stats.duplicates_merged);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Dualizer {
+    threshold: Option<usize>,
+    threads: usize,
+}
+
+impl Default for Dualizer {
+    fn default() -> Self {
+        Self {
+            threshold: None,
+            threads: 1,
+        }
+    }
+}
+
+impl Dualizer {
+    /// A kernel with no size filter, running single-threaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ignore hyperedges of size `>= threshold` (if `Some`); they get no
+    /// G-vertex.
+    pub fn threshold(mut self, threshold: Option<usize>) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Worker threads for shard execution (default 1; `0` means one per
+    /// available core). The built graph is bit-identical for every value —
+    /// this knob only trades wall-clock time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the kernel on `h`.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildGraphError::TooManyGVertices`] if the kept hyperedges
+    /// overflow the `u32` G-vertex id space.
+    pub fn build(&self, h: &Hypergraph) -> Result<IntersectionGraph, BuildGraphError> {
+        let started = Instant::now();
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        let (kept, g_of) = keep_map(h, self.threshold)?;
+
+        // Pair mass per module; the shard boundaries below bucket by it.
+        let mut total_pairs = 0u64;
+        let mut vertex_pairs = Vec::with_capacity(h.num_vertices());
+        for v in h.vertices() {
+            let kd = h
+                .edges_of(v)
+                .iter()
+                .filter(|e| g_of[e.index()] != FILTERED)
+                .count() as u64;
+            let p = kd * (kd.saturating_sub(1)) / 2;
+            vertex_pairs.push(p);
+            total_pairs += p;
+        }
+
+        let shards = if threads <= 1 {
+            1
+        } else {
+            // Overshard a little so dynamic claiming can smooth out skew.
+            (threads * 2).clamp(1, 32)
+        };
+        let bounds = shard_boundaries(&vertex_pairs, total_pairs, shards);
+        let shard_out = run_shards(shards, threads, |s| {
+            dualize_shard(h, &g_of, bounds[s]..bounds[s + 1])
+        });
+
+        let pairs_generated: u64 = shard_out.iter().map(|s| s.generated).sum();
+        debug_assert_eq!(pairs_generated, total_pairs);
+        let (pairs, counts) = merge_shards(shard_out);
+        let unique_edges = pairs.len() as u64;
+        let (graph, shared) = csr_with_weights(kept.len(), &pairs, &counts);
+
+        Ok(IntersectionGraph {
+            graph,
+            shared,
+            kept,
+            g_of,
+            threshold: self.threshold,
+            stats: DualizeStats {
+                pairs_generated,
+                duplicates_merged: pairs_generated - unique_edges,
+                unique_edges,
+                kept_edges: 0, // filled below (borrow of kept already moved)
+                filtered_edges: h.num_edges(),
+                shards,
+                threads,
+                wall: started.elapsed(),
+            },
+        }
+        .finish_stats(h.num_edges()))
+    }
+}
 
 /// The intersection graph `G` dual to a hypergraph `H`, with the mapping
-/// between G-vertices and H-hyperedges.
+/// between G-vertices and H-hyperedges and the shared-module multiplicity
+/// of every adjacency.
 ///
 /// When built with a size threshold, only hyperedges *below* the threshold
 /// receive a G-vertex; the mapping is then a compaction.
@@ -50,17 +232,24 @@ use crate::{EdgeId, Graph, GraphBuilder, Hypergraph, VertexId};
 #[derive(Clone, Debug)]
 pub struct IntersectionGraph {
     graph: Graph,
+    /// Shared-module multiplicity per adjacency slot, aligned with the
+    /// graph's flat neighbor array (see [`Graph::slot_range`]).
+    shared: Vec<u32>,
     /// `kept[g]` = hyperedge represented by G-vertex `g`.
     kept: Vec<EdgeId>,
     /// `g_of[e]` = G-vertex of hyperedge `e`, or `u32::MAX` if filtered out.
     g_of: Vec<u32>,
     threshold: Option<usize>,
+    stats: DualizeStats,
 }
-
-const FILTERED: u32 = u32::MAX;
 
 impl IntersectionGraph {
     /// Builds the full intersection graph (no size filtering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kept hyperedges overflow `u32` G-vertex ids; use
+    /// [`Dualizer::build`] to handle that case as an error.
     pub fn build(h: &Hypergraph) -> Self {
         Self::build_with_threshold(h, None)
     }
@@ -68,22 +257,38 @@ impl IntersectionGraph {
     /// Builds the intersection graph over hyperedges of size `< threshold`
     /// (if `Some`); hyperedges at or above the threshold get no G-vertex.
     ///
-    /// Cost is `O(Σ_v deg(v)²)` pair generation plus sorting; for
-    /// bounded-degree netlists this is linear in pins.
+    /// Cost is `O(Σ_v C(deg(v), 2))` pair generation, deduplicated
+    /// shard-locally before any edge insertion; for bounded-degree
+    /// netlists this is linear in pins. See the [module docs](self).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kept hyperedges overflow `u32` G-vertex ids; use
+    /// [`Dualizer::build`] to handle that case as an error.
     pub fn build_with_threshold(h: &Hypergraph, threshold: Option<usize>) -> Self {
-        let keep = |e: EdgeId| match threshold {
-            Some(t) => h.edge_size(e) < t,
-            None => true,
-        };
-        let mut kept = Vec::new();
-        let mut g_of = vec![FILTERED; h.num_edges()];
-        for e in h.edges() {
-            if keep(e) {
-                g_of[e.index()] = u32::try_from(kept.len()).expect("too many edges");
-                kept.push(e);
-            }
-        }
+        Dualizer::new()
+            .threshold(threshold)
+            .build(h)
+            .expect("kept hyperedges overflow u32 G-vertex ids")
+    }
+
+    /// The historical pair-spray builder, retained verbatim as the oracle
+    /// the equivalence test battery compares the sparse kernel against:
+    /// one [`GraphBuilder::add_edge`] call per generated pair, global
+    /// sort-and-dedup at the end.
+    ///
+    /// Produces the same graph, mapping, and multiplicities as
+    /// [`Dualizer::build`] — only slower, and with
+    /// [`DualizeStats::unique_edges`] reported from its own recount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kept hyperedges overflow `u32` G-vertex ids.
+    pub fn build_naive_with_threshold(h: &Hypergraph, threshold: Option<usize>) -> Self {
+        let started = Instant::now();
+        let (kept, g_of) = keep_map(h, threshold).expect("kept hyperedges overflow u32 ids");
         let mut gb = GraphBuilder::new(kept.len());
+        let mut all_pairs: Vec<(u32, u32)> = Vec::new();
         for v in h.vertices() {
             let inc = h.edges_of(v);
             for (i, &a) in inc.iter().enumerate() {
@@ -95,21 +300,68 @@ impl IntersectionGraph {
                     let gb2 = g_of[b.index()];
                     if gb2 != FILTERED {
                         gb.add_edge(ga, gb2);
+                        all_pairs.push((ga, gb2));
                     }
                 }
             }
         }
+        let pairs_generated = all_pairs.len() as u64;
+        let graph = gb.build();
+
+        // Multiplicities by an independent sort + run-length count, so the
+        // oracle's weights do not share code with the kernel's merge.
+        all_pairs.sort_unstable();
+        let mut shared = vec![0u32; 2 * graph.num_edges()];
+        let mut i = 0;
+        let mut unique_edges = 0u64;
+        while i < all_pairs.len() {
+            let (u, v) = all_pairs[i];
+            let mut run = 1u32;
+            while i + (run as usize) < all_pairs.len() && all_pairs[i + run as usize] == (u, v) {
+                run += 1;
+            }
+            unique_edges += 1;
+            for (a, b) in [(u, v), (v, u)] {
+                let slot = graph.edge_slot(a, b).expect("pair was inserted");
+                shared[slot] = run;
+            }
+            i += run as usize;
+        }
+
+        let (kept_edges, filtered_edges) = (kept.len(), h.num_edges() - kept.len());
         Self {
-            graph: gb.build(),
+            graph,
+            shared,
             kept,
             g_of,
             threshold,
+            stats: DualizeStats {
+                pairs_generated,
+                duplicates_merged: pairs_generated - unique_edges,
+                unique_edges,
+                kept_edges,
+                filtered_edges,
+                shards: 1,
+                threads: 1,
+                wall: started.elapsed(),
+            },
         }
+    }
+
+    fn finish_stats(mut self, num_edges: usize) -> Self {
+        self.stats.kept_edges = self.kept.len();
+        self.stats.filtered_edges = num_edges - self.kept.len();
+        self
     }
 
     /// The underlying simple graph `G`.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// What the dualization kernel did to build this graph.
+    pub fn stats(&self) -> &DualizeStats {
+        &self.stats
     }
 
     /// Number of G-vertices (kept hyperedges).
@@ -133,6 +385,27 @@ impl IntersectionGraph {
         (g != FILTERED).then_some(g)
     }
 
+    /// How many modules the hyperedges behind G-vertices `ga` and `gb`
+    /// share — the weight of the G-edge — or `None` if they are not
+    /// adjacent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ga` is out of range.
+    pub fn shared_modules(&self, ga: u32, gb: u32) -> Option<u32> {
+        self.graph.edge_slot(ga, gb).map(|slot| self.shared[slot])
+    }
+
+    /// Shared-module multiplicities of `g`'s adjacencies, aligned with
+    /// [`Graph::neighbors`]`(g)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn multiplicities_of(&self, g: u32) -> &[u32] {
+        &self.shared[self.graph.slot_range(g)]
+    }
+
     /// The threshold this graph was built with.
     pub fn threshold(&self) -> Option<usize> {
         self.threshold
@@ -153,6 +426,211 @@ impl IntersectionGraph {
         }
         covered
     }
+}
+
+/// Computes the kept-edge list and the `g_of` compaction, rejecting
+/// instances whose kept edges overflow the `u32` id space (the `FILTERED`
+/// sentinel reserves one id).
+fn keep_map(
+    h: &Hypergraph,
+    threshold: Option<usize>,
+) -> Result<(Vec<EdgeId>, Vec<u32>), BuildGraphError> {
+    let keep = |e: EdgeId| match threshold {
+        Some(t) => h.edge_size(e) < t,
+        None => true,
+    };
+    let mut kept = Vec::new();
+    let mut g_of = vec![FILTERED; h.num_edges()];
+    for e in h.edges() {
+        if keep(e) {
+            let id = u32::try_from(kept.len())
+                .ok()
+                .filter(|&id| id != FILTERED)
+                .ok_or(BuildGraphError::TooManyGVertices {
+                    found: kept.len() + 1,
+                })?;
+            g_of[e.index()] = id;
+            kept.push(e);
+        }
+    }
+    Ok((kept, g_of))
+}
+
+/// One shard's output: its sorted unique pairs with run-length counts,
+/// plus how many raw pairs it generated.
+struct ShardOut {
+    pairs: Vec<(u32, u32)>,
+    counts: Vec<u32>,
+    generated: u64,
+}
+
+/// Splits the module index space into `shards` contiguous ranges of
+/// roughly equal pair mass (degree bucketing): a hub module with `C(d, 2)`
+/// pairs weighs as much as thousands of leaf modules, so boundaries follow
+/// cumulative mass, not vertex count. Returns `shards + 1` boundaries.
+fn shard_boundaries(vertex_pairs: &[u64], total: u64, shards: usize) -> Vec<usize> {
+    let mut bounds = Vec::with_capacity(shards + 1);
+    bounds.push(0);
+    let target = (total / shards as u64).max(1);
+    let mut acc = 0u64;
+    for (i, &p) in vertex_pairs.iter().enumerate() {
+        acc += p;
+        if acc >= target && bounds.len() < shards {
+            bounds.push(i + 1);
+            acc = 0;
+        }
+    }
+    while bounds.len() <= shards {
+        bounds.push(vertex_pairs.len());
+    }
+    bounds
+}
+
+/// Generates, sorts, and run-length-deduplicates the pairs owned by one
+/// contiguous module range. Pure function of `(h, g_of, range)`.
+fn dualize_shard(h: &Hypergraph, g_of: &[u32], range: std::ops::Range<usize>) -> ShardOut {
+    let mut buf: Vec<(u32, u32)> = Vec::new();
+    let mut incident: Vec<u32> = Vec::new();
+    for v in range {
+        incident.clear();
+        incident.extend(h.edges_of(VertexId::new(v)).iter().filter_map(|e| {
+            let g = g_of[e.index()];
+            (g != FILTERED).then_some(g)
+        }));
+        // `edges_of` is ascending and `g_of` is a monotone compaction, so
+        // `incident` is ascending and every (i, j) pair below has a < b.
+        for (i, &a) in incident.iter().enumerate() {
+            for &b in &incident[i + 1..] {
+                buf.push((a, b));
+            }
+        }
+    }
+    let generated = buf.len() as u64;
+    buf.sort_unstable();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    for p in buf {
+        if pairs.last() == Some(&p) {
+            *counts.last_mut().expect("parallel to pairs") += 1;
+        } else {
+            pairs.push(p);
+            counts.push(1);
+        }
+    }
+    ShardOut {
+        pairs,
+        counts,
+        generated,
+    }
+}
+
+/// Runs `work(s)` for every shard across `threads` scoped workers that
+/// claim shard indices from an atomic counter, returning outputs in shard
+/// order regardless of completion order — the `fhp_core::runner` pattern.
+fn run_shards<T, F>(shards: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.clamp(1, shards.max(1));
+    if workers == 1 {
+        return (0..shards).map(work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..shards).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= shards {
+                    break;
+                }
+                let out = work(index);
+                slots.lock().expect("no panics hold this lock")[index] = Some(out);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every shard was claimed exactly once"))
+        .collect()
+}
+
+/// K-way-merges the sorted shard runs into one sorted unique pair list,
+/// summing the multiplicities of pairs that appear in several shards. The
+/// result is the sorted multiset union of the runs — independent of how
+/// the pairs were sharded.
+fn merge_shards(mut shard_out: Vec<ShardOut>) -> (Vec<(u32, u32)>, Vec<u32>) {
+    if shard_out.len() == 1 {
+        let s = shard_out.pop().expect("length checked");
+        return (s.pairs, s.counts);
+    }
+    let upper: usize = shard_out.iter().map(|s| s.pairs.len()).sum();
+    let mut pairs = Vec::with_capacity(upper);
+    let mut counts = Vec::with_capacity(upper);
+    let mut cursor = vec![0usize; shard_out.len()];
+    loop {
+        let mut min: Option<(u32, u32)> = None;
+        for (s, out) in shard_out.iter().enumerate() {
+            if let Some(&p) = out.pairs.get(cursor[s]) {
+                if min.is_none_or(|m| p < m) {
+                    min = Some(p);
+                }
+            }
+        }
+        let Some(m) = min else { break };
+        let mut total = 0u32;
+        for (s, out) in shard_out.iter().enumerate() {
+            if out.pairs.get(cursor[s]) == Some(&m) {
+                total += out.counts[cursor[s]];
+                cursor[s] += 1;
+            }
+        }
+        pairs.push(m);
+        counts.push(total);
+    }
+    (pairs, counts)
+}
+
+/// Writes the CSR adjacency (and the aligned multiplicity array) straight
+/// from the lexicographically sorted unique pair list.
+///
+/// Two passes over the sorted pairs leave every vertex's list fully
+/// sorted: pass one fills lower neighbors (`u` into `v`'s list, ascending
+/// in `u` because the list is lex-sorted), pass two appends higher
+/// neighbors (`v` into `u`'s list, ascending in `v`), and every lower
+/// neighbor precedes every higher one.
+fn csr_with_weights(n: usize, pairs: &[(u32, u32)], counts: &[u32]) -> (Graph, Vec<u32>) {
+    let mut degree = vec![0usize; n];
+    for &(u, v) in pairs {
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &d in &degree {
+        acc += d;
+        offsets.push(acc);
+    }
+    let mut cursor = offsets.clone();
+    let mut neighbors = vec![0u32; acc];
+    let mut shared = vec![0u32; acc];
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        let slot = cursor[v as usize];
+        neighbors[slot] = u;
+        shared[slot] = counts[i];
+        cursor[v as usize] += 1;
+    }
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        let slot = cursor[u as usize];
+        neighbors[slot] = v;
+        shared[slot] = counts[i];
+        cursor[u as usize] += 1;
+    }
+    (Graph::from_parts(offsets, neighbors), shared)
 }
 
 /// Convenience: builds the paper's Figure 4 running-example hypergraph
@@ -241,6 +719,105 @@ mod tests {
     }
 
     #[test]
+    fn multiplicities_count_shared_modules() {
+        let h = paper_example();
+        let ig = IntersectionGraph::build(&h);
+        let idx = |ch: char| (ch as u8 - b'a') as u32;
+        assert_eq!(ig.shared_modules(idx('a'), idx('b')), Some(2)); // modules 2, 11
+        assert_eq!(ig.shared_modules(idx('b'), idx('a')), Some(2)); // symmetric
+        assert_eq!(ig.shared_modules(idx('a'), idx('c')), Some(1)); // module 1
+        assert_eq!(ig.shared_modules(idx('h'), idx('i')), Some(3)); // modules 7, 9, 10
+        assert_eq!(ig.shared_modules(idx('a'), idx('i')), None);
+        // aligned view agrees with pointwise lookups
+        for g in ig.graph().vertices() {
+            let mults = ig.multiplicities_of(g);
+            for (i, &n) in ig.graph().neighbors(g).iter().enumerate() {
+                assert_eq!(ig.shared_modules(g, n), Some(mults[i]));
+                assert!(mults[i] >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_balance_on_paper_example() {
+        let h = paper_example();
+        let ig = IntersectionGraph::build(&h);
+        let s = ig.stats();
+        assert_eq!(s.pairs_generated, s.unique_edges + s.duplicates_merged);
+        assert_eq!(s.unique_edges, ig.graph().num_edges() as u64);
+        assert_eq!(s.kept_edges, 9);
+        assert_eq!(s.filtered_edges, 0);
+        assert_eq!(s.shards, 1);
+        assert_eq!(s.threads, 1);
+    }
+
+    #[test]
+    fn naive_oracle_matches_kernel_on_paper_example() {
+        let h = paper_example();
+        for threshold in [None, Some(3), Some(4), Some(10)] {
+            let naive = IntersectionGraph::build_naive_with_threshold(&h, threshold);
+            for threads in [1, 2, 8] {
+                let fast = Dualizer::new()
+                    .threshold(threshold)
+                    .threads(threads)
+                    .build(&h)
+                    .unwrap();
+                assert_eq!(fast.graph(), naive.graph(), "threads {threads}");
+                assert_eq!(fast.shared, naive.shared, "threads {threads}");
+                assert_eq!(fast.g_of, naive.g_of);
+                assert_eq!(fast.kept, naive.kept);
+                assert_eq!(fast.stats().pairs_generated, naive.stats().pairs_generated);
+                assert_eq!(fast.stats().unique_edges, naive.stats().unique_edges);
+            }
+        }
+    }
+
+    #[test]
+    fn hub_module_pairs_collapse() {
+        // 16 signals all sharing 4 hub modules: the naive builder sprays
+        // 4 * C(16, 2) pair insertions, the kernel inserts C(16, 2) edges.
+        let mut b = HypergraphBuilder::with_vertices(4 + 16);
+        for s in 0..16 {
+            let mut pins: Vec<VertexId> = (0..4).map(VertexId::new).collect();
+            pins.push(VertexId::new(4 + s));
+            b.add_edge(pins).unwrap();
+        }
+        let h = b.build();
+        let ig = Dualizer::new().threads(2).build(&h).unwrap();
+        let s = ig.stats();
+        assert_eq!(s.pairs_generated, 4 * 120);
+        assert_eq!(s.unique_edges, 120);
+        assert_eq!(s.duplicates_merged, 3 * 120);
+        for g in ig.graph().vertices() {
+            for &m in ig.multiplicities_of(g) {
+                assert_eq!(m, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_boundaries_cover_and_bucket() {
+        // one hub vertex with huge mass: it lands alone-ish in a shard
+        let pairs = [0, 0, 1000, 1, 1, 1, 1, 1];
+        let total: u64 = pairs.iter().sum();
+        let bounds = shard_boundaries(&pairs, total, 4);
+        assert_eq!(bounds.len(), 5);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), pairs.len());
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        // the hub's bucket closes right after it
+        assert!(bounds.contains(&3));
+    }
+
+    #[test]
+    fn empty_mass_still_yields_valid_boundaries() {
+        let bounds = shard_boundaries(&[0, 0, 0], 0, 4);
+        assert_eq!(bounds.len(), 5);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), 3);
+    }
+
+    #[test]
     fn threshold_filters_large_edges() {
         let h = paper_example(); // max edge size 4
         let ig = IntersectionGraph::build_with_threshold(&h, Some(4));
@@ -251,6 +828,8 @@ mod tests {
         let filtered: Vec<_> = ig.filtered_edges(&h).collect();
         assert_eq!(filtered, vec![EdgeId::new(2), EdgeId::new(8)]);
         assert_eq!(ig.threshold(), Some(4));
+        assert_eq!(ig.stats().kept_edges, 7);
+        assert_eq!(ig.stats().filtered_edges, 2);
         // round trip mapping on kept edges
         for g in 0..ig.num_g_vertices() as u32 {
             assert_eq!(ig.g_vertex_of(ig.edge_of(g)), Some(g));
@@ -288,8 +867,20 @@ mod tests {
     #[test]
     fn empty_and_edgeless() {
         let h = HypergraphBuilder::with_vertices(3).build();
-        let ig = IntersectionGraph::build(&h);
-        assert_eq!(ig.num_g_vertices(), 0);
-        assert_eq!(ig.covered_vertices(&h), vec![false; 3]);
+        for threads in [1, 4] {
+            let ig = Dualizer::new().threads(threads).build(&h).unwrap();
+            assert_eq!(ig.num_g_vertices(), 0);
+            assert_eq!(ig.covered_vertices(&h), vec![false; 3]);
+            assert_eq!(ig.stats().pairs_generated, 0);
+        }
+    }
+
+    #[test]
+    fn auto_threads_build_matches_sequential() {
+        let h = paper_example();
+        let auto = Dualizer::new().threads(0).build(&h).unwrap();
+        let seq = Dualizer::new().threads(1).build(&h).unwrap();
+        assert_eq!(auto.graph(), seq.graph());
+        assert_eq!(auto.shared, seq.shared);
     }
 }

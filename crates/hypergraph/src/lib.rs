@@ -49,9 +49,9 @@ pub mod netlist;
 pub mod stats;
 pub mod subhypergraph;
 
-pub use error::{BuildHypergraphError, ParseHgrError, ParseNetlistError};
+pub use error::{BuildGraphError, BuildHypergraphError, ParseHgrError, ParseNetlistError};
 pub use graph::{Graph, GraphBuilder};
 pub use hypergraph::{Hypergraph, HypergraphBuilder};
 pub use ids::{EdgeId, VertexId};
-pub use intersection::IntersectionGraph;
+pub use intersection::{DualizeStats, Dualizer, IntersectionGraph};
 pub use netlist::Netlist;

@@ -7,7 +7,7 @@
 //! [`Subhypergraph`] remembers both directions of the id mapping so
 //! partitions of the child can be applied to the parent.
 
-use crate::{EdgeId, Hypergraph, HypergraphBuilder, VertexId};
+use crate::{BuildGraphError, EdgeId, Hypergraph, HypergraphBuilder, VertexId};
 
 /// A hypergraph induced on a vertex subset, plus the id correspondence.
 ///
@@ -43,9 +43,25 @@ impl Subhypergraph {
     ///
     /// # Panics
     ///
-    /// Panics if `keep` contains an out-of-range or duplicate vertex.
+    /// Panics if `keep` contains an out-of-range or duplicate vertex, or
+    /// overflows `u32` child ids (see [`Subhypergraph::try_induce`]).
     pub fn induce(h: &Hypergraph, keep: &[VertexId]) -> Self {
+        Self::try_induce(h, keep).expect("keep set overflows u32 child vertex ids")
+    }
+
+    /// Fallible form of [`Subhypergraph::induce`]: rejects keep sets whose
+    /// size overflows the `u32` child vertex id space (one id is reserved
+    /// as the "absent" sentinel) instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if `keep` contains an out-of-range or duplicate
+    /// vertex — those are caller bugs, not input-size conditions.
+    pub fn try_induce(h: &Hypergraph, keep: &[VertexId]) -> Result<Self, BuildGraphError> {
         const ABSENT: u32 = u32::MAX;
+        if u32::try_from(keep.len()).map_or(true, |n| n == ABSENT) {
+            return Err(BuildGraphError::TooManyVertices { found: keep.len() });
+        }
         let mut child_of = vec![ABSENT; h.num_vertices()];
         let mut b = HypergraphBuilder::new();
         for (i, &v) in keep.iter().enumerate() {
@@ -53,7 +69,7 @@ impl Subhypergraph {
                 child_of[v.index()] == ABSENT,
                 "duplicate vertex {v} in keep set"
             );
-            child_of[v.index()] = u32::try_from(i).expect("keep set too large");
+            child_of[v.index()] = i as u32;
             b.add_weighted_vertex(h.vertex_weight(v));
         }
         let mut parent_edge = Vec::new();
@@ -70,11 +86,11 @@ impl Subhypergraph {
                 parent_edge.push(e);
             }
         }
-        Self {
+        Ok(Self {
             hypergraph: b.build(),
             parent_vertex: keep.to_vec(),
             parent_edge,
-        }
+        })
     }
 
     /// The induced hypergraph.

@@ -1,0 +1,209 @@
+//! Property tests for `.hgr` ingestion: [`hgr::parse_hgr`] must return a
+//! typed [`ParseHgrError`] — never panic — on malformed input, and
+//! [`hgr::write_hgr`] → `parse_hgr` must be a lossless round trip. The
+//! unit tests in `hgr.rs` pin each error variant on a hand-written file;
+//! these tests throw generated and mutated files at the parser.
+
+use fhp_hypergraph::hgr::{parse_hgr, write_hgr};
+use fhp_hypergraph::{Hypergraph, HypergraphBuilder, VertexId};
+use proptest::prelude::*;
+
+prop_compose! {
+    /// An arbitrary small hypergraph with optional non-unit edge and
+    /// vertex weights, so the writer exercises all four `fmt` codes.
+    fn arb_hypergraph()(
+        nv in 1usize..12,
+        raw_edges in proptest::collection::vec(
+            proptest::collection::vec(0usize..12, 1..5),
+            1..10,
+        ),
+        edge_weighted in any::<bool>(),
+        vertex_weighted in any::<bool>(),
+        weight_seed in 1u64..100,
+    ) -> Hypergraph {
+        let mut b = HypergraphBuilder::with_vertices(nv);
+        for (i, pins) in raw_edges.iter().enumerate() {
+            let pins = pins.iter().map(|&p| VertexId::new(p % nv));
+            let w = if edge_weighted { 1 + (weight_seed + i as u64) % 9 } else { 1 };
+            b.add_weighted_edge(pins, w).expect("pins are in range");
+        }
+        if vertex_weighted {
+            for v in 0..nv {
+                b.set_vertex_weight(VertexId::new(v), 1 + (weight_seed + v as u64) % 7);
+            }
+        }
+        b.build()
+    }
+}
+
+/// The 0-based line of `write_hgr` output holding edge `e`: the writer
+/// emits the header, then one line per edge, then vertex weights.
+fn edge_line(e: usize) -> usize {
+    1 + e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_then_parse_is_lossless(h in arb_hypergraph()) {
+        let text = write_hgr(&h);
+        let parsed = parse_hgr(&text).expect("writer output must parse");
+        prop_assert_eq!(&parsed, &h);
+        // and the round trip is a fixed point of the writer
+        prop_assert_eq!(write_hgr(&parsed), text);
+    }
+
+    #[test]
+    fn truncated_files_error_never_panic(h in arb_hypergraph(), cut_seed in 0usize..1000) {
+        let text = write_hgr(&h);
+        let total_lines = text.lines().count();
+        // keep a strict prefix of the lines: always at least one line short
+        let keep = cut_seed % total_lines;
+        let truncated: String = text
+            .lines()
+            .take(keep)
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        prop_assert!(
+            parse_hgr(&truncated).is_err(),
+            "prefix of {keep}/{total_lines} lines must not parse:\n{truncated}"
+        );
+    }
+
+    #[test]
+    fn emptied_pin_lists_error_never_panic(h in arb_hypergraph(), pick in 0usize..1000) {
+        // drop every pin token from one edge line (keeping the weight
+        // token when the file carries edge weights): a zero-sized edge
+        let text = write_hgr(&h);
+        let has_edge_weights = h.edges().any(|e| h.edge_weight(e) != 1);
+        let victim = edge_line(pick % h.num_edges());
+        let mutated: String = text
+            .lines()
+            .enumerate()
+            .flat_map(|(i, l)| {
+                let kept = if i == victim {
+                    if has_edge_weights {
+                        l.split_whitespace().next().unwrap()
+                    } else {
+                        ""
+                    }
+                } else {
+                    l
+                };
+                [kept, "\n"]
+            })
+            .collect();
+        prop_assert!(
+            parse_hgr(&mutated).is_err(),
+            "zero-sized edge on line {} must not parse:\n{mutated}",
+            victim + 1
+        );
+    }
+
+    #[test]
+    fn truncated_pin_lists_never_panic(h in arb_hypergraph(), pick in 0usize..1000) {
+        // drop the final pin of one edge: still syntactically plausible,
+        // so the parser may accept it — but the result must be a valid
+        // hypergraph with exactly one pin fewer, and it must never panic
+        let text = write_hgr(&h);
+        let victim = edge_line(pick % h.num_edges());
+        let mutated: String = text
+            .lines()
+            .enumerate()
+            .flat_map(|(i, l)| {
+                let kept = if i == victim {
+                    l.rsplit_once(char::is_whitespace).map_or("", |(head, _)| head)
+                } else {
+                    l
+                };
+                [kept, "\n"]
+            })
+            .collect();
+        // Err is fine too: we dropped the only pin, or exposed the weight
+        // token as a lone pin
+        if let Ok(parsed) = parse_hgr(&mutated) {
+            prop_assert_eq!(parsed.num_edges(), h.num_edges());
+            prop_assert_eq!(parsed.num_pins(), h.num_pins() - 1);
+        }
+    }
+
+    #[test]
+    fn out_of_range_pins_error_never_panic(
+        h in arb_hypergraph(),
+        pick in 0usize..1000,
+        beyond in 0usize..5,
+        zero in any::<bool>(),
+    ) {
+        // vertices are 1-based: both 0 and anything past num_vertices are
+        // out of range
+        let bad = if zero { 0 } else { h.num_vertices() + 1 + beyond };
+        let text = write_hgr(&h);
+        let victim = edge_line(pick % h.num_edges());
+        let mutated: String = text
+            .lines()
+            .enumerate()
+            .flat_map(|(i, l)| {
+                let line = if i == victim { format!("{l} {bad}") } else { l.to_string() };
+                [line, "\n".to_string()]
+            })
+            .collect();
+        prop_assert!(
+            parse_hgr(&mutated).is_err(),
+            "pin {bad} of {} vertices must not parse:\n{mutated}",
+            h.num_vertices()
+        );
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        h in arb_hypergraph(),
+        pos_seed in 0usize..10_000,
+        byte in 0u8..128,
+    ) {
+        // arbitrary printable-or-not ASCII splices: the parser may accept
+        // or reject, but it must always return, and anything it accepts
+        // must survive its own round trip
+        let mut bytes = write_hgr(&h).into_bytes();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] = byte;
+        let Ok(text) = String::from_utf8(bytes) else { return Ok(()) };
+        if let Ok(parsed) = parse_hgr(&text) {
+            let rewritten = write_hgr(&parsed);
+            prop_assert_eq!(parse_hgr(&rewritten).expect("writer output parses"), parsed);
+        }
+    }
+
+    #[test]
+    fn lying_headers_error_never_panic(
+        h in arb_hypergraph(),
+        claimed_extra in 1usize..50,
+    ) {
+        // header promises more edges than the body provides
+        let text = write_hgr(&h);
+        let mut lines = text.lines();
+        let header = lines.next().expect("writer emits a header");
+        let mut doctored = String::new();
+        let claimed = h.num_edges() + claimed_extra;
+        let tail: Vec<&str> = header.split_whitespace().skip(1).collect();
+        doctored.push_str(&format!("{claimed} {}\n", tail.join(" ")));
+        for l in lines {
+            doctored.push_str(l);
+            doctored.push('\n');
+        }
+        prop_assert!(parse_hgr(&doctored).is_err(), "{doctored}");
+    }
+}
+
+#[test]
+fn zero_weights_are_rejected_not_panicked() {
+    // weight 0 on an edge (fmt 1) and on a vertex (fmt 10)
+    assert!(parse_hgr("2 3 1\n0 1 2\n5 2 3\n").is_err());
+    assert!(parse_hgr("1 2 10\n1 2\n1\n0\n").is_err());
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    assert!(parse_hgr("1 2\n1 2\nsurprise\n").is_err());
+    assert!(parse_hgr("1 2\n1 2\n3\n").is_err());
+}

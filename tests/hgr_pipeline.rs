@@ -1,0 +1,81 @@
+//! Golden end-to-end pipeline test: an `.hgr` file off disk (here, an
+//! inline literal) goes through parse → dualize → partition and lands on
+//! the known answer for the paper's Figure 4 example, identically at
+//! every thread count. Also checks that a serialize → parse round trip of
+//! a generated netlist changes nothing downstream.
+
+use fhp::core::{Algorithm1, PartitionConfig};
+use fhp::gen::{CircuitNetlist, Technology};
+use fhp::hypergraph::hgr::{parse_hgr, write_hgr};
+use fhp::hypergraph::intersection::paper_example;
+
+/// The paper's Figure 4 example as hMETIS `.hgr` text: 9 signals a–i
+/// over 12 modules, 1-based, matching [`paper_example`] edge for edge.
+const GOLDEN_HGR: &str = "\
+% Kahng DAC'89 Figure 4 example: signals a-i over modules 1-12
+9 12
+1 2 11
+2 4 11
+1 3 4 12
+3 5
+4 6 7
+5 6 8
+6 8
+7 9 10
+6 7 9 10
+";
+
+#[test]
+fn golden_hgr_matches_the_built_in_example() {
+    let parsed = parse_hgr(GOLDEN_HGR).expect("golden file parses");
+    assert_eq!(parsed, paper_example());
+    // the writer round-trips it (modulo the comment line)
+    assert_eq!(parse_hgr(&write_hgr(&parsed)).expect("round trip"), parsed);
+}
+
+#[test]
+fn golden_hgr_partitions_to_the_known_cut() {
+    let h = parse_hgr(GOLDEN_HGR).expect("golden file parses");
+    let baseline = Algorithm1::new(PartitionConfig::paper().threads(1))
+        .run(&h)
+        .expect("partition succeeds");
+    assert_eq!(baseline.report.cut_size, 2, "Figure 4 bisects with cut 2");
+    assert_eq!(
+        baseline.report.counts.0 + baseline.report.counts.1,
+        h.num_vertices()
+    );
+
+    // parse → build → partition is thread invariant end to end
+    for threads in [2, 8] {
+        let outcome = Algorithm1::new(PartitionConfig::paper().threads(threads))
+            .run(&h)
+            .expect("partition succeeds");
+        assert_eq!(
+            outcome.fingerprint(),
+            baseline.fingerprint(),
+            "pipeline diverged at {threads} threads"
+        );
+    }
+
+    // and the parsed file behaves exactly like the built-in example
+    let direct = Algorithm1::new(PartitionConfig::paper().threads(1))
+        .run(&paper_example())
+        .expect("partition succeeds");
+    assert_eq!(direct.fingerprint(), baseline.fingerprint());
+}
+
+#[test]
+fn serialization_round_trip_preserves_the_partition() {
+    let h = CircuitNetlist::new(Technology::StdCell, 90, 150)
+        .seed(6)
+        .generate()
+        .expect("valid generator config");
+    let rehydrated = parse_hgr(&write_hgr(&h)).expect("round trip parses");
+    assert_eq!(rehydrated, h);
+
+    let config = PartitionConfig::paper().seed(6);
+    let before = Algorithm1::new(config).run(&h).expect("runs");
+    let after = Algorithm1::new(config).run(&rehydrated).expect("runs");
+    assert_eq!(before.fingerprint(), after.fingerprint());
+    assert_eq!(before.report.cut_size, after.report.cut_size);
+}
