@@ -18,9 +18,17 @@
 //!   -t, --threshold <K>     ignore signals with K or more pins
 //!       --balance           engineer's-method weighted completion (alg1)
 //!       --objective <cut|quotient|ratio>     alg1 ranking objective
-//!       --stats             print per-phase `[stats]` lines (alg1 two-way)
+//!       --stats             print per-phase `[stats]` lines (alg1 two-way;
+//!                           other algorithms print a not_instrumented note)
+//!       --trace <FILE>      write an NDJSON event trace (alg1 two-way only)
+//!       --profile           print folded stacks to stderr (alg1 two-way only)
 //!   -q, --quiet             print only the cut size
 //! ```
+//!
+//! Flag precedence: `--quiet` suppresses the human-readable report lines
+//! on stdout, but **not** the `[stats]` lines, the `--trace` file, or the
+//! `--profile` stderr output — quiet governs the report, not the
+//! diagnostics channels.
 
 use std::process::ExitCode;
 
@@ -29,6 +37,7 @@ use fhp_core::{
     metrics, Algorithm1, Bipartitioner, CompletionStrategy, Objective, PartitionConfig, Side,
 };
 use fhp_hypergraph::Netlist;
+use fhp_obs::{folded_stacks, names, order, Collector, TraceWriter};
 
 struct Options {
     path: Option<String>,
@@ -41,6 +50,8 @@ struct Options {
     balance: bool,
     objective: Objective,
     stats: bool,
+    trace: Option<String>,
+    profile: bool,
     quiet: bool,
     blocks: usize,
     place: Option<(usize, usize)>,
@@ -58,6 +69,8 @@ fn parse_args() -> Result<Options, String> {
         balance: false,
         objective: Objective::CutSize,
         stats: false,
+        trace: None,
+        profile: false,
         quiet: false,
         blocks: 2,
         place: None,
@@ -99,6 +112,8 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--stats" => opts.stats = true,
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--profile" => opts.profile = true,
             "-q" | "--quiet" => opts.quiet = true,
             "--place" => {
                 let spec = value("--place")?;
@@ -214,8 +229,22 @@ fn main() -> ExitCode {
         }
     };
 
-    if opts.stats && (opts.algorithm != "alg1" || opts.place.is_some() || opts.blocks > 2) {
-        eprintln!("error: --stats is only supported for two-way alg1 runs");
+    // --trace/--profile are instrumented only for two-way alg1: reject
+    // unsupported combinations loudly instead of writing an empty trace.
+    let tracing = opts.trace.is_some() || opts.profile;
+    if tracing && (opts.algorithm != "alg1" || opts.place.is_some() || opts.blocks > 2) {
+        let flag = if opts.trace.is_some() {
+            "--trace"
+        } else {
+            "--profile"
+        };
+        eprintln!("error: {flag} is only supported for two-way alg1 runs");
+        return ExitCode::from(2);
+    }
+    // --stats on placement/multiway runs is still an error; on the
+    // non-instrumented baselines it degrades to an explicit note.
+    if opts.stats && (opts.place.is_some() || opts.blocks > 2) {
+        eprintln!("error: --stats is only supported for two-way runs");
         return ExitCode::from(2);
     }
     if let Some((rows, cols)) = opts.place {
@@ -224,9 +253,24 @@ fn main() -> ExitCode {
     if opts.blocks > 2 {
         return run_multiway(&opts, &netlist, partitioner);
     }
+    let collector = if tracing {
+        Collector::enabled()
+    } else {
+        Collector::disabled()
+    };
+    let meta = collector.scope(order::META, None);
+    meta.counter(names::RUN_MODULES, h.num_vertices() as u64);
+    meta.counter(names::RUN_SIGNALS, h.num_edges() as u64);
+    meta.counter(names::RUN_SEED, opts.seed);
+    meta.counter(names::RUN_STARTS, opts.starts as u64);
+    collector.adopt(meta.finish());
+
     let started = std::time::Instant::now();
-    let (bp, run_stats) = if opts.stats {
-        match Algorithm1::new(alg1_config).run(h) {
+    let (bp, run_stats) = if opts.algorithm == "alg1" && (opts.stats || tracing) {
+        match Algorithm1::new(alg1_config)
+            .collector(collector.clone())
+            .run(h)
+        {
             Ok(out) => (out.bipartition, Some(out.stats)),
             Err(e) => {
                 eprintln!("error: {e}");
@@ -244,11 +288,34 @@ fn main() -> ExitCode {
     };
     let elapsed = started.elapsed();
 
+    // Diagnostics channels are independent of --quiet: the trace file and
+    // the profile's stderr output are emitted either way.
+    let events = collector.snapshot();
+    if let Some(path) = &opts.trace {
+        let file = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = TraceWriter::new(std::io::BufWriter::new(file)).write_events(&events) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if opts.profile {
+        eprint!("{}", folded_stacks(&events));
+    }
+
     let report = metrics::CutReport::new(h, &bp);
     if opts.quiet {
         println!("{}", report.cut_size);
-        if let Some(stats) = &run_stats {
-            print_stats(stats);
+        if opts.stats {
+            match &run_stats {
+                Some(stats) => print_stats(stats),
+                None => println!("[stats] not_instrumented {}", opts.algorithm),
+            }
         }
         return ExitCode::SUCCESS;
     }
@@ -282,8 +349,14 @@ fn main() -> ExitCode {
         .map(|&e| netlist.signal_name(e).to_string())
         .collect();
     println!("crossing signals: {}", crossing.join(" "));
-    if let Some(stats) = &run_stats {
-        print_stats(stats);
+    if opts.stats {
+        match &run_stats {
+            Some(stats) => print_stats(stats),
+            // The baselines have no phase recorders: say so explicitly
+            // rather than printing nothing (the flag always has a visible
+            // effect on two-way runs).
+            None => println!("[stats] not_instrumented {}", opts.algorithm),
+        }
     }
     println!("elapsed: {elapsed:?}");
     ExitCode::SUCCESS
@@ -445,8 +518,15 @@ fn usage() -> &'static str {
      \x20     --objective <cut|quotient|ratio>\n\
      \x20     --stats           print per-phase `[stats] key value` lines\n\
      \x20                       (dualization counters + phase wall times;\n\
-     \x20                       two-way alg1 only)\n\
+     \x20                       two-way alg1 — other algorithms print a\n\
+     \x20                       `[stats] not_instrumented` note)\n\
+     \x20     --trace <FILE>    write an NDJSON event trace of the run\n\
+     \x20                       (two-way alg1 only)\n\
+     \x20     --profile         print folded stacks to stderr for flamegraph\n\
+     \x20                       tooling (two-way alg1 only)\n\
      \x20 -k, --blocks <K>      k-way decomposition by recursive Alg I (default 2)\n\
      \x20     --place <RxC>     min-cut placement into an R x C slot grid\n\
-     \x20 -q, --quiet           print only the cut size\n"
+     \x20 -q, --quiet           print only the cut size; suppresses the report\n\
+     \x20                       but not `[stats]` lines, the --trace file, or\n\
+     \x20                       --profile output\n"
 }

@@ -116,9 +116,8 @@ fn stats_flag_prints_phase_lines() {
 }
 
 #[test]
-fn stats_flag_rejected_outside_two_way_alg1() {
+fn stats_flag_rejected_outside_two_way_runs() {
     for args in [
-        &["--demo", "--stats", "-a", "kl"][..],
         &["--demo", "--stats", "-k", "3"][..],
         &["--demo", "--stats", "--place", "2x2"][..],
     ] {
@@ -126,6 +125,143 @@ fn stats_flag_rejected_outside_two_way_alg1() {
         assert!(!ok, "{args:?}");
         assert!(stderr.contains("--stats"), "{stderr}");
     }
+}
+
+#[test]
+fn stats_on_baselines_prints_not_instrumented_note() {
+    for alg in ["kl", "fm", "sa", "random"] {
+        let (stdout, stderr, ok) = run(&["--demo", "--stats", "-a", alg]);
+        assert!(ok, "{alg}: {stderr}");
+        assert!(
+            stdout.contains(&format!("[stats] not_instrumented {alg}")),
+            "{alg}:\n{stdout}"
+        );
+        // quiet keeps the cut first but the note still appears
+        let (quiet, _, ok) = run(&["--demo", "--stats", "-a", alg, "-q"]);
+        assert!(ok);
+        assert!(quiet.lines().next().unwrap().trim().parse::<u64>().is_ok());
+        assert!(quiet.contains("not_instrumented"), "{alg}:\n{quiet}");
+    }
+}
+
+#[test]
+fn trace_and_profile_rejected_outside_two_way_alg1() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join("fhp_cli_reject.ndjson");
+    let trace = trace.to_str().unwrap();
+    for args in [
+        &["--demo", "--trace", trace, "-a", "kl"][..],
+        &["--demo", "--trace", trace, "-k", "3"][..],
+        &["--demo", "--trace", trace, "--place", "2x2"][..],
+        &["--demo", "--profile", "-a", "fm"][..],
+    ] {
+        let (_, stderr, ok) = run(args);
+        assert!(!ok, "{args:?}");
+        assert!(
+            stderr.contains("--trace") || stderr.contains("--profile"),
+            "{stderr}"
+        );
+    }
+}
+
+#[test]
+fn trace_writes_valid_ndjson_with_phase_spans() {
+    let path = std::env::temp_dir().join("fhp_cli_trace.ndjson");
+    let path_s = path.to_str().unwrap();
+    let (_, stderr, ok) = run(&["--demo", "--trace", path_s, "-s", "4", "--seed", "1"]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        fhp_obs::json::validate_trace_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+    for name in [
+        "\"name\":\"run.modules\"",
+        "\"name\":\"dualize\"",
+        "\"name\":\"runner.start\"",
+        "\"name\":\"alg1.longest_path_bfs\"",
+        "\"name\":\"alg1.dual_front_bfs\"",
+        "\"name\":\"alg1.complete_cut\"",
+        "\"name\":\"alg1.cut_size_hist\"",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    // one runner.start span per start
+    let starts = text.matches("\"name\":\"runner.start\"").count();
+    assert_eq!(starts, 4, "{text}");
+}
+
+#[test]
+fn trace_is_canonically_identical_across_thread_counts() {
+    let canonical = |threads: &str| -> Vec<String> {
+        let path = std::env::temp_dir().join(format!("fhp_cli_trace_t{threads}.ndjson"));
+        let path_s = path.to_str().unwrap();
+        let (_, stderr, ok) = run(&[
+            "--demo",
+            "--trace",
+            path_s,
+            "-s",
+            "8",
+            "--seed",
+            "0",
+            "--threads",
+            threads,
+        ]);
+        assert!(ok, "{stderr}");
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        // strip the volatile fields (timings, thread lane) the same way
+        // fhp_obs::canonical_line does, via the parsed event values
+        text.lines()
+            .map(|l| {
+                let v = fhp_obs::json::parse(l).expect("valid json");
+                let pick = |k: &str| format!("{:?}", v.get(k));
+                format!(
+                    "{}|{}|{}|{}|{}",
+                    pick("name"),
+                    pick("kind"),
+                    pick("start_index"),
+                    pick("stack"),
+                    pick("fields")
+                )
+            })
+            .collect()
+    };
+    let one = canonical("1");
+    assert_eq!(one, canonical("2"), "threads 2 diverged");
+    assert_eq!(one, canonical("8"), "threads 8 diverged");
+}
+
+#[test]
+fn profile_prints_folded_stacks_and_quiet_does_not_suppress_them() {
+    let (stdout, stderr, ok) = run(&["--demo", "--profile", "-q", "-s", "2"]);
+    assert!(ok, "{stderr}");
+    // quiet stdout: just the cut
+    assert_eq!(stdout.lines().next().unwrap().trim(), "2");
+    // folded stacks on stderr: "path;path N" lines, semicolon-nested
+    assert!(stderr.contains("dualize"), "{stderr}");
+    assert!(stderr.contains("runner.start;alg1."), "{stderr}");
+    for line in stderr.lines() {
+        let (_, n) = line.rsplit_once(' ').expect("folded line");
+        assert!(n.parse::<u64>().is_ok(), "{line}");
+    }
+}
+
+#[test]
+fn quiet_trace_still_writes_the_file() {
+    let path = std::env::temp_dir().join("fhp_cli_quiet_trace.ndjson");
+    let path_s = path.to_str().unwrap();
+    let _ = std::fs::remove_file(&path);
+    let (stdout, _, ok) = run(&["--demo", "--trace", path_s, "-q"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "2");
+    assert!(std::fs::metadata(&path).is_ok_and(|m| m.len() > 0));
+}
+
+#[test]
+fn trace_to_unwritable_path_fails() {
+    let (_, stderr, ok) = run(&["--demo", "--trace", "/definitely/not/here/t.ndjson"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot create"), "{stderr}");
 }
 
 #[test]

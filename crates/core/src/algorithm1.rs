@@ -23,15 +23,16 @@
 //! returned cut has size 0, while move-based heuristics typically get stuck
 //! at a locally-minimum cut of size `Θ(|E|)` (§4).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use fhp_hypergraph::{Dualizer, Hypergraph, IntersectionGraph, VertexId};
+use fhp_obs::{names, order, Collector, Histogram, Scope};
 
 use crate::boundary::BoundaryDecomposition;
 use crate::complete_cut::{complete, place_winner_pins, CompletionStrategy};
 use crate::dual_bfs::{random_longest_path_endpoints, two_front_bfs_with_policy, FrontPolicy};
 use crate::metrics::{CutReport, Objective, PhaseStats};
-use crate::runner::{resolve_threads, run_starts, SplitMix64};
+use crate::runner::{resolve_threads, run_starts_traced, SplitMix64};
 use crate::{Bipartition, PartitionError, Side};
 
 /// Implemented by every bipartitioner in the workspace (Algorithm I and all
@@ -342,12 +343,27 @@ impl PartitionOutcome {
 #[derive(Clone, Debug, Default)]
 pub struct Algorithm1 {
     config: PartitionConfig,
+    collector: Collector,
 }
 
 impl Algorithm1 {
     /// Creates the partitioner with the given configuration.
     pub fn new(config: PartitionConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            collector: Collector::disabled(),
+        }
+    }
+
+    /// Records the run into `collector`: a `dualize` scope, one
+    /// `runner.start` scope per start (with the three downstream phase
+    /// spans nested inside), and a summary scope with run-level counters
+    /// and the cut-size histogram. The default collector is disabled,
+    /// which skips all retention — [`RunStats`] is still populated, from
+    /// the same local buffers.
+    pub fn collector(mut self, collector: Collector) -> Self {
+        self.collector = collector;
+        self
     }
 
     /// The paper's reported test configuration (50 starts, threshold 10).
@@ -382,6 +398,10 @@ impl Algorithm1 {
         if n_comps >= 2 {
             let bipartition = pack_components(h, &comp, n_comps);
             let report = CutReport::new(h, &bipartition);
+            let summary = self.collector.scope(order::SUMMARY, None);
+            summary.counter(names::ALG1_COMPONENT_SHORTCUT, 1);
+            summary.counter(names::ALG1_BEST_CUT, report.cut_size as u64);
+            self.collector.adopt(summary.finish());
             return Ok(PartitionOutcome {
                 bipartition,
                 report,
@@ -407,6 +427,7 @@ impl Algorithm1 {
         let ig = Dualizer::new()
             .threshold(self.config.edge_size_threshold)
             .threads(self.config.threads)
+            .collector(self.collector.clone())
             .build(h)?;
         let mut phases = PhaseStats {
             dualize: ig.stats().clone(),
@@ -414,23 +435,27 @@ impl Algorithm1 {
         };
         let workers = resolve_threads(self.config.threads).clamp(1, self.config.starts);
         let config = self.config;
-        let records = run_starts(self.config.starts, workers, |start| {
-            evaluate_start(h, &ig, &config, start)
-        });
+        let records = run_starts_traced(
+            self.config.starts,
+            workers,
+            &self.collector,
+            |start, scope| evaluate_start(h, &ig, &config, start, scope),
+        );
 
         // Deterministic reduction: scan in start order with a strictly-
         // better rule, so the winner (and every tie-break) is the one the
         // sequential loop would have kept, whatever the worker count.
+        // PhaseStats is a facade over the spans each start recorded:
+        // durations are read back out of the scope buffers here, then the
+        // buffers are handed to the collector for export.
         let mut per_start = Vec::with_capacity(records.len());
         let mut best: Option<(usize, StartCandidate)> = None;
         let mut num_failed = 0usize;
         let mut first_error = None;
         for record in records {
             let (cut_size, error) = match record.outcome {
-                Ok((candidate, start_phases)) => {
-                    phases.longest_path_bfs += start_phases.longest_path_bfs;
-                    phases.dual_front_bfs += start_phases.dual_front_bfs;
-                    phases.complete_cut += start_phases.complete_cut;
+                Ok(candidate) => {
+                    phases.record_start_events(&record.events.events);
                     let cut_size = candidate.as_ref().map(|c| c.cut_size);
                     if let Some(c) = candidate {
                         if best.as_ref().is_none_or(|(_, b)| c.beats(b)) {
@@ -453,6 +478,7 @@ impl Algorithm1 {
                 wall: record.wall,
                 error,
             });
+            self.collector.adopt(record.events);
         }
         if num_failed == self.config.starts {
             return Err(PartitionError::AllStartsFailed {
@@ -460,8 +486,21 @@ impl Algorithm1 {
             });
         }
 
+        let summary = self.collector.scope(order::SUMMARY, None);
+        summary.counter(names::ALG1_STARTS, self.config.starts as u64);
+        let mut cut_hist = Histogram::new();
+        for s in &per_start {
+            if let Some(c) = s.cut_size {
+                cut_hist.record(c as u64);
+            }
+        }
+        summary.histogram(names::ALG1_CUT_HIST, &cut_hist);
+
         if let Some((chosen, cand)) = best {
             let report = CutReport::new(h, &cand.bipartition);
+            summary.counter(names::ALG1_CHOSEN_START, chosen as u64);
+            summary.counter(names::ALG1_BEST_CUT, report.cut_size as u64);
+            self.collector.adopt(summary.finish());
             return Ok(PartitionOutcome {
                 bipartition: cand.bipartition,
                 report,
@@ -485,6 +524,9 @@ impl Algorithm1 {
         // endpoints): fall back to a weight-balanced split.
         let bipartition = balanced_fallback(h);
         let report = CutReport::new(h, &bipartition);
+        summary.counter(names::ALG1_FALLBACK_SPLIT, 1);
+        summary.counter(names::ALG1_BEST_CUT, report.cut_size as u64);
+        self.collector.adopt(summary.finish());
         Ok(PartitionOutcome {
             bipartition,
             report,
@@ -531,49 +573,41 @@ impl StartCandidate {
     }
 }
 
-/// Wall-clock time one start spent in each downstream phase; summed into
-/// [`PhaseStats`] by the reduction. Timing only — never consulted by any
-/// decision, so it cannot perturb determinism.
-#[derive(Clone, Copy, Debug, Default)]
-struct StartPhases {
-    longest_path_bfs: Duration,
-    dual_front_bfs: Duration,
-    complete_cut: Duration,
-}
-
 /// Runs one multi-start attempt: draw a random longest path from the
 /// start's own counter-derived RNG stream, sweep the configured front
 /// policies, and keep the start's best candidate. A pure function of
 /// `(h, ig, config, start)` — the foundation of the engine's
-/// thread-count invariance.
+/// thread-count invariance. Phase timing is recorded as spans on the
+/// start's `scope`; [`PhaseStats`] reads the totals back in the
+/// reduction. Timing is never consulted by any decision, so it cannot
+/// perturb determinism.
 fn evaluate_start(
     h: &Hypergraph,
     ig: &IntersectionGraph,
     config: &PartitionConfig,
     start: usize,
-) -> (Option<StartCandidate>, StartPhases) {
+    scope: &Scope,
+) -> Option<StartCandidate> {
     let g = ig.graph();
-    let mut phases = StartPhases::default();
     let mut rng = SplitMix64::for_start(config.seed, start);
-    let clock = Instant::now();
+    let lp = scope.span(names::ALG1_LONGEST_PATH);
     let endpoints = random_longest_path_endpoints(g, &mut rng);
     let path_length = endpoints
         .map(|(u, v)| fhp_hypergraph::bfs::bfs(g, u).dist(v).unwrap_or(0))
         .unwrap_or(0);
-    phases.longest_path_bfs = clock.elapsed();
-    let Some((u, v)) = endpoints else {
-        return (None, phases);
-    };
+    drop(lp);
+    let (u, v) = endpoints?;
+    scope.counter(names::ALG1_PATH_LENGTH, u64::from(path_length));
     let mut best: Option<StartCandidate> = None;
     for &sweep in config.front_policy.sweeps() {
-        let clock = Instant::now();
+        let front = scope.span(names::ALG1_DUAL_FRONT);
         let cut = two_front_bfs_with_policy(g, u, v, sweep);
         let dec = BoundaryDecomposition::new(h, ig, &cut);
-        phases.dual_front_bfs += clock.elapsed();
-        let clock = Instant::now();
+        drop(front);
+        let cc = scope.span(names::ALG1_COMPLETE_CUT);
         let completion = complete(config.completion, h, ig, &dec);
         let bipartition = assemble(h, ig, &dec, &completion);
-        phases.complete_cut += clock.elapsed();
+        drop(cc);
         let candidate = StartCandidate {
             score: config.objective.evaluate(h, &bipartition),
             imbalance: crate::metrics::weight_imbalance(h, &bipartition),
@@ -587,7 +621,10 @@ fn evaluate_start(
             best = Some(candidate);
         }
     }
-    (best, phases)
+    if let Some(b) = &best {
+        scope.counter(names::ALG1_START_CUT, b.cut_size as u64);
+    }
+    best
 }
 
 impl Bipartitioner for Algorithm1 {

@@ -41,6 +41,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use fhp_obs::{names, order, Collector, Scope, ScopeEvents};
 use rand::RngCore;
 
 /// SplitMix64 (Steele, Lea & Flood 2014): the engine's per-start
@@ -75,8 +76,8 @@ impl RngCore for SplitMix64 {
 }
 
 /// What one start produced: its index, its wall-clock cost on whichever
-/// worker ran it, and its value — or the panic message if it was
-/// contained.
+/// worker ran it, its value — or the panic message if it was contained —
+/// and everything the start recorded into its tracing scope.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StartRecord<T> {
     /// The start index in `0..starts`.
@@ -85,6 +86,10 @@ pub struct StartRecord<T> {
     pub wall: Duration,
     /// The start's value, or the contained panic's message.
     pub outcome: Result<T, String>,
+    /// The start's finished tracing scope (a `runner.start` root span
+    /// plus whatever the work recorded). The caller decides whether to
+    /// read it, hand it to a [`Collector`], or drop it.
+    pub events: ScopeEvents,
 }
 
 /// Runs `work(i)` for every `i in 0..starts` across `workers` scoped
@@ -112,21 +117,54 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_starts_traced(starts, workers, &Collector::disabled(), |index, _| {
+        work(index)
+    })
+}
+
+/// [`run_starts`] with tracing: each start records into its own
+/// [`Scope`] keyed by `order::start(index)`, whose root span is
+/// `runner.start` and whose buffer comes back in the record's `events`.
+/// Scope timestamps share `collector`'s epoch, but nothing is adopted
+/// into it here — the caller owns that decision (typically after reading
+/// the buffer for its phase facade).
+///
+/// Per-start scopes (rather than per-*worker* scopes) are what keep the
+/// merged trace identical across worker counts: the event sequence is a
+/// pure function of `(starts, work)`, and only the volatile `thread`
+/// field betrays which worker ran what.
+pub fn run_starts_traced<T, F>(
+    starts: usize,
+    workers: usize,
+    collector: &Collector,
+    work: F,
+) -> Vec<StartRecord<T>>
+where
+    T: Send,
+    F: Fn(usize, &Scope) -> T + Sync,
+{
     let run_one = |index: usize| -> StartRecord<T> {
+        let scope = collector.scope(order::start(index), Some(index as u32));
         let started = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| work(index))).map_err(|payload| {
-            if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "start panicked with a non-string payload".to_string()
-            }
-        });
+        let outcome = {
+            let _root = scope.span(names::RUNNER_START);
+            // A panic unwinds the work's open span guards before being
+            // caught, so the scope's stack is consistent either way.
+            catch_unwind(AssertUnwindSafe(|| work(index, &scope))).map_err(|payload| {
+                if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "start panicked with a non-string payload".to_string()
+                }
+            })
+        };
         StartRecord {
             index,
             wall: started.elapsed(),
             outcome,
+            events: scope.finish(),
         }
     };
 

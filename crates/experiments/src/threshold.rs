@@ -10,7 +10,8 @@
 
 use fhp_core::{Algorithm1, PartitionConfig};
 use fhp_gen::{CircuitNetlist, Technology};
-use fhp_hypergraph::{bfs, IntersectionGraph};
+use fhp_hypergraph::{bfs, Dualizer};
+use fhp_obs::{counter_total, names, Collector};
 
 use crate::util::{banner, mean, Table};
 
@@ -41,10 +42,19 @@ pub fn run(quick: bool) {
                 .seed(800 + seed)
                 .generate()
                 .expect("static config");
-            let ig = IntersectionGraph::build_with_threshold(&h, t);
+            // The dual-pair columns come from the fhp-obs counters the
+            // kernel records, not from DualizeStats — the table reads the
+            // same events `--trace` would export.
+            let collector = Collector::enabled();
+            let ig = Dualizer::new()
+                .threshold(t)
+                .collector(collector.clone())
+                .build(&h)
+                .expect("static config fits u32 G-vertex ids");
+            let events = collector.snapshot();
             kept.push(ig.num_g_vertices() as f64);
-            pairs.push(ig.stats().pairs_generated as f64);
-            dups.push(ig.stats().duplicates_merged as f64);
+            pairs.push(counter_total(&events, names::DUALIZE_PAIRS) as f64);
+            dups.push(counter_total(&events, names::DUALIZE_DUPS) as f64);
             if ig.num_g_vertices() > 1 {
                 diams.push(bfs::double_sweep(ig.graph(), 0).length as f64);
             }

@@ -43,7 +43,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use fhp_obs::{counter_total, names, order, span_total_ns, Collector, Event, Scope};
 
 use crate::{BuildGraphError, EdgeId, Graph, GraphBuilder, Hypergraph, VertexId};
 
@@ -51,6 +53,11 @@ const FILTERED: u32 = u32::MAX;
 
 /// Counters and timing from one dualization run; see the
 /// [module docs](self) for the kernel the counters describe.
+///
+/// Since the `fhp-obs` integration this type is a thin facade: the
+/// kernel records spans and counters into an [`fhp_obs::Scope`], and
+/// [`DualizeStats::from_recorded`] reads the totals back out of the
+/// event buffer. The struct remains the stable programmatic surface.
 ///
 /// `pairs_generated − duplicates_merged = unique_edges` always holds.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -78,6 +85,27 @@ pub struct DualizeStats {
     pub wall: Duration,
 }
 
+impl DualizeStats {
+    /// Reconstructs the stats from a dualization scope's recorded
+    /// events (the counters named `dualize.*` plus the root `dualize`
+    /// span for wall time). `shards` and `threads` are passed directly:
+    /// they vary with the `threads` knob, and the event payload is kept
+    /// a pure function of the input so traces stay byte-identical
+    /// across thread counts.
+    pub fn from_recorded(events: &[Event], shards: usize, threads: usize) -> Self {
+        Self {
+            pairs_generated: counter_total(events, names::DUALIZE_PAIRS),
+            duplicates_merged: counter_total(events, names::DUALIZE_DUPS),
+            unique_edges: counter_total(events, names::DUALIZE_UNIQUE),
+            kept_edges: counter_total(events, names::DUALIZE_KEPT) as usize,
+            filtered_edges: counter_total(events, names::DUALIZE_FILTERED) as usize,
+            shards,
+            threads,
+            wall: Duration::from_nanos(span_total_ns(events, names::DUALIZE)),
+        }
+    }
+}
+
 /// Configures and runs the sparse dualization kernel.
 ///
 /// # Examples
@@ -94,10 +122,11 @@ pub struct DualizeStats {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Dualizer {
     threshold: Option<usize>,
     threads: usize,
+    collector: Collector,
 }
 
 impl Default for Dualizer {
@@ -105,6 +134,7 @@ impl Default for Dualizer {
         Self {
             threshold: None,
             threads: 1,
+            collector: Collector::disabled(),
         }
     }
 }
@@ -130,6 +160,15 @@ impl Dualizer {
         self
     }
 
+    /// Records the build into `collector` (a `dualize` scope with phase
+    /// spans and counters is adopted on success). The default collector
+    /// is disabled: the kernel still records into a local buffer — that
+    /// is how [`DualizeStats`] is derived — but nothing is retained.
+    pub fn collector(mut self, collector: Collector) -> Self {
+        self.collector = collector;
+        self
+    }
+
     /// Runs the kernel on `h`.
     ///
     /// # Errors
@@ -137,12 +176,15 @@ impl Dualizer {
     /// [`BuildGraphError::TooManyGVertices`] if the kept hyperedges
     /// overflow the `u32` G-vertex id space.
     pub fn build(&self, h: &Hypergraph) -> Result<IntersectionGraph, BuildGraphError> {
-        let started = Instant::now();
         let threads = if self.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             self.threads
         };
+        let scope = self.collector.scope(order::DUALIZE, None);
+        let root = scope.span(names::DUALIZE);
+
+        let plan = scope.span(names::DUALIZE_PLAN);
         let (kept, g_of) = keep_map(h, self.threshold)?;
 
         // Pair mass per module; the shard boundaries below bucket by it.
@@ -166,15 +208,37 @@ impl Dualizer {
             (threads * 2).clamp(1, 32)
         };
         let bounds = shard_boundaries(&vertex_pairs, total_pairs, shards);
+        drop(plan);
+
+        // One span covers the whole parallel section: per-shard spans
+        // would make the event count a function of the threads knob and
+        // break cross-thread-count trace identity.
+        let shards_span = scope.span(names::DUALIZE_SHARDS);
         let shard_out = run_shards(shards, threads, |s| {
             dualize_shard(h, &g_of, bounds[s]..bounds[s + 1])
         });
+        drop(shards_span);
 
         let pairs_generated: u64 = shard_out.iter().map(|s| s.generated).sum();
         debug_assert_eq!(pairs_generated, total_pairs);
+        let merge_span = scope.span(names::DUALIZE_MERGE);
         let (pairs, counts) = merge_shards(shard_out);
+        drop(merge_span);
         let unique_edges = pairs.len() as u64;
+        let csr_span = scope.span(names::DUALIZE_CSR);
         let (graph, shared) = csr_with_weights(kept.len(), &pairs, &counts);
+        drop(csr_span);
+
+        scope.counter(names::DUALIZE_PAIRS, pairs_generated);
+        scope.counter(names::DUALIZE_DUPS, pairs_generated - unique_edges);
+        scope.counter(names::DUALIZE_UNIQUE, unique_edges);
+        scope.counter(names::DUALIZE_KEPT, kept.len() as u64);
+        scope.counter(names::DUALIZE_FILTERED, (h.num_edges() - kept.len()) as u64);
+        drop(root);
+
+        let recorded = scope.finish();
+        let stats = DualizeStats::from_recorded(&recorded.events, shards, threads);
+        self.collector.adopt(recorded);
 
         Ok(IntersectionGraph {
             graph,
@@ -182,18 +246,8 @@ impl Dualizer {
             kept,
             g_of,
             threshold: self.threshold,
-            stats: DualizeStats {
-                pairs_generated,
-                duplicates_merged: pairs_generated - unique_edges,
-                unique_edges,
-                kept_edges: 0, // filled below (borrow of kept already moved)
-                filtered_edges: h.num_edges(),
-                shards,
-                threads,
-                wall: started.elapsed(),
-            },
-        }
-        .finish_stats(h.num_edges()))
+            stats,
+        })
     }
 }
 
@@ -285,7 +339,8 @@ impl IntersectionGraph {
     ///
     /// Panics if the kept hyperedges overflow `u32` G-vertex ids.
     pub fn build_naive_with_threshold(h: &Hypergraph, threshold: Option<usize>) -> Self {
-        let started = Instant::now();
+        let scope = Scope::detached(order::DUALIZE, None);
+        let root = scope.span(names::DUALIZE);
         let (kept, g_of) = keep_map(h, threshold).expect("kept hyperedges overflow u32 ids");
         let mut gb = GraphBuilder::new(kept.len());
         let mut all_pairs: Vec<(u32, u32)> = Vec::new();
@@ -328,30 +383,22 @@ impl IntersectionGraph {
             i += run as usize;
         }
 
-        let (kept_edges, filtered_edges) = (kept.len(), h.num_edges() - kept.len());
+        scope.counter(names::DUALIZE_PAIRS, pairs_generated);
+        scope.counter(names::DUALIZE_DUPS, pairs_generated - unique_edges);
+        scope.counter(names::DUALIZE_UNIQUE, unique_edges);
+        scope.counter(names::DUALIZE_KEPT, kept.len() as u64);
+        scope.counter(names::DUALIZE_FILTERED, (h.num_edges() - kept.len()) as u64);
+        drop(root);
+
+        let recorded = scope.finish();
         Self {
             graph,
             shared,
             kept,
             g_of,
             threshold,
-            stats: DualizeStats {
-                pairs_generated,
-                duplicates_merged: pairs_generated - unique_edges,
-                unique_edges,
-                kept_edges,
-                filtered_edges,
-                shards: 1,
-                threads: 1,
-                wall: started.elapsed(),
-            },
+            stats: DualizeStats::from_recorded(&recorded.events, 1, 1),
         }
-    }
-
-    fn finish_stats(mut self, num_edges: usize) -> Self {
-        self.stats.kept_edges = self.kept.len();
-        self.stats.filtered_edges = num_edges - self.kept.len();
-        self
     }
 
     /// The underlying simple graph `G`.

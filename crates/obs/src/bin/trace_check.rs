@@ -1,0 +1,61 @@
+//! `fhp-trace-check` — validates NDJSON trace files written by `--trace`.
+//!
+//! ```text
+//! fhp-trace-check <trace.ndjson>...
+//! ```
+//!
+//! Every line of every file must parse as a JSON object carrying the full
+//! trace-event key set (see [`fhp_obs::json::REQUIRED_TRACE_KEYS`]) with
+//! correctly typed values. Exits 0 and prints a per-file summary when all
+//! lines validate; prints `file:line: error` diagnostics and exits 1
+//! otherwise. Used by CI to gate the demo trace artifact.
+
+use std::process::ExitCode;
+
+use fhp_obs::json::validate_trace_line;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: fhp-trace-check <trace.ndjson>...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let mut events = 0usize;
+        let mut errors = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            match validate_trace_line(line) {
+                Ok(()) => events += 1,
+                Err(e) => {
+                    eprintln!("{path}:{}: {e}", i + 1);
+                    errors += 1;
+                }
+            }
+        }
+        if errors > 0 || events == 0 {
+            if events == 0 && errors == 0 {
+                eprintln!("{path}: no trace events");
+            }
+            failed = true;
+        } else {
+            println!("{path}: {events} events ok");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,183 @@
+//! The event model: every measurement the subsystem records is one
+//! [`Event`], whatever its kind.
+//!
+//! Events are plain data — no interior mutability, no clocks — so they can
+//! be compared, sorted, and serialized deterministically. The volatile
+//! fields (`start_ns`, `dur_ns`, `thread`) are excluded from the
+//! [canonical form](crate::writer::canonical_line) the determinism tests
+//! compare.
+
+/// What kind of measurement an [`Event`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A timed region: `start_ns`/`dur_ns` are meaningful.
+    Span,
+    /// A monotonically accumulated value, reported once at record time.
+    Counter,
+    /// A fixed-bucket log2 histogram snapshot (see [`crate::Histogram`]).
+    Histogram,
+}
+
+impl EventKind {
+    /// The kind's name as it appears in the NDJSON `kind` key.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Span => "span",
+            EventKind::Counter => "counter",
+            EventKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An unsigned integer value.
+    U64(u64),
+    /// A string value (JSON-escaped on export).
+    Str(String),
+}
+
+/// One recorded measurement.
+///
+/// `stack` holds the names of the enclosing spans (outermost first) at
+/// record time, which is what the folded-stacks emitter joins with `;`.
+/// `scope_order` and `start_index` are stamped by
+/// [`Scope::finish`](crate::Scope::finish) and define the deterministic
+/// merge position of the event; `start_ns`, `dur_ns`, and `thread` are
+/// timing/placement diagnostics and deliberately volatile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Event name (static so recording never allocates for it).
+    pub name: &'static str,
+    /// Span, counter, or histogram.
+    pub kind: EventKind,
+    /// Names of the enclosing spans, outermost first.
+    pub stack: Vec<&'static str>,
+    /// Nanoseconds since the collector epoch at which the measurement
+    /// started (volatile).
+    pub start_ns: u64,
+    /// Span duration in nanoseconds; 0 for counters and histograms
+    /// (volatile).
+    pub dur_ns: u64,
+    /// Merge key of the scope that recorded this event (deterministic).
+    pub scope_order: u64,
+    /// Multi-start index of the recording scope, if it belongs to one.
+    pub start_index: Option<u32>,
+    /// Process-local lane id of the OS thread that recorded the event
+    /// (volatile — workers claim starts dynamically).
+    pub thread: u64,
+    /// Key/value payload: counters put their value under `"value"`.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// The counter value, if this is a counter event.
+    pub fn counter_value(&self) -> Option<u64> {
+        if self.kind != EventKind::Counter {
+            return None;
+        }
+        self.fields.iter().find_map(|(k, v)| match (k, v) {
+            (&"value", FieldValue::U64(n)) => Some(*n),
+            _ => None,
+        })
+    }
+}
+
+/// Sum of `dur_ns` over all span events named `name`.
+pub fn span_total_ns(events: &[Event], name: &str) -> u64 {
+    events
+        .iter()
+        .filter(|e| e.kind == EventKind::Span && e.name == name)
+        .map(|e| e.dur_ns)
+        .sum()
+}
+
+/// Sum of the values of all counter events named `name` (0 if absent).
+pub fn counter_total(events: &[Event], name: &str) -> u64 {
+    events
+        .iter()
+        .filter(|e| e.name == name)
+        .filter_map(Event::counter_value)
+        .sum()
+}
+
+/// A monotonically increasing accumulator, the building block behind
+/// counter events. Accumulate with [`add`](Counter::add) in hot code
+/// (plain integer math, no clocks, no locks), then report the total once
+/// with [`Scope::emit_counter`](crate::Scope::emit_counter).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self(0)
+    }
+
+    /// Adds `n` to the total (saturating).
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Adds one to the total.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// The accumulated total.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Folds another counter's total into this one.
+    pub fn merge(&mut self, other: Counter) {
+        self.add(other.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_event(name: &'static str, value: u64) -> Event {
+        Event {
+            name,
+            kind: EventKind::Counter,
+            stack: Vec::new(),
+            start_ns: 0,
+            dur_ns: 0,
+            scope_order: 0,
+            start_index: None,
+            thread: 0,
+            fields: vec![("value", FieldValue::U64(value))],
+        }
+    }
+
+    #[test]
+    fn counter_helpers() {
+        let mut c = Counter::new();
+        c.add(3);
+        c.incr();
+        let mut d = Counter::new();
+        d.add(10);
+        c.merge(d);
+        assert_eq!(c.get(), 14);
+        let mut s = Counter(u64::MAX - 1);
+        s.add(5);
+        assert_eq!(s.get(), u64::MAX, "saturates instead of wrapping");
+    }
+
+    #[test]
+    fn totals_filter_by_name_and_kind() {
+        let mut span = counter_event("x", 7);
+        span.kind = EventKind::Span;
+        span.dur_ns = 100;
+        let events = vec![counter_event("x", 1), counter_event("x", 2), span.clone()];
+        assert_eq!(counter_total(&events, "x"), 3);
+        assert_eq!(counter_total(&events, "y"), 0);
+        assert_eq!(span_total_ns(&events, "x"), 100);
+        assert_eq!(span.counter_value(), None);
+        assert_eq!(events[0].counter_value(), Some(1));
+    }
+}

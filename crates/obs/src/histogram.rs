@@ -1,0 +1,215 @@
+//! A fixed-bucket log2 histogram.
+//!
+//! 65 buckets cover the full `u64` range with no configuration and no
+//! allocation: bucket 0 holds exactly the value 0, and bucket `i ≥ 1`
+//! holds the values whose bit length is `i`, i.e. `[2^(i−1), 2^i)`.
+//! Bucket boundaries are a pure function of the value, so merged
+//! histograms are independent of recording order — the same determinism
+//! contract as everything else in this crate.
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [0, 1, 2, 3, 4, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.sum(), 1010);
+/// assert_eq!(Histogram::bucket_index(0), 0);
+/// assert_eq!(Histogram::bucket_index(3), 2); // 3 ∈ [2, 4)
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// The bucket a value lands in: 0 for the value 0, else the value's
+    /// bit length (so bucket `i` spans `[2^(i−1), 2^i)`).
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The inclusive `(low, high)` value range of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= NUM_BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < NUM_BUCKETS, "bucket {i} out of range");
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket counts, indexed by bucket.
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Non-empty buckets as `(bucket_low_bound, count)`, ascending. The
+    /// low bounds (0, 1, 2, 4, 8, …) are distinct per bucket, so they
+    /// identify it unambiguously.
+    pub fn nonzero(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_bounds(i).0, c))
+    }
+
+    /// Adds every sample of `other` into this histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The stable text rendering used in histogram event fields:
+    /// space-separated `low:count` entries for non-empty buckets,
+    /// ascending (e.g. `"0:2 1:3 4:5"`).
+    pub fn render(&self) -> String {
+        self.nonzero()
+            .map(|(lo, c)| format!("{lo}:{c}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        for k in 1..64 {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            assert_eq!(Histogram::bucket_index(lo), k, "2^{}", k - 1);
+            assert_eq!(Histogram::bucket_index(hi), k, "2^{k} - 1");
+            assert_eq!(Histogram::bucket_index(hi + 1), k + 1, "2^{k}");
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        // every bucket's high bound + 1 is the next bucket's low bound
+        for i in 0..NUM_BUCKETS - 1 {
+            let (_, hi) = Histogram::bucket_bounds(i);
+            let (next_lo, _) = Histogram::bucket_bounds(i + 1);
+            assert_eq!(hi + 1, next_lo, "bucket {i}");
+        }
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+        // bounds agree with bucket_index on both ends
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bucket_bounds_rejects_out_of_range() {
+        Histogram::bucket_bounds(NUM_BUCKETS);
+    }
+
+    #[test]
+    fn record_merge_render() {
+        let mut a = Histogram::new();
+        for v in [0, 0, 1, 5, 6] {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 17);
+        assert!(!a.is_empty());
+        assert_eq!(a.render(), "0:2 1:1 4:3");
+        let collected: Vec<_> = a.nonzero().collect();
+        assert_eq!(collected, vec![(0, 2), (1, 1), (4, 3)]);
+        assert_eq!(a.buckets().iter().sum::<u64>(), a.count());
+        assert_eq!(Histogram::new().render(), "");
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let samples = [3u64, 0, 9, 1 << 40, 7, 7, 2];
+        let mut forward = Histogram::new();
+        let mut backward = Histogram::new();
+        for &s in &samples {
+            forward.record(s);
+        }
+        for &s in samples.iter().rev() {
+            backward.record(s);
+        }
+        assert_eq!(forward, backward);
+    }
+}

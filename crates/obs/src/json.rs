@@ -1,0 +1,422 @@
+//! A minimal JSON parser, in-tree because the workspace builds without
+//! registry access.
+//!
+//! It exists so the trace tooling (the `fhp-trace-check` binary, CI, and
+//! the golden-escape tests) can *independently* verify that every NDJSON
+//! line the writer emits is well-formed JSON — round-tripping through the
+//! writer's own code would prove nothing. It is a strict recursive-descent
+//! parser over the full JSON grammar (RFC 8259), including `\uXXXX`
+//! escapes with surrogate pairs; numbers are parsed as `f64`, which is
+//! lossy above 2^53 but fine for validation.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, preserving key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, String> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let d = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = match d {
+                b'0'..=b'9' => d - b'0',
+                b'a'..=b'f' => d - b'a' + 10,
+                b'A'..=b'F' => d - b'A' + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            v = (v << 4) | u16::from(digit);
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    match self.bump().ok_or_else(|| self.err("truncated escape"))? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // high surrogate: a \uXXXX low surrogate must follow
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                0x10000
+                                    + ((u32::from(hi) - 0xD800) << 10)
+                                    + (u32::from(lo) - 0xDC00)
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                u32::from(hi)
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("raw control character in string")),
+                b => {
+                    // re-assemble the UTF-8 sequence starting at this byte
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 lead byte")),
+                    };
+                    if start + len > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| self.err("invalid UTF-8 sequence"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digit"));
+        }
+        // JSON forbids leading zeros: "0" alone is fine, "01" is not
+        if self.bytes[digits_start] == b'0' && self.pos - digits_start > 1 {
+            return Err(self.err("leading zero in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("expected digit after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected digit in exponent"));
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or ']'"));
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(pairs)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or '}'"));
+                }
+            }
+        }
+    }
+}
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser::new(input);
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Required keys in every trace event line, in emission order.
+pub const REQUIRED_TRACE_KEYS: [&str; 8] = [
+    "name",
+    "kind",
+    "start_ns",
+    "dur_ns",
+    "start_index",
+    "thread",
+    "stack",
+    "fields",
+];
+
+/// Validates one NDJSON trace line: must parse as a JSON object carrying
+/// every key in [`REQUIRED_TRACE_KEYS`] with sensible types
+/// (`start_index` may be `null`). Returns a description of the first
+/// problem found.
+pub fn validate_trace_line(line: &str) -> Result<(), String> {
+    let value = parse(line)?;
+    let Json::Obj(_) = value else {
+        return Err("trace line is not a JSON object".to_string());
+    };
+    for key in REQUIRED_TRACE_KEYS {
+        let field = value
+            .get(key)
+            .ok_or_else(|| format!("missing required key \"{key}\""))?;
+        let ok = match key {
+            "name" | "kind" | "stack" => matches!(field, Json::Str(_)),
+            "start_ns" | "dur_ns" | "thread" => matches!(field, Json::Num(_)),
+            "start_index" => matches!(field, Json::Num(_) | Json::Null),
+            "fields" => matches!(field, Json::Obj(_)),
+            _ => unreachable!(),
+        };
+        if !ok {
+            return Err(format!("key \"{key}\" has the wrong type"));
+        }
+    }
+    match value.get("kind") {
+        Some(Json::Str(k)) if matches!(k.as_str(), "span" | "counter" | "histogram") => Ok(()),
+        _ => Err("key \"kind\" is not one of span/counter/histogram".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("0").unwrap(), Json::Num(0.0));
+        assert_eq!(parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_structures_and_lookup() {
+        let v = parse(r#"{"a": [1, {"b": null}], "c": "d"}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Json::Str("d".into())));
+        let Some(Json::Arr(items)) = v.get("a") else {
+            panic!("expected array");
+        };
+        assert_eq!(items[0], Json::Num(1.0));
+        assert_eq!(items[1].get("b"), Some(&Json::Null));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("x"), None);
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        assert_eq!(
+            parse(r#""a\"b\\c\nd\u0041""#).unwrap(),
+            Json::Str("a\"b\\c\ndA".into())
+        );
+        // surrogate pair for 😀 (U+1F600)
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("😀".into()));
+        assert_eq!(parse("\"日本\"").unwrap(), Json::Str("日本".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "nul",
+            "\"\\q\"",
+            "\"\\ud83d\"",
+            "\"unterminated",
+            "{\"a\":1} x",
+            "\"raw\ncontrol\"",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validates_well_formed_trace_lines() {
+        let line = "{\"name\":\"dualize\",\"kind\":\"span\",\"start_ns\":1,\
+                    \"dur_ns\":2,\"start_index\":null,\"thread\":0,\
+                    \"stack\":\"\",\"fields\":{}}";
+        assert!(validate_trace_line(line).is_ok());
+        let indexed = line.replace("\"start_index\":null", "\"start_index\":3");
+        assert!(validate_trace_line(&indexed).is_ok());
+    }
+
+    #[test]
+    fn rejects_deficient_trace_lines() {
+        assert!(validate_trace_line("not json").is_err());
+        assert!(validate_trace_line("[]").is_err());
+        assert!(validate_trace_line("{\"name\":\"x\"}")
+            .unwrap_err()
+            .contains("missing required key"));
+        let line = "{\"name\":\"x\",\"kind\":\"bogus\",\"start_ns\":1,\
+                    \"dur_ns\":2,\"start_index\":null,\"thread\":0,\
+                    \"stack\":\"\",\"fields\":{}}";
+        assert!(validate_trace_line(line)
+            .unwrap_err()
+            .contains("span/counter/histogram"));
+        let line = line.replace("\"thread\":0", "\"thread\":\"zero\"");
+        let line = line.replace("bogus", "span");
+        assert!(validate_trace_line(&line).unwrap_err().contains("thread"));
+    }
+}

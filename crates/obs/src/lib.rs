@@ -1,0 +1,155 @@
+//! `fhp-obs`: in-tree structured tracing and metrics for the fhp
+//! workspace.
+//!
+//! The workspace builds with no registry access, so instead of `tracing`
+//! or `metrics` this crate provides a small, zero-dependency substrate
+//! purpose-built for the repo's determinism contract:
+//!
+//! - [`Scope`] + [`Collector`] — lock-free per-unit-of-work recording
+//!   with a deterministic merge (scopes sort by caller-assigned
+//!   [`order`] keys, mirroring `runner::run_starts`' index-ordered
+//!   reduction), so the merged event sequence is identical across
+//!   `--threads 1/2/8`.
+//! - [`Span`](Scope::span) RAII guards with monotonic timing,
+//!   [`Counter`] accumulators, and fixed log2-bucket [`Histogram`]s.
+//! - [`TraceWriter`] NDJSON export (stable key order → byte-stable
+//!   output) and a [`folded_stacks`] emitter for flamegraph tooling.
+//! - A minimal independent [`json`] parser used to validate emitted
+//!   traces in tests and CI.
+//!
+//! Determinism contract: every field of an [`Event`] except `start_ns`,
+//! `dur_ns`, and `thread` must be a pure function of the run's inputs
+//! (instance, seed, start count) — never of the thread count or
+//! scheduling. [`writer::canonical_line`] serializes exactly the
+//! deterministic subset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod event;
+mod histogram;
+pub mod json;
+pub mod writer;
+
+pub use collector::{Collector, Scope, ScopeEvents, SpanGuard};
+pub use event::{counter_total, span_total_ns, Counter, Event, EventKind, FieldValue};
+pub use histogram::{Histogram, NUM_BUCKETS};
+pub use writer::{canonical_line, folded_stacks, ndjson_line, TraceWriter};
+
+/// Deterministic scope merge keys. Callers pick a key per scope from run
+/// structure — phase constants for singleton scopes, [`start`](order::start)
+/// for per-start scopes — so that [`Collector::snapshot`] yields the same
+/// sequence regardless of which worker adopted which scope first.
+pub mod order {
+    /// Run metadata scope (CLI header counters). Sorts first.
+    pub const META: u64 = 0;
+    /// The dualization scope (one per `Dualizer::build`).
+    pub const DUALIZE: u64 = 1;
+    /// Base key for per-start scopes; see [`start`].
+    pub const START_BASE: u64 = 1 << 8;
+    /// Merge key of multi-start attempt `i`.
+    pub const fn start(i: usize) -> u64 {
+        START_BASE + i as u64
+    }
+    /// Run summary scope (chosen start, best cut, distributions). Sorts
+    /// last.
+    pub const SUMMARY: u64 = u64::MAX;
+}
+
+/// The shared event-name vocabulary. Using these constants (instead of
+/// ad-hoc literals) keeps producer and consumer sides — recorders, stats
+/// facades, the CLI report, tests — agreeing on spelling.
+pub mod names {
+    /// Root span of one `Dualizer::build`.
+    pub const DUALIZE: &str = "dualize";
+    /// Dualize phase: degree filter + pair-mass planning.
+    pub const DUALIZE_PLAN: &str = "dualize.plan";
+    /// Dualize phase: parallel shard generation (covers all shards).
+    pub const DUALIZE_SHARDS: &str = "dualize.shards";
+    /// Dualize phase: deterministic k-way merge.
+    pub const DUALIZE_MERGE: &str = "dualize.merge";
+    /// Dualize phase: weighted CSR assembly.
+    pub const DUALIZE_CSR: &str = "dualize.csr";
+    /// Counter: candidate intersection pairs generated across shards.
+    pub const DUALIZE_PAIRS: &str = "dualize.pairs_generated";
+    /// Counter: duplicate pairs merged away.
+    pub const DUALIZE_DUPS: &str = "dualize.duplicates_merged";
+    /// Counter: unique intersection-graph edges before thresholding.
+    pub const DUALIZE_UNIQUE: &str = "dualize.unique_edges";
+    /// Counter: edges kept after the weight threshold.
+    pub const DUALIZE_KEPT: &str = "dualize.kept_edges";
+    /// Counter: edges dropped by the weight threshold.
+    pub const DUALIZE_FILTERED: &str = "dualize.filtered_edges";
+    /// Root span of one multi-start attempt (child spans nest under it).
+    pub const RUNNER_START: &str = "runner.start";
+    /// Algorithm 1 phase: longest-path endpoint + distance BFS.
+    pub const ALG1_LONGEST_PATH: &str = "alg1.longest_path_bfs";
+    /// Algorithm 1 phase: dual-front BFS sweep.
+    pub const ALG1_DUAL_FRONT: &str = "alg1.dual_front_bfs";
+    /// Algorithm 1 phase: Complete-Cut refinement.
+    pub const ALG1_COMPLETE_CUT: &str = "alg1.complete_cut";
+    /// Counter: BFS path length found for a start.
+    pub const ALG1_PATH_LENGTH: &str = "alg1.path_length";
+    /// Counter: best cut size a start achieved.
+    pub const ALG1_START_CUT: &str = "alg1.start_cut_size";
+    /// Counter: number of starts attempted.
+    pub const ALG1_STARTS: &str = "alg1.starts";
+    /// Counter: index of the winning start.
+    pub const ALG1_CHOSEN_START: &str = "alg1.chosen_start";
+    /// Counter: overall best cut size.
+    pub const ALG1_BEST_CUT: &str = "alg1.best_cut";
+    /// Histogram: distribution of per-start best cut sizes.
+    pub const ALG1_CUT_HIST: &str = "alg1.cut_size_hist";
+    /// Counter: run took the disconnected-component shortcut.
+    pub const ALG1_COMPONENT_SHORTCUT: &str = "alg1.component_shortcut";
+    /// Counter: run fell back to the degenerate split.
+    pub const ALG1_FALLBACK_SPLIT: &str = "alg1.fallback_split";
+    /// Counter: module count of the instance.
+    pub const RUN_MODULES: &str = "run.modules";
+    /// Counter: signal count of the instance.
+    pub const RUN_SIGNALS: &str = "run.signals";
+    /// Counter: RNG seed of the run.
+    pub const RUN_SEED: &str = "run.seed";
+    /// Counter: requested number of starts.
+    pub const RUN_STARTS: &str = "run.starts";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_keys_are_disjoint_and_sorted() {
+        let keys = [
+            order::META,
+            order::DUALIZE,
+            order::start(0),
+            order::start(usize::from(u16::MAX)),
+            order::SUMMARY,
+        ];
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "{keys:?}");
+        assert_eq!(order::start(3), order::START_BASE + 3);
+    }
+
+    #[test]
+    fn end_to_end_record_export_validate() {
+        let collector = Collector::enabled();
+        let scope = collector.scope(order::start(0), Some(0));
+        {
+            let _start = scope.span(names::RUNNER_START);
+            let _bfs = scope.span(names::ALG1_LONGEST_PATH);
+        }
+        scope.counter(names::ALG1_START_CUT, 4);
+        collector.adopt(scope.finish());
+
+        let events = collector.snapshot();
+        let mut buf = Vec::new();
+        TraceWriter::new(&mut buf).write_events(&events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for line in text.lines() {
+            json::validate_trace_line(line).unwrap();
+        }
+        assert!(text.contains("\"stack\":\"runner.start\""));
+    }
+}

@@ -1,0 +1,258 @@
+//! Trace export: NDJSON lines and folded stacks.
+//!
+//! The NDJSON format is one JSON object per event, keys always emitted
+//! in the same order, so that identical event sequences serialize to
+//! byte-identical output. [`canonical_line`] is the same serialization
+//! with the volatile fields (`start_ns`, `dur_ns`, `thread`) removed —
+//! the form the determinism tests and the cross-thread-count acceptance
+//! check compare.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::event::{Event, EventKind, FieldValue};
+
+/// JSON-escapes a string per RFC 8259 (quotes, backslash, control
+/// characters; no non-ASCII escaping — output is UTF-8).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_fields(out: &mut String, fields: &[(&'static str, FieldValue)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":", json_escape(k));
+        match v {
+            FieldValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            FieldValue::Str(s) => {
+                let _ = write!(out, "\"{}\"", json_escape(s));
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn line(event: &Event, volatile: bool) -> String {
+    let mut out = String::with_capacity(128);
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"kind\":\"{}\"",
+        json_escape(event.name),
+        event.kind.as_str()
+    );
+    if volatile {
+        let _ = write!(
+            out,
+            ",\"start_ns\":{},\"dur_ns\":{}",
+            event.start_ns, event.dur_ns
+        );
+    }
+    match event.start_index {
+        Some(i) => {
+            let _ = write!(out, ",\"start_index\":{i}");
+        }
+        None => out.push_str(",\"start_index\":null"),
+    }
+    if volatile {
+        let _ = write!(out, ",\"thread\":{}", event.thread);
+    }
+    let stack = event.stack.join(";");
+    let _ = write!(out, ",\"stack\":\"{}\",\"fields\":", json_escape(&stack));
+    write_fields(&mut out, &event.fields);
+    out.push('}');
+    out
+}
+
+/// The full NDJSON serialization of one event (no trailing newline).
+pub fn ndjson_line(event: &Event) -> String {
+    line(event, true)
+}
+
+/// The canonical (determinism-comparable) serialization: identical to
+/// [`ndjson_line`] minus the volatile `start_ns`/`dur_ns`/`thread` keys.
+pub fn canonical_line(event: &Event) -> String {
+    line(event, false)
+}
+
+/// Writes event sequences as NDJSON to any [`io::Write`] sink.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_obs::{order, Collector, TraceWriter};
+///
+/// let collector = Collector::enabled();
+/// let scope = collector.scope(order::META, None);
+/// scope.counter("run.starts", 8);
+/// collector.adopt(scope.finish());
+///
+/// let mut buf = Vec::new();
+/// TraceWriter::new(&mut buf).write_events(&collector.snapshot()).unwrap();
+/// let text = String::from_utf8(buf).unwrap();
+/// assert!(text.starts_with("{\"name\":\"run.starts\",\"kind\":\"counter\""));
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps a sink.
+    pub fn new(sink: W) -> Self {
+        Self { sink }
+    }
+
+    /// Writes one NDJSON line per event, in sequence order.
+    pub fn write_events(&mut self, events: &[Event]) -> io::Result<()> {
+        for event in events {
+            self.sink.write_all(ndjson_line(event).as_bytes())?;
+            self.sink.write_all(b"\n")?;
+        }
+        self.sink.flush()
+    }
+
+    /// Returns the underlying sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+/// Aggregates span events into folded-stacks lines (`a;b;c <self_ns>`),
+/// the input format of flamegraph tooling. Self time is a path's total
+/// span duration minus the duration of spans recorded directly beneath
+/// it (clamped at zero — timer granularity can make children sum past
+/// the parent). Lines are sorted lexicographically by path; paths with
+/// zero self time are kept so the full call structure stays visible.
+pub fn folded_stacks(events: &[Event]) -> String {
+    let mut total: BTreeMap<String, u64> = BTreeMap::new();
+    let mut child_time: BTreeMap<String, u64> = BTreeMap::new();
+    for event in events {
+        if event.kind != EventKind::Span {
+            continue;
+        }
+        let mut path = event.stack.join(";");
+        if !path.is_empty() {
+            path.push(';');
+        }
+        path.push_str(event.name);
+        *total.entry(path).or_insert(0) += event.dur_ns;
+        if !event.stack.is_empty() {
+            let parent = event.stack.join(";");
+            *child_time.entry(parent).or_insert(0) += event.dur_ns;
+        }
+    }
+    let mut out = String::new();
+    for (path, ns) in &total {
+        let self_ns = ns.saturating_sub(child_time.get(path).copied().unwrap_or(0));
+        let _ = writeln!(out, "{path} {self_ns}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &'static str, stack: Vec<&'static str>, dur_ns: u64) -> Event {
+        Event {
+            name,
+            kind: EventKind::Span,
+            stack,
+            start_ns: 10,
+            dur_ns,
+            scope_order: 0,
+            start_index: Some(2),
+            thread: 1,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ndjson_key_order_is_fixed() {
+        let mut e = event("alg1.complete_cut", vec!["runner.start"], 42);
+        e.fields.push(("value", FieldValue::U64(9)));
+        assert_eq!(
+            ndjson_line(&e),
+            "{\"name\":\"alg1.complete_cut\",\"kind\":\"span\",\"start_ns\":10,\
+             \"dur_ns\":42,\"start_index\":2,\"thread\":1,\
+             \"stack\":\"runner.start\",\"fields\":{\"value\":9}}"
+        );
+        e.start_index = None;
+        assert!(ndjson_line(&e).contains("\"start_index\":null"));
+    }
+
+    #[test]
+    fn canonical_line_drops_volatile_keys() {
+        let a = event("x", vec![], 42);
+        let mut b = event("x", vec![], 9000);
+        b.start_ns = 77;
+        b.thread = 5;
+        assert_ne!(ndjson_line(&a), ndjson_line(&b));
+        assert_eq!(canonical_line(&a), canonical_line(&b));
+        assert!(!canonical_line(&a).contains("dur_ns"));
+        assert!(!canonical_line(&a).contains("start_ns"));
+        assert!(!canonical_line(&a).contains("thread"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_newlines_and_controls() {
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn writer_emits_one_line_per_event() {
+        let events = vec![event("a", vec![], 1), event("b", vec!["a"], 2)];
+        let mut buf = Vec::new();
+        TraceWriter::new(&mut buf).write_events(&events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], ndjson_line(&events[0]));
+        assert_eq!(lines[1], ndjson_line(&events[1]));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn folded_stacks_subtracts_child_time() {
+        let events = vec![
+            event("root", vec![], 100),
+            event("child", vec!["root"], 30),
+            event("child", vec!["root"], 20),
+            event("leaf", vec!["root", "child"], 60), // exceeds parent: clamps
+        ];
+        let folded = folded_stacks(&events);
+        let lines: Vec<_> = folded.lines().collect();
+        assert_eq!(lines, vec!["root 50", "root;child 0", "root;child;leaf 60"]);
+    }
+
+    #[test]
+    fn folded_stacks_ignores_counters() {
+        let mut c = event("n", vec![], 0);
+        c.kind = EventKind::Counter;
+        assert_eq!(folded_stacks(&[c]), "");
+    }
+}

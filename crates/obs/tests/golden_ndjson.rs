@@ -1,0 +1,66 @@
+//! Golden NDJSON output for adversarially named events: names and string
+//! fields carrying quotes, backslashes, newlines, and raw control bytes
+//! must serialize to exactly the expected escaped line, and every emitted
+//! line must round-trip through the in-tree JSON validator.
+
+use fhp_obs::json::{parse, validate_trace_line, Json};
+use fhp_obs::{canonical_line, ndjson_line, order, Collector, TraceWriter};
+
+#[test]
+fn adversarial_names_produce_the_golden_canonical_lines() {
+    let collector = Collector::enabled();
+    let scope = collector.scope(order::META, None);
+    {
+        let _outer = scope.span("outer \"quoted\"\nname");
+        scope.counter("tab\there", 7);
+    }
+    scope.counter("ctrl\u{1}byte", 1);
+    collector.adopt(scope.finish());
+    let events = collector.snapshot();
+    let lines: Vec<String> = events.iter().map(canonical_line).collect();
+    assert_eq!(
+        lines,
+        vec![
+            // buffered order: the counter inside the span records first,
+            // the span lands when its guard drops
+            "{\"name\":\"tab\\there\",\"kind\":\"counter\",\"start_index\":null,\
+             \"stack\":\"outer \\\"quoted\\\"\\nname\",\"fields\":{\"value\":7}}",
+            "{\"name\":\"outer \\\"quoted\\\"\\nname\",\"kind\":\"span\",\
+             \"start_index\":null,\"stack\":\"\",\"fields\":{}}",
+            "{\"name\":\"ctrl\\u0001byte\",\"kind\":\"counter\",\
+             \"start_index\":null,\"stack\":\"\",\"fields\":{\"value\":1}}",
+        ]
+    );
+}
+
+#[test]
+fn adversarial_lines_validate_and_round_trip() {
+    let collector = Collector::enabled();
+    let scope = collector.scope(order::start(3), Some(3));
+    {
+        let _s = scope.span("semi;colon \\ backslash");
+        scope.counter("new\nline", u64::MAX);
+    }
+    collector.adopt(scope.finish());
+
+    let mut buf = Vec::new();
+    TraceWriter::new(&mut buf)
+        .write_events(&collector.snapshot())
+        .unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let mut names = Vec::new();
+    for line in text.lines() {
+        validate_trace_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        let v = parse(line).unwrap();
+        match v.get("name") {
+            Some(Json::Str(s)) => names.push(s.clone()),
+            other => panic!("bad name: {other:?}"),
+        }
+        // the escaped stack must decode back to the original name too
+        if let Some(Json::Str(stack)) = v.get("stack") {
+            assert!(stack.is_empty() || stack == "semi;colon \\ backslash");
+        }
+    }
+    assert_eq!(names, vec!["new\nline", "semi;colon \\ backslash"]);
+    assert!(ndjson_line(&collector.snapshot()[0]).contains("\"value\":18446744073709551615"));
+}

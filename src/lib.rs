@@ -14,7 +14,9 @@
 //! - [`core`] — Algorithm I and its building blocks;
 //! - [`baselines`] — comparison partitioners;
 //! - [`gen`] — seeded instance generators;
-//! - [`place`] — recursive min-cut placement, the application domain.
+//! - [`place`] — recursive min-cut placement, the application domain;
+//! - [`obs`] — in-tree structured tracing (spans, counters, histograms,
+//!   NDJSON export) wired through the partitioning pipeline.
 //!
 //! # Examples
 //!
@@ -37,4 +39,5 @@ pub use fhp_baselines as baselines;
 pub use fhp_core as core;
 pub use fhp_gen as gen;
 pub use fhp_hypergraph as hypergraph;
+pub use fhp_obs as obs;
 pub use fhp_place as place;
