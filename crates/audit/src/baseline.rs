@@ -1,0 +1,210 @@
+//! The ratchet baseline: grandfathered finding counts, per rule per
+//! crate, that may only go down.
+//!
+//! `audit-baseline.json` is a flat JSON object mapping `<crate>/<rule>`
+//! buckets to counts. [`compare`] fails a run the moment any bucket
+//! *rises* above its committed count; `fhp-audit --update-baseline`
+//! rewrites the file with the current counts once a burndown lands. The
+//! file is committed, so loosening it is a reviewable diff, not a flag.
+
+use std::collections::BTreeMap;
+
+use fhp_obs::json::{self, Json};
+
+use crate::rules::Finding;
+
+/// Counts per `<crate>/<rule>` bucket. `BTreeMap` so serialization and
+/// comparison order never depend on hash state.
+pub type Counts = BTreeMap<String, u64>;
+
+/// Buckets the findings of one run.
+pub fn count_findings(findings: &[Finding]) -> Counts {
+    let mut counts = Counts::new();
+    for f in findings {
+        *counts
+            .entry(format!("{}/{}", f.crate_name, f.rule.id()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// One bucket whose current count differs from the baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delta {
+    /// The `<crate>/<rule>` bucket key.
+    pub bucket: String,
+    /// Grandfathered count (0 if the bucket is new).
+    pub baseline: u64,
+    /// Count in the current run.
+    pub current: u64,
+}
+
+/// The ratchet verdict for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Comparison {
+    /// Buckets that rose above the baseline — these fail the run.
+    pub regressions: Vec<Delta>,
+    /// Buckets now below the baseline — the ratchet can be tightened
+    /// with `--update-baseline`.
+    pub improvements: Vec<Delta>,
+}
+
+impl Comparison {
+    /// Whether the run passes the ratchet.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares current counts against the baseline. Every bucket present on
+/// either side is considered; a bucket absent from the baseline is
+/// grandfathered at zero.
+pub fn compare(current: &Counts, baseline: &Counts) -> Comparison {
+    let mut cmp = Comparison::default();
+    let mut buckets: Vec<&String> = current.keys().chain(baseline.keys()).collect();
+    buckets.sort();
+    buckets.dedup();
+    for bucket in buckets {
+        let cur = current.get(bucket).copied().unwrap_or(0);
+        let base = baseline.get(bucket).copied().unwrap_or(0);
+        let delta = Delta {
+            bucket: bucket.clone(),
+            baseline: base,
+            current: cur,
+        };
+        if cur > base {
+            cmp.regressions.push(delta);
+        } else if cur < base {
+            cmp.improvements.push(delta);
+        }
+    }
+    cmp
+}
+
+/// Serializes counts as the committed baseline file: a sorted, indented
+/// JSON object with integer values and a trailing newline. Byte-stable
+/// for identical counts.
+pub fn to_json(counts: &Counts) -> String {
+    let mut out = String::from("{\n");
+    for (i, (bucket, count)) in counts.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(&fhp_obs::writer::json_escape(bucket));
+        out.push_str("\": ");
+        out.push_str(&count.to_string());
+        if i + 1 < counts.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses a baseline file (as written by [`to_json`], though any JSON
+/// object of non-negative integers is accepted).
+pub fn from_json(text: &str) -> Result<Counts, String> {
+    let value = json::parse(text)?;
+    let Json::Obj(pairs) = value else {
+        return Err("baseline must be a JSON object".to_string());
+    };
+    let mut counts = Counts::new();
+    for (bucket, v) in pairs {
+        let Json::Num(n) = v else {
+            return Err(format!("bucket \"{bucket}\" has a non-numeric count"));
+        };
+        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+            return Err(format!(
+                "bucket \"{bucket}\" count {n} is not a non-negative integer"
+            ));
+        }
+        counts.insert(bucket, n as u64);
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(crate_name: &str, rule: Rule) -> Finding {
+        Finding {
+            rule,
+            path: format!("crates/{crate_name}/src/x.rs"),
+            crate_name: crate_name.to_string(),
+            line: 1,
+            col: 1,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn counts_bucket_by_crate_and_rule() {
+        let findings = vec![
+            finding("core", Rule::PanicSite),
+            finding("core", Rule::PanicSite),
+            finding("gen", Rule::PanicSite),
+            finding("core", Rule::NondetIter),
+        ];
+        let counts = count_findings(&findings);
+        assert_eq!(counts.get("core/panic-site"), Some(&2));
+        assert_eq!(counts.get("gen/panic-site"), Some(&1));
+        assert_eq!(counts.get("core/nondet-iter"), Some(&1));
+    }
+
+    #[test]
+    fn ratchet_fails_on_rise_only() {
+        let mut base = Counts::new();
+        base.insert("core/panic-site".into(), 3);
+        base.insert("gen/panic-site".into(), 1);
+
+        let mut up = Counts::new();
+        up.insert("core/panic-site".into(), 4);
+        up.insert("gen/panic-site".into(), 1);
+        let cmp = compare(&up, &base);
+        assert!(!cmp.is_clean());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].bucket, "core/panic-site");
+
+        let mut down = Counts::new();
+        down.insert("core/panic-site".into(), 2);
+        down.insert("gen/panic-site".into(), 1);
+        let cmp = compare(&down, &base);
+        assert!(cmp.is_clean());
+        assert_eq!(cmp.improvements.len(), 1);
+
+        // a bucket with no baseline entry is grandfathered at zero
+        let mut fresh = Counts::new();
+        fresh.insert("obs/nondet-iter".into(), 1);
+        let cmp = compare(&fresh, &base);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].baseline, 0);
+    }
+
+    #[test]
+    fn json_roundtrip_is_stable() {
+        let mut counts = Counts::new();
+        counts.insert("core/panic-site".into(), 12);
+        counts.insert("baselines/panic-site".into(), 3);
+        let text = to_json(&counts);
+        assert_eq!(from_json(&text).unwrap(), counts);
+        assert_eq!(to_json(&from_json(&text).unwrap()), text);
+        assert!(text.starts_with("{\n  \"baselines/panic-site\": 3,\n"));
+    }
+
+    #[test]
+    fn empty_counts_serialize_to_empty_object() {
+        let counts = Counts::new();
+        assert_eq!(to_json(&counts), "{\n}\n");
+        assert_eq!(from_json("{\n}\n").unwrap(), counts);
+    }
+
+    #[test]
+    fn malformed_baselines_are_rejected() {
+        assert!(from_json("[]").is_err());
+        assert!(from_json("{\"a\": -1}").is_err());
+        assert!(from_json("{\"a\": 1.5}").is_err());
+        assert!(from_json("{\"a\": \"x\"}").is_err());
+        assert!(from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! A lightweight Rust lexer: just enough token structure for the audit
+//! rules — comments, string and char literals (including raw strings and
+//! byte strings), identifiers, numbers, and single-character punctuation.
+//!
+//! It is *not* a parser: there is no grammar, no spans beyond line/column,
+//! and no validation. What matters is that text inside comments and string
+//! literals can never be mistaken for code (`panic!` in a doc example or a
+//! log message must not trip the `panic-site` rule), and that `'a` the
+//! lifetime is distinguished from `'a'` the char literal so the rest of a
+//! file does not lex as one giant string.
+//!
+//! The lexer never fails: unterminated literals and stray bytes degrade to
+//! best-effort tokens so the audit can still scan a file that `rustc`
+//! would reject.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// `// ...` comment, including doc comments; text excludes the newline.
+    LineComment,
+    /// `/* ... */` comment (nesting handled), including doc comments.
+    BlockComment,
+    /// `"..."` or `b"..."` string literal, escapes uninterpreted.
+    Str,
+    /// `r"..."` / `r#"..."#` / `br#"..."#` raw string literal.
+    RawStr,
+    /// `'x'` char literal (or `b'x'` byte literal).
+    Char,
+    /// `'ident` lifetime.
+    Lifetime,
+    /// Numeric literal, suffix included.
+    Num,
+}
+
+/// One lexeme with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// The lexeme kind.
+    pub kind: TokKind,
+    /// The raw source text of the lexeme.
+    pub text: String,
+    /// 1-based line of the lexeme's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the lexeme's first character.
+    pub col: u32,
+}
+
+struct Cursor<'a> {
+    rest: std::str::Chars<'a>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            rest: src.chars(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest.clone().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.rest.clone().nth(1)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.rest.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Whitespace is dropped; everything
+/// else, comments included, becomes a [`Tok`].
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let tok = match c {
+            '/' if cur.peek2() == Some('/') => line_comment(&mut cur),
+            '/' if cur.peek2() == Some('*') => block_comment(&mut cur),
+            '"' => string(&mut cur, String::new()),
+            '\'' => char_or_lifetime(&mut cur),
+            'r' if matches!(cur.peek2(), Some('"' | '#')) => raw_string_or_ident(&mut cur),
+            'b' if cur.peek2() == Some('"') => {
+                let mut text = String::new();
+                push_bump(&mut cur, &mut text); // consume the b prefix
+                string(&mut cur, text)
+            }
+            'b' if cur.peek2() == Some('\'') => byte_char(&mut cur),
+            'b' if cur.peek2() == Some('r') => raw_byte_string_or_ident(&mut cur),
+            c if is_ident_start(c) => ident(&mut cur),
+            c if c.is_ascii_digit() => number(&mut cur),
+            _ => {
+                let mut text = String::new();
+                push_bump(&mut cur, &mut text);
+                Tok {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                    col,
+                }
+            }
+        };
+        toks.push(Tok { line, col, ..tok });
+    }
+    toks
+}
+
+/// Bumps one char into `text` (no-op at end of input).
+fn push_bump(cur: &mut Cursor<'_>, text: &mut String) {
+    if let Some(c) = cur.bump() {
+        text.push(c);
+    }
+}
+
+fn tok(kind: TokKind, text: String) -> Tok {
+    Tok {
+        kind,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn line_comment(cur: &mut Cursor<'_>) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        push_bump(cur, &mut text);
+    }
+    tok(TokKind::LineComment, text)
+}
+
+fn block_comment(cur: &mut Cursor<'_>) -> Tok {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek() {
+        if c == '/' && cur.peek2() == Some('*') {
+            depth += 1;
+            push_bump(cur, &mut text);
+            push_bump(cur, &mut text);
+        } else if c == '*' && cur.peek2() == Some('/') {
+            depth -= 1;
+            push_bump(cur, &mut text);
+            push_bump(cur, &mut text);
+            if depth == 0 {
+                break;
+            }
+        } else {
+            push_bump(cur, &mut text);
+        }
+    }
+    tok(TokKind::BlockComment, text)
+}
+
+/// Lexes a `"..."` string starting at the opening quote; `text` may
+/// already hold a consumed `b` prefix.
+fn string(cur: &mut Cursor<'_>, mut text: String) -> Tok {
+    push_bump(cur, &mut text); // opening quote
+    while let Some(c) = cur.peek() {
+        if c == '\\' {
+            push_bump(cur, &mut text);
+            push_bump(cur, &mut text);
+        } else if c == '"' {
+            push_bump(cur, &mut text);
+            break;
+        } else {
+            push_bump(cur, &mut text);
+        }
+    }
+    tok(TokKind::Str, text)
+}
+
+/// At `r` followed by `"` or `#`: a raw string if the hash run ends in a
+/// quote, otherwise an identifier (e.g. `r#match` raw identifiers).
+fn raw_string_or_ident(cur: &mut Cursor<'_>) -> Tok {
+    let after_prefix = cur.rest.clone().skip(1).find(|&c| c != '#');
+    if after_prefix != Some('"') {
+        return ident(cur);
+    }
+    let mut text = String::new();
+    push_bump(cur, &mut text); // r
+    raw_string_body(cur, text)
+}
+
+/// At `b` followed by `r`: a raw byte string if it opens correctly,
+/// otherwise an identifier.
+fn raw_byte_string_or_ident(cur: &mut Cursor<'_>) -> Tok {
+    let after_prefix = cur.rest.clone().skip(2).find(|&c| c != '#');
+    if after_prefix != Some('"') {
+        return ident(cur);
+    }
+    let mut text = String::new();
+    push_bump(cur, &mut text); // b
+    push_bump(cur, &mut text); // r
+    raw_string_body(cur, text)
+}
+
+/// Lexes `#*"..."#*` with a matched hash count; the cursor sits at the
+/// first `#` or the opening quote.
+fn raw_string_body(cur: &mut Cursor<'_>, mut text: String) -> Tok {
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        push_bump(cur, &mut text);
+    }
+    push_bump(cur, &mut text); // opening quote
+    'body: while let Some(c) = cur.peek() {
+        push_bump(cur, &mut text);
+        if c == '"' {
+            let mut probe = cur.rest.clone();
+            for _ in 0..hashes {
+                if probe.next() != Some('#') {
+                    continue 'body;
+                }
+            }
+            for _ in 0..hashes {
+                push_bump(cur, &mut text);
+            }
+            break;
+        }
+    }
+    tok(TokKind::RawStr, text)
+}
+
+/// At a `'`: a lifetime if an identifier follows without a closing quote,
+/// a char literal otherwise.
+fn char_or_lifetime(cur: &mut Cursor<'_>) -> Tok {
+    let mut text = String::new();
+    push_bump(cur, &mut text); // opening quote
+    match cur.peek() {
+        Some('\\') => {
+            // escaped char literal: consume escape then scan to the quote
+            push_bump(cur, &mut text);
+            push_bump(cur, &mut text);
+            while let Some(c) = cur.peek() {
+                push_bump(cur, &mut text);
+                if c == '\'' {
+                    break;
+                }
+            }
+            tok(TokKind::Char, text)
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char; `'a` (no closing quote after the ident run)
+            // is a lifetime
+            let after_ident = cur.rest.clone().find(|&c| !is_ident_continue(c));
+            if after_ident == Some('\'') {
+                push_bump(cur, &mut text); // the char
+                push_bump(cur, &mut text); // closing quote
+                tok(TokKind::Char, text)
+            } else {
+                while cur.peek().is_some_and(is_ident_continue) {
+                    push_bump(cur, &mut text);
+                }
+                tok(TokKind::Lifetime, text)
+            }
+        }
+        Some(_) => {
+            push_bump(cur, &mut text); // the char
+            push_bump(cur, &mut text); // closing quote
+            tok(TokKind::Char, text)
+        }
+        None => tok(TokKind::Char, text),
+    }
+}
+
+/// At `b'`: a byte literal.
+fn byte_char(cur: &mut Cursor<'_>) -> Tok {
+    let mut text = String::new();
+    push_bump(cur, &mut text); // b
+    let inner = char_or_lifetime(cur);
+    text.push_str(&inner.text);
+    tok(TokKind::Char, text)
+}
+
+fn ident(cur: &mut Cursor<'_>) -> Tok {
+    let mut text = String::new();
+    while cur.peek().is_some_and(is_ident_continue) {
+        push_bump(cur, &mut text);
+    }
+    tok(TokKind::Ident, text)
+}
+
+fn number(cur: &mut Cursor<'_>) -> Tok {
+    let mut text = String::new();
+    while cur.peek().is_some_and(is_ident_continue) {
+        push_bump(cur, &mut text);
+    }
+    // fractional part — but not `..` (range) and not `.method()`
+    if cur.peek() == Some('.') && cur.peek2().is_some_and(|c| c.is_ascii_digit()) {
+        push_bump(cur, &mut text);
+        while cur.peek().is_some_and(is_ident_continue) {
+            push_bump(cur, &mut text);
+        }
+    }
+    tok(TokKind::Num, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("let x = a.unwrap();");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "unwrap".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+        assert_eq!(
+            kinds("1.5e3 0xFF 2..10"),
+            vec![
+                (TokKind::Num, "1.5e3".into()),
+                (TokKind::Num, "0xFF".into()),
+                (TokKind::Num, "2".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Num, "10".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_swallow_code() {
+        let toks = kinds("x // panic!(\"no\")\n/* a.unwrap() /* nested */ */ y");
+        assert_eq!(toks[0], (TokKind::Ident, "x".into()));
+        assert_eq!(toks[1].0, TokKind::LineComment);
+        assert_eq!(toks[2].0, TokKind::BlockComment);
+        assert!(toks[2].1.contains("nested"));
+        assert_eq!(toks[3], (TokKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn strings_swallow_code() {
+        let toks = kinds(r#"let s = "panic!(\"x\") .unwrap()";"#);
+        assert_eq!(toks[3].0, TokKind::Str);
+        assert!(toks[3].1.contains("panic"));
+        assert_eq!(toks[4], (TokKind::Punct, ";".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " and .unwrap()"# ;"###);
+        assert_eq!(toks[3].0, TokKind::RawStr);
+        assert!(toks[3].1.contains(".unwrap()"));
+        assert_eq!(toks[4], (TokKind::Punct, ";".into()));
+        let toks = kinds("br#\"bytes\"# x");
+        assert_eq!(toks[0].0, TokKind::RawStr);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("r#match b");
+        assert_eq!(toks[0].0, TokKind::Ident);
+        assert_eq!(toks[0].1, "r");
+        // the `#` and keyword lex separately, which is fine for auditing
+        assert_eq!(toks[1], (TokKind::Punct, "#".into()));
+    }
+
+    #[test]
+    fn chars_versus_lifetimes() {
+        let toks = kinds("'a' 'x 'static '\\'' '\"' b'z'");
+        assert_eq!(toks[0].0, TokKind::Char);
+        assert_eq!(toks[1].0, TokKind::Lifetime);
+        assert_eq!(toks[1].1, "'x");
+        assert_eq!(toks[2].0, TokKind::Lifetime);
+        assert_eq!(toks[3].0, TokKind::Char);
+        assert_eq!(toks[4].0, TokKind::Char);
+        assert_eq!(toks[4].1, "'\"'");
+        assert_eq!(toks[5].0, TokKind::Char);
+    }
+
+    #[test]
+    fn quote_char_does_not_derail_lexing() {
+        // after the '"' char literal, unwrap must still lex as an ident
+        let toks = kinds("let q = '\"'; q.unwrap()");
+        let unwraps: Vec<_> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Ident && t == "unwrap")
+            .collect();
+        assert_eq!(unwraps.len(), 1);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+        }
+    }
+}

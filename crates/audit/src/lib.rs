@@ -1,0 +1,42 @@
+//! `fhp-audit`: in-tree static analysis enforcing the fhp workspace's two
+//! load-bearing contracts.
+//!
+//! The engine (PR 1) guarantees bit-identical outcomes across `--threads
+//! 1/2/8`, and the construction layer (PR 2) guarantees
+//! error-never-panic. Nothing *enforced* either — any new `HashMap`
+//! iteration in a core path or `unwrap()` in library code regressed the
+//! contract silently. This crate makes both machine-checked:
+//!
+//! - [`lexer`] — a lightweight Rust lexer (comments, strings, raw
+//!   strings, char-vs-lifetime) so text in comments and literals can
+//!   never be mistaken for code;
+//! - [`classify`] — lib/test/bench/example file classification plus
+//!   `#[cfg(test)]`/`#[test]` region masking;
+//! - [`rules`] — the rule set (`panic-site`, `nondet-iter`,
+//!   `wallclock-in-fingerprint`, `missing-forbid-unsafe`,
+//!   `invalid-pragma`) and the `// fhp-audit: allow(<rule>) — <reason>`
+//!   suppression pragma, reasons mandatory;
+//! - [`baseline`] — the committed ratchet (`audit-baseline.json`):
+//!   existing findings are grandfathered per rule per crate, any *rise*
+//!   fails the run, `--update-baseline` tightens it;
+//! - [`report`] — findings exported as `fhp_obs` counter events, so
+//!   `fhp-trace-check` validates the NDJSON artifact;
+//! - [`workspace`] — the deterministic file walk.
+//!
+//! Like `fhp-obs`, the crate is zero-dependency by necessity (no registry
+//! access) and by design: an auditor with dependencies is an auditor with
+//! excuses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod classify;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::{compare, count_findings, Comparison, Counts, Delta};
+pub use classify::{crate_of, file_kind, FileKind};
+pub use rules::{audit_source, AuditConfig, Finding, Rule, ALL_RULES};

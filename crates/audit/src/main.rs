@@ -1,0 +1,177 @@
+//! `fhp-audit` — the workspace's static analysis gate.
+//!
+//! ```text
+//! fhp-audit --workspace [--root DIR] [--baseline FILE] [--ndjson FILE]
+//!           [--update-baseline] [--list]
+//! ```
+//!
+//! Scans every auditable `.rs` file, buckets findings per rule per crate,
+//! and compares against the committed ratchet baseline. Exit codes:
+//! 0 clean, 1 ratchet regression, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fhp_audit::{audit_source, baseline, report, workspace, AuditConfig, Finding};
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    ndjson: Option<PathBuf>,
+    update_baseline: bool,
+    list: bool,
+}
+
+const USAGE: &str = "usage: fhp-audit --workspace [--root DIR] [--baseline FILE] \
+                     [--ndjson FILE] [--update-baseline] [--list]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        ndjson: None,
+        update_baseline: false,
+        list: false,
+    };
+    let mut saw_workspace = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => saw_workspace = true,
+            "--root" => args.root = PathBuf::from(take(&mut it, "--root")?),
+            "--baseline" => args.baseline = Some(PathBuf::from(take(&mut it, "--baseline")?)),
+            "--ndjson" => args.ndjson = Some(PathBuf::from(take(&mut it, "--ndjson")?)),
+            "--update-baseline" => args.update_baseline = true,
+            "--list" => args.list = true,
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if !saw_workspace {
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+fn take(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("audit-baseline.json"));
+
+    let files = workspace::workspace_files(&args.root)
+        .map_err(|e| format!("cannot walk {}: {e}", args.root.display()))?;
+    if files.is_empty() {
+        return Err(format!("no .rs files under {}", args.root.display()));
+    }
+
+    let config = AuditConfig::default();
+    let mut findings: Vec<Finding> = Vec::new();
+    for rel in &files {
+        let path = args.root.join(rel);
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        findings.extend(audit_source(rel, &src, &config));
+    }
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+
+    if args.list {
+        for f in &findings {
+            println!("{}", report::render(f));
+        }
+    }
+
+    if let Some(ndjson_path) = &args.ndjson {
+        let file = std::fs::File::create(ndjson_path)
+            .map_err(|e| format!("cannot create {}: {e}", ndjson_path.display()))?;
+        report::write_ndjson(&findings, file)
+            .map_err(|e| format!("cannot write {}: {e}", ndjson_path.display()))?;
+        println!(
+            "wrote {} findings to {}",
+            findings.len(),
+            ndjson_path.display()
+        );
+    }
+
+    let counts = baseline::count_findings(&findings);
+    if args.update_baseline {
+        std::fs::write(&baseline_path, baseline::to_json(&counts))
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "baseline updated: {} buckets, {} findings -> {}",
+            counts.len(),
+            findings.len(),
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let committed = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            baseline::from_json(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!(
+                "note: no baseline at {} (run with --update-baseline to create one); \
+                 comparing against zero",
+                baseline_path.display()
+            );
+            baseline::Counts::new()
+        }
+        Err(e) => return Err(format!("cannot read {}: {e}", baseline_path.display())),
+    };
+
+    let cmp = baseline::compare(&counts, &committed);
+    println!(
+        "audited {} files: {} findings in {} buckets",
+        files.len(),
+        findings.len(),
+        counts.len()
+    );
+    for d in &cmp.improvements {
+        println!(
+            "  tightenable: {} {} -> {} (run --update-baseline)",
+            d.bucket, d.baseline, d.current
+        );
+    }
+    if cmp.is_clean() {
+        println!("ratchet clean against {}", baseline_path.display());
+        return Ok(true);
+    }
+    for d in &cmp.regressions {
+        eprintln!(
+            "REGRESSION {}: baseline {}, now {}",
+            d.bucket, d.baseline, d.current
+        );
+        let (crate_name, rule_id) = d.bucket.split_once('/').unwrap_or((d.bucket.as_str(), ""));
+        for f in findings
+            .iter()
+            .filter(|f| f.crate_name == crate_name && f.rule.id() == rule_id)
+        {
+            eprintln!("  {}", report::render(f));
+        }
+    }
+    eprintln!(
+        "fix the findings above, suppress a justified one with \
+         `// fhp-audit: allow(<rule>) — <reason>`, or (for reviewed debt) \
+         re-run with --update-baseline"
+    );
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("fhp-audit: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Finding export: findings become `fhp_obs` counter events so the
+//! existing NDJSON machinery — `TraceWriter`, the independent JSON
+//! parser, and the `fhp-trace-check` binary — validates audit output
+//! exactly like it validates traces.
+//!
+//! Every finding is one counter event named `audit.<rule>` with the
+//! location and detail in its `fields`; a final `audit.findings_total`
+//! counter closes the stream (so an all-clean run still emits a
+//! well-formed, non-empty NDJSON file). Events carry no wall-clock data
+//! and `scope_order` is the finding's rank in the sorted finding list, so
+//! the canonical and full serializations are both byte-stable.
+
+use std::io::{self, Write};
+
+use fhp_obs::{Event, EventKind, FieldValue, TraceWriter};
+
+use crate::rules::Finding;
+
+/// Converts sorted findings into the NDJSON event sequence.
+pub fn events(findings: &[Finding]) -> Vec<Event> {
+    let mut out: Vec<Event> = findings
+        .iter()
+        .enumerate()
+        .map(|(i, f)| Event {
+            name: f.rule.event_name(),
+            kind: EventKind::Counter,
+            stack: Vec::new(),
+            start_ns: 0,
+            dur_ns: 0,
+            scope_order: i as u64,
+            start_index: None,
+            thread: 0,
+            fields: vec![
+                ("value", FieldValue::U64(1)),
+                ("file", FieldValue::Str(f.path.clone())),
+                ("line", FieldValue::U64(u64::from(f.line))),
+                ("col", FieldValue::U64(u64::from(f.col))),
+                ("crate", FieldValue::Str(f.crate_name.clone())),
+                ("detail", FieldValue::Str(f.detail.clone())),
+            ],
+        })
+        .collect();
+    out.push(Event {
+        name: "audit.findings_total",
+        kind: EventKind::Counter,
+        stack: Vec::new(),
+        start_ns: 0,
+        dur_ns: 0,
+        scope_order: u64::MAX,
+        start_index: None,
+        thread: 0,
+        fields: vec![("value", FieldValue::U64(findings.len() as u64))],
+    });
+    out
+}
+
+/// Writes the findings as NDJSON to `sink` (one line per finding plus the
+/// closing total).
+pub fn write_ndjson<W: Write>(findings: &[Finding], sink: W) -> io::Result<()> {
+    TraceWriter::new(sink).write_events(&events(findings))
+}
+
+/// The one-line human rendering of a finding, `path:line:col: rule:
+/// detail` — the shape compilers print, so editors and CI logs link it.
+pub fn render(f: &Finding) -> String {
+    format!(
+        "{}:{}:{}: {}: {}",
+        f.path,
+        f.line,
+        f.col,
+        f.rule.id(),
+        f.detail
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: Rule::PanicSite,
+            path: "crates/core/src/x.rs".into(),
+            crate_name: "core".into(),
+            line: 7,
+            col: 3,
+            detail: "`.unwrap()` call".into(),
+        }
+    }
+
+    #[test]
+    fn every_line_validates_as_a_trace_event() {
+        let mut buf = Vec::new();
+        write_ndjson(&[finding()], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            fhp_obs::json::validate_trace_line(line).unwrap();
+        }
+        assert!(lines[0].contains("\"name\":\"audit.panic-site\""));
+        assert!(lines[0].contains("\"file\":\"crates/core/src/x.rs\""));
+        assert!(lines[1].contains("\"name\":\"audit.findings_total\""));
+        assert!(lines[1].contains("\"value\":1"));
+    }
+
+    #[test]
+    fn empty_run_still_emits_the_total() {
+        let mut buf = Vec::new();
+        write_ndjson(&[], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        fhp_obs::json::validate_trace_line(text.trim_end()).unwrap();
+    }
+
+    #[test]
+    fn output_is_byte_stable() {
+        let f = vec![finding(), finding()];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_ndjson(&f, &mut a).unwrap();
+        write_ndjson(&f, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_is_compiler_shaped() {
+        assert_eq!(
+            render(&finding()),
+            "crates/core/src/x.rs:7:3: panic-site: `.unwrap()` call"
+        );
+    }
+}

@@ -1,0 +1,520 @@
+//! The audit rules: what the determinism and panic-safety contracts mean
+//! at the token level, plus the inline suppression pragma.
+//!
+//! Every rule produces [`Finding`]s; policy (which findings are
+//! grandfathered) lives in [`crate::baseline`], not here. Suppression is
+//! explicit and always carries a reason:
+//!
+//! ```text
+//! // fhp-audit: allow(panic-site) — claim loop covers every index exactly once
+//! ```
+//!
+//! A pragma suppresses findings of its rule on its own line and on the
+//! line directly below (so it can trail a statement or sit above one). A
+//! pragma with an unknown rule or a missing reason is itself a finding
+//! (`invalid-pragma`) and suppresses nothing — a reasonless allow is how
+//! contracts rot.
+
+use crate::classify::{crate_of, file_kind, test_line_mask, FileKind};
+use crate::lexer::{lex, Tok, TokKind};
+
+/// The rule set. `InvalidPragma` is the meta-rule that keeps the other
+/// four honest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+    /// or a slice index in non-test library code.
+    PanicSite,
+    /// `HashMap`/`HashSet` anywhere in a determinism-contract crate
+    /// (randomized iteration order).
+    NondetIter,
+    /// `Instant`/`SystemTime` in library code outside the tracing and
+    /// bench crates (wall-clock must never feed deterministic output).
+    WallclockInFingerprint,
+    /// A `lib.rs` without `#![forbid(unsafe_code)]`.
+    MissingForbidUnsafe,
+    /// A malformed `fhp-audit:` pragma.
+    InvalidPragma,
+}
+
+/// All rules, in reporting order.
+pub const ALL_RULES: [Rule; 5] = [
+    Rule::PanicSite,
+    Rule::NondetIter,
+    Rule::WallclockInFingerprint,
+    Rule::MissingForbidUnsafe,
+    Rule::InvalidPragma,
+];
+
+impl Rule {
+    /// The rule's id, as written in pragmas and baseline keys.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::PanicSite => "panic-site",
+            Rule::NondetIter => "nondet-iter",
+            Rule::WallclockInFingerprint => "wallclock-in-fingerprint",
+            Rule::MissingForbidUnsafe => "missing-forbid-unsafe",
+            Rule::InvalidPragma => "invalid-pragma",
+        }
+    }
+
+    /// The NDJSON event name findings of this rule are exported under.
+    pub fn event_name(self) -> &'static str {
+        match self {
+            Rule::PanicSite => "audit.panic-site",
+            Rule::NondetIter => "audit.nondet-iter",
+            Rule::WallclockInFingerprint => "audit.wallclock-in-fingerprint",
+            Rule::MissingForbidUnsafe => "audit.missing-forbid-unsafe",
+            Rule::InvalidPragma => "audit.invalid-pragma",
+        }
+    }
+
+    /// Parses a rule id (as spelled in pragmas).
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.into_iter().find(|r| r.id() == id)
+    }
+}
+
+/// One rule violation at a source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// The crate the file belongs to (baseline bucket key).
+    pub crate_name: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the specific violation.
+    pub detail: String,
+}
+
+/// Which crates each contract binds. The defaults encode this workspace's
+/// contracts; tests override them to audit fixtures.
+#[derive(Clone, Debug)]
+pub struct AuditConfig {
+    /// Crates under the bit-identical-outcome contract: `HashMap`/
+    /// `HashSet` are flagged anywhere in them, test code included (an
+    /// order-dependent test assertion flickers just like an
+    /// order-dependent kernel).
+    pub determinism_crates: Vec<String>,
+    /// Crates exempt from `wallclock-in-fingerprint`: the tracing
+    /// substrate (timing is its job) and the bench helpers.
+    pub wallclock_exempt_crates: Vec<String>,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            determinism_crates: vec!["core".into(), "hypergraph".into(), "obs".into()],
+            wallclock_exempt_crates: vec!["obs".into(), "bench".into()],
+        }
+    }
+}
+
+/// A parsed `// fhp-audit: allow(<rule>) — <reason>` pragma.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Pragma {
+    line: u32,
+    col: u32,
+    rule: Result<Rule, String>,
+    reason: Option<String>,
+}
+
+/// Extracts pragmas from the comment tokens of a file.
+fn pragmas(toks: &[Tok]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let body = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("fhp-audit:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = parse_allow(rest);
+        out.push(Pragma {
+            line: t.line,
+            col: t.col,
+            rule: parsed.0,
+            reason: parsed.1,
+        });
+    }
+    out
+}
+
+/// Parses `allow(<rule>) <sep> <reason>` after the `fhp-audit:` marker.
+/// The separator may be an em dash, a hyphen run, or a colon.
+fn parse_allow(rest: &str) -> (Result<Rule, String>, Option<String>) {
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return (
+            Err(format!("expected `allow(<rule>)`, found `{rest}`")),
+            None,
+        );
+    };
+    let Some(close) = inner.find(')') else {
+        return (Err("unclosed `allow(`".to_string()), None);
+    };
+    let id = inner.get(..close).unwrap_or_default().trim();
+    let rule = match Rule::from_id(id) {
+        Some(Rule::InvalidPragma) | None => Err(format!("unknown rule `{id}`")),
+        Some(rule) => Ok(rule),
+    };
+    let tail = inner.get(close + 1..).unwrap_or_default();
+    let reason = tail.trim_start().trim_start_matches(['—', '-', ':']).trim();
+    let reason = if reason.is_empty() {
+        None
+    } else {
+        Some(reason.to_string())
+    };
+    (rule, reason)
+}
+
+/// Keywords that may legitimately precede a `[` without it being an index
+/// expression (slice patterns, array literals in statements).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "mut"
+            | "ref"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "return"
+            | "move"
+            | "as"
+            | "const"
+            | "static"
+            | "break"
+            | "continue"
+            | "while"
+            | "for"
+            | "loop"
+            | "where"
+            | "dyn"
+            | "impl"
+            | "fn"
+            | "pub"
+            | "use"
+            | "mod"
+            | "enum"
+            | "struct"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "async"
+            | "await"
+            | "box"
+            | "yield"
+    )
+}
+
+/// Audits one file's source text. `path` must be workspace-relative; it
+/// drives the file/crate classification.
+pub fn audit_source(path: &str, src: &str, config: &AuditConfig) -> Vec<Finding> {
+    let kind = file_kind(path);
+    let crate_name = crate_of(path).to_string();
+    let toks = lex(src);
+    let num_lines = src.lines().count();
+    let test_mask = test_line_mask(&toks, num_lines);
+    let in_test = |line: u32| test_mask.get(line as usize).copied().unwrap_or(false);
+    let file_pragmas = pragmas(&toks);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |rule: Rule, t: &Tok, detail: String| {
+        raw.push(Finding {
+            rule,
+            path: path.to_string(),
+            crate_name: crate_name.clone(),
+            line: t.line,
+            col: t.col,
+            detail,
+        });
+    };
+
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+
+    let panic_applies = kind == FileKind::Lib;
+    let nondet_applies = config.determinism_crates.contains(&crate_name);
+    let wallclock_applies =
+        kind == FileKind::Lib && !config.wallclock_exempt_crates.contains(&crate_name);
+
+    for (i, t) in code.iter().enumerate() {
+        let prev = i.checked_sub(1).and_then(|j| code.get(j));
+        let next = code.get(i + 1);
+        match t.kind {
+            TokKind::Ident => {
+                let followed_by = |p: &str| next.is_some_and(|n| n.text == p);
+                let preceded_by_dot = prev.is_some_and(|p| p.text == ".");
+                if panic_applies && !in_test(t.line) {
+                    if matches!(t.text.as_str(), "unwrap" | "expect")
+                        && preceded_by_dot
+                        && followed_by("(")
+                    {
+                        push(Rule::PanicSite, t, format!("`.{}()` call", t.text));
+                    } else if matches!(
+                        t.text.as_str(),
+                        "panic" | "unreachable" | "todo" | "unimplemented"
+                    ) && followed_by("!")
+                    {
+                        push(Rule::PanicSite, t, format!("`{}!` macro", t.text));
+                    }
+                }
+                if nondet_applies && matches!(t.text.as_str(), "HashMap" | "HashSet") {
+                    push(
+                        Rule::NondetIter,
+                        t,
+                        format!("`{}` in a determinism-contract crate", t.text),
+                    );
+                }
+                if wallclock_applies
+                    && !in_test(t.line)
+                    && matches!(t.text.as_str(), "Instant" | "SystemTime")
+                {
+                    push(
+                        Rule::WallclockInFingerprint,
+                        t,
+                        format!("`{}` outside tracing/bench code", t.text),
+                    );
+                }
+            }
+            TokKind::Punct if t.text == "[" && panic_applies && !in_test(t.line) => {
+                let indexable = prev.is_some_and(|p| match p.kind {
+                    TokKind::Ident => !is_keyword(&p.text),
+                    TokKind::Punct => matches!(p.text.as_str(), ")" | "]"),
+                    _ => false,
+                });
+                if indexable {
+                    let base = prev.map_or(String::new(), |p| p.text.clone());
+                    push(Rule::PanicSite, t, format!("slice index `{base}[..]`"));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // file-level rule: every lib.rs must forbid unsafe code
+    if path == "lib.rs" || path.ends_with("/lib.rs") {
+        let has_forbid = code.windows(3).any(|w| match w {
+            [a, b, c] => a.text == "forbid" && b.text == "(" && c.text == "unsafe_code",
+            _ => false,
+        });
+        if !has_forbid {
+            raw.push(Finding {
+                rule: Rule::MissingForbidUnsafe,
+                path: path.to_string(),
+                crate_name: crate_name.clone(),
+                line: 1,
+                col: 1,
+                detail: "missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+
+    // apply suppression, then report malformed pragmas
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            !file_pragmas.iter().any(|p| {
+                p.rule == Ok(f.rule)
+                    && p.reason.is_some()
+                    && (p.line == f.line || p.line + 1 == f.line)
+            })
+        })
+        .collect();
+    for p in &file_pragmas {
+        let problem = match (&p.rule, &p.reason) {
+            (Err(e), _) => Some(e.clone()),
+            (Ok(_), None) => Some("missing reason (use `allow(<rule>) — <why>`)".to_string()),
+            (Ok(_), Some(_)) => None,
+        };
+        if let Some(problem) = problem {
+            findings.push(Finding {
+                rule: Rule::InvalidPragma,
+                path: path.to_string(),
+                crate_name: crate_name.clone(),
+                line: p.line,
+                col: p.col,
+                detail: problem,
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn audit_lib(src: &str) -> Vec<Finding> {
+        audit_source("crates/core/src/x.rs", src, &AuditConfig::default())
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src =
+            "fn f() {\n  a.unwrap();\n  b.expect(\"x\");\n  panic!(\"y\");\n  unreachable!();\n}\n";
+        let f = audit_lib(src);
+        assert_eq!(rules_of(&f), vec![Rule::PanicSite; 4]);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].detail, "`.unwrap()` call");
+    }
+
+    #[test]
+    fn unwrap_like_names_do_not_flag() {
+        let f = audit_lib("fn f() { a.unwrap_or(0); b.unwrap_or_else(g); expect(1); }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn flags_slice_index_but_not_lookalikes() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f(v: &[u8], w: Vec<u8>) {\n\
+                   let a = v[0];\n\
+                   let b = [1, 2, 3];\n\
+                   let [x, y] = [4, 5];\n\
+                   let c = vec![1];\n\
+                   let d = w[1][2];\n}\n";
+        let f = audit_lib(src);
+        assert!(f.iter().all(|f| f.detail.starts_with("slice index")));
+        // v[0], w[1] and the chained [2]
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_panic_site() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n";
+        assert!(audit_lib(src).is_empty());
+        let f = audit_source(
+            "crates/core/tests/t.rs",
+            "fn t() { x.unwrap(); }",
+            &AuditConfig::default(),
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_flag() {
+        let src = "fn f() {\n  let s = \"panic!(no) .unwrap()\";\n  // a.unwrap()\n  \
+                   let r = r#\"HashMap .expect(\"#;\n}\n";
+        assert!(audit_lib(src).is_empty());
+    }
+
+    #[test]
+    fn nondet_iter_binds_contract_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_of(&audit_lib(src)), vec![Rule::NondetIter]);
+        let f = audit_source("crates/gen/src/x.rs", src, &AuditConfig::default());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn nondet_iter_applies_inside_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n  use std::collections::HashSet;\n}\n";
+        assert_eq!(rules_of(&audit_lib(src)), vec![Rule::NondetIter]);
+    }
+
+    #[test]
+    fn wallclock_exempts_obs_and_bench() {
+        let src = "use std::time::Instant;\n";
+        assert_eq!(
+            rules_of(&audit_lib(src)),
+            vec![Rule::WallclockInFingerprint]
+        );
+        for path in ["crates/obs/src/x.rs", "crates/bench/src/x.rs"] {
+            assert!(audit_source(path, src, &AuditConfig::default()).is_empty());
+        }
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_on_lib_rs_only() {
+        let f = audit_source(
+            "crates/gen/src/lib.rs",
+            "pub fn f() {}\n",
+            &AuditConfig::default(),
+        );
+        assert_eq!(rules_of(&f), vec![Rule::MissingForbidUnsafe]);
+        let ok = audit_source(
+            "crates/gen/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            &AuditConfig::default(),
+        );
+        assert!(ok.is_empty());
+        let not_lib = audit_source(
+            "crates/gen/src/x.rs",
+            "pub fn f() {}\n",
+            &AuditConfig::default(),
+        );
+        assert!(not_lib.is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_same_and_next_line() {
+        let trailing = "fn f() { a.unwrap(); } // fhp-audit: allow(panic-site) — checked above\n";
+        assert!(audit_lib(trailing).is_empty());
+        let above = "// fhp-audit: allow(panic-site) — checked above\nfn f() { a.unwrap(); }\n";
+        assert!(audit_lib(above).is_empty());
+        let too_far = "// fhp-audit: allow(panic-site) — checked above\n\nfn f() { a.unwrap(); }\n";
+        assert_eq!(rules_of(&audit_lib(too_far)), vec![Rule::PanicSite]);
+    }
+
+    #[test]
+    fn pragma_rule_mismatch_does_not_suppress() {
+        let src = "// fhp-audit: allow(nondet-iter) — wrong rule\nfn f() { a.unwrap(); }\n";
+        assert_eq!(rules_of(&audit_lib(src)), vec![Rule::PanicSite]);
+    }
+
+    #[test]
+    fn reasonless_pragma_is_invalid_and_suppresses_nothing() {
+        let src = "// fhp-audit: allow(panic-site)\nfn f() { a.unwrap(); }\n";
+        let f = audit_lib(src);
+        assert_eq!(rules_of(&f), vec![Rule::InvalidPragma, Rule::PanicSite]);
+    }
+
+    #[test]
+    fn unknown_rule_pragma_is_invalid() {
+        let src = "// fhp-audit: allow(no-such-rule) — reason\nfn f() {}\n";
+        let f = audit_lib(src);
+        assert_eq!(rules_of(&f), vec![Rule::InvalidPragma]);
+        assert!(f[0].detail.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn hyphen_and_colon_separators_accepted() {
+        for sep in ["—", "-", "--", ":"] {
+            let src =
+                format!("// fhp-audit: allow(panic-site) {sep} reason\nfn f() {{ a.unwrap(); }}\n");
+            assert!(audit_lib(&src).is_empty(), "sep {sep:?}");
+        }
+    }
+
+    #[test]
+    fn findings_sorted_and_deterministic() {
+        let src = "fn f() {\n  b.unwrap();\n  a.unwrap();\n}\nfn g() { v[0]; }\n";
+        let a = audit_lib(src);
+        let b = audit_lib(src);
+        assert_eq!(a, b);
+        assert!(a
+            .windows(2)
+            .all(|w| (w[0].line, w[0].col) <= (w[1].line, w[1].col)));
+    }
+}

@@ -1,0 +1,77 @@
+//! Workspace discovery: which `.rs` files the audit scans.
+//!
+//! A deterministic recursive walk from the workspace root, skipping what
+//! the contracts do not bind:
+//!
+//! - `target/` — build output;
+//! - `compat/` — vendored API stand-ins for `rand`/`proptest`/
+//!   `criterion`; third-party idiom, not this project's contract surface;
+//! - `tests/fixtures/` — the audit's own rule fixtures, which contain
+//!   violations *on purpose*;
+//! - dot-directories (`.git`, `.github`).
+//!
+//! Paths are returned workspace-relative with `/` separators, sorted, so
+//! the finding order (and therefore the NDJSON export) is byte-stable
+//! across platforms and filesystem enumeration orders.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Directory names the walk never descends into.
+const SKIP_DIRS: [&str; 3] = ["target", "compat", "fixtures"];
+
+/// Collects every auditable `.rs` file under `root`, workspace-relative
+/// and sorted.
+///
+/// # Errors
+///
+/// Propagates the first I/O error the walk hits (an unreadable root is an
+/// audit failure, not an empty result).
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    walk(root, String::new(), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, rel: String, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        let child_rel = if rel.is_empty() {
+            name.clone()
+        } else {
+            format!("{rel}/{name}")
+        };
+        let kind = entry.file_type()?;
+        if kind.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            walk(&entry.path(), child_rel, out)?;
+        } else if kind.is_file() && name.ends_with(".rs") {
+            out.push(child_rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_sources_and_skips_fixtures() {
+        // the audit crate's own directory is a convenient real tree
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = workspace_files(root).unwrap();
+        assert!(files.contains(&"src/lib.rs".to_string()));
+        assert!(files.contains(&"src/rules.rs".to_string()));
+        assert!(files.iter().all(|f| !f.contains("fixtures/")), "{files:?}");
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

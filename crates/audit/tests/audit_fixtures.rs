@@ -1,0 +1,245 @@
+//! Fixture battery: every rule against a file with known violations,
+//! the tricky non-violations (test code, string literals, raw strings,
+//! pragma suppression), exact counts, NDJSON stability — and the
+//! ratchet's exit codes end-to-end through the real binary.
+//!
+//! The fixtures live under `tests/fixtures/`; the workspace walker
+//! skips that directory, so they never leak into the self-audit.
+
+use std::path::Path;
+use std::process::Command;
+
+use fhp_audit::{audit_source, baseline, report, AuditConfig, Finding, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn count(findings: &[Finding], rule: Rule) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn panic_site_fixture_exact_counts() {
+    let src = fixture("panic_site.rs");
+    let findings = audit_source(
+        "crates/widgets/src/panic_site.rs",
+        &src,
+        &AuditConfig::default(),
+    );
+    // unwrap, expect, panic!, unreachable!, xs[0] — and nothing from the
+    // string literals, the raw string, the attribute, the vec! macro,
+    // the two pragma-suppressed unwraps, or the #[cfg(test)] module.
+    assert_eq!(count(&findings, Rule::PanicSite), 5, "{findings:#?}");
+    assert_eq!(findings.len(), 5, "{findings:#?}");
+    let details: Vec<&str> = findings.iter().map(|f| f.detail.as_str()).collect();
+    assert_eq!(
+        details,
+        [
+            "`.unwrap()` call",
+            "`.expect()` call",
+            "`panic!` macro",
+            "`unreachable!` macro",
+            "slice index `xs[..]`",
+        ]
+    );
+}
+
+#[test]
+fn panic_site_does_not_apply_to_test_files() {
+    let src = fixture("panic_site.rs");
+    let findings = audit_source(
+        "crates/widgets/tests/panic_site.rs",
+        &src,
+        &AuditConfig::default(),
+    );
+    assert_eq!(findings, Vec::new());
+}
+
+#[test]
+fn nondet_iter_fixture_counts_depend_on_crate_contract() {
+    let src = fixture("nondet_iter.rs");
+    let config = AuditConfig::default();
+    // Under a determinism-contract crate every HashMap/HashSet ident is a
+    // finding — including the one inside #[cfg(test)].
+    let in_core = audit_source("crates/core/src/nondet_iter.rs", &src, &config);
+    assert_eq!(count(&in_core, Rule::NondetIter), 6, "{in_core:#?}");
+    assert_eq!(in_core.len(), 6);
+    // The same source in an uncontracted crate is clean.
+    let elsewhere = audit_source("crates/widgets/src/nondet_iter.rs", &src, &config);
+    assert_eq!(elsewhere, Vec::new());
+}
+
+#[test]
+fn wallclock_fixture_counts_respect_exemptions() {
+    let src = fixture("wallclock.rs");
+    let config = AuditConfig::default();
+    let flagged = audit_source("crates/widgets/src/wallclock.rs", &src, &config);
+    // Two use lines (1 each) + signature (2) + body (2); the test module
+    // is masked.
+    assert_eq!(
+        count(&flagged, Rule::WallclockInFingerprint),
+        6,
+        "{flagged:#?}"
+    );
+    assert_eq!(flagged.len(), 6);
+    // The tracing substrate itself is exempt (and has no other findings).
+    let exempt = audit_source("crates/obs/src/wallclock.rs", &src, &config);
+    assert_eq!(exempt, Vec::new());
+}
+
+#[test]
+fn missing_forbid_fires_only_on_bare_lib_roots() {
+    let config = AuditConfig::default();
+    let missing = audit_source(
+        "crates/nofid/src/lib.rs",
+        &fixture("missing_forbid/lib.rs"),
+        &config,
+    );
+    assert_eq!(missing.len(), 1, "{missing:#?}");
+    assert_eq!(missing[0].rule, Rule::MissingForbidUnsafe);
+    assert_eq!(missing[0].line, 1);
+
+    let present = audit_source(
+        "crates/nofid/src/lib.rs",
+        &fixture("with_forbid/lib.rs"),
+        &config,
+    );
+    assert_eq!(present, Vec::new());
+
+    // The same bare source under a non-root name is nobody's business.
+    let not_a_root = audit_source(
+        "crates/nofid/src/helpers.rs",
+        &fixture("missing_forbid/lib.rs"),
+        &AuditConfig::default(),
+    );
+    assert_eq!(not_a_root, Vec::new());
+}
+
+#[test]
+fn pragma_fixture_exact_counts() {
+    let src = fixture("pragmas.rs");
+    let findings = audit_source(
+        "crates/widgets/src/pragmas.rs",
+        &src,
+        &AuditConfig::default(),
+    );
+    // Three valid pragmas suppress their unwraps; the reasonless and
+    // unknown-rule pragmas are findings AND fail to suppress; a
+    // wrong-rule pragma and an out-of-range pragma suppress nothing.
+    assert_eq!(count(&findings, Rule::PanicSite), 4, "{findings:#?}");
+    assert_eq!(count(&findings, Rule::InvalidPragma), 2, "{findings:#?}");
+    assert_eq!(findings.len(), 6);
+    assert!(findings.iter().any(|f| f.detail.contains("missing reason")));
+    assert!(findings
+        .iter()
+        .any(|f| f.detail.contains("unknown rule `made-up-rule`")));
+}
+
+#[test]
+fn fixture_ndjson_is_stable_and_checker_valid() {
+    let src = fixture("panic_site.rs");
+    let findings = audit_source(
+        "crates/widgets/src/panic_site.rs",
+        &src,
+        &AuditConfig::default(),
+    );
+    let mut first = Vec::new();
+    report::write_ndjson(&findings, &mut first).unwrap();
+    let mut second = Vec::new();
+    report::write_ndjson(&findings, &mut second).unwrap();
+    assert_eq!(first, second, "NDJSON export must be byte-stable");
+
+    let text = String::from_utf8(first).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), findings.len() + 1); // findings + total
+    for line in &lines {
+        fhp_obs::json::validate_trace_line(line)
+            .unwrap_or_else(|e| panic!("fhp-trace-check would reject {line}: {e}"));
+    }
+    assert!(lines[0].contains("\"name\":\"audit.panic-site\""));
+    assert!(lines[lines.len() - 1].contains("\"name\":\"audit.findings_total\""));
+    assert!(lines[lines.len() - 1].contains("\"value\":5"));
+}
+
+#[test]
+fn baseline_counts_round_trip_through_json() {
+    let src = fixture("pragmas.rs");
+    let findings = audit_source(
+        "crates/widgets/src/pragmas.rs",
+        &src,
+        &AuditConfig::default(),
+    );
+    let counts = baseline::count_findings(&findings);
+    assert_eq!(counts.get("widgets/panic-site"), Some(&4));
+    assert_eq!(counts.get("widgets/invalid-pragma"), Some(&2));
+    let json = baseline::to_json(&counts);
+    assert_eq!(baseline::from_json(&json).unwrap(), counts);
+}
+
+/// End-to-end through the real binary: a fresh mini-workspace fails
+/// against a zero baseline, `--update-baseline` grandfathers it, a new
+/// violation is a regression, and fixing past the baseline is reported
+/// tightenable but green.
+#[test]
+fn ratchet_exit_codes_end_to_end() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("ratchet_e2e");
+    if root.exists() {
+        std::fs::remove_dir_all(&root).unwrap(); // stale state from a prior run
+    }
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    let lib = src_dir.join("lib.rs");
+    std::fs::write(
+        &lib,
+        "#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .unwrap();
+
+    let run = |extra: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_fhp-audit"));
+        cmd.arg("--workspace").arg("--root").arg(&root).args(extra);
+        cmd.output().expect("run fhp-audit")
+    };
+
+    // No baseline yet: one unwrap vs zero — regression, exit 1.
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("core/panic-site"));
+
+    // Grandfather it, then the same tree is clean.
+    assert_eq!(run(&["--update-baseline"]).status.code(), Some(0));
+    assert_eq!(run(&[]).status.code(), Some(0));
+
+    // One more unwrap is a regression again.
+    std::fs::write(
+        &lib,
+        "#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\npub fn g(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .unwrap();
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    // Fixing below the baseline is green (and tightenable).
+    std::fs::write(
+        &lib,
+        "#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
+    )
+    .unwrap();
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("tightenable"));
+
+    // The NDJSON side channel stays checker-valid whatever the verdict.
+    let ndjson = root.join("audit-findings.ndjson");
+    let out = run(&["--ndjson", ndjson.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = std::fs::read_to_string(&ndjson).unwrap();
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        fhp_obs::json::validate_trace_line(line).unwrap();
+    }
+}

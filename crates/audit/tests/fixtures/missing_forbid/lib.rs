@@ -1,0 +1,4 @@
+//! Fixture: a crate root with no `#![forbid(unsafe_code)]` — exactly one
+//! missing-forbid-unsafe finding.
+
+pub fn noop() {}

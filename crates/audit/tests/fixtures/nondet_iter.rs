@@ -1,0 +1,27 @@
+//! Fixture: `HashMap`/`HashSet` sightings. Audited twice by the
+//! integration test — once under a determinism-crate path (every
+//! sighting is a finding, test code included) and once under a
+//! non-contract crate path (no findings at all).
+
+use std::collections::HashMap; // finding (determinism crate): HashMap
+use std::collections::HashSet; // finding (determinism crate): HashSet
+
+pub fn build(keys: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new(); // findings 3 and 4
+    for &k in keys {
+        m.insert(k, k * 2);
+    }
+    let s: HashSet<u32> = keys.iter().copied().collect(); // finding 5
+    // Mentioning a HashMap in a comment or "HashSet" in a string is fine.
+    let label = "not a real HashSet";
+    m.len() + s.len() + label.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_tests_count_in_determinism_crates() {
+        let s: std::collections::HashSet<u32> = [1, 2].into(); // finding 6
+        assert_eq!(s.len(), 2);
+    }
+}

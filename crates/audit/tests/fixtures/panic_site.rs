@@ -1,0 +1,52 @@
+//! Fixture: every panic-site shape the audit must flag, next to every
+//! shape it must NOT flag. The integration test pins exact counts, so
+//! edit this file and `audit_fixtures.rs` together.
+
+pub fn flagged(xs: &[u32], maybe: Option<u32>) -> u32 {
+    let a = maybe.unwrap(); // finding 1: unwrap
+    let b = maybe.expect("present"); // finding 2: expect
+    if xs.is_empty() {
+        panic!("empty input"); // finding 3: panic!
+    }
+    if a > 100 {
+        unreachable!("capped upstream"); // finding 4: unreachable!
+    }
+    a + b + xs[0] // finding 5: slice index
+}
+
+pub fn not_flagged(xs: &[u32]) -> u32 {
+    // A panic spelled inside a string literal is data, not code.
+    let msg = "please do not panic!(now) or .unwrap() anything";
+    // Raw strings too, even ones that quote the pragma syntax.
+    let raw = r#"docs say: xs[0].unwrap() would be a panic-site"#;
+    // An attribute's `[` is not an index expression.
+    #[allow(clippy::needless_borrow)]
+    let first = xs.first().copied().unwrap_or(0);
+    // A macro's `[` is not an index expression either.
+    let v = vec![1u32, 2, 3];
+    first + (msg.len() + raw.len()) as u32 + v.len() as u32
+}
+
+pub fn suppressed(maybe: Option<u32>) -> u32 {
+    // fhp-audit: allow(panic-site) — fixture: a justified suppression on the line below
+    maybe.unwrap() // suppressed: the pragma covers this line
+}
+
+pub fn suppressed_trailing(maybe: Option<u32>) -> u32 {
+    maybe.unwrap() // fhp-audit: allow(panic-site) — fixture: trailing pragma covers its own line
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely; none of these are findings.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        let xs = [1, 2, 3];
+        assert_eq!(xs[2], 3);
+        if false {
+            panic!("tests are allowed to");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Fixture: the pragma grammar, valid and invalid. Counts pinned by the
+//! integration test.
+
+pub fn a(x: Option<u32>) -> u32 {
+    // fhp-audit: allow(panic-site) — valid: em-dash separator
+    x.unwrap() // suppressed
+}
+
+pub fn b(x: Option<u32>) -> u32 {
+    // fhp-audit: allow(panic-site) -- valid: double-hyphen separator
+    x.unwrap() // suppressed
+}
+
+pub fn c(x: Option<u32>) -> u32 {
+    // fhp-audit: allow(panic-site): valid: colon separator
+    x.unwrap() // suppressed
+}
+
+pub fn reasonless(x: Option<u32>) -> u32 {
+    // The pragma below has no reason: one invalid-pragma finding, and
+    // the unwrap is NOT suppressed (one panic-site finding).
+    // fhp-audit: allow(panic-site)
+    x.unwrap()
+}
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    // fhp-audit: allow(made-up-rule) — unknown rule: invalid-pragma finding
+    x.unwrap() // not suppressed: one panic-site finding
+}
+
+pub fn wrong_rule(x: Option<u32>) -> u32 {
+    // fhp-audit: allow(nondet-iter) — wrong rule for the line below; panics are not iteration order
+    x.unwrap() // not suppressed: one panic-site finding
+}
+
+pub fn too_far(x: Option<u32>) -> u32 {
+    // fhp-audit: allow(panic-site) — only reaches the next line, not two down
+
+    x.unwrap() // not suppressed (blank line between): one panic-site finding
+}

@@ -1,0 +1,20 @@
+//! Fixture: wall-clock sightings. Audited under a non-exempt crate path
+//! (findings) and under an exempt crate path (clean).
+
+use std::time::Instant; // finding (one per `Instant`/`SystemTime` ident)
+use std::time::SystemTime; // finding
+
+pub fn stamp() -> (Instant, SystemTime) {
+    // the return type above and the body below each mention both types:
+    // four more findings
+    (Instant::now(), SystemTime::now())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_things() {
+        let t = std::time::Instant::now(); // not a finding: test code
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root that carries the forbid — clean.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -181,7 +181,14 @@ impl Bipartitioner for KernighanLin {
                 best = Some((cut, bp));
             }
         }
-        Ok(best.expect("restarts >= 1").1)
+        match best {
+            Some((_, bp)) => Ok(bp),
+            // the restarts() builder clamps to >= 1, so this is
+            // unreachable via the public API — but typed, not a panic
+            None => Err(PartitionError::InvalidConfig {
+                reason: "restarts must be at least 1",
+            }),
+        }
     }
 
     fn name(&self) -> &str {

@@ -4,6 +4,8 @@
 //! instances are built once per size here so all benches agree on the
 //! workload definition (std-cell circuit profile, signals n, modules 0.6n).
 
+#![forbid(unsafe_code)]
+
 use fhp_gen::{CircuitNetlist, Technology};
 use fhp_hypergraph::{Hypergraph, HypergraphBuilder, VertexId};
 

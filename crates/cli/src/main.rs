@@ -265,6 +265,7 @@ fn main() -> ExitCode {
     meta.counter(names::RUN_STARTS, opts.starts as u64);
     collector.adopt(meta.finish());
 
+    // fhp-audit: allow(wallclock-in-fingerprint) — times the human-facing summary line only
     let started = std::time::Instant::now();
     let (bp, run_stats) = if opts.algorithm == "alg1" && (opts.stats || tracing) {
         match Algorithm1::new(alg1_config)
@@ -412,6 +413,7 @@ fn run_place(opts: &Options, netlist: &Netlist, rows: usize, cols: usize) -> Exi
     let placer = MinCutPlacer::new(move |region| {
         Box::new(Algorithm1::new(base.seed(seed ^ region))) as Box<dyn Bipartitioner>
     });
+    // fhp-audit: allow(wallclock-in-fingerprint) — times the human-facing summary line only
     let started = std::time::Instant::now();
     let placement = match placer.place(h, SlotGrid::new(rows, cols)) {
         Ok(p) => p,
@@ -453,6 +455,7 @@ fn run_place(opts: &Options, netlist: &Netlist, rows: usize, cols: usize) -> Exi
 fn run_multiway(opts: &Options, netlist: &Netlist, _two_way: Box<dyn Bipartitioner>) -> ExitCode {
     use fhp_core::multiway::recursive_bisection;
     let h = netlist.hypergraph();
+    // fhp-audit: allow(wallclock-in-fingerprint) — times the human-facing summary line only
     let started = std::time::Instant::now();
     let completion = if opts.balance {
         CompletionStrategy::EngineerWeighted

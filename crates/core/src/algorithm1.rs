@@ -482,7 +482,7 @@ impl Algorithm1 {
         }
         if num_failed == self.config.starts {
             return Err(PartitionError::AllStartsFailed {
-                error: first_error.expect("starts >= 1 was validated"),
+                error: first_error.unwrap_or_else(|| "no start reported an error".to_string()),
             });
         }
 
@@ -677,7 +677,10 @@ fn assemble(
     let mut bp = Bipartition::from_sides(
         placed
             .into_iter()
-            .map(|p| p.expect("all modules placed"))
+            // the leftovers pass above fills every remaining None, so the
+            // fallback side is unreachable; it exists so this path cannot
+            // panic even if that invariant is ever broken
+            .map(|p| p.unwrap_or(Side::Left))
             .collect(),
     );
     ensure_valid_cut(h, &mut bp);
@@ -733,10 +736,9 @@ fn ensure_valid_cut(h: &Hypergraph, bp: &mut Bipartition) {
     if bp.is_valid_cut() || bp.len() < 2 {
         return;
     }
-    let lightest = h
-        .vertices()
-        .min_by_key(|&v| h.vertex_weight(v))
-        .expect("at least two vertices");
+    let Some(lightest) = h.vertices().min_by_key(|&v| h.vertex_weight(v)) else {
+        return; // unreachable: bp.len() >= 2 was checked above
+    };
     bp.flip(lightest);
 }
 

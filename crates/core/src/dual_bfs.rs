@@ -394,7 +394,7 @@ mod tests {
         let n = 12u32;
         let g = Graph::from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n)));
         let mut rng = StdRng::seed_from_u64(42);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..40 {
             let (u, _) = random_longest_path_endpoints(&g, &mut rng).unwrap();
             seen.insert(u);

@@ -238,7 +238,7 @@ mod tests {
             .collect();
         assert_eq!(grains_of_a.len(), 3);
         // each of a's three signals should touch a distinct grain
-        let touched: std::collections::HashSet<_> = h
+        let touched: std::collections::BTreeSet<_> = h
             .edges()
             .flat_map(|e| g.pins(e).iter().copied())
             .filter(|&p| map.origin(p) == VertexId::new(0))

@@ -39,6 +39,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+// fhp-audit: allow(wallclock-in-fingerprint) — wall time is diagnostic only (StartRecord.wall), never part of fingerprints or canonical traces
 use std::time::{Duration, Instant};
 
 use fhp_obs::{names, order, Collector, Scope, ScopeEvents};
@@ -145,6 +146,7 @@ where
 {
     let run_one = |index: usize| -> StartRecord<T> {
         let scope = collector.scope(order::start(index), Some(index as u32));
+        // fhp-audit: allow(wallclock-in-fingerprint) — times the volatile wall field only
         let started = Instant::now();
         let outcome = {
             let _root = scope.span(names::RUNNER_START);
@@ -183,14 +185,23 @@ where
                     break;
                 }
                 let record = run_one(index);
-                slots.lock().expect("no panics hold this lock")[index] = Some(record);
+                // work panics are contained by run_one, so a poisoned lock
+                // can only mean another worker died storing a record; the
+                // records already stored are still good — keep going
+                let mut slots = slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(slot) = slots.get_mut(index) {
+                    *slot = Some(record);
+                }
             });
         }
     });
     slots
         .into_inner()
-        .expect("workers joined")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
+        // fhp-audit: allow(panic-site) — the claim loop covers 0..starts exactly once; a hole is an engine bug worth a loud stop
         .map(|slot| slot.expect("every index was claimed exactly once"))
         .collect()
 }

@@ -1,5 +1,6 @@
 //! Table rendering and small statistics helpers shared by the experiments.
 
+// fhp-audit: allow(wallclock-in-fingerprint) — experiments report wall time in tables, never in fingerprints
 use std::time::{Duration, Instant};
 
 /// A simple left-aligned text table with a markdown-style header rule.
@@ -50,6 +51,7 @@ impl Table {
 
 /// Times a closure, returning its value and the wall-clock duration.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    // fhp-audit: allow(wallclock-in-fingerprint) — diagnostic timing for report tables
     let start = Instant::now();
     let value = f();
     (value, start.elapsed())

@@ -10,7 +10,7 @@
 //! [`heavy_pair_clustering`] provides a simple deterministic clustering
 //! (greedy matching on co-signal affinity) to drive it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{EdgeId, Hypergraph, HypergraphBuilder, VertexId};
 
@@ -68,7 +68,7 @@ impl Contraction {
         }
 
         // Re-pin edges; merge identical coarse pin sets.
-        let mut merged: HashMap<Vec<VertexId>, usize> = HashMap::new();
+        let mut merged: BTreeMap<Vec<VertexId>, usize> = BTreeMap::new();
         let mut coarse_edges: Vec<(Vec<VertexId>, u64, Vec<EdgeId>)> = Vec::new();
         for e in h.edges() {
             let mut pins: Vec<VertexId> = h
@@ -82,12 +82,12 @@ impl Contraction {
                 continue; // swallowed by a cluster
             }
             match merged.entry(pins.clone()) {
-                std::collections::hash_map::Entry::Occupied(slot) => {
+                std::collections::btree_map::Entry::Occupied(slot) => {
                     let idx = *slot.get();
                     coarse_edges[idx].1 += h.edge_weight(e);
                     coarse_edges[idx].2.push(e);
                 }
-                std::collections::hash_map::Entry::Vacant(slot) => {
+                std::collections::btree_map::Entry::Vacant(slot) => {
                     slot.insert(coarse_edges.len());
                     coarse_edges.push((pins, h.edge_weight(e), vec![e]));
                 }
@@ -180,7 +180,7 @@ pub fn heavy_pair_clustering(h: &Hypergraph, max_cluster_weight: u64) -> Vec<u32
     const UNMATCHED: u32 = u32::MAX;
     let mut cluster_of = vec![UNMATCHED; h.num_vertices()];
     let mut next = 0u32;
-    let mut affinity: HashMap<VertexId, f64> = HashMap::new();
+    let mut affinity: BTreeMap<VertexId, f64> = BTreeMap::new();
     for v in h.vertices() {
         if cluster_of[v.index()] != UNMATCHED {
             continue;

@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn ids_hash_and_default() {
-        use std::collections::HashSet;
+        use std::collections::HashSet; // fhp-audit: allow(nondet-iter) — tests the Hash impl; the set is len-checked, never iterated
         let set: HashSet<VertexId> = [VertexId::new(1), VertexId::new(1), VertexId::new(2)]
             .into_iter()
             .collect();

@@ -323,6 +323,7 @@ impl IntersectionGraph {
         Dualizer::new()
             .threshold(threshold)
             .build(h)
+            // fhp-audit: allow(panic-site) — documented `# Panics` API; Dualizer::build is the fallible form
             .expect("kept hyperedges overflow u32 G-vertex ids")
     }
 
@@ -341,6 +342,7 @@ impl IntersectionGraph {
     pub fn build_naive_with_threshold(h: &Hypergraph, threshold: Option<usize>) -> Self {
         let scope = Scope::detached(order::DUALIZE, None);
         let root = scope.span(names::DUALIZE);
+        // fhp-audit: allow(panic-site) — documented `# Panics` API, mirrors build_with_threshold
         let (kept, g_of) = keep_map(h, threshold).expect("kept hyperedges overflow u32 ids");
         let mut gb = GraphBuilder::new(kept.len());
         let mut all_pairs: Vec<(u32, u32)> = Vec::new();
@@ -377,7 +379,9 @@ impl IntersectionGraph {
             }
             unique_edges += 1;
             for (a, b) in [(u, v), (v, u)] {
+                // fhp-audit: allow(panic-site) — (u, v) was inserted into the builder in the loop above
                 let slot = graph.edge_slot(a, b).expect("pair was inserted");
+                // fhp-audit: allow(panic-site) — slot came from the graph that owns `shared`
                 shared[slot] = run;
             }
             i += run as usize;
@@ -557,11 +561,14 @@ fn dualize_shard(h: &Hypergraph, g_of: &[u32], range: std::ops::Range<usize>) ->
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     let mut counts: Vec<u32> = Vec::new();
     for p in buf {
-        if pairs.last() == Some(&p) {
-            *counts.last_mut().expect("parallel to pairs") += 1;
-        } else {
-            pairs.push(p);
-            counts.push(1);
+        match counts.last_mut() {
+            // counts and pairs grow in lockstep, so a duplicate of
+            // pairs.last() always has a count slot to bump
+            Some(count) if pairs.last() == Some(&p) => *count += 1,
+            _ => {
+                pairs.push(p);
+                counts.push(1);
+            }
         }
     }
     ShardOut {
@@ -593,14 +600,22 @@ where
                     break;
                 }
                 let out = work(index);
-                slots.lock().expect("no panics hold this lock")[index] = Some(out);
+                // a poisoned lock means another worker died mid-store;
+                // outputs already stored are still good — keep going
+                let mut slots = slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(slot) = slots.get_mut(index) {
+                    *slot = Some(out);
+                }
             });
         }
     });
     slots
         .into_inner()
-        .expect("workers joined")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
+        // fhp-audit: allow(panic-site) — the claim loop covers 0..shards exactly once; a hole is an engine bug worth a loud stop
         .map(|slot| slot.expect("every shard was claimed exactly once"))
         .collect()
 }
@@ -611,8 +626,9 @@ where
 /// the pairs were sharded.
 fn merge_shards(mut shard_out: Vec<ShardOut>) -> (Vec<(u32, u32)>, Vec<u32>) {
     if shard_out.len() == 1 {
-        let s = shard_out.pop().expect("length checked");
-        return (s.pairs, s.counts);
+        if let Some(s) = shard_out.pop() {
+            return (s.pairs, s.counts);
+        }
     }
     let upper: usize = shard_out.iter().map(|s| s.pairs.len()).sum();
     let mut pairs = Vec::with_capacity(upper);
@@ -702,6 +718,7 @@ pub fn paper_example() -> Hypergraph {
     ];
     for pins in signals {
         b.add_edge(pins.iter().map(|&i| v(i)))
+            // fhp-audit: allow(panic-site) — static fixture from the paper's Fig. 2, validated by tests
             .expect("static example is valid");
     }
     b.build()

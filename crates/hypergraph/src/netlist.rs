@@ -18,7 +18,7 @@
 //! first mention of their module (the parser resolves them at the end,
 //! rejecting weights for modules that never appear in a signal).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::{Hypergraph, HypergraphBuilder, ParseNetlistError, VertexId};
@@ -45,7 +45,7 @@ pub struct Netlist {
     hypergraph: Hypergraph,
     module_names: Vec<String>,
     signal_names: Vec<String>,
-    module_index: HashMap<String, VertexId>,
+    module_index: BTreeMap<String, VertexId>,
 }
 
 impl Netlist {
@@ -90,10 +90,10 @@ impl Netlist {
     /// `@weight` directives, or an input with no signals at all.
     pub fn parse(text: &str) -> Result<Self, ParseNetlistError> {
         let mut builder = HypergraphBuilder::new();
-        let mut module_index: HashMap<String, VertexId> = HashMap::new();
+        let mut module_index: BTreeMap<String, VertexId> = BTreeMap::new();
         let mut module_names: Vec<String> = Vec::new();
         let mut signal_names: Vec<String> = Vec::new();
-        let mut signal_seen: HashMap<String, ()> = HashMap::new();
+        let mut signal_seen: BTreeMap<String, ()> = BTreeMap::new();
         let mut weights: Vec<(usize, String, u64)> = Vec::new();
 
         for (lineno, raw) in text.lines().enumerate() {

@@ -104,6 +104,49 @@ fn random_hypergraphs_are_thread_invariant_across_configs() {
 }
 
 #[test]
+fn coarsening_is_order_independent() {
+    // Regression guard for the nondet-iter audit rule: the contraction
+    // kernel used to bucket duplicate coarse edges and pair affinities
+    // through HashMaps, whose iteration order is randomized per process.
+    // A duplicate-heavy instance (many fine edges collapsing onto few
+    // coarse ones, many ties in pair affinity) makes any order-dependent
+    // tie-break visible as a coarse-graph or fingerprint mismatch.
+    use fhp::hypergraph::contract::{heavy_pair_clustering, Contraction};
+
+    let h = RandomHypergraph::new(60, 400)
+        .seed(13)
+        .generate()
+        .expect("valid generator config");
+    let clusters = heavy_pair_clustering(&h, 4);
+    let coarse = Contraction::contract(&h, &clusters);
+    for _ in 0..3 {
+        // same process, fresh data structures: a HashMap anywhere in the
+        // pipeline would be free to produce a different (but "equal
+        // modulo reordering") coarse graph — the contract demands the
+        // exact same one
+        assert_eq!(heavy_pair_clustering(&h, 4), clusters);
+        let again = Contraction::contract(&h, &clusters);
+        assert_eq!(again.coarse(), coarse.coarse(), "coarse graph diverged");
+        assert_eq!(
+            (0..h.num_vertices())
+                .map(|i| again.cluster_of(fhp::hypergraph::VertexId::new(i)))
+                .collect::<Vec<_>>(),
+            (0..h.num_vertices())
+                .map(|i| coarse.cluster_of(fhp::hypergraph::VertexId::new(i)))
+                .collect::<Vec<_>>(),
+            "cluster map diverged"
+        );
+    }
+    // and the partitioner downstream of the coarsening stays
+    // thread-invariant on the coarse instance
+    assert_thread_invariant(
+        "coarse instance",
+        coarse.coarse(),
+        PartitionConfig::new().starts(12).seed(13),
+    );
+}
+
+#[test]
 fn repeated_runs_are_identical_not_just_equivalent() {
     // same thread count twice: guards against any hidden global state
     let h = CircuitNetlist::new(Technology::GateArray, 90, 150)
