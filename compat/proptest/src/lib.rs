@@ -169,6 +169,50 @@ pub mod option {
     }
 }
 
+pub mod sample {
+    //! Strategies drawing from explicit value lists, mirroring upstream
+    //! `proptest::sample`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy choosing uniformly from a fixed list of values.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.values.len());
+            self.values[i].clone()
+        }
+    }
+
+    /// Uniform choice among the given values (a `Vec`, an array, or a
+    /// cloned slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately if `values` is empty — there is nothing to
+    /// select.
+    pub fn select<T, I>(values: I) -> Select<T>
+    where
+        T: Clone + std::fmt::Debug,
+        I: Into<Vec<T>>,
+    {
+        let values = values.into();
+        assert!(
+            !values.is_empty(),
+            "sample::select needs at least one value"
+        );
+        Select { values }
+    }
+}
+
 pub mod prelude {
     //! Everything a `proptest!` test file needs.
 
@@ -328,6 +372,23 @@ mod tests {
                 prop_assert!(x < 5);
             }
         }
+
+        #[test]
+        fn select_draws_only_listed_values(x in crate::sample::select(vec![2u32, 3, 5, 7])) {
+            prop_assert!([2, 3, 5, 7].contains(&x));
+        }
+    }
+
+    #[test]
+    fn select_covers_every_value() {
+        use crate::strategy::Strategy;
+        let s = crate::sample::select(["a", "b", "c"]);
+        let mut rng = TestRng::for_test("select_covers_every_value");
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(s.sample_value(&mut rng));
+        }
+        assert_eq!(seen.len(), 3, "all three values drawn: {seen:?}");
     }
 
     #[test]

@@ -71,7 +71,19 @@ impl Exhaustive {
 /// lose), so the minimum loser count is `n` minus the maximum
 /// independent set — equivalently, a minimum vertex cover. Exponential;
 /// this is the ground truth the paper's within-one claim for the greedy
-/// completion is tested against.
+/// completion is tested against, shared by the unit tests here and the
+/// `fhp-verify` oracle harness.
+///
+/// # Status of the paper's within-one claim
+///
+/// Exhaustive comparison against this oracle over every connected
+/// bipartite boundary graph shows the min-degree greedy completion is
+/// within 1 of this optimum for all `n ≤ 9`. The claim is **refuted as
+/// stated** from `n = 10` up: connected counterexamples with a gap of 2
+/// exist (the smallest is pinned as `within_one_counterexample` in
+/// `fhp-core`'s `complete_cut` tests). Oracles must therefore only
+/// assert the within-1 bound on connected `G′` with at most 9 vertices;
+/// `greedy ≥ optimum` is the only inequality that holds unconditionally.
 ///
 /// # Errors
 ///

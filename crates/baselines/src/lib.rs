@@ -65,6 +65,7 @@ pub use exhaustive::{exhaustive_min_losers, Exhaustive, EXHAUSTIVE_VERTEX_LIMIT}
 pub use fm::FiducciaMattheyses;
 pub use hybrid::Refined;
 pub use kl::KernighanLin;
+pub use moves::{MoveState, MoveStateMismatch};
 pub use multilevel::Multilevel;
 pub use random::RandomCut;
 pub use spectral::SpectralBisection;

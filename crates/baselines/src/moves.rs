@@ -172,15 +172,99 @@ impl<'a> MoveState<'a> {
         self.apply_flip(b);
     }
 
-    /// Debug check: recomputes everything from scratch and compares.
-    #[cfg(test)]
-    pub fn verify(&self) {
-        assert_eq!(self.counts, metrics::pin_counts(self.h, &self.bp));
-        assert_eq!(self.cut, metrics::weighted_cut(self.h, &self.bp));
+    /// Consistency check: recomputes pin counts, cut and side weights
+    /// from scratch and compares them against the incrementally
+    /// maintained state. Returns the first mismatch as a typed error
+    /// rather than asserting, so external verifiers (the `fhp-verify`
+    /// oracle harness, debugging sessions) can report it without
+    /// unwinding.
+    pub fn verify(&self) -> Result<(), MoveStateMismatch> {
+        let counts = metrics::pin_counts(self.h, &self.bp);
+        if self.counts != counts {
+            let edge = self
+                .counts
+                .iter()
+                .zip(counts.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            return Err(MoveStateMismatch::PinCounts {
+                edge,
+                tracked: self.counts.get(edge).copied().unwrap_or([0, 0]),
+                actual: counts.get(edge).copied().unwrap_or([0, 0]),
+            });
+        }
+        let cut = metrics::weighted_cut(self.h, &self.bp);
+        if self.cut != cut {
+            return Err(MoveStateMismatch::Cut {
+                tracked: self.cut,
+                actual: cut,
+            });
+        }
         let (l, r) = self.bp.weights(self.h);
-        assert_eq!(self.weights, [l, r]);
+        let [tl, tr] = self.weights;
+        if (tl, tr) != (l, r) {
+            return Err(MoveStateMismatch::SideWeights {
+                tracked: (tl, tr),
+                actual: (l, r),
+            });
+        }
+        Ok(())
     }
 }
+
+/// A divergence between [`MoveState`]'s incrementally maintained fields
+/// and a from-scratch recomputation, found by [`MoveState::verify`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoveStateMismatch {
+    /// Tracked per-side pin counts of an edge disagree with a recount.
+    PinCounts {
+        /// Index of the first disagreeing edge.
+        edge: usize,
+        /// The incrementally maintained `[left, right]` counts.
+        tracked: [u32; 2],
+        /// The recounted `[left, right]` counts.
+        actual: [u32; 2],
+    },
+    /// The running weighted cut disagrees with a recount.
+    Cut {
+        /// The incrementally maintained cut.
+        tracked: u64,
+        /// The recomputed cut.
+        actual: u64,
+    },
+    /// The running side weights disagree with a recount.
+    SideWeights {
+        /// The incrementally maintained `(left, right)` weights.
+        tracked: (u64, u64),
+        /// The recomputed `(left, right)` weights.
+        actual: (u64, u64),
+    },
+}
+
+impl std::fmt::Display for MoveStateMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PinCounts {
+                edge,
+                tracked,
+                actual,
+            } => write!(
+                f,
+                "move state pin counts of edge {edge} diverged: tracked {tracked:?}, actual {actual:?}"
+            ),
+            Self::Cut { tracked, actual } => write!(
+                f,
+                "move state cut diverged: tracked {tracked}, actual {actual}"
+            ),
+            Self::SideWeights { tracked, actual } => write!(
+                f,
+                "move state side weights diverged: tracked {tracked:?}, actual {actual:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MoveStateMismatch {}
 
 /// A seeded random *balanced* starting partition: vertices shuffled, then
 /// assigned greedily to the lighter side (so weights end near-equal).
@@ -224,7 +308,7 @@ mod tests {
             st.apply_flip(v); // restore
             assert_eq!(st.cut(), before);
         }
-        st.verify();
+        st.verify().expect("state stays consistent");
     }
 
     #[test]
@@ -261,7 +345,7 @@ mod tests {
             let v = VertexId::new(rng.gen_range(0..h.num_vertices()));
             st.apply_flip(v);
         }
-        st.verify();
+        st.verify().expect("state stays consistent");
     }
 
     #[test]
@@ -285,6 +369,34 @@ mod tests {
         let (l2, r2) = st.side_weights();
         assert_eq!(l2 + r2, h.total_vertex_weight());
         assert_ne!((l, r), (l2, r2));
+    }
+
+    #[test]
+    fn verify_reports_typed_mismatches() {
+        let h = paper_example();
+        let mut st = MoveState::new(&h, Bipartition::all_left(h.num_vertices()));
+        assert_eq!(st.verify(), Ok(()));
+
+        let mut tampered = st.clone();
+        tampered.cut += 1;
+        match tampered.verify() {
+            Err(MoveStateMismatch::Cut { tracked, actual }) => {
+                assert_eq!(tracked, actual + 1);
+            }
+            other => panic!("expected a cut mismatch, got {other:?}"),
+        }
+
+        let mut tampered = st.clone();
+        tampered.weights[0] += 1;
+        assert!(matches!(
+            tampered.verify(),
+            Err(MoveStateMismatch::SideWeights { .. })
+        ));
+
+        st.counts[2] = [99, 99];
+        let err = st.verify().expect_err("pin counts diverged");
+        assert!(matches!(err, MoveStateMismatch::PinCounts { edge: 2, .. }));
+        assert!(err.to_string().contains("edge 2"));
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //!                           other algorithms print a not_instrumented note)
 //!       --trace <FILE>      write an NDJSON event trace (alg1 two-way only)
 //!       --profile           print folded stacks to stderr (alg1 two-way only)
+//!       --check             re-verify the result through the fhp-verify
+//!                           oracles before reporting it (alg1 only)
 //!   -q, --quiet             print only the cut size
 //! ```
 //!
@@ -52,6 +54,7 @@ struct Options {
     stats: bool,
     trace: Option<String>,
     profile: bool,
+    check: bool,
     quiet: bool,
     blocks: usize,
     place: Option<(usize, usize)>,
@@ -71,6 +74,7 @@ fn parse_args() -> Result<Options, String> {
         stats: false,
         trace: None,
         profile: false,
+        check: false,
         quiet: false,
         blocks: 2,
         place: None,
@@ -114,6 +118,7 @@ fn parse_args() -> Result<Options, String> {
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = Some(value("--trace")?),
             "--profile" => opts.profile = true,
+            "--check" => opts.check = true,
             "-q" | "--quiet" => opts.quiet = true,
             "--place" => {
                 let spec = value("--place")?;
@@ -247,6 +252,13 @@ fn main() -> ExitCode {
         eprintln!("error: --stats is only supported for two-way runs");
         return ExitCode::from(2);
     }
+    // --check re-derives the engine's self-reported metrics through the
+    // fhp-verify oracles; the baselines return a bare bipartition with no
+    // self-report to cross-examine, so the flag is alg1-only.
+    if opts.check && (opts.algorithm != "alg1" || opts.place.is_some()) {
+        eprintln!("error: --check is only supported for alg1 runs (two-way or --blocks)");
+        return ExitCode::from(2);
+    }
     if let Some((rows, cols)) = opts.place {
         return run_place(&opts, &netlist, rows, cols);
     }
@@ -267,12 +279,23 @@ fn main() -> ExitCode {
 
     // fhp-audit: allow(wallclock-in-fingerprint) — times the human-facing summary line only
     let started = std::time::Instant::now();
-    let (bp, run_stats) = if opts.algorithm == "alg1" && (opts.stats || tracing) {
+    let (bp, run_stats) = if opts.algorithm == "alg1" && (opts.stats || tracing || opts.check) {
         match Algorithm1::new(alg1_config)
             .collector(collector.clone())
             .run(h)
         {
-            Ok(out) => (out.bipartition, Some(out.stats)),
+            Ok(out) => {
+                if opts.check {
+                    match fhp_verify::check_outcome_consistency(h, &out) {
+                        Ok(n) => println!("[check] report_consistency ok ({n} checks)"),
+                        Err(v) => {
+                            eprintln!("error: {v}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                (out.bipartition, Some(out.stats))
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
@@ -478,6 +501,15 @@ fn run_multiway(opts: &Options, netlist: &Netlist, _two_way: Box<dyn Bipartition
         }
     };
     let elapsed = started.elapsed();
+    if opts.check {
+        match fhp_verify::oracle::check_multipartition("cli-check", h, opts.blocks, &mp) {
+            Ok(n) => println!("[check] multiway ok ({n} checks)"),
+            Err(v) => {
+                eprintln!("error: {v}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if opts.quiet {
         println!("{}", mp.cut_size(h));
         return ExitCode::SUCCESS;
@@ -527,6 +559,9 @@ fn usage() -> &'static str {
      \x20                       (two-way alg1 only)\n\
      \x20     --profile         print folded stacks to stderr for flamegraph\n\
      \x20                       tooling (two-way alg1 only)\n\
+     \x20     --check           recount the cut, balance and side weights\n\
+     \x20                       through the fhp-verify oracles and fail the\n\
+     \x20                       run on any mismatch (alg1 only)\n\
      \x20 -k, --blocks <K>      k-way decomposition by recursive Alg I (default 2)\n\
      \x20     --place <RxC>     min-cut placement into an R x C slot grid\n\
      \x20 -q, --quiet           print only the cut size; suppresses the report\n\

@@ -299,6 +299,42 @@ fn reads_netlist_and_hgr_files() {
 }
 
 #[test]
+fn check_flag_verifies_two_way_and_multiway_runs() {
+    let (stdout, stderr, ok) = run(&["--demo", "--check"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("[check] report_consistency ok ("),
+        "{stdout}"
+    );
+    assert!(stdout.contains("cut size 2"), "{stdout}");
+
+    let (stdout, stderr, ok) = run(&["--demo", "--check", "-k", "3"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("[check] multiway ok ("), "{stdout}");
+
+    // quiet governs the report, not the diagnostics channels
+    let (stdout, stderr, ok) = run(&["--demo", "--check", "-q"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("[check] report_consistency ok ("),
+        "{stdout}"
+    );
+    assert!(stdout.lines().any(|l| l.trim() == "2"), "{stdout}");
+}
+
+#[test]
+fn check_flag_rejected_for_baselines_and_placement() {
+    for args in [
+        &["--demo", "--check", "-a", "kl"][..],
+        &["--demo", "--check", "--place", "2x2"][..],
+    ] {
+        let (_, stderr, ok) = run(args);
+        assert!(!ok, "{args:?}");
+        assert!(stderr.contains("--check is only supported"), "{stderr}");
+    }
+}
+
+#[test]
 fn bad_usage_fails_with_help() {
     let (_, stderr, ok) = run(&[]);
     assert!(!ok);

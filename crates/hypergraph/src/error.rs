@@ -244,6 +244,17 @@ pub enum ParseHgrError {
         /// 1-based source line.
         line: usize,
     },
+    /// The header declared more vertices than the parser accepts
+    /// (see [`crate::hgr::MAX_DECLARED_VERTICES`]) — a corrupted or
+    /// hostile header, caught before any allocation sized by it.
+    DeclaredTooLarge {
+        /// 1-based source line (the header).
+        line: usize,
+        /// The declared vertex count.
+        declared: usize,
+        /// The parser's limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ParseHgrError {
@@ -265,6 +276,14 @@ impl fmt::Display for ParseHgrError {
             }
             Self::EmptyEdge { line } => write!(f, "line {line}: hyperedge with no vertices"),
             Self::ZeroWeight { line } => write!(f, "line {line}: zero weight"),
+            Self::DeclaredTooLarge {
+                line,
+                declared,
+                limit,
+            } => write!(
+                f,
+                "line {line}: header declares {declared} vertices, above the parser limit {limit}"
+            ),
         }
     }
 }

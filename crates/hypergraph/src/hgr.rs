@@ -18,6 +18,16 @@ use std::fmt::Write as _;
 
 use crate::{Hypergraph, HypergraphBuilder, ParseHgrError, VertexId};
 
+/// The largest vertex count [`parse_hgr`] accepts from a header.
+///
+/// The parser allocates weight and adjacency storage proportional to the
+/// declared vertex count *before* it sees any content lines, so a corrupted
+/// or hostile header (`"19 4294967296 10"`) would otherwise trigger a
+/// multi-gigabyte allocation — an abort no caller can catch. 2^24 modules
+/// is ~100× the largest published `.hgr` benchmarks; real inputs never get
+/// near it.
+pub const MAX_DECLARED_VERTICES: usize = 1 << 24;
+
 /// Parses hMETIS `.hgr` text into a [`Hypergraph`].
 ///
 /// # Errors
@@ -60,6 +70,13 @@ pub fn parse_hgr(text: &str) -> Result<Hypergraph, ParseHgrError> {
     }
     let has_edge_weights = fmt == 1 || fmt == 11;
     let has_vertex_weights = fmt == 10 || fmt == 11;
+    if num_vertices > MAX_DECLARED_VERTICES {
+        return Err(ParseHgrError::DeclaredTooLarge {
+            line: header_line,
+            declared: num_vertices,
+            limit: MAX_DECLARED_VERTICES,
+        });
+    }
 
     let mut b = HypergraphBuilder::with_vertices(num_vertices);
     for _ in 0..num_edges {
@@ -296,6 +313,29 @@ mod tests {
         assert!(matches!(
             parse_hgr("1 2 1\n5\n").unwrap_err(),
             ParseHgrError::EmptyEdge { line: 2 }
+        ));
+    }
+
+    #[test]
+    fn error_declared_vertex_count_over_limit() {
+        // A mutated header like this used to size a 34 GB weight vector
+        // before reading a single content line.
+        let err = parse_hgr("19 4294967296 10\n1 2\n").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseHgrError::DeclaredTooLarge {
+                line: 1,
+                declared: 4_294_967_296,
+                limit: MAX_DECLARED_VERTICES,
+            }
+        ));
+        assert!(err.to_string().contains("4294967296"), "{err}");
+        assert!(err.to_string().contains(&MAX_DECLARED_VERTICES.to_string()));
+        // A huge *edge* count is already safe: the lazy line loop hits
+        // TooFewLines without any proportional allocation.
+        assert!(matches!(
+            parse_hgr("4294967296 2\n1 2\n").unwrap_err(),
+            ParseHgrError::TooFewLines { .. }
         ));
     }
 

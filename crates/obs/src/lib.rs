@@ -52,6 +52,9 @@ pub mod order {
     pub const fn start(i: usize) -> u64 {
         START_BASE + i as u64
     }
+    /// The `fhp-verify` harness's counter scope. Sorts after every
+    /// per-start scope and before the summary.
+    pub const VERIFY: u64 = u64::MAX - 1;
     /// Run summary scope (chosen start, best cut, distributions). Sorts
     /// last.
     pub const SUMMARY: u64 = u64::MAX;
@@ -113,6 +116,14 @@ pub mod names {
     pub const RUN_SEED: &str = "run.seed";
     /// Counter: requested number of starts.
     pub const RUN_STARTS: &str = "run.starts";
+    /// Counter: instances the verify harness generated and checked.
+    pub const VERIFY_INSTANCES: &str = "verify.instances";
+    /// Counter: individual oracle assertions the verify harness ran.
+    pub const VERIFY_ORACLE_CHECKS: &str = "verify.oracle_checks";
+    /// Counter: oracle violations the verify harness caught.
+    pub const VERIFY_VIOLATIONS: &str = "verify.violations";
+    /// Counter: accepted reductions the verify shrinker applied.
+    pub const VERIFY_SHRINK_STEPS: &str = "verify.shrink_steps";
 }
 
 #[cfg(test)]
@@ -126,6 +137,7 @@ mod tests {
             order::DUALIZE,
             order::start(0),
             order::start(usize::from(u16::MAX)),
+            order::VERIFY,
             order::SUMMARY,
         ];
         assert!(keys.windows(2).all(|w| w[0] < w[1]), "{keys:?}");

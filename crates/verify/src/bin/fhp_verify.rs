@@ -1,0 +1,267 @@
+//! `fhp-verify` — run the differential-testing and invariant-oracle
+//! harness from the command line.
+//!
+//! ```text
+//! fhp-verify --seed 42 --iters 500
+//! fhp-verify --seed 42 --iters 200 --family grid --family star
+//! fhp-verify --seed 7 --time-budget 60 --iters 100000 --ndjson out.ndjson
+//! fhp-verify --replay repro.hgr --seed 42
+//! ```
+//!
+//! Exit status: `0` when every oracle passed, `1` on a violation (the
+//! shrunk reproduction is printed inline and written next to the run),
+//! `2` on usage or I/O errors.
+//!
+//! With `--ndjson PATH` the run's counters are exported as fhp-obs
+//! NDJSON. The volatile fields (`start_ns`, `dur_ns`, `thread`) are
+//! deliberately zeroed so the file is byte-identical across `--threads`
+//! and across machines — `fhp-trace-check` accepts it, and CI diffs it.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fhp_obs::{order, Event, EventKind, FieldValue, TraceWriter};
+use fhp_verify::gen::Family;
+use fhp_verify::harness::{self, HarnessConfig, HarnessReport};
+
+const USAGE: &str = "\
+fhp-verify: deterministic oracle harness for the fhp workspace
+
+USAGE:
+    fhp-verify [OPTIONS]
+
+OPTIONS:
+    --seed N          harness seed (default 0)
+    --iters N         instances to generate (default 100)
+    --time-budget S   stop after S seconds, even mid-run
+    --family NAME     restrict to a family (repeatable):
+                      circuit planted random hub star chain grid
+    --threads N       base worker count for engine runs (default 1;
+                      the invariance oracle always sweeps 1/2/8)
+    --ndjson PATH     write fhp-obs counter NDJSON to PATH
+    --repro PREFIX    where to write PREFIX.hgr + PREFIX.cmd on a
+                      violation (default fhp-verify-repro)
+    --replay PATH     skip generation: run every oracle on one .hgr file
+    -h, --help        print this help
+";
+
+struct Options {
+    seed: u64,
+    iters: u64,
+    time_budget: Option<Duration>,
+    families: Vec<Family>,
+    threads: usize,
+    ndjson: Option<String>,
+    repro: String,
+    replay: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            iters: 100,
+            time_budget: None,
+            families: Vec::new(),
+            threads: 1,
+            ndjson: None,
+            repro: "fhp-verify-repro".to_string(),
+            replay: None,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = parse_num(value("--seed")?, "--seed")?,
+            "--iters" => opts.iters = parse_num(value("--iters")?, "--iters")?,
+            "--time-budget" => {
+                let secs: u64 = parse_num(value("--time-budget")?, "--time-budget")?;
+                opts.time_budget = Some(Duration::from_secs(secs));
+            }
+            "--family" => {
+                let name = value("--family")?;
+                let family =
+                    Family::from_name(name).ok_or_else(|| format!("unknown family `{name}`"))?;
+                opts.families.push(family);
+            }
+            "--threads" => {
+                let n: u64 = parse_num(value("--threads")?, "--threads")?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                opts.threads = n as usize;
+            }
+            "--ndjson" => opts.ndjson = Some(value("--ndjson")?.clone()),
+            "--repro" => opts.repro = value("--repro")?.clone(),
+            "--replay" => opts.replay = Some(value("--replay")?.clone()),
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<u64, String> {
+    s.parse()
+        .map_err(|_| format!("{flag} expects an unsigned integer, got `{s}`"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("fhp-verify: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &opts.replay {
+        return replay(path, &opts);
+    }
+
+    let config = HarnessConfig {
+        seed: opts.seed,
+        iters: opts.iters,
+        time_budget: opts.time_budget,
+        families: if opts.families.is_empty() {
+            Family::ALL.to_vec()
+        } else {
+            opts.families.clone()
+        },
+        threads: opts.threads,
+    };
+    let report = harness::run(&config);
+
+    println!(
+        "fhp-verify: seed {} · {} instances · {} oracle checks{}",
+        opts.seed,
+        report.instances,
+        report.checks,
+        if report.timed_out {
+            " · stopped on time budget"
+        } else {
+            ""
+        }
+    );
+    for (family, count) in &report.per_family {
+        println!("  {family} = {count}");
+    }
+    for (oracle, count) in &report.per_oracle {
+        println!("  verify.oracle.{oracle} = {count}");
+    }
+
+    if let Some(path) = &opts.ndjson {
+        if let Err(e) = write_ndjson(path, &report) {
+            eprintln!("fhp-verify: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("  counters -> {path}");
+    }
+
+    match &report.failure {
+        None => {
+            println!("PASS: zero violations");
+            ExitCode::SUCCESS
+        }
+        Some(failure) => {
+            println!("{}", failure.render());
+            let hgr_path = format!("{}.hgr", opts.repro);
+            let cmd_path = format!("{}.cmd", opts.repro);
+            let cmd = failure.repro_command(&hgr_path);
+            if let Err(e) = std::fs::write(&hgr_path, failure.repro_hgr())
+                .and_then(|()| std::fs::write(&cmd_path, format!("{cmd}\n")))
+            {
+                eprintln!("fhp-verify: writing repro files: {e}");
+            } else {
+                println!("repro written: {hgr_path} (replay: {cmd})");
+            }
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn replay(path: &str, opts: &Options) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("fhp-verify: reading {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let h = match fhp_hypergraph::hgr::parse_hgr(&text) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fhp-verify: parsing {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (checks, violation) = harness::replay(&h, opts.seed, opts.threads);
+    println!(
+        "fhp-verify: replayed {path} ({} modules, {} edges) · {checks} oracle checks",
+        h.num_vertices(),
+        h.num_edges()
+    );
+    match violation {
+        None => {
+            println!("PASS: zero violations");
+            ExitCode::SUCCESS
+        }
+        Some(v) => {
+            println!("VIOLATION {v}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// A counter event with all volatile fields zeroed: deterministic bytes.
+fn counter_event(name: &'static str, value: u64) -> Event {
+    Event {
+        name,
+        kind: EventKind::Counter,
+        stack: Vec::new(),
+        start_ns: 0,
+        dur_ns: 0,
+        scope_order: order::VERIFY,
+        start_index: None,
+        thread: 0,
+        fields: vec![("value", FieldValue::U64(value))],
+    }
+}
+
+fn write_ndjson(path: &str, report: &HarnessReport) -> std::io::Result<()> {
+    let mut events = vec![
+        counter_event(fhp_obs::names::VERIFY_INSTANCES, report.instances),
+        counter_event(fhp_obs::names::VERIFY_ORACLE_CHECKS, report.checks),
+        counter_event(
+            fhp_obs::names::VERIFY_VIOLATIONS,
+            u64::from(report.failure.is_some()),
+        ),
+        counter_event(fhp_obs::names::VERIFY_SHRINK_STEPS, report.shrink_steps),
+    ];
+    for family in Family::ALL {
+        let count = report
+            .per_family
+            .get(family.counter_name())
+            .copied()
+            .unwrap_or(0);
+        events.push(counter_event(family.counter_name(), count));
+    }
+    let mut out = Vec::new();
+    TraceWriter::new(&mut out).write_events(&events)?;
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&out)
+}

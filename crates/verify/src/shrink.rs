@@ -1,0 +1,255 @@
+//! Greedy minimizing shrinker.
+//!
+//! Given a hypergraph on which a property fails (an oracle fired), the
+//! shrinker searches for a smaller hypergraph on which it *still* fails,
+//! applying reductions in a fixed order until none applies — so the same
+//! failure always shrinks to the same reproduction:
+//!
+//! 1. **drop edges** — remove one hyperedge wholesale;
+//! 2. **drop pins** — detach one module from one hyperedge;
+//! 3. **merge modules** — fuse two modules into one, rewiring pins;
+//! 4. **drop isolated modules** — remove modules no hyperedge touches.
+//!
+//! Every candidate is validated through [`HypergraphBuilder::try_build`]
+//! and re-tested; only candidates on which the property still fails are
+//! accepted, so the final instance is a true minimal-ish reproduction,
+//! typically a handful of modules and edges.
+
+use fhp_hypergraph::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// A shrunk reproduction and how much work it took.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The smallest instance found on which the property still fails.
+    pub hypergraph: Hypergraph,
+    /// Accepted reductions (each strictly shrank the instance).
+    pub steps: u64,
+    /// Property evaluations spent, counting rejected candidates.
+    pub evals: u64,
+}
+
+/// Editable mirror of a hypergraph the reductions operate on.
+#[derive(Clone, Debug)]
+struct Draft {
+    vertex_weights: Vec<u64>,
+    /// `(sorted deduped pin indices, weight)` per edge.
+    edges: Vec<(Vec<usize>, u64)>,
+}
+
+impl Draft {
+    fn of(h: &Hypergraph) -> Self {
+        Self {
+            vertex_weights: h.vertices().map(|v| h.vertex_weight(v)).collect(),
+            edges: h
+                .edges()
+                .map(|e| {
+                    (
+                        h.pins(e).iter().map(|p| p.index()).collect(),
+                        h.edge_weight(e),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn build(&self) -> Option<Hypergraph> {
+        let mut b = HypergraphBuilder::new();
+        for &w in &self.vertex_weights {
+            b.add_weighted_vertex(w);
+        }
+        for (pins, w) in &self.edges {
+            b.add_weighted_edge(pins.iter().map(|&p| VertexId::new(p)), *w)
+                .ok()?;
+        }
+        b.try_build().ok()
+    }
+
+    /// Drops module `v`, shifting higher indices down. Pins are remapped;
+    /// callers must have ensured no edge still references `v`.
+    fn remove_vertex(&mut self, v: usize) {
+        self.vertex_weights.remove(v);
+        for (pins, _) in &mut self.edges {
+            for p in pins.iter_mut() {
+                if *p > v {
+                    *p -= 1;
+                }
+            }
+        }
+    }
+
+    /// Redirects every pin on `from` to `to`, then drops `from`.
+    fn merge(&mut self, to: usize, from: usize) {
+        for (pins, _) in &mut self.edges {
+            for p in pins.iter_mut() {
+                if *p == from {
+                    *p = to;
+                }
+            }
+            pins.sort_unstable();
+            pins.dedup();
+        }
+        self.remove_vertex(from);
+    }
+
+    fn touched(&self) -> Vec<bool> {
+        let mut touched = vec![false; self.vertex_weights.len()];
+        for (pins, _) in &self.edges {
+            for &p in pins {
+                if let Some(t) = touched.get_mut(p) {
+                    *t = true;
+                }
+            }
+        }
+        touched
+    }
+}
+
+/// Shrinks `h` while `fails` keeps returning `true`, to a fixpoint.
+///
+/// `fails` must be deterministic for the result to be one; the harness
+/// passes a closure that re-runs the violated oracle on the candidate.
+pub fn shrink<F>(h: &Hypergraph, mut fails: F) -> ShrinkResult
+where
+    F: FnMut(&Hypergraph) -> bool,
+{
+    let mut current = Draft::of(h);
+    let mut steps = 0u64;
+    let mut evals = 0u64;
+
+    let mut accept = |candidate: &Draft, evals: &mut u64| -> bool {
+        match candidate.build() {
+            Some(built) => {
+                *evals += 1;
+                fails(&built)
+            }
+            None => false,
+        }
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // 1. drop whole edges, last first so indices stay stable
+        let mut e = current.edges.len();
+        while e > 0 {
+            e -= 1;
+            let mut candidate = current.clone();
+            candidate.edges.remove(e);
+            if accept(&candidate, &mut evals) {
+                current = candidate;
+                steps += 1;
+                progressed = true;
+            }
+        }
+
+        // 2. drop single pins
+        let mut e = current.edges.len();
+        while e > 0 {
+            e -= 1;
+            let mut i = current.edges.get(e).map_or(0, |(pins, _)| pins.len());
+            while i > 0 {
+                i -= 1;
+                let mut candidate = current.clone();
+                if let Some((pins, _)) = candidate.edges.get_mut(e) {
+                    if pins.len() <= 1 {
+                        continue; // would become empty; edge-drop covers it
+                    }
+                    pins.remove(i);
+                }
+                if accept(&candidate, &mut evals) {
+                    current = candidate;
+                    steps += 1;
+                    progressed = true;
+                }
+            }
+        }
+
+        // 3. merge module pairs, highest-index victim first
+        let mut from = current.vertex_weights.len();
+        while from > 1 {
+            from -= 1;
+            for to in 0..from {
+                let mut candidate = current.clone();
+                candidate.merge(to, from);
+                if accept(&candidate, &mut evals) {
+                    current = candidate;
+                    steps += 1;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+
+        // 4. drop modules no edge touches
+        let touched = current.touched();
+        let mut v = touched.len();
+        while v > 0 {
+            v -= 1;
+            if touched.get(v).copied().unwrap_or(true) {
+                continue;
+            }
+            let mut candidate = current.clone();
+            candidate.remove_vertex(v);
+            if accept(&candidate, &mut evals) {
+                current = candidate;
+                steps += 1;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            break;
+        }
+    }
+
+    let hypergraph = current.build().unwrap_or_else(|| h.clone());
+    ShrinkResult {
+        hypergraph,
+        steps,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhp_hypergraph::intersection::paper_example;
+
+    /// Property: "contains an edge pinning both module 0 and module 1".
+    fn pins_0_and_1(h: &Hypergraph) -> bool {
+        h.edges().any(|e| {
+            let pins = h.pins(e);
+            pins.contains(&VertexId::new(0)) && pins.contains(&VertexId::new(1))
+        })
+    }
+
+    #[test]
+    fn shrinks_paper_example_to_the_witness_edge() {
+        let h = paper_example();
+        assert!(pins_0_and_1(&h));
+        let result = shrink(&h, pins_0_and_1);
+        let small = &result.hypergraph;
+        assert!(pins_0_and_1(small));
+        assert!(result.steps > 0);
+        assert_eq!(small.num_edges(), 1, "one witness edge should survive");
+        assert_eq!(small.num_vertices(), 2, "only the two pinned modules");
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let h = paper_example();
+        let a = shrink(&h, pins_0_and_1);
+        let b = shrink(&h, pins_0_and_1);
+        assert_eq!(a.hypergraph, b.hypergraph);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    fn passing_property_means_no_shrinking() {
+        let h = paper_example();
+        let result = shrink(&h, |_| false);
+        assert_eq!(result.steps, 0);
+        assert_eq!(result.hypergraph, h);
+    }
+}

@@ -1,0 +1,126 @@
+//! Replays the committed hostile `.hgr` corpus through the parser.
+//!
+//! Every file under `crates/verify/corpus/` must produce `Ok(_)` or a
+//! typed [`ParseHgrError`](fhp_hypergraph::ParseHgrError) — never a panic
+//! and never an allocation sized by an unvalidated header. Each corpus
+//! entry is then re-mutated with the harness's byte-level mutators so the
+//! neighborhood of every known-bad input stays covered as the parser
+//! evolves.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fhp_hypergraph::hgr::{self, MAX_DECLARED_VERTICES};
+use fhp_hypergraph::ParseHgrError;
+use fhp_verify::gen::mutate_hgr;
+use fhp_verify::oracle::check_parse_never_panics;
+use rand::rngs::SplitMix64;
+use rand::SeedableRng;
+
+fn corpus_files() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut files: Vec<(String, String)> = fs::read_dir(&dir)
+        .expect("corpus directory is committed")
+        .map(|entry| entry.expect("corpus dir entry is readable").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "hgr"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .expect("corpus file has a name")
+                .to_string_lossy()
+                .into_owned();
+            // read() not read_to_string(): corpus entries deliberately
+            // contain NUL and control bytes.
+            let bytes = fs::read(&p).expect("corpus file is readable");
+            (name, String::from_utf8_lossy(&bytes).into_owned())
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_nonempty_and_replay_never_panics() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 12,
+        "expected the committed corpus, found {} files",
+        files.len()
+    );
+    for (name, text) in &files {
+        if let Err(v) = check_parse_never_panics("corpus-replay", text) {
+            panic!("{name}: {v}");
+        }
+    }
+}
+
+#[test]
+fn corpus_mutation_neighborhood_never_panics() {
+    for (name, text) in &corpus_files() {
+        for round in 0..16u64 {
+            let mut rng = SplitMix64::seed_from_u64(
+                0x9e37_79b9_7f4a_7c15
+                    ^ round.wrapping_mul(0x2545_f491_4f6c_dd1d)
+                    ^ name.len() as u64,
+            );
+            let mutated = mutate_hgr(text, &mut rng);
+            if let Err(v) = check_parse_never_panics("corpus-mutate", &mutated) {
+                panic!("{name} (mutation round {round}): {v}\ninput:\n{mutated}");
+            }
+        }
+    }
+}
+
+/// The defect the huge-header entries were committed for: the declared
+/// vertex count must be rejected as a typed error *before* the parser
+/// sizes any allocation by it.
+#[test]
+fn huge_header_corpus_entries_hit_the_typed_guard() {
+    let files = corpus_files();
+    let find = |needle: &str| {
+        files
+            .iter()
+            .find(|(name, _)| name.contains(needle))
+            .unwrap_or_else(|| panic!("corpus entry {needle} missing"))
+    };
+
+    let (_, huge) = find("header-huge-vertices");
+    assert!(matches!(
+        hgr::parse_hgr(huge).unwrap_err(),
+        ParseHgrError::DeclaredTooLarge {
+            declared: 4_294_967_296,
+            limit: MAX_DECLARED_VERTICES,
+            ..
+        }
+    ));
+
+    let (_, just_over) = find("header-vertices-just-over-limit");
+    assert!(matches!(
+        hgr::parse_hgr(just_over).unwrap_err(),
+        ParseHgrError::DeclaredTooLarge { declared, .. }
+            if declared == MAX_DECLARED_VERTICES + 1
+    ));
+
+    // Huge *edge* counts need no cap: the lazy line loop runs out of
+    // input without any proportional allocation.
+    let (_, edges) = find("header-huge-edges");
+    assert!(matches!(
+        hgr::parse_hgr(edges).unwrap_err(),
+        ParseHgrError::TooFewLines { .. }
+    ));
+}
+
+/// Well-formed-but-odd entries must round-trip, not just avoid panics.
+#[test]
+fn benign_corpus_entries_parse_cleanly() {
+    let files = corpus_files();
+    let crlf = &files
+        .iter()
+        .find(|(name, _)| name.contains("crlf"))
+        .expect("crlf corpus entry")
+        .1;
+    let h = hgr::parse_hgr(crlf).expect("CRLF input is valid hgr");
+    assert_eq!(h.num_vertices(), 3);
+    assert_eq!(h.num_edges(), 2);
+    assert_eq!(hgr::parse_hgr(&hgr::write_hgr(&h)).expect("round-trip"), h);
+}

@@ -1,0 +1,84 @@
+//! Multiway (`k > 2`) partitioning invariants on generated instances,
+//! across worker counts.
+//!
+//! For every generated instance and every `k`, the recursive-bisection
+//! decomposition must place each module exactly once, keep every block
+//! non-empty and within the recursion's balance slack, report a k-way
+//! cut that survives a from-scratch recount, and produce bit-identical
+//! block labels at 1, 2 and 8 threads.
+
+use fhp_core::multiway::recursive_bisection;
+use fhp_core::{Algorithm1, PartitionConfig};
+use fhp_verify::gen::Family;
+use fhp_verify::oracle::check_multipartition;
+use proptest::prelude::*;
+use proptest::sample::select;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn check_families(family: Family, seed: u64, index: u64) {
+    let instance = family
+        .generate(seed, index)
+        .expect("generator accepts its own config");
+    let h = instance.hypergraph;
+    for k in [3usize, 4] {
+        if k > h.num_vertices() {
+            continue;
+        }
+        let mut labels_at: Vec<Vec<u32>> = Vec::new();
+        for threads in THREADS {
+            let mp = recursive_bisection(&h, k, |region| {
+                Box::new(Algorithm1::new(
+                    PartitionConfig::new()
+                        .starts(4)
+                        .seed(seed ^ region)
+                        .threads(threads),
+                ))
+            })
+            .expect("recursive bisection succeeds on generated instances");
+
+            if let Err(v) = check_multipartition("multiway-test", &h, k, &mp) {
+                panic!(
+                    "k={k} threads={threads} family={} seed={seed} index={index}: {v}",
+                    family.name()
+                );
+            }
+            labels_at.push(h.vertices().map(|v| mp.block_of(v)).collect());
+        }
+        for (i, labels) in labels_at.iter().enumerate().skip(1) {
+            assert_eq!(
+                labels,
+                &labels_at[0],
+                "k={k}: labels at {} threads differ from {} threads \
+                 (family={} seed={seed} index={index})",
+                THREADS[i],
+                THREADS[0],
+                family.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn multiway_invariants_hold(
+        family in select(Family::ALL.to_vec()),
+        seed in 0u64..1 << 32,
+        index in 0u64..64,
+    ) {
+        check_families(family, seed, index);
+    }
+}
+
+/// A pinned non-random pass so failures here bisect independently of the
+/// proptest stream.
+#[test]
+fn multiway_invariants_on_fixed_instances() {
+    for family in Family::ALL {
+        for index in 0..3 {
+            check_families(family, 42, index);
+        }
+    }
+}

@@ -16,7 +16,9 @@
 //! - [`gen`] — seeded instance generators;
 //! - [`place`] — recursive min-cut placement, the application domain;
 //! - [`obs`] — in-tree structured tracing (spans, counters, histograms,
-//!   NDJSON export) wired through the partitioning pipeline.
+//!   NDJSON export) wired through the partitioning pipeline;
+//! - [`verify`] — differential testing, invariant oracles, and the
+//!   minimizing shrinker behind the `fhp-verify` harness.
 //!
 //! # Examples
 //!
@@ -41,3 +43,4 @@ pub use fhp_gen as gen;
 pub use fhp_hypergraph as hypergraph;
 pub use fhp_obs as obs;
 pub use fhp_place as place;
+pub use fhp_verify as verify;
