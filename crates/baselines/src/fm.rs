@@ -2,20 +2,19 @@
 //!
 //! The linear-time-per-pass successor of KL that the paper cites as [9]:
 //! single-vertex moves instead of swaps, a balance criterion instead of
-//! strict alternation, and gains maintained incrementally. Our move
-//! selection uses a lazy max-heap keyed on the cached gain (equivalent to
-//! the classic bucket array for correctness; stale entries are skipped),
-//! and gains are refreshed for the pins of the moved vertex's nets — the
-//! same set the FM critical-net rules touch.
+//! strict alternation, and gains maintained incrementally. The pass
+//! engine itself — lazy max-heap move selection, deferred-move balance
+//! handling, best-prefix rollback — lives in [`fhp_core::FmRefiner`]
+//! (the multilevel V-cycle refines with it at every level); this type
+//! wraps it with the seeded random-restart *bipartitioner* front the
+//! baseline comparisons use.
 
-use std::collections::BinaryHeap;
-
-use fhp_core::{Bipartition, Bipartitioner, PartitionError};
-use fhp_hypergraph::{Hypergraph, VertexId};
+use fhp_core::{Bipartition, Bipartitioner, FmRefiner, PartitionError};
+use fhp_hypergraph::Hypergraph;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::moves::{random_balanced_start, MoveState};
+use crate::moves::random_balanced_start;
 
 /// Fiduccia–Mattheyses bipartitioner with an r-style weight-balance
 /// criterion.
@@ -37,10 +36,7 @@ use crate::moves::{random_balanced_start, MoveState};
 #[derive(Clone, Copy, Debug)]
 pub struct FiducciaMattheyses {
     seed: u64,
-    max_passes: usize,
-    /// Maximum allowed `|w(V_L) − w(V_R)|` after any move; raised to twice
-    /// the heaviest vertex if smaller (else no move might be legal).
-    imbalance_tolerance: u64,
+    refiner: FmRefiner,
     restarts: usize,
 }
 
@@ -50,22 +46,21 @@ impl FiducciaMattheyses {
     pub fn new(seed: u64) -> Self {
         Self {
             seed,
-            max_passes: 24,
-            imbalance_tolerance: 0, // raised adaptively in run()
+            refiner: FmRefiner::new(),
             restarts: 1,
         }
     }
 
     /// Caps the improvement passes (default 24).
     pub fn max_passes(mut self, passes: usize) -> Self {
-        self.max_passes = passes;
+        self.refiner = self.refiner.max_passes(passes);
         self
     }
 
     /// Sets the weight-imbalance tolerance (the r-bipartition slack). The
     /// effective tolerance is never below twice the heaviest vertex weight.
     pub fn imbalance_tolerance(mut self, tolerance: u64) -> Self {
-        self.imbalance_tolerance = tolerance;
+        self.refiner = self.refiner.imbalance_tolerance(tolerance);
         self
     }
 
@@ -76,82 +71,7 @@ impl FiducciaMattheyses {
     }
 
     fn effective_tolerance(&self, h: &Hypergraph) -> u64 {
-        let heaviest = h.vertices().map(|v| h.vertex_weight(v)).max().unwrap_or(1);
-        self.imbalance_tolerance.max(2 * heaviest)
-    }
-
-    /// One FM pass: move every vertex once (balance permitting), then roll
-    /// back to the best prefix. Returns the cut improvement.
-    fn pass(&self, st: &mut MoveState<'_>, tolerance: u64) -> u64 {
-        let h = st.hypergraph();
-        let n = h.num_vertices();
-        let mut locked = vec![false; n];
-        let mut gains: Vec<i64> = (0..n).map(|i| st.gain(VertexId::new(i))).collect();
-        let mut heap: BinaryHeap<(i64, u32)> =
-            (0..n as u32).map(|i| (gains[i as usize], i)).collect();
-        let start_cut = st.cut();
-        let mut best_cut = start_cut;
-        let mut best_prefix = 0usize;
-        let mut moves: Vec<VertexId> = Vec::new();
-        let mut deferred: Vec<(i64, u32)> = Vec::new();
-        let mut side_count = {
-            let (l, r) = st.partition().counts();
-            [l, r]
-        };
-
-        while let Some((g, i)) = heap.pop() {
-            let v = VertexId::new(i as usize);
-            if locked[i as usize] || g != gains[i as usize] {
-                continue; // stale heap entry
-            }
-            // A move may never empty a side: a one-sided assignment is not
-            // a cut, whatever its "cut size" says.
-            if side_count[st.side(v).index()] == 1 {
-                deferred.push((g, i));
-                continue;
-            }
-            // Balance feasibility of moving v.
-            let (wl, wr) = st.side_weights();
-            let vw = h.vertex_weight(v) as i64;
-            let imb = match st.side(v) {
-                fhp_core::Side::Left => (wl as i64 - vw) - (wr as i64 + vw),
-                fhp_core::Side::Right => (wl as i64 + vw) - (wr as i64 - vw),
-            };
-            if imb.unsigned_abs() > tolerance {
-                deferred.push((g, i));
-                continue;
-            }
-            // Legal highest-gain move: apply it. Re-queue deferred entries —
-            // the balance state just changed, they may be legal now.
-            heap.extend(deferred.drain(..));
-            side_count[st.side(v).index()] -= 1;
-            st.apply_flip(v);
-            side_count[st.side(v).index()] += 1;
-            locked[i as usize] = true;
-            moves.push(v);
-            if st.cut() < best_cut {
-                best_cut = st.cut();
-                best_prefix = moves.len();
-            }
-            // Refresh gains of free pins on v's nets (the critical-net set).
-            for &e in h.edges_of(v) {
-                for &p in h.pins(e) {
-                    if !locked[p.index()] {
-                        let g2 = st.gain(p);
-                        if g2 != gains[p.index()] {
-                            gains[p.index()] = g2;
-                            heap.push((g2, p.index() as u32));
-                        }
-                    }
-                }
-            }
-        }
-
-        for &v in moves[best_prefix..].iter().rev() {
-            st.apply_flip(v);
-        }
-        debug_assert_eq!(st.cut(), best_cut);
-        start_cut - best_cut
+        self.refiner.effective_tolerance(h)
     }
 
     /// Improves an existing partition in place with FM passes until a pass
@@ -165,20 +85,7 @@ impl FiducciaMattheyses {
     ///
     /// Panics if `start` does not cover `h`'s vertices.
     pub fn refine(&self, h: &Hypergraph, start: Bipartition) -> Bipartition {
-        assert_eq!(start.len(), h.num_vertices(), "partition size mismatch");
-        let start_imbalance = fhp_core::metrics::weight_imbalance(h, &start);
-        let tolerance = self.effective_tolerance(h).max(start_imbalance);
-        self.run_once(h, start, tolerance)
-    }
-
-    fn run_once(&self, h: &Hypergraph, start: Bipartition, tolerance: u64) -> Bipartition {
-        let mut st = MoveState::new(h, start);
-        for _ in 0..self.max_passes {
-            if self.pass(&mut st, tolerance) == 0 {
-                break;
-            }
-        }
-        st.into_partition()
+        self.refiner.refine(h, start)
     }
 }
 
@@ -194,7 +101,7 @@ impl Bipartitioner for FiducciaMattheyses {
         let mut best: Option<(u64, Bipartition)> = None;
         for _ in 0..self.restarts {
             let start = random_balanced_start(h, &mut rng);
-            let bp = self.run_once(h, start, tolerance);
+            let bp = self.refiner.run_passes(h, start, tolerance);
             let cut = fhp_core::metrics::weighted_cut(h, &bp);
             if best.as_ref().is_none_or(|(c, _)| cut < *c) {
                 best = Some((cut, bp));
@@ -218,10 +125,11 @@ impl Bipartitioner for FiducciaMattheyses {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::moves::MoveState;
     use crate::Exhaustive;
     use fhp_core::metrics;
     use fhp_hypergraph::intersection::paper_example;
-    use fhp_hypergraph::HypergraphBuilder;
+    use fhp_hypergraph::{HypergraphBuilder, VertexId};
 
     fn barbell(k: usize) -> Hypergraph {
         let mut b = HypergraphBuilder::with_vertices(2 * k);
@@ -275,7 +183,7 @@ mod tests {
         let fm = FiducciaMattheyses::new(5);
         let tol = fm.effective_tolerance(&h);
         let mut st = MoveState::new(&h, start);
-        let imp = fm.pass(&mut st, tol);
+        let imp = fm.refiner.pass(&mut st, tol);
         assert_eq!(st.cut() + imp, before);
     }
 

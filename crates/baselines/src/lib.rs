@@ -13,9 +13,9 @@
 //!   test suite and the crossing-probability experiment;
 //! - [`Refined`] — any constructor followed by FM refinement (the
 //!   "Alg I + FM" hybrid the paper's future work points toward);
-//! - [`Multilevel`] — a compact V-cycle (cluster → contract → partition →
-//!   project → refine), the scheme that later superseded all flat
-//!   methods, built from this workspace's own parts;
+//! - [`Multilevel`] — the `fhp_core::multilevel` V-cycle engine
+//!   (coarsen → partition → project → refine), the scheme that later
+//!   superseded all flat methods, packaged as a baseline bipartitioner;
 //! - [`SpectralBisection`] — Fiedler-vector bisection with a sweep cut,
 //!   standing in for the "graph space mapping" family the paper surveys.
 //!
@@ -54,7 +54,6 @@ mod exhaustive;
 mod fm;
 mod hybrid;
 mod kl;
-mod multilevel;
 mod random;
 mod spectral;
 
@@ -62,10 +61,10 @@ pub mod moves;
 
 pub use annealing::SimulatedAnnealing;
 pub use exhaustive::{exhaustive_min_losers, Exhaustive, EXHAUSTIVE_VERTEX_LIMIT};
+pub use fhp_core::multilevel::Multilevel;
 pub use fm::FiducciaMattheyses;
 pub use hybrid::Refined;
 pub use kl::KernighanLin;
 pub use moves::{MoveState, MoveStateMismatch};
-pub use multilevel::Multilevel;
 pub use random::RandomCut;
 pub use spectral::SpectralBisection;

@@ -18,6 +18,13 @@
 //!   -t, --threshold <K>     ignore signals with K or more pins
 //!       --balance           engineer's-method weighted completion (alg1)
 //!       --objective <cut|quotient|ratio>     alg1 ranking objective
+//!       --multilevel        multilevel V-cycle mode: coarsen by heavy-edge
+//!                           matching, partition the coarsest level, refine
+//!                           while uncoarsening (two-way alg1 only)
+//!       --vcycles <N>       extra V-cycle passes (default 1; requires
+//!                           --multilevel)
+//!       --coarse-size <N>   stop coarsening at N vertices (default 60;
+//!                           requires --multilevel)
 //!       --stats             print per-phase `[stats]` lines (alg1 two-way;
 //!                           other algorithms print a not_instrumented note)
 //!       --trace <FILE>      write an NDJSON event trace (alg1 two-way only)
@@ -36,7 +43,8 @@ use std::process::ExitCode;
 
 use fhp_baselines::{FiducciaMattheyses, KernighanLin, RandomCut, SimulatedAnnealing};
 use fhp_core::{
-    metrics, Algorithm1, Bipartitioner, CompletionStrategy, Objective, PartitionConfig, Side,
+    metrics, Algorithm1, Bipartitioner, CompletionStrategy, MultilevelConfig, Objective,
+    PartitionConfig, Side,
 };
 use fhp_hypergraph::Netlist;
 use fhp_obs::{folded_stacks, names, order, Collector, TraceWriter};
@@ -51,6 +59,9 @@ struct Options {
     threshold: Option<usize>,
     balance: bool,
     objective: Objective,
+    multilevel: bool,
+    vcycles: Option<usize>,
+    coarse_size: Option<usize>,
     stats: bool,
     trace: Option<String>,
     profile: bool,
@@ -71,6 +82,9 @@ fn parse_args() -> Result<Options, String> {
         threshold: None,
         balance: false,
         objective: Objective::CutSize,
+        multilevel: false,
+        vcycles: None,
+        coarse_size: None,
         stats: false,
         trace: None,
         profile: false,
@@ -115,6 +129,25 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown objective `{other}`")),
                 }
             }
+            "--multilevel" => opts.multilevel = true,
+            "--vcycles" => {
+                let n: usize = value("--vcycles")?
+                    .parse()
+                    .map_err(|_| "vcycles must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("vcycles must be at least 1".to_string());
+                }
+                opts.vcycles = Some(n);
+            }
+            "--coarse-size" => {
+                let n: usize = value("--coarse-size")?
+                    .parse()
+                    .map_err(|_| "coarse size must be an integer >= 2".to_string())?;
+                if n < 2 {
+                    return Err("coarse size must be at least 2".to_string());
+                }
+                opts.coarse_size = Some(n);
+            }
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = Some(value("--trace")?),
             "--profile" => opts.profile = true,
@@ -150,6 +183,14 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.path.is_none() && !opts.demo {
         return Err("expected a netlist file (or --demo)".to_string());
+    }
+    if !opts.multilevel {
+        if opts.vcycles.is_some() {
+            return Err("--vcycles requires --multilevel".to_string());
+        }
+        if opts.coarse_size.is_some() {
+            return Err("--coarse-size requires --multilevel".to_string());
+        }
     }
     Ok(opts)
 }
@@ -215,13 +256,24 @@ fn main() -> ExitCode {
     } else {
         CompletionStrategy::MinDegree
     };
+    let ml_mode = opts.multilevel.then(|| {
+        let mut ml = MultilevelConfig::new();
+        if let Some(n) = opts.vcycles {
+            ml = ml.vcycles(n);
+        }
+        if let Some(n) = opts.coarse_size {
+            ml = ml.max_coarse_size(n);
+        }
+        ml
+    });
     let alg1_config = PartitionConfig::new()
         .starts(opts.starts)
         .seed(opts.seed)
         .threads(opts.threads)
         .edge_size_threshold(opts.threshold)
         .completion(completion)
-        .objective(opts.objective);
+        .objective(opts.objective)
+        .multilevel(ml_mode);
     let partitioner: Box<dyn Bipartitioner> = match opts.algorithm.as_str() {
         "alg1" => Box::new(Algorithm1::new(alg1_config)),
         "kl" => Box::new(KernighanLin::new(opts.seed)),
@@ -234,6 +286,13 @@ fn main() -> ExitCode {
         }
     };
 
+    // The V-cycle engine lives inside alg1's two-way path: the baselines,
+    // the recursive multiway driver and the placer never dispatch into it,
+    // so reject the flag instead of silently running flat.
+    if opts.multilevel && (opts.algorithm != "alg1" || opts.place.is_some() || opts.blocks > 2) {
+        eprintln!("error: --multilevel is only supported for two-way alg1 runs");
+        return ExitCode::from(2);
+    }
     // --trace/--profile are instrumented only for two-way alg1: reject
     // unsupported combinations loudly instead of writing an empty trace.
     let tracing = opts.trace.is_some() || opts.profile;
@@ -279,37 +338,38 @@ fn main() -> ExitCode {
 
     // fhp-audit: allow(wallclock-in-fingerprint) — times the human-facing summary line only
     let started = std::time::Instant::now();
-    let (bp, run_stats) = if opts.algorithm == "alg1" && (opts.stats || tracing || opts.check) {
-        match Algorithm1::new(alg1_config)
-            .collector(collector.clone())
-            .run(h)
-        {
-            Ok(out) => {
-                if opts.check {
-                    match fhp_verify::check_outcome_consistency(h, &out) {
-                        Ok(n) => println!("[check] report_consistency ok ({n} checks)"),
-                        Err(v) => {
-                            eprintln!("error: {v}");
-                            return ExitCode::FAILURE;
+    let (bp, run_stats) =
+        if opts.algorithm == "alg1" && (opts.stats || tracing || opts.check || opts.multilevel) {
+            match Algorithm1::new(alg1_config)
+                .collector(collector.clone())
+                .run(h)
+            {
+                Ok(out) => {
+                    if opts.check {
+                        match fhp_verify::check_outcome_consistency(h, &out) {
+                            Ok(n) => println!("[check] report_consistency ok ({n} checks)"),
+                            Err(v) => {
+                                eprintln!("error: {v}");
+                                return ExitCode::FAILURE;
+                            }
                         }
                     }
+                    (out.bipartition, Some(out.stats))
                 }
-                (out.bipartition, Some(out.stats))
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
+        } else {
+            match partitioner.bipartition(h) {
+                Ok(bp) => (bp, None),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        }
-    } else {
-        match partitioner.bipartition(h) {
-            Ok(bp) => (bp, None),
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    };
+        };
     let elapsed = started.elapsed();
 
     // Diagnostics channels are independent of --quiet: the trace file and
@@ -359,6 +419,21 @@ fn main() -> ExitCode {
         report.weights.1,
         report.quotient
     );
+    if let Some(ml) = run_stats.as_ref().and_then(|s| s.multilevel.as_ref()) {
+        let sizes: Vec<String> = ml.level_sizes.iter().map(|n| n.to_string()).collect();
+        let kept = if ml.used_flat_guard {
+            "flat guard partition"
+        } else {
+            "v-cycle partition"
+        };
+        println!(
+            "multilevel: {} level(s), sizes {}, coarsest cut {}, kept {}",
+            ml.levels,
+            sizes.join(" -> "),
+            ml.coarsest_cut,
+            kept
+        );
+    }
     let names = |side: Side| {
         bp.vertices_on(side)
             .iter()
@@ -422,6 +497,25 @@ fn print_stats(stats: &fhp_core::RunStats) {
     );
     line("num_g_vertices", stats.num_g_vertices.to_string());
     line("boundary_len", stats.boundary_len.to_string());
+    if let Some(ml) = &stats.multilevel {
+        let join = |xs: &[usize]| {
+            xs.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        line("ml_levels", ml.levels.to_string());
+        line("ml_level_sizes", join(&ml.level_sizes));
+        line("ml_coarsest_cut", ml.coarsest_cut.to_string());
+        line("ml_level_cuts", join(&ml.level_cuts));
+        line("ml_vcycles", ml.vcycles.to_string());
+        line("ml_cycle_cuts", join(&ml.cycle_cuts));
+        line(
+            "ml_flat_cut",
+            ml.flat_cut.map_or("none".to_string(), |c| c.to_string()),
+        );
+        line("ml_used_flat_guard", ml.used_flat_guard.to_string());
+    }
 }
 
 fn run_place(opts: &Options, netlist: &Netlist, rows: usize, cols: usize) -> ExitCode {
@@ -551,6 +645,13 @@ fn usage() -> &'static str {
      \x20 -t, --threshold <K>   ignore signals with K or more pins\n\
      \x20     --balance         engineer's-method weighted completion\n\
      \x20     --objective <cut|quotient|ratio>\n\
+     \x20     --multilevel      multilevel V-cycle mode: coarsen by heavy-edge\n\
+     \x20                       matching, partition the coarsest level, refine\n\
+     \x20                       while uncoarsening (two-way alg1 only)\n\
+     \x20     --vcycles <N>     extra V-cycle passes (default 1; requires\n\
+     \x20                       --multilevel)\n\
+     \x20     --coarse-size <N> stop coarsening at N vertices (default 60;\n\
+     \x20                       requires --multilevel)\n\
      \x20     --stats           print per-phase `[stats] key value` lines\n\
      \x20                       (dualization counters + phase wall times;\n\
      \x20                       two-way alg1 — other algorithms print a\n\

@@ -335,6 +335,190 @@ fn check_flag_rejected_for_baselines_and_placement() {
 }
 
 #[test]
+fn multilevel_mode_partitions_the_demo() {
+    let (stdout, stderr, ok) = run(&["--demo", "--multilevel"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("cut size 2"), "{stdout}");
+    assert!(stdout.contains("multilevel:"), "{stdout}");
+    // quiet still prints just the number
+    let (quiet, _, ok) = run(&["--demo", "--multilevel", "-q"]);
+    assert!(ok);
+    assert_eq!(quiet.trim(), "2");
+    // --check cross-examines the multilevel outcome too
+    let (checked, stderr, ok) = run(&["--demo", "--multilevel", "--check"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        checked.contains("[check] report_consistency ok ("),
+        "{checked}"
+    );
+}
+
+#[test]
+fn multilevel_stats_pin_the_golden_vcycle() {
+    // The demo netlist is the paper's Figure 2 example, but `Netlist`
+    // numbers modules by first appearance in the text, so the heavy-edge
+    // matching (ties to the lowest vertex id) coarsens 12 -> 7 here — a
+    // different golden sequence from `worked_example_multilevel.rs`. On
+    // this ordering the V-cycle finds a cut-1 partition (module 12 alone)
+    // that strictly beats the flat cut of 2, so the guard keeps it.
+    let (stdout, stderr, ok) = run(&[
+        "--demo",
+        "--multilevel",
+        "--coarse-size",
+        "6",
+        "--vcycles",
+        "2",
+        "--stats",
+        "--seed",
+        "0",
+        "-s",
+        "10",
+    ]);
+    assert!(ok, "{stderr}");
+    for line in [
+        "[stats] ml_levels 1",
+        "[stats] ml_level_sizes 12,7",
+        "[stats] ml_coarsest_cut 1",
+        "[stats] ml_level_cuts 1,1",
+        "[stats] ml_vcycles 2",
+        "[stats] ml_cycle_cuts 1,1",
+        "[stats] ml_flat_cut 2",
+        "[stats] ml_used_flat_guard false",
+    ] {
+        assert!(stdout.contains(line), "missing `{line}` in:\n{stdout}");
+    }
+    assert!(stdout.contains("cut size 1"), "{stdout}");
+    // without --multilevel the ml_* family is absent
+    let (flat, _, ok) = run(&["--demo", "--stats"]);
+    assert!(ok);
+    assert!(!flat.contains("[stats] ml_"), "{flat}");
+}
+
+#[test]
+fn multilevel_cut_never_worse_than_flat_on_demo() {
+    for seed in ["42", "43", "44"] {
+        let (flat, stderr, ok) = run(&["--demo", "-q", "--seed", seed]);
+        assert!(ok, "{stderr}");
+        let (ml, stderr, ok) = run(&["--demo", "-q", "--seed", seed, "--multilevel"]);
+        assert!(ok, "{stderr}");
+        let flat: usize = flat.trim().parse().expect("flat cut");
+        let ml: usize = ml.trim().parse().expect("ml cut");
+        assert!(ml <= flat, "seed {seed}: ml {ml} vs flat {flat}");
+    }
+}
+
+#[test]
+fn multilevel_output_identical_across_thread_counts() {
+    // the cut and every ml_* stat must be thread-count invariant; the
+    // wall-time and thread-count diagnostics legitimately differ
+    fn essence(args: &[&str]) -> Vec<String> {
+        let (stdout, stderr, ok) = run(args);
+        assert!(ok, "{stderr}");
+        stdout
+            .lines()
+            .filter(|l| !l.starts_with("[stats]") || l.starts_with("[stats] ml_"))
+            .map(str::to_owned)
+            .collect()
+    }
+    let baseline = essence(&[
+        "--demo",
+        "--multilevel",
+        "--coarse-size",
+        "6",
+        "--stats",
+        "-q",
+        "--seed",
+        "0",
+        "--threads",
+        "1",
+    ]);
+    assert!(baseline.iter().any(|l| l.starts_with("[stats] ml_")));
+    for threads in ["2", "8"] {
+        let lines = essence(&[
+            "--demo",
+            "--multilevel",
+            "--coarse-size",
+            "6",
+            "--stats",
+            "-q",
+            "--seed",
+            "0",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(lines, baseline, "--threads {threads} changed the report");
+    }
+}
+
+#[test]
+fn multilevel_trace_records_the_vcycle_phases() {
+    let path = std::env::temp_dir().join("fhp_cli_ml_trace.ndjson");
+    let path_s = path.to_str().unwrap();
+    let (_, stderr, ok) = run(&[
+        "--demo",
+        "--multilevel",
+        "--coarse-size",
+        "6",
+        "--trace",
+        path_s,
+    ]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&path).expect("trace written");
+    for line in text.lines() {
+        fhp_obs::json::validate_trace_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+    for name in [
+        "\"name\":\"ml.coarsen\"",
+        "\"name\":\"ml.initial_partition\"",
+        "\"name\":\"ml.refine\"",
+        "\"name\":\"ml.levels\"",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn multilevel_rejected_outside_two_way_alg1() {
+    for args in [
+        &["--demo", "--multilevel", "-a", "kl"][..],
+        &["--demo", "--multilevel", "-k", "3"][..],
+        &["--demo", "--multilevel", "--place", "2x2"][..],
+    ] {
+        let (_, stderr, ok) = run(args);
+        assert!(!ok, "{args:?}");
+        assert!(
+            stderr.contains("--multilevel is only supported"),
+            "{stderr}"
+        );
+    }
+}
+
+#[test]
+fn multilevel_flag_values_are_validated() {
+    let (_, stderr, ok) = run(&["--demo", "--vcycles", "2"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--vcycles requires --multilevel"),
+        "{stderr}"
+    );
+    let (_, stderr, ok) = run(&["--demo", "--coarse-size", "8"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--coarse-size requires --multilevel"),
+        "{stderr}"
+    );
+    let (_, stderr, ok) = run(&["--demo", "--multilevel", "--vcycles", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("vcycles must be at least 1"), "{stderr}");
+    let (_, stderr, ok) = run(&["--demo", "--multilevel", "--coarse-size", "1"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("coarse size must be at least 2"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn bad_usage_fails_with_help() {
     let (_, stderr, ok) = run(&[]);
     assert!(!ok);

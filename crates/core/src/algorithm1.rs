@@ -32,6 +32,7 @@ use crate::boundary::BoundaryDecomposition;
 use crate::complete_cut::{complete, place_winner_pins, CompletionStrategy};
 use crate::dual_bfs::{random_longest_path_endpoints, two_front_bfs_with_policy, FrontPolicy};
 use crate::metrics::{CutReport, Objective, PhaseStats};
+use crate::multilevel::{MultilevelConfig, MultilevelStats};
 use crate::runner::{resolve_threads, run_starts_traced, SplitMix64};
 use crate::{Bipartition, PartitionError, Side};
 
@@ -74,6 +75,7 @@ pub struct PartitionConfig {
     completion: CompletionStrategy,
     objective: Objective,
     front_policy: FrontPolicy,
+    multilevel: Option<MultilevelConfig>,
 }
 
 impl Default for PartitionConfig {
@@ -86,6 +88,7 @@ impl Default for PartitionConfig {
             completion: CompletionStrategy::MinDegree,
             objective: Objective::CutSize,
             front_policy: FrontPolicy::Both,
+            multilevel: None,
         }
     }
 }
@@ -152,6 +155,20 @@ impl PartitionConfig {
         self
     }
 
+    /// Enables (or disables, with `None`) the multilevel V-cycle mode:
+    /// heavy-edge coarsening to a small hypergraph, the flat multi-start
+    /// engine there, then per-level FM refinement on the way back up (see
+    /// [`crate::multilevel`]). Default `None` — the flat engine.
+    pub fn multilevel(mut self, ml: Option<MultilevelConfig>) -> Self {
+        self.multilevel = ml;
+        self
+    }
+
+    /// The configured multilevel mode, if enabled.
+    pub fn multilevel_value(&self) -> Option<MultilevelConfig> {
+        self.multilevel
+    }
+
     /// The configured front policy.
     pub fn front_policy_value(&self) -> FrontPolicy {
         self.front_policy
@@ -197,6 +214,9 @@ impl PartitionConfig {
             return Err(PartitionError::InvalidConfig {
                 reason: "edge size threshold below 2 filters every edge",
             });
+        }
+        if let Some(ml) = &self.multilevel {
+            ml.validate()?;
         }
         Ok(())
     }
@@ -248,6 +268,11 @@ pub struct RunStats {
     /// Per-phase wall time and dualization counters (all zero for the
     /// component shortcut, which never builds `G`).
     pub phases: PhaseStats,
+    /// What the multilevel V-cycle did, when the run used the multilevel
+    /// mode (`None` for flat runs). The other fields then describe the
+    /// inner engine run that produced the returned partition — the
+    /// coarsest-level multi-start, or the flat guard run if it won.
+    pub multilevel: Option<MultilevelStats>,
 }
 
 impl RunStats {
@@ -392,6 +417,12 @@ impl Algorithm1 {
             });
         }
 
+        // Multilevel mode: the V-cycle owns the whole run (its inner
+        // engine runs strip this field, so recursion bottoms out there).
+        if let Some(ml) = self.config.multilevel {
+            return crate::multilevel::run_vcycle(h, &self.config, &ml, &self.collector);
+        }
+
         // Pathological case (§4): a disconnected hypergraph has a cut of
         // size 0 — pack whole components onto the lighter side.
         let (comp, n_comps) = h.connected_components();
@@ -417,6 +448,7 @@ impl Algorithm1 {
                     threads: 0,
                     per_start: Vec::new(),
                     phases: PhaseStats::default(),
+                    multilevel: None,
                 },
             });
         }
@@ -516,6 +548,7 @@ impl Algorithm1 {
                     threads: workers,
                     per_start,
                     phases,
+                    multilevel: None,
                 },
             });
         }
@@ -542,6 +575,7 @@ impl Algorithm1 {
                 threads: workers,
                 per_start,
                 phases,
+                multilevel: None,
             },
         })
     }

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use fhp_hypergraph::BuildGraphError;
+use fhp_hypergraph::{BuildGraphError, ContractError};
 
 /// Why a bipartitioner could not produce a cut.
 ///
@@ -50,11 +50,23 @@ pub enum PartitionError {
         /// The underlying construction error.
         error: BuildGraphError,
     },
+    /// Contracting a level of the multilevel V-cycle failed (see
+    /// [`ContractError`]).
+    Contract {
+        /// The underlying contraction error.
+        error: ContractError,
+    },
 }
 
 impl From<BuildGraphError> for PartitionError {
     fn from(error: BuildGraphError) -> Self {
         Self::GraphBuild { error }
+    }
+}
+
+impl From<ContractError> for PartitionError {
+    fn from(error: ContractError) -> Self {
+        Self::Contract { error }
     }
 }
 
@@ -74,6 +86,9 @@ impl fmt::Display for PartitionError {
             Self::GraphBuild { error } => {
                 write!(f, "building the intersection graph failed: {error}")
             }
+            Self::Contract { error } => {
+                write!(f, "coarsening contraction failed: {error}")
+            }
         }
     }
 }
@@ -82,6 +97,7 @@ impl Error for PartitionError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::GraphBuild { error } => Some(error),
+            Self::Contract { error } => Some(error),
             _ => None,
         }
     }
@@ -118,6 +134,21 @@ mod tests {
     fn is_send_sync_error() {
         fn check<E: Error + Send + Sync + 'static>() {}
         check::<PartitionError>();
+    }
+
+    #[test]
+    fn contract_errors_convert_and_chain() {
+        let inner = ContractError::SparseClusterIds { missing: 3 };
+        let e: PartitionError = inner.clone().into();
+        assert_eq!(
+            e,
+            PartitionError::Contract {
+                error: inner.clone()
+            }
+        );
+        assert!(e.to_string().contains("coarsening contraction"));
+        let source = e.source().expect("wraps a cause");
+        assert_eq!(source.to_string(), inner.to_string());
     }
 
     #[test]

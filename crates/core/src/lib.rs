@@ -38,6 +38,12 @@
 //! [`matching`]) so downstream work can recombine them — e.g. swap in the
 //! exact König completion, or reuse the boundary machinery for a different
 //! initial cut.
+//!
+//! A [`multilevel`] V-cycle mode (heavy-edge coarsening, Algorithm I on
+//! the coarsest level, FM refinement on every uncoarsening step) is
+//! enabled by threading a [`MultilevelConfig`] through
+//! [`PartitionConfig::multilevel`]; it shares the engine's determinism
+//! contract and never returns a worse cut than the flat run.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -53,7 +59,10 @@ pub mod dual_bfs;
 pub mod granularize;
 pub mod matching;
 pub mod metrics;
+pub mod moves;
+pub mod multilevel;
 pub mod multiway;
+pub mod refine;
 pub mod runner;
 
 pub use algorithm1::{
@@ -64,4 +73,6 @@ pub use complete_cut::CompletionStrategy;
 pub use dual_bfs::FrontPolicy;
 pub use error::PartitionError;
 pub use metrics::{CutReport, Objective, PhaseStats};
+pub use multilevel::{Multilevel, MultilevelConfig, MultilevelStats};
 pub use partition::{Bipartition, Side};
+pub use refine::FmRefiner;

@@ -1,0 +1,292 @@
+//! Fiduccia–Mattheyses boundary refinement, the per-level improvement
+//! engine of the multilevel V-cycle.
+//!
+//! This is the pass/rollback core of the classic FM heuristic (the
+//! paper's ref. \[9\]), extracted so both the [`multilevel`](crate::multilevel)
+//! engine and the `fhp-baselines` FM bipartitioner drive the identical
+//! deterministic move loop: a lazy max-heap keyed on cached gains (stale
+//! entries skipped), a balance criterion instead of strict alternation,
+//! deferred moves re-queued when the balance state changes, and a
+//! rollback to the best prefix after each pass. Refinement is
+//! monotone — a pass never returns a worse cut than it started with —
+//! which is what makes the V-cycle's per-level cuts non-increasing.
+
+use std::collections::BinaryHeap;
+
+use fhp_hypergraph::{Hypergraph, VertexId};
+
+use crate::moves::MoveState;
+use crate::{Bipartition, Side};
+
+/// Deterministic FM refinement: improves an existing partition with
+/// single-vertex moves under a weight-balance tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use fhp_core::{metrics, Bipartition, FmRefiner, Side};
+/// use fhp_hypergraph::intersection::paper_example;
+///
+/// let h = paper_example();
+/// // a deliberately bad split: first half left, second half right
+/// let start = Bipartition::from_fn(h.num_vertices(), |v| {
+///     if v.index() < 6 { Side::Left } else { Side::Right }
+/// });
+/// let refined = FmRefiner::new().refine(&h, start.clone());
+/// assert!(metrics::weighted_cut(&h, &refined) <= metrics::weighted_cut(&h, &start));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FmRefiner {
+    max_passes: usize,
+    /// Maximum allowed `|w(V_L) − w(V_R)|` after any move; raised to twice
+    /// the heaviest vertex if smaller (else no move might be legal).
+    imbalance_tolerance: u64,
+}
+
+impl Default for FmRefiner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FmRefiner {
+    /// Default tuning: up to 24 passes, tolerance of twice the heaviest
+    /// vertex's weight (raised adaptively).
+    pub fn new() -> Self {
+        Self {
+            max_passes: 24,
+            imbalance_tolerance: 0, // raised adaptively in refine()
+        }
+    }
+
+    /// Caps the improvement passes (default 24).
+    pub fn max_passes(mut self, passes: usize) -> Self {
+        self.max_passes = passes;
+        self
+    }
+
+    /// Sets the weight-imbalance tolerance (the r-bipartition slack). The
+    /// effective tolerance is never below twice the heaviest vertex weight.
+    pub fn imbalance_tolerance(mut self, tolerance: u64) -> Self {
+        self.imbalance_tolerance = tolerance;
+        self
+    }
+
+    /// The configured pass cap.
+    pub fn max_passes_value(&self) -> usize {
+        self.max_passes
+    }
+
+    /// The tolerance actually used on `h`: the configured value, but never
+    /// below twice the heaviest vertex weight.
+    pub fn effective_tolerance(&self, h: &Hypergraph) -> u64 {
+        let heaviest = h.vertices().map(|v| h.vertex_weight(v)).max().unwrap_or(1);
+        self.imbalance_tolerance.max(2 * heaviest)
+    }
+
+    /// One FM pass: move every vertex once (balance permitting), then roll
+    /// back to the best prefix. Returns the cut improvement (never makes
+    /// the cut worse).
+    pub fn pass(&self, st: &mut MoveState<'_>, tolerance: u64) -> u64 {
+        let h = st.hypergraph();
+        let n = h.num_vertices();
+        let mut locked = vec![false; n];
+        let mut gains: Vec<i64> = (0..n).map(|i| st.gain(VertexId::new(i))).collect();
+        let mut heap: BinaryHeap<(i64, u32)> = gains
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i as u32))
+            .collect();
+        let start_cut = st.cut();
+        let mut best_cut = start_cut;
+        let mut best_prefix = 0usize;
+        let mut moves: Vec<VertexId> = Vec::new();
+        let mut deferred: Vec<(i64, u32)> = Vec::new();
+        let (mut left_count, mut right_count) = st.partition().counts();
+
+        while let Some((g, i)) = heap.pop() {
+            let idx = i as usize;
+            let v = VertexId::new(idx);
+            if locked.get(idx) != Some(&false) || gains.get(idx) != Some(&g) {
+                continue; // stale heap entry
+            }
+            // A move may never empty a side: a one-sided assignment is not
+            // a cut, whatever its "cut size" says.
+            let source_count = match st.side(v) {
+                Side::Left => left_count,
+                Side::Right => right_count,
+            };
+            if source_count == 1 {
+                deferred.push((g, i));
+                continue;
+            }
+            // Balance feasibility of moving v.
+            let (wl, wr) = st.side_weights();
+            let vw = h.vertex_weight(v) as i64;
+            let imb = match st.side(v) {
+                Side::Left => (wl as i64 - vw) - (wr as i64 + vw),
+                Side::Right => (wl as i64 + vw) - (wr as i64 - vw),
+            };
+            if imb.unsigned_abs() > tolerance {
+                deferred.push((g, i));
+                continue;
+            }
+            // Legal highest-gain move: apply it. Re-queue deferred entries —
+            // the balance state just changed, they may be legal now.
+            heap.extend(deferred.drain(..));
+            match st.side(v) {
+                Side::Left => {
+                    left_count -= 1;
+                    right_count += 1;
+                }
+                Side::Right => {
+                    right_count -= 1;
+                    left_count += 1;
+                }
+            }
+            st.apply_flip(v);
+            if let Some(slot) = locked.get_mut(idx) {
+                *slot = true;
+            }
+            moves.push(v);
+            if st.cut() < best_cut {
+                best_cut = st.cut();
+                best_prefix = moves.len();
+            }
+            // Refresh gains of free pins on v's nets (the critical-net set).
+            for &e in h.edges_of(v) {
+                for &p in h.pins(e) {
+                    if locked.get(p.index()) != Some(&false) {
+                        continue;
+                    }
+                    let g2 = st.gain(p);
+                    if let Some(slot) = gains.get_mut(p.index()) {
+                        if *slot != g2 {
+                            *slot = g2;
+                            heap.push((g2, p.index() as u32));
+                        }
+                    }
+                }
+            }
+        }
+
+        for &v in moves.iter().skip(best_prefix).rev() {
+            st.apply_flip(v);
+        }
+        debug_assert_eq!(st.cut(), best_cut);
+        start_cut - best_cut
+    }
+
+    /// Improves an existing partition in place with FM passes until a pass
+    /// yields no gain. The weight-balance tolerance is widened to the
+    /// start's own imbalance if that is larger, so refinement never has to
+    /// destroy a deliberately unbalanced input to begin improving it — and
+    /// the returned cut is never worse than `start`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` does not cover `h`'s vertices (via
+    /// [`MoveState::new`]).
+    pub fn refine(&self, h: &Hypergraph, start: Bipartition) -> Bipartition {
+        let start_imbalance = crate::metrics::weight_imbalance(h, &start);
+        let tolerance = self.effective_tolerance(h).max(start_imbalance);
+        self.run_passes(h, start, tolerance)
+    }
+
+    /// Runs passes until fixpoint (or the pass cap) at an explicit
+    /// tolerance — [`refine`](Self::refine) without the adaptive widening,
+    /// for callers that manage the balance envelope themselves.
+    pub fn run_passes(&self, h: &Hypergraph, start: Bipartition, tolerance: u64) -> Bipartition {
+        let mut st = MoveState::new(h, start);
+        for _ in 0..self.max_passes {
+            if self.pass(&mut st, tolerance) == 0 {
+                break;
+            }
+        }
+        st.into_partition()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use fhp_hypergraph::intersection::paper_example;
+    use fhp_hypergraph::HypergraphBuilder;
+
+    fn halves(n: usize) -> Bipartition {
+        Bipartition::from_fn(n, |v| {
+            if v.index() < n / 2 {
+                Side::Left
+            } else {
+                Side::Right
+            }
+        })
+    }
+
+    #[test]
+    fn refine_never_worsens_the_cut() {
+        let h = paper_example();
+        for rotate in 0..4 {
+            let start = Bipartition::from_fn(12, |v| {
+                if (v.index() + rotate) % 2 == 0 {
+                    Side::Left
+                } else {
+                    Side::Right
+                }
+            });
+            let before = metrics::weighted_cut(&h, &start);
+            let refined = FmRefiner::new().refine(&h, start);
+            assert!(metrics::weighted_cut(&h, &refined) <= before);
+            assert!(refined.is_valid_cut());
+        }
+    }
+
+    #[test]
+    fn finds_the_paper_optimum_from_a_plain_split() {
+        let h = paper_example();
+        let refined = FmRefiner::new().refine(&h, halves(12));
+        assert!(metrics::cut_size(&h, &refined) <= 2);
+    }
+
+    #[test]
+    fn pass_improvement_accounting_is_exact() {
+        let h = paper_example();
+        let fm = FmRefiner::new();
+        let start = halves(12);
+        let before = metrics::weighted_cut(&h, &start);
+        let mut st = MoveState::new(&h, start);
+        let imp = fm.pass(&mut st, fm.effective_tolerance(&h));
+        assert_eq!(st.cut() + imp, before);
+        st.verify().expect("state stays consistent");
+    }
+
+    #[test]
+    fn respects_imbalance_tolerance() {
+        let mut b = HypergraphBuilder::new();
+        let vs: Vec<_> = (0..8).map(|i| b.add_weighted_vertex(1 + i % 3)).collect();
+        for w in vs.windows(2) {
+            b.add_edge([w[0], w[1]]).unwrap();
+        }
+        let h = b.build();
+        let fm = FmRefiner::new().imbalance_tolerance(4);
+        let refined = fm.refine(&h, halves(8));
+        assert!(metrics::weight_imbalance(&h, &refined) <= fm.effective_tolerance(&h));
+    }
+
+    #[test]
+    fn zero_passes_is_the_identity() {
+        let h = paper_example();
+        let start = halves(12);
+        let out = FmRefiner::new().max_passes(0).refine(&h, start.clone());
+        assert_eq!(out, start);
+    }
+
+    #[test]
+    fn builders_and_accessors() {
+        let fm = FmRefiner::new().max_passes(7).imbalance_tolerance(3);
+        assert_eq!(fm.max_passes_value(), 7);
+        assert_eq!(fm, fm); // Copy + Eq
+        assert_eq!(FmRefiner::default(), FmRefiner::new());
+    }
+}

@@ -44,9 +44,34 @@ impl Contraction {
     /// # Panics
     ///
     /// Panics if `cluster_of` does not cover `h`'s vertices or its ids are
-    /// not dense.
+    /// not dense. [`try_contract`](Self::try_contract) is the typed-error
+    /// equivalent.
     pub fn contract(h: &Hypergraph, cluster_of: &[u32]) -> Self {
-        assert_eq!(cluster_of.len(), h.num_vertices(), "cluster map mismatch");
+        match Self::try_contract(h, cluster_of) {
+            Ok(c) => c,
+            // fhp-audit: allow(panic-site) — documented panicking facade over try_contract
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Contracts `h` according to `cluster_of` (fine vertex → cluster id),
+    /// reporting malformed cluster maps as typed errors instead of
+    /// panicking — the entry point library callers (the multilevel
+    /// V-cycle engine) use.
+    ///
+    /// # Errors
+    ///
+    /// [`ContractError::ClusterMapLength`] if `cluster_of` does not cover
+    /// `h`'s vertices, [`ContractError::SparseClusterIds`] if the ids are
+    /// not dense, [`ContractError::Build`] if a coarse edge is rejected by
+    /// the hypergraph builder.
+    pub fn try_contract(h: &Hypergraph, cluster_of: &[u32]) -> Result<Self, ContractError> {
+        if cluster_of.len() != h.num_vertices() {
+            return Err(ContractError::ClusterMapLength {
+                expected: h.num_vertices(),
+                found: cluster_of.len(),
+            });
+        }
         let k = cluster_of
             .iter()
             .copied()
@@ -54,9 +79,15 @@ impl Contraction {
             .map_or(0, |m| m as usize + 1);
         let mut seen = vec![false; k];
         for &c in cluster_of {
-            seen[c as usize] = true;
+            if let Some(slot) = seen.get_mut(c as usize) {
+                *slot = true;
+            }
         }
-        assert!(seen.iter().all(|&s| s), "cluster ids must be dense");
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(ContractError::SparseClusterIds {
+                missing: missing as u32,
+            });
+        }
 
         let mut b = HypergraphBuilder::new();
         let mut weights = vec![0u64; k];
@@ -96,15 +127,15 @@ impl Contraction {
         let mut fine_edges = Vec::with_capacity(coarse_edges.len());
         for (pins, weight, fines) in coarse_edges {
             b.add_weighted_edge(pins, weight)
-                .expect("coarse pins are valid");
+                .map_err(|error| ContractError::Build { error })?;
             fine_edges.push(fines);
         }
 
-        Self {
+        Ok(Self {
             coarse: b.build(),
             cluster_of: cluster_of.to_vec(),
             fine_edges,
-        }
+        })
     }
 
     /// The contracted hypergraph.
@@ -124,6 +155,14 @@ impl Contraction {
     /// Number of fine vertices.
     pub fn fine_len(&self) -> usize {
         self.cluster_of.len()
+    }
+
+    /// The explicit projection map: entry `v` is the coarse vertex (the
+    /// cluster id) fine vertex `v` was merged into. This is the object
+    /// [`project`](Self::project) walks; exposing it lets verifiers and
+    /// golden tests pin the exact coarsening decisions.
+    pub fn projection_map(&self) -> &[u32] {
+        &self.cluster_of
     }
 
     /// The fine edges merged into coarse edge `e`.
@@ -160,7 +199,8 @@ impl Contraction {
 /// neighbour it shares the most signal weight with (rating each shared
 /// signal `w(e) / (|e| − 1)`, the standard heavy-edge rating), subject to
 /// `max_cluster_weight`. Unmatched modules become singleton clusters.
-/// Deterministic: vertices are visited in id order.
+/// Deterministic: vertices are visited in id order, and rating ties break
+/// to the lowest vertex id.
 ///
 /// Returns a dense cluster map suitable for [`Contraction::contract`].
 ///
@@ -177,6 +217,55 @@ impl Contraction {
 /// assert!(c.coarse().num_vertices() >= h.num_vertices() / 2);
 /// ```
 pub fn heavy_pair_clustering(h: &Hypergraph, max_cluster_weight: u64) -> Vec<u32> {
+    pair_clustering(h, max_cluster_weight, &|_, _| true)
+}
+
+/// [`heavy_pair_clustering`] restricted to pairs within one group: `v`
+/// and `u` may merge only when `group_of[v] == group_of[u]`. With the
+/// groups set to a bipartition's sides this is *partition-respecting*
+/// coarsening — projecting any partition of the coarse hypergraph that
+/// assigns each cluster its group's side reproduces the fine partition's
+/// cut exactly, which is what lets later V-cycles re-coarsen without
+/// losing the incumbent solution.
+///
+/// `group_of` entries beyond `h`'s vertices are ignored; vertices without
+/// an entry never pair.
+pub fn heavy_pair_clustering_within(
+    h: &Hypergraph,
+    max_cluster_weight: u64,
+    group_of: &[u32],
+) -> Vec<u32> {
+    pair_clustering(h, max_cluster_weight, &|v, u| match (
+        group_of.get(v.index()),
+        group_of.get(u.index()),
+    ) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    })
+}
+
+/// One heavy-edge-rated matching level: cluster with
+/// [`heavy_pair_clustering`] and contract, returning the coarse
+/// hypergraph together with its explicit projection map
+/// ([`Contraction::projection_map`]).
+///
+/// # Errors
+///
+/// Propagates [`ContractError`] from the contraction (unreachable for the
+/// dense maps the clustering produces, but typed rather than asserted).
+pub fn rated_matching_coarsen(
+    h: &Hypergraph,
+    max_cluster_weight: u64,
+) -> Result<Contraction, ContractError> {
+    Contraction::try_contract(h, &heavy_pair_clustering(h, max_cluster_weight))
+}
+
+/// The shared greedy-matching loop behind both clustering fronts.
+fn pair_clustering(
+    h: &Hypergraph,
+    max_cluster_weight: u64,
+    can_pair: &dyn Fn(VertexId, VertexId) -> bool,
+) -> Vec<u32> {
     const UNMATCHED: u32 = u32::MAX;
     let mut cluster_of = vec![UNMATCHED; h.num_vertices()];
     let mut next = 0u32;
@@ -193,7 +282,7 @@ pub fn heavy_pair_clustering(h: &Hypergraph, max_cluster_weight: u64) -> Vec<u32
             }
             let rating = h.edge_weight(e) as f64 / (size - 1) as f64;
             for &u in h.pins(e) {
-                if u != v && cluster_of[u.index()] == UNMATCHED {
+                if u != v && cluster_of[u.index()] == UNMATCHED && can_pair(v, u) {
                     *affinity.entry(u).or_insert(0.0) += rating;
                 }
             }
@@ -214,6 +303,53 @@ pub fn heavy_pair_clustering(h: &Hypergraph, max_cluster_weight: u64) -> Vec<u32
         next += 1;
     }
     cluster_of
+}
+
+/// Why [`Contraction::try_contract`] rejected a cluster map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ContractError {
+    /// The cluster map's length disagrees with the vertex count.
+    ClusterMapLength {
+        /// Vertices of the fine hypergraph.
+        expected: usize,
+        /// Entries in the cluster map.
+        found: usize,
+    },
+    /// A cluster id in `0..max+1` never occurs, so the ids are not dense.
+    SparseClusterIds {
+        /// The first missing cluster id.
+        missing: u32,
+    },
+    /// The coarse hypergraph builder rejected a contracted edge.
+    Build {
+        /// The underlying builder error.
+        error: crate::BuildHypergraphError,
+    },
+}
+
+impl std::fmt::Display for ContractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ClusterMapLength { expected, found } => write!(
+                f,
+                "cluster map mismatch: {found} entries for {expected} vertices"
+            ),
+            Self::SparseClusterIds { missing } => {
+                write!(f, "cluster ids must be dense: id {missing} never occurs")
+            }
+            Self::Build { error } => write!(f, "contracted edge rejected: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ContractError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Build { error } => Some(error),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +457,76 @@ mod tests {
             sizes[c as usize] += 1;
         }
         assert!(sizes.iter().all(|&s| (1..=2).contains(&s)));
+    }
+
+    #[test]
+    fn try_contract_reports_typed_errors() {
+        let h = paper_example();
+        assert_eq!(
+            Contraction::try_contract(&h, &[0, 1]).unwrap_err(),
+            ContractError::ClusterMapLength {
+                expected: 12,
+                found: 2
+            }
+        );
+        let mut sparse: Vec<u32> = (0..12u32).collect();
+        sparse[0] = 20;
+        let err = Contraction::try_contract(&h, &sparse).unwrap_err();
+        assert_eq!(err, ContractError::SparseClusterIds { missing: 0 });
+        assert!(err.to_string().contains("dense"));
+        // the well-formed case round-trips through the fallible API
+        let ok: Vec<u32> = (0..12).map(|i| (i / 2) as u32).collect();
+        let c = Contraction::try_contract(&h, &ok).unwrap();
+        assert_eq!(c.coarse().num_vertices(), 6);
+    }
+
+    #[test]
+    fn projection_map_is_the_cluster_map() {
+        let h = paper_example();
+        let clusters: Vec<u32> = (0..12).map(|i| (i / 4) as u32).collect();
+        let c = Contraction::contract(&h, &clusters);
+        assert_eq!(c.projection_map(), clusters.as_slice());
+        for v in h.vertices() {
+            assert_eq!(c.cluster_of(v), clusters[v.index()]);
+        }
+    }
+
+    #[test]
+    fn rated_matching_coarsen_matches_manual_pipeline() {
+        let h = paper_example();
+        let c = rated_matching_coarsen(&h, 4).unwrap();
+        let manual = Contraction::contract(&h, &heavy_pair_clustering(&h, 4));
+        assert_eq!(c.projection_map(), manual.projection_map());
+        assert_eq!(c.coarse().num_vertices(), manual.coarse().num_vertices());
+        assert_eq!(c.coarse().num_edges(), manual.coarse().num_edges());
+    }
+
+    #[test]
+    fn within_clustering_never_pairs_across_groups() {
+        let h = paper_example();
+        // alternate groups so any pair candidate is sometimes blocked
+        let groups: Vec<u32> = (0..12).map(|i| (i % 2) as u32).collect();
+        let clusters = heavy_pair_clustering_within(&h, 4, &groups);
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        for (v, &c) in clusters.iter().enumerate() {
+            let c = c as usize;
+            if members.len() <= c {
+                members.resize(c + 1, Vec::new());
+            }
+            members[c].push(v);
+        }
+        for m in &members {
+            assert!((1..=2).contains(&m.len()));
+            if let [a, b] = m[..] {
+                assert_eq!(groups[a], groups[b], "pair {a},{b} crossed groups");
+            }
+        }
+        // uniform groups degenerate to the unrestricted clustering
+        let uniform = vec![0u32; 12];
+        assert_eq!(
+            heavy_pair_clustering_within(&h, 4, &uniform),
+            heavy_pair_clustering(&h, 4)
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod netlist;
 pub mod stats;
 pub mod subhypergraph;
 
+pub use contract::ContractError;
 pub use error::{BuildGraphError, BuildHypergraphError, ParseHgrError, ParseNetlistError};
 pub use graph::{Graph, GraphBuilder};
 pub use hypergraph::{Hypergraph, HypergraphBuilder};

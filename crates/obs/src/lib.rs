@@ -52,6 +52,18 @@ pub mod order {
     pub const fn start(i: usize) -> u64 {
         START_BASE + i as u64
     }
+    /// Base key for the multilevel V-cycle's per-phase scopes (coarsen
+    /// levels, the coarsest initial partition, per-level refinement);
+    /// see [`ml`]. Sorts after every per-start scope — the coarsest-level
+    /// engine runs with a disabled collector, so its start keys never
+    /// collide with the V-cycle's own.
+    pub const ML_BASE: u64 = 1 << 32;
+    /// Merge key of the `i`-th multilevel phase scope, in V-cycle order
+    /// (coarsen levels top-down, then initial partition, then refinement
+    /// levels bottom-up, repeated per cycle).
+    pub const fn ml(i: usize) -> u64 {
+        ML_BASE + i as u64
+    }
     /// The `fhp-verify` harness's counter scope. Sorts after every
     /// per-start scope and before the summary.
     pub const VERIFY: u64 = u64::MAX - 1;
@@ -116,6 +128,36 @@ pub mod names {
     pub const RUN_SEED: &str = "run.seed";
     /// Counter: requested number of starts.
     pub const RUN_STARTS: &str = "run.starts";
+    /// Span: one coarsening level of the multilevel V-cycle (clustering
+    /// plus contraction).
+    pub const ML_COARSEN: &str = "ml.coarsen";
+    /// Span: the coarsest-level initial partition (Algorithm I multi-start
+    /// plus FM polish).
+    pub const ML_INITIAL: &str = "ml.initial_partition";
+    /// Span: one uncoarsening step (projection plus FM refinement on the
+    /// finer level).
+    pub const ML_REFINE: &str = "ml.refine";
+    /// Span: one extra V-cycle (partition-respecting re-coarsening).
+    pub const ML_CYCLE: &str = "ml.vcycle";
+    /// Counter: coarse vertex count a coarsening level produced.
+    pub const ML_LEVEL_SIZE: &str = "ml.level_size";
+    /// Counter: coarse edge count a coarsening level produced.
+    pub const ML_LEVEL_EDGES: &str = "ml.level_edges";
+    /// Counter: cut size after refining a level on the way back up.
+    pub const ML_LEVEL_CUT: &str = "ml.level_cut";
+    /// Counter: cut size of the refined coarsest-level partition.
+    pub const ML_COARSEST_CUT: &str = "ml.coarsest_cut";
+    /// Counter: coarsening levels the V-cycle built.
+    pub const ML_LEVELS: &str = "ml.levels";
+    /// Counter: V-cycles executed.
+    pub const ML_VCYCLES: &str = "ml.vcycles";
+    /// Counter: cut size after a full V-cycle.
+    pub const ML_CYCLE_CUT: &str = "ml.cycle_cut";
+    /// Counter: the flat Algorithm I guard run's cut size.
+    pub const ML_FLAT_GUARD_CUT: &str = "ml.flat_guard_cut";
+    /// Counter: 1 if the flat guard's partition strictly beat the V-cycle's
+    /// and was returned instead, else 0.
+    pub const ML_USED_FLAT_GUARD: &str = "ml.used_flat_guard";
     /// Counter: instances the verify harness generated and checked.
     pub const VERIFY_INSTANCES: &str = "verify.instances";
     /// Counter: individual oracle assertions the verify harness ran.
@@ -137,6 +179,8 @@ mod tests {
             order::DUALIZE,
             order::start(0),
             order::start(usize::from(u16::MAX)),
+            order::ml(0),
+            order::ml(1 << 16),
             order::VERIFY,
             order::SUMMARY,
         ];

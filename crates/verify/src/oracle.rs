@@ -24,10 +24,11 @@ use fhp_baselines::{
 use fhp_core::boundary::BoundaryDecomposition;
 use fhp_core::complete_cut::{complete, complete_min_degree};
 use fhp_core::dual_bfs::{random_longest_path_endpoints, two_front_bfs};
+use fhp_core::multilevel::{coarsen_cap, coarsen_sequence};
 use fhp_core::multiway::recursive_bisection;
 use fhp_core::{
-    Algorithm1, Bipartition, Bipartitioner, CompletionStrategy, PartitionConfig, PartitionError,
-    PartitionOutcome, Side,
+    Algorithm1, Bipartition, Bipartitioner, CompletionStrategy, MultilevelConfig, PartitionConfig,
+    PartitionError, PartitionOutcome, Side,
 };
 use fhp_hypergraph::{bfs, hgr, Graph, Hypergraph, IntersectionGraph};
 use rand::rngs::SplitMix64;
@@ -94,13 +95,14 @@ pub fn check_instance(
     counts: &mut OracleCounts,
 ) -> CheckOutcome {
     let mut outcome = CheckOutcome::default();
-    let oracles: [(&'static str, OracleFn); 7] = [
+    let oracles: [(&'static str, OracleFn); 8] = [
         ("differential", oracle_differential),
         ("pipeline_stages", oracle_pipeline_stages),
         ("thread_invariance", oracle_thread_invariance),
         ("dualize_kernel", oracle_dualize_kernel),
         ("move_state", oracle_move_state),
         ("multiway", oracle_multiway),
+        ("multilevel", oracle_multilevel),
         ("hgr_roundtrip", oracle_hgr_roundtrip),
     ];
     for (name, oracle) in oracles {
@@ -799,6 +801,188 @@ impl MultiwayCtx for &'static str {
     }
 }
 
+/// Multilevel V-cycle invariants, re-derived from scratch:
+///
+/// - the returned outcome's report survives [`check_outcome_consistency`];
+/// - the multilevel cut never exceeds the flat Algorithm I cut at the
+///   same seed and start count (the engine's flat guard makes this a
+///   construction guarantee, not a heuristic hope — and the recorded
+///   `flat_cut` must match our own flat run);
+/// - every level's recorded cut matches a pin-by-pin recount of that
+///   level's partition on an *independently reconstructed* coarsening
+///   sequence ([`coarsen_sequence`] is deterministic);
+/// - per-cycle cuts never increase (the keep-if-strictly-better rule);
+/// - the final partition is a valid cut and, when the V-cycle's own
+///   partition was returned, its weight imbalance stays inside the
+///   refiner's balance envelope: `max(2·cap, 2·heaviest, imbalance of
+///   the refined coarsest partition)`.
+fn oracle_multilevel(ctx: &Ctx<'_>) -> Result<u64, Violation> {
+    let h = ctx.h;
+    let ml = MultilevelConfig::new().max_coarse_size(12).vcycles(2);
+    let base = PartitionConfig::new()
+        .starts(6)
+        .seed(ctx.seed)
+        .threads(ctx.threads);
+    let flat_out = match Algorithm1::new(base).run(h) {
+        Ok(o) => o,
+        Err(e) if is_benign(&e) => return Ok(0),
+        Err(e) => return Err(ctx.fail(format!("flat alg1 failed: {e}"))),
+    };
+    let out = match Algorithm1::new(base.multilevel(Some(ml))).run(h) {
+        Ok(o) => o,
+        Err(e) if is_benign(&e) => return Ok(0),
+        Err(e) => return Err(ctx.fail(format!("multilevel alg1 failed: {e}"))),
+    };
+    let mut checks = check_outcome_consistency(h, &out).map_err(|v| ctx.fail(v.detail))?;
+    checks += ctx.ensure(out.bipartition.is_valid_cut(), || {
+        "multilevel returned a one-sided assignment".to_string()
+    })?;
+    checks += ctx.ensure(out.report.cut_size <= flat_out.report.cut_size, || {
+        format!(
+            "multilevel cut {} exceeds the flat cut {} at the same seed",
+            out.report.cut_size, flat_out.report.cut_size
+        )
+    })?;
+
+    let Some(stats) = out.stats.multilevel.as_ref() else {
+        return Err(
+            ctx.fail("multilevel mode ran but the outcome carries no MultilevelStats".to_string())
+        );
+    };
+    checks += ctx.ensure(stats.flat_cut == Some(flat_out.report.cut_size), || {
+        format!(
+            "recorded flat guard cut {:?} differs from our flat run's {}",
+            stats.flat_cut, flat_out.report.cut_size
+        )
+    })?;
+
+    // Reconstruct the first cycle's coarsening sequence independently and
+    // recount every recorded level cut on it.
+    let levels = match coarsen_sequence(h, &ml) {
+        Ok(l) => l,
+        Err(e) => return Err(ctx.fail(format!("coarsen_sequence failed: {e}"))),
+    };
+    checks += ctx.ensure(stats.levels == levels.len(), || {
+        format!(
+            "engine built {} levels, independent coarsening builds {}",
+            stats.levels,
+            levels.len()
+        )
+    })?;
+    let mut chain: Vec<&Hypergraph> = vec![h];
+    chain.extend(levels.iter().map(|c| c.coarse()));
+    let sizes: Vec<usize> = chain.iter().map(|g| g.num_vertices()).collect();
+    checks += ctx.ensure(stats.level_sizes == sizes, || {
+        format!(
+            "recorded level sizes {:?} differ from reconstruction {sizes:?}",
+            stats.level_sizes
+        )
+    })?;
+    checks += ctx.ensure(
+        stats.level_partitions.len() == chain.len() && stats.level_cuts.len() == chain.len(),
+        || {
+            format!(
+                "expected {} per-level partitions/cuts, found {}/{}",
+                chain.len(),
+                stats.level_partitions.len(),
+                stats.level_cuts.len()
+            )
+        },
+    )?;
+    // level_partitions runs coarsest -> finest; chain runs finest -> coarsest
+    for (j, (bp, &recorded)) in stats
+        .level_partitions
+        .iter()
+        .zip(stats.level_cuts.iter())
+        .enumerate()
+    {
+        let Some(&level_h) = chain.get(chain.len() - 1 - j) else {
+            return Err(ctx.fail(format!("level {j} has no reconstructed hypergraph")));
+        };
+        checks += ctx.ensure(bp.len() == level_h.num_vertices(), || {
+            format!(
+                "level {j} partition covers {} of {} vertices",
+                bp.len(),
+                level_h.num_vertices()
+            )
+        })?;
+        let recount = recompute_cut(level_h, bp);
+        checks += ctx.ensure(recount == recorded, || {
+            format!("level {j} recorded cut {recorded} but pin-by-pin recount is {recount}")
+        })?;
+    }
+    checks += ctx.ensure(
+        Some(&stats.coarsest_cut) == stats.level_cuts.first(),
+        || {
+            format!(
+                "coarsest_cut {} disagrees with level_cuts.first() {:?}",
+                stats.coarsest_cut,
+                stats.level_cuts.first()
+            )
+        },
+    )?;
+    checks += ctx.ensure(stats.cycle_cuts.first() == stats.level_cuts.last(), || {
+        format!(
+            "first cycle cut {:?} disagrees with the finest level cut {:?}",
+            stats.cycle_cuts.first(),
+            stats.level_cuts.last()
+        )
+    })?;
+    let cycles_monotone = stats
+        .cycle_cuts
+        .iter()
+        .zip(stats.cycle_cuts.iter().skip(1))
+        .all(|(a, b)| b <= a);
+    checks += ctx.ensure(cycles_monotone, || {
+        format!("per-cycle cuts regressed: {:?}", stats.cycle_cuts)
+    })?;
+    let last_cycle = stats.cycle_cuts.last().copied().unwrap_or(usize::MAX);
+    if stats.used_flat_guard {
+        checks += ctx.ensure(out.report.cut_size <= last_cycle, || {
+            format!(
+                "flat guard fired but returned cut {} is worse than the V-cycle's {last_cycle}",
+                out.report.cut_size
+            )
+        })?;
+    } else {
+        checks += ctx.ensure(out.report.cut_size == last_cycle, || {
+            format!(
+                "returned cut {} differs from the last cycle's {last_cycle}",
+                out.report.cut_size
+            )
+        })?;
+        // Balance envelope: every refinement ran at a tolerance of at most
+        // max(2·cap, 2·heaviest) widened by its start imbalance, and
+        // projection preserves side weights, so the final imbalance cannot
+        // exceed the envelope seeded by the refined coarsest partition.
+        let heaviest = h.vertices().map(|v| h.vertex_weight(v)).max().unwrap_or(1);
+        let Some((coarsest_bp, &coarsest_h)) = stats.level_partitions.first().zip(chain.last())
+        else {
+            return Err(ctx.fail("no coarsest level to check balance against".to_string()));
+        };
+        let seed_imbalance = imbalance_slow(coarsest_h, coarsest_bp);
+        let envelope = (2 * coarsen_cap(h, &ml))
+            .max(2 * heaviest)
+            .max(seed_imbalance);
+        let final_imbalance = imbalance_slow(h, &out.bipartition);
+        checks += ctx.ensure(final_imbalance <= envelope, || {
+            format!(
+                "final weight imbalance {final_imbalance} escapes the refiner's \
+                 balance envelope {envelope}"
+            )
+        })?;
+    }
+    Ok(checks)
+}
+
+/// Independent weight-imbalance recount (shares no code with
+/// `fhp_core::metrics`).
+fn imbalance_slow(h: &Hypergraph, bp: &Bipartition) -> u64 {
+    let left = bp.weight_on(h, Side::Left);
+    let right = bp.weight_on(h, Side::Right);
+    left.abs_diff(right)
+}
+
 /// `.hgr` round-trip: writing and re-parsing the instance reproduces it
 /// exactly, and parsing byte-corrupted variants returns errors rather
 /// than panicking.
@@ -864,6 +1048,7 @@ mod tests {
             "dualize_kernel",
             "move_state",
             "multiway",
+            "multilevel",
             "hgr_roundtrip",
         ] {
             assert!(c.get(name).copied().unwrap_or(0) > 0, "oracle {name} idle");
