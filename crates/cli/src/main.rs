@@ -16,6 +16,10 @@
 //!                           (default 0 = one per core; the cut is
 //!                           identical for every value)
 //!   -t, --threshold <K>     ignore signals with K or more pins
+//!       --streaming-dualize  build G with the bounded-memory streaming
+//!                           dualizer (same graph, capped pair buffer)
+//!       --pair-cap <N>      cap the streaming dualizer's raw pair buffer
+//!                           at N pairs (requires --streaming-dualize)
 //!       --balance           engineer's-method weighted completion (alg1)
 //!       --objective <cut|quotient|ratio>     alg1 ranking objective
 //!       --multilevel        multilevel V-cycle mode: coarsen by heavy-edge
@@ -57,6 +61,8 @@ struct Options {
     seed: u64,
     threads: usize,
     threshold: Option<usize>,
+    streaming_dualize: bool,
+    pair_cap: Option<usize>,
     balance: bool,
     objective: Objective,
     multilevel: bool,
@@ -80,6 +86,8 @@ fn parse_args() -> Result<Options, String> {
         seed: 0,
         threads: 0,
         threshold: None,
+        streaming_dualize: false,
+        pair_cap: None,
         balance: false,
         objective: Objective::CutSize,
         multilevel: false,
@@ -119,6 +127,16 @@ fn parse_args() -> Result<Options, String> {
                         .parse()
                         .map_err(|_| "threshold must be an integer".to_string())?,
                 )
+            }
+            "--streaming-dualize" => opts.streaming_dualize = true,
+            "--pair-cap" => {
+                let n: usize = value("--pair-cap")?
+                    .parse()
+                    .map_err(|_| "pair cap must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("pair cap must be at least 1".to_string());
+                }
+                opts.pair_cap = Some(n);
             }
             "--balance" => opts.balance = true,
             "--objective" => {
@@ -183,6 +201,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.path.is_none() && !opts.demo {
         return Err("expected a netlist file (or --demo)".to_string());
+    }
+    if opts.pair_cap.is_some() && !opts.streaming_dualize {
+        return Err("--pair-cap requires --streaming-dualize".to_string());
     }
     if !opts.multilevel {
         if opts.vcycles.is_some() {
@@ -271,6 +292,8 @@ fn main() -> ExitCode {
         .seed(opts.seed)
         .threads(opts.threads)
         .edge_size_threshold(opts.threshold)
+        .streaming_dualize(opts.streaming_dualize)
+        .pair_cap(opts.pair_cap)
         .completion(completion)
         .objective(opts.objective)
         .multilevel(ml_mode);
@@ -473,6 +496,9 @@ fn print_stats(stats: &fhp_core::RunStats) {
     line("dualize_filtered_edges", d.filtered_edges.to_string());
     line("dualize_shards", d.shards.to_string());
     line("dualize_threads", d.threads.to_string());
+    line("dualize_passes", d.passes.to_string());
+    line("dualize_peak_pair_buffer", d.peak_pair_buffer.to_string());
+    line("dualize_bytes_spilled", d.bytes_spilled.to_string());
     line("dualize_wall_us", d.wall.as_micros().to_string());
     let p = &stats.phases;
     line(
@@ -489,6 +515,7 @@ fn print_stats(stats: &fhp_core::RunStats) {
     );
     line("starts", stats.starts.to_string());
     line("engine_threads", stats.threads.to_string());
+    line("arena_reuse_hits", stats.arena_reuse_hits.to_string());
     line(
         "chosen_start",
         stats
@@ -525,6 +552,8 @@ fn run_place(opts: &Options, netlist: &Netlist, rows: usize, cols: usize) -> Exi
         .starts(opts.starts.min(10))
         .threads(opts.threads)
         .edge_size_threshold(opts.threshold)
+        .streaming_dualize(opts.streaming_dualize)
+        .pair_cap(opts.pair_cap)
         .objective(opts.objective);
     let seed = opts.seed;
     let placer = MinCutPlacer::new(move |region| {
@@ -583,6 +612,8 @@ fn run_multiway(opts: &Options, netlist: &Netlist, _two_way: Box<dyn Bipartition
         .starts(opts.starts)
         .threads(opts.threads)
         .edge_size_threshold(opts.threshold)
+        .streaming_dualize(opts.streaming_dualize)
+        .pair_cap(opts.pair_cap)
         .completion(completion)
         .objective(opts.objective);
     let mp = match recursive_bisection(h, opts.blocks, |region| {
@@ -643,6 +674,10 @@ fn usage() -> &'static str {
      \x20     --threads <N>     alg1 worker threads (default 0 = one per core;\n\
      \x20                       same cut for every value)\n\
      \x20 -t, --threshold <K>   ignore signals with K or more pins\n\
+     \x20     --streaming-dualize  build G with the bounded-memory streaming\n\
+     \x20                       dualizer (same graph, capped pair buffer)\n\
+     \x20     --pair-cap <N>    cap the streaming dualizer's raw pair buffer\n\
+     \x20                       at N pairs (requires --streaming-dualize)\n\
      \x20     --balance         engineer's-method weighted completion\n\
      \x20     --objective <cut|quotient|ratio>\n\
      \x20     --multilevel      multilevel V-cycle mode: coarsen by heavy-edge\n\

@@ -29,11 +29,13 @@ use fhp_hypergraph::{Dualizer, Hypergraph, IntersectionGraph, VertexId};
 use fhp_obs::{names, order, Collector, Histogram, Scope};
 
 use crate::boundary::BoundaryDecomposition;
-use crate::complete_cut::{complete, place_winner_pins, CompletionStrategy};
-use crate::dual_bfs::{random_longest_path_endpoints, two_front_bfs_with_policy, FrontPolicy};
+use crate::complete_cut::{
+    complete_into, place_winner_pins, CompletionScratch, CompletionStrategy,
+};
+use crate::dual_bfs::{EndpointScratch, FrontPolicy, TwoFrontScratch};
 use crate::metrics::{CutReport, Objective, PhaseStats};
 use crate::multilevel::{MultilevelConfig, MultilevelStats};
-use crate::runner::{resolve_threads, run_starts_traced, SplitMix64};
+use crate::runner::{resolve_threads, run_starts_arena, SplitMix64};
 use crate::{Bipartition, PartitionError, Side};
 
 /// Implemented by every bipartitioner in the workspace (Algorithm I and all
@@ -76,6 +78,8 @@ pub struct PartitionConfig {
     objective: Objective,
     front_policy: FrontPolicy,
     multilevel: Option<MultilevelConfig>,
+    streaming_dualize: bool,
+    pair_cap: Option<usize>,
 }
 
 impl Default for PartitionConfig {
@@ -89,6 +93,8 @@ impl Default for PartitionConfig {
             objective: Objective::CutSize,
             front_policy: FrontPolicy::Both,
             multilevel: None,
+            streaming_dualize: false,
+            pair_cap: None,
         }
     }
 }
@@ -164,9 +170,38 @@ impl PartitionConfig {
         self
     }
 
+    /// Builds the intersection graph with the streaming dualizer
+    /// ([`Dualizer::build_streaming`]) instead of the in-memory kernel
+    /// (default `false`). The built graph is byte-identical either way;
+    /// streaming bounds the peak pair buffer — see
+    /// [`pair_cap`](Self::pair_cap) — at the cost of extra merge passes.
+    pub fn streaming_dualize(mut self, streaming: bool) -> Self {
+        self.streaming_dualize = streaming;
+        self
+    }
+
+    /// Caps the streaming dualizer's in-flight pair buffer at `cap`
+    /// entries (default `None` — a heuristic cap). Requires
+    /// [`streaming_dualize`](Self::streaming_dualize); rejected by
+    /// validation otherwise.
+    pub fn pair_cap(mut self, cap: Option<usize>) -> Self {
+        self.pair_cap = cap;
+        self
+    }
+
     /// The configured multilevel mode, if enabled.
     pub fn multilevel_value(&self) -> Option<MultilevelConfig> {
         self.multilevel
+    }
+
+    /// Whether the streaming dualizer is enabled.
+    pub fn streaming_dualize_value(&self) -> bool {
+        self.streaming_dualize
+    }
+
+    /// The configured streaming pair-buffer cap.
+    pub fn pair_cap_value(&self) -> Option<usize> {
+        self.pair_cap
     }
 
     /// The configured front policy.
@@ -213,6 +248,16 @@ impl PartitionConfig {
         if self.edge_size_threshold == Some(0) || self.edge_size_threshold == Some(1) {
             return Err(PartitionError::InvalidConfig {
                 reason: "edge size threshold below 2 filters every edge",
+            });
+        }
+        if self.pair_cap == Some(0) {
+            return Err(PartitionError::InvalidConfig {
+                reason: "pair cap must be at least 1",
+            });
+        }
+        if self.pair_cap.is_some() && !self.streaming_dualize {
+            return Err(PartitionError::InvalidConfig {
+                reason: "pair cap requires the streaming dualizer",
             });
         }
         if let Some(ml) = &self.multilevel {
@@ -263,6 +308,13 @@ pub struct RunStats {
     /// Worker threads the multi-start engine ran with (0 when it never
     /// ran, i.e. the component shortcut fired).
     pub threads: usize,
+    /// How many starts reused a worker's warm scratch arena instead of
+    /// building a fresh one (`starts − arenas created`). Like
+    /// [`threads`](Self::threads) this depends on the worker count, so it
+    /// is a volatile diagnostic: excluded from
+    /// [`OutcomeFingerprint`](crate::OutcomeFingerprint) and never
+    /// recorded into a trace scope (see `fhp_obs::names::RUNNER_ARENA_REUSE`).
+    pub arena_reuse_hits: u64,
     /// Per-start outcomes in start order (empty for the shortcut path).
     pub per_start: Vec<StartStat>,
     /// Per-phase wall time and dualization counters (all zero for the
@@ -429,10 +481,12 @@ impl Algorithm1 {
         if n_comps >= 2 {
             let bipartition = pack_components(h, &comp, n_comps);
             let report = CutReport::new(h, &bipartition);
-            let summary = self.collector.scope(order::SUMMARY, None);
-            summary.counter(names::ALG1_COMPONENT_SHORTCUT, 1);
-            summary.counter(names::ALG1_BEST_CUT, report.cut_size as u64);
-            self.collector.adopt(summary.finish());
+            if self.collector.is_enabled() {
+                let summary = self.collector.scope(order::SUMMARY, None);
+                summary.counter(names::ALG1_COMPONENT_SHORTCUT, 1);
+                summary.counter(names::ALG1_BEST_CUT, report.cut_size as u64);
+                self.collector.adopt(summary.finish());
+            }
             return Ok(PartitionOutcome {
                 bipartition,
                 report,
@@ -446,6 +500,7 @@ impl Algorithm1 {
                     used_fallback_split: false,
                     chosen_start: None,
                     threads: 0,
+                    arena_reuse_hits: 0,
                     per_start: Vec::new(),
                     phases: PhaseStats::default(),
                     multilevel: None,
@@ -456,40 +511,47 @@ impl Algorithm1 {
         // The dualization kernel takes the raw `threads` knob (not clamped
         // to `starts`): shard parallelism is independent of how many
         // starts there are, and the built graph is thread-count-invariant.
-        let ig = Dualizer::new()
+        let dualizer = Dualizer::new()
             .threshold(self.config.edge_size_threshold)
             .threads(self.config.threads)
-            .collector(self.collector.clone())
-            .build(h)?;
+            .pair_cap(self.config.pair_cap)
+            .collector(self.collector.clone());
+        let ig = if self.config.streaming_dualize {
+            dualizer.build_streaming(h)?
+        } else {
+            dualizer.build(h)?
+        };
         let mut phases = PhaseStats {
             dualize: ig.stats().clone(),
             ..PhaseStats::default()
         };
         let workers = resolve_threads(self.config.threads).clamp(1, self.config.starts);
         let config = self.config;
-        let records = run_starts_traced(
+        let (records, arenas) = run_starts_arena(
             self.config.starts,
             workers,
             &self.collector,
-            |start, scope| evaluate_start(h, &ig, &config, start, scope),
+            || StartArena::for_instance(h, &ig),
+            |start, arena, scope| evaluate_start(h, &ig, &config, start, arena, scope),
         );
+        let arena_reuse_hits = (records.len() - arenas.len()) as u64;
 
         // Deterministic reduction: scan in start order with a strictly-
         // better rule, so the winner (and every tie-break) is the one the
         // sequential loop would have kept, whatever the worker count.
-        // PhaseStats is a facade over the spans each start recorded:
-        // durations are read back out of the scope buffers here, then the
-        // buffers are handed to the collector for export.
+        // Phase walls were measured as plain scalars inside each start
+        // (span recording allocates — see [`run_starts_arena`]) and are
+        // folded into the PhaseStats facade here.
         let mut per_start = Vec::with_capacity(records.len());
         let mut best: Option<(usize, StartCandidate)> = None;
         let mut num_failed = 0usize;
         let mut first_error = None;
         for record in records {
             let (cut_size, error) = match record.outcome {
-                Ok(candidate) => {
-                    phases.record_start_events(&record.events.events);
-                    let cut_size = candidate.as_ref().map(|c| c.cut_size);
-                    if let Some(c) = candidate {
+                Ok(outcome) => {
+                    phases.record_start_walls(outcome.lp_ns, outcome.dual_ns, outcome.cc_ns);
+                    let cut_size = outcome.candidate.map(|c| c.cut_size);
+                    if let Some(c) = outcome.candidate {
                         if best.as_ref().is_none_or(|(_, b)| c.beats(b)) {
                             best = Some((record.index, c));
                         }
@@ -518,23 +580,44 @@ impl Algorithm1 {
             });
         }
 
-        let summary = self.collector.scope(order::SUMMARY, None);
-        summary.counter(names::ALG1_STARTS, self.config.starts as u64);
-        let mut cut_hist = Histogram::new();
-        for s in &per_start {
-            if let Some(c) = s.cut_size {
-                cut_hist.record(c as u64);
+        // Summary recording is gated on an enabled collector: a disabled
+        // collector drops adopted buffers anyway, and recording into a
+        // scope allocates — which would violate the run-level allocation
+        // accounting the alloc-regression battery pins down.
+        let summary = self
+            .collector
+            .is_enabled()
+            .then(|| self.collector.scope(order::SUMMARY, None));
+        if let Some(summary) = &summary {
+            summary.counter(names::ALG1_STARTS, self.config.starts as u64);
+            let mut cut_hist = Histogram::new();
+            for s in &per_start {
+                if let Some(c) = s.cut_size {
+                    cut_hist.record(c as u64);
+                }
             }
+            summary.histogram(names::ALG1_CUT_HIST, &cut_hist);
         }
-        summary.histogram(names::ALG1_CUT_HIST, &cut_hist);
 
         if let Some((chosen, cand)) = best {
-            let report = CutReport::new(h, &cand.bipartition);
-            summary.counter(names::ALG1_CHOSEN_START, chosen as u64);
-            summary.counter(names::ALG1_BEST_CUT, report.cut_size as u64);
-            self.collector.adopt(summary.finish());
+            // The winning sides live in the arena of whichever worker ran
+            // the chosen start: a worker keeps its subset-best under the
+            // same (score, imbalance, first-wins) order as the global
+            // reduction, and the subset containing the global winner has
+            // it as its subset winner.
+            let bipartition = arenas
+                .into_iter()
+                .find_map(|a| a.into_winner(chosen))
+                // fhp-audit: allow(panic-site) — the worker that executed `chosen` must hold it as its local best; a miss is an engine bug worth a loud stop
+                .expect("some worker arena holds the winning start's cut");
+            let report = CutReport::new(h, &bipartition);
+            if let Some(summary) = summary {
+                summary.counter(names::ALG1_CHOSEN_START, chosen as u64);
+                summary.counter(names::ALG1_BEST_CUT, report.cut_size as u64);
+                self.collector.adopt(summary.finish());
+            }
             return Ok(PartitionOutcome {
-                bipartition: cand.bipartition,
+                bipartition,
                 report,
                 stats: RunStats {
                     starts: self.config.starts,
@@ -546,6 +629,7 @@ impl Algorithm1 {
                     used_fallback_split: false,
                     chosen_start: Some(chosen),
                     threads: workers,
+                    arena_reuse_hits,
                     per_start,
                     phases,
                     multilevel: None,
@@ -557,9 +641,11 @@ impl Algorithm1 {
         // endpoints): fall back to a weight-balanced split.
         let bipartition = balanced_fallback(h);
         let report = CutReport::new(h, &bipartition);
-        summary.counter(names::ALG1_FALLBACK_SPLIT, 1);
-        summary.counter(names::ALG1_BEST_CUT, report.cut_size as u64);
-        self.collector.adopt(summary.finish());
+        if let Some(summary) = summary {
+            summary.counter(names::ALG1_FALLBACK_SPLIT, 1);
+            summary.counter(names::ALG1_BEST_CUT, report.cut_size as u64);
+            self.collector.adopt(summary.finish());
+        }
         Ok(PartitionOutcome {
             bipartition,
             report,
@@ -573,6 +659,7 @@ impl Algorithm1 {
                 used_fallback_split: true,
                 chosen_start: None,
                 threads: workers,
+                arena_reuse_hits,
                 per_start,
                 phases,
                 multilevel: None,
@@ -581,10 +668,12 @@ impl Algorithm1 {
     }
 }
 
-/// One start's best candidate cut, with the diagnostics [`RunStats`]
-/// reports if it wins.
+/// One start's best candidate cut — scalars only. The sides themselves
+/// stay in the worker's [`StartArena`] (cloning them per start would put
+/// an `O(n)` allocation in the hot loop); the reduction retrieves the
+/// winner's sides from the arenas afterwards.
+#[derive(Clone, Copy, Debug)]
 struct StartCandidate {
-    bipartition: Bipartition,
     score: f64,
     imbalance: u64,
     cut_size: usize,
@@ -607,58 +696,173 @@ impl StartCandidate {
     }
 }
 
+/// What one start reports back through the engine: its best candidate (if
+/// any) and the directly measured phase walls, all plain scalars.
+struct StartOutcome {
+    candidate: Option<StartCandidate>,
+    lp_ns: u64,
+    dual_ns: u64,
+    cc_ns: u64,
+}
+
+/// One worker's reusable scratch for the whole per-start pipeline. Created
+/// once per worker by the arena engine, pre-sized to the instance's upper
+/// bounds so that every start after the first runs without touching the
+/// heap. Every stage resets the scratch state it reads at entry, so a
+/// start that panicked mid-pipeline cannot poison the next one.
+struct StartArena {
+    /// Longest-BFS-path endpoint picker (two BFS levelings + a deepest list).
+    endpoints: EndpointScratch,
+    /// Dual-front BFS workspace and its resulting graph cut.
+    fronts: TwoFrontScratch,
+    /// Boundary set / boundary graph / partial-assignment workspace.
+    dec: BoundaryDecomposition,
+    /// Complete-Cut workspace and its resulting winner set.
+    completion: CompletionScratch,
+    /// Per-module side assignment being assembled for the current sweep.
+    placed: Vec<Option<Side>>,
+    /// Modules left unplaced after winners commit, for the LPT sweep.
+    leftovers: Vec<VertexId>,
+    /// The current sweep's assembled partition.
+    work_bp: Bipartition,
+    /// Best partition among the current start's sweeps.
+    sweep_best_bp: Bipartition,
+    /// Best partition among every start this worker has run, with its
+    /// reduction key `(score, imbalance, start index)`. The worker claims
+    /// strictly increasing indices and keeps the incumbent on full ties,
+    /// mirroring the global reduction's order exactly.
+    best_bp: Bipartition,
+    best_key: Option<(f64, u64, usize)>,
+}
+
+impl StartArena {
+    /// An arena pre-sized for hypergraph `h` and its intersection graph:
+    /// every buffer gets the instance's worst-case capacity up front, so
+    /// no start — first or later — grows it mid-pipeline.
+    fn for_instance(h: &Hypergraph, ig: &IntersectionGraph) -> Self {
+        let g = ig.graph();
+        let (n, g_n, g_m) = (h.num_vertices(), g.num_vertices(), g.num_edges());
+        Self {
+            endpoints: EndpointScratch::with_capacity(g_n),
+            fronts: TwoFrontScratch::with_capacity(g_n),
+            dec: BoundaryDecomposition::with_capacity(n, g_n, g_m),
+            completion: CompletionScratch::with_capacity(g_n, g_m),
+            placed: Vec::with_capacity(n),
+            leftovers: Vec::with_capacity(n),
+            work_bp: Bipartition::all_left(n),
+            sweep_best_bp: Bipartition::all_left(n),
+            best_bp: Bipartition::all_left(n),
+            best_key: None,
+        }
+    }
+
+    /// The worker-best partition, if it came from start `index`.
+    fn into_winner(self, index: usize) -> Option<Bipartition> {
+        (self.best_key.map(|(_, _, i)| i) == Some(index)).then_some(self.best_bp)
+    }
+}
+
 /// Runs one multi-start attempt: draw a random longest path from the
 /// start's own counter-derived RNG stream, sweep the configured front
 /// policies, and keep the start's best candidate. A pure function of
 /// `(h, ig, config, start)` — the foundation of the engine's
-/// thread-count invariance. Phase timing is recorded as spans on the
-/// start's `scope`; [`PhaseStats`] reads the totals back in the
-/// reduction. Timing is never consulted by any decision, so it cannot
+/// thread-count invariance; the arena only lends buffers, never state.
+/// Phase walls are measured as plain scalars (recording spans allocates);
+/// when a `scope` is present — tracing runs only — the same spans and
+/// counters as the pre-arena engine are recorded, so canonical traces are
+/// unchanged. Timing is never consulted by any decision, so it cannot
 /// perturb determinism.
 fn evaluate_start(
     h: &Hypergraph,
     ig: &IntersectionGraph,
     config: &PartitionConfig,
     start: usize,
-    scope: &Scope,
-) -> Option<StartCandidate> {
+    arena: &mut StartArena,
+    scope: Option<&Scope>,
+) -> StartOutcome {
     let g = ig.graph();
     let mut rng = SplitMix64::for_start(config.seed, start);
-    let lp = scope.span(names::ALG1_LONGEST_PATH);
-    let endpoints = random_longest_path_endpoints(g, &mut rng);
-    let path_length = endpoints
-        .map(|(u, v)| fhp_hypergraph::bfs::bfs(g, u).dist(v).unwrap_or(0))
-        .unwrap_or(0);
+    // fhp-audit: allow(wallclock-in-fingerprint) — phase walls are diagnostics (PhaseStats), never part of fingerprints
+    let lp_started = std::time::Instant::now();
+    let lp = scope.map(|s| s.span(names::ALG1_LONGEST_PATH));
+    let endpoints = arena.endpoints.pick(g, &mut rng);
     drop(lp);
-    let (u, v) = endpoints?;
-    scope.counter(names::ALG1_PATH_LENGTH, u64::from(path_length));
+    let lp_ns = lp_started.elapsed().as_nanos() as u64;
+    let Some((u, v, path_length)) = endpoints else {
+        return StartOutcome {
+            candidate: None,
+            lp_ns,
+            dual_ns: 0,
+            cc_ns: 0,
+        };
+    };
+    if let Some(s) = scope {
+        s.counter(names::ALG1_PATH_LENGTH, u64::from(path_length));
+    }
+    let (mut dual_ns, mut cc_ns) = (0u64, 0u64);
     let mut best: Option<StartCandidate> = None;
     for &sweep in config.front_policy.sweeps() {
-        let front = scope.span(names::ALG1_DUAL_FRONT);
-        let cut = two_front_bfs_with_policy(g, u, v, sweep);
-        let dec = BoundaryDecomposition::new(h, ig, &cut);
+        // fhp-audit: allow(wallclock-in-fingerprint) — phase walls are diagnostics (PhaseStats), never part of fingerprints
+        let front_started = std::time::Instant::now();
+        let front = scope.map(|s| s.span(names::ALG1_DUAL_FRONT));
+        arena.fronts.run(g, u, v, sweep);
+        arena.dec.recompute(h, ig, arena.fronts.cut());
         drop(front);
-        let cc = scope.span(names::ALG1_COMPLETE_CUT);
-        let completion = complete(config.completion, h, ig, &dec);
-        let bipartition = assemble(h, ig, &dec, &completion);
+        dual_ns += front_started.elapsed().as_nanos() as u64;
+        // fhp-audit: allow(wallclock-in-fingerprint) — phase walls are diagnostics (PhaseStats), never part of fingerprints
+        let cc_started = std::time::Instant::now();
+        let cc = scope.map(|s| s.span(names::ALG1_COMPLETE_CUT));
+        complete_into(config.completion, h, ig, &arena.dec, &mut arena.completion);
+        assemble_into(
+            h,
+            ig,
+            &arena.dec,
+            arena.completion.completion(),
+            &mut arena.placed,
+            &mut arena.leftovers,
+            &mut arena.work_bp,
+        );
         drop(cc);
+        cc_ns += cc_started.elapsed().as_nanos() as u64;
         let candidate = StartCandidate {
-            score: config.objective.evaluate(h, &bipartition),
-            imbalance: crate::metrics::weight_imbalance(h, &bipartition),
-            cut_size: crate::metrics::cut_size(h, &bipartition),
-            boundary_len: dec.boundary_len(),
-            num_placed: dec.num_placed(),
+            score: config.objective.evaluate(h, &arena.work_bp),
+            imbalance: crate::metrics::weight_imbalance(h, &arena.work_bp),
+            cut_size: crate::metrics::cut_size(h, &arena.work_bp),
+            boundary_len: arena.dec.boundary_len(),
+            num_placed: arena.dec.num_placed(),
             path_length,
-            bipartition,
         };
-        if best.as_ref().is_none_or(|b| candidate.beats(b)) {
+        if best.is_none_or(|b| candidate.beats(&b)) {
             best = Some(candidate);
+            std::mem::swap(&mut arena.sweep_best_bp, &mut arena.work_bp);
         }
     }
-    if let Some(b) = &best {
-        scope.counter(names::ALG1_START_CUT, b.cut_size as u64);
+    if let Some(b) = best {
+        if let Some(s) = scope {
+            s.counter(names::ALG1_START_CUT, b.cut_size as u64);
+        }
+        // Fold the start's best into the worker's best. Claimed indices
+        // are strictly increasing, so first-wins ties keep the lowest
+        // index, matching the global reduction.
+        let wins = match arena.best_key {
+            None => true,
+            Some((score, imbalance, _)) => b.beats(&StartCandidate {
+                score,
+                imbalance,
+                ..b
+            }),
+        };
+        if wins {
+            arena.best_key = Some((b.score, b.imbalance, start));
+            std::mem::swap(&mut arena.best_bp, &mut arena.sweep_best_bp);
+        }
     }
-    best
+    StartOutcome {
+        candidate: best,
+        lp_ns,
+        dual_ns,
+        cc_ns,
+    }
 }
 
 impl Bipartitioner for Algorithm1 {
@@ -672,15 +876,21 @@ impl Bipartitioner for Algorithm1 {
 }
 
 /// Assembles the final hypergraph bipartition from the partial assignment,
-/// the winners, and a lighter-side sweep for the leftovers.
-fn assemble(
+/// the winners, and a lighter-side sweep for the leftovers, into `out`.
+/// All three buffers are overwritten on entry; once warm they are not
+/// grown (the hot loop's zero-allocation contract).
+fn assemble_into(
     h: &Hypergraph,
     ig: &IntersectionGraph,
     dec: &BoundaryDecomposition,
     completion: &crate::complete_cut::Completion,
-) -> Bipartition {
-    let mut placed: Vec<Option<Side>> = dec.partial().to_vec();
-    place_winner_pins(h, ig, dec, completion, &mut placed);
+    placed: &mut Vec<Option<Side>>,
+    leftovers: &mut Vec<VertexId>,
+    out: &mut Bipartition,
+) {
+    placed.clear();
+    placed.extend_from_slice(dec.partial());
+    place_winner_pins(h, ig, dec, completion, placed);
 
     // Leftovers: modules touched only by losers or filtered-out large
     // signals (or isolated). Biggest first onto the lighter side keeps the
@@ -691,14 +901,18 @@ fn assemble(
             weights[s.index()] += h.vertex_weight(VertexId::new(i));
         }
     }
-    let mut leftovers: Vec<VertexId> = placed
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| p.is_none())
-        .map(|(i, _)| VertexId::new(i))
-        .collect();
-    leftovers.sort_by_key(|&v| std::cmp::Reverse(h.vertex_weight(v)));
-    for v in leftovers {
+    leftovers.clear();
+    leftovers.extend(
+        placed
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| VertexId::new(i)),
+    );
+    // (Reverse(weight), index) reproduces the stable biggest-first order
+    // exactly — a stable sort would allocate its merge buffer per call.
+    leftovers.sort_unstable_by_key(|&v| (std::cmp::Reverse(h.vertex_weight(v)), v.index()));
+    for &v in leftovers.iter() {
         let side = if weights[0] <= weights[1] {
             Side::Left
         } else {
@@ -708,17 +922,14 @@ fn assemble(
         weights[side.index()] += h.vertex_weight(v);
     }
 
-    let mut bp = Bipartition::from_sides(
-        placed
-            .into_iter()
-            // the leftovers pass above fills every remaining None, so the
-            // fallback side is unreachable; it exists so this path cannot
-            // panic even if that invariant is ever broken
-            .map(|p| p.unwrap_or(Side::Left))
-            .collect(),
-    );
-    ensure_valid_cut(h, &mut bp);
-    bp
+    out.reset(h.num_vertices());
+    for (i, p) in placed.iter().enumerate() {
+        // the leftovers pass above fills every remaining None, so the
+        // fallback side is unreachable; it exists so this path cannot
+        // panic even if that invariant is ever broken
+        out.set(VertexId::new(i), p.unwrap_or(Side::Left));
+    }
+    ensure_valid_cut(h, out);
 }
 
 /// Packs whole connected components onto the lighter side (LPT), yielding a

@@ -10,7 +10,7 @@
 //! *winners* (signals pulled entirely to one side) and *losers* (signals
 //! conceded to the cut) on `G′` — see [`crate::complete_cut`].
 
-use fhp_hypergraph::{Graph, GraphBuilder, Hypergraph, IntersectionGraph, VertexId};
+use fhp_hypergraph::{Graph, Hypergraph, IntersectionGraph, VertexId};
 
 use crate::dual_bfs::GraphCut;
 use crate::Side;
@@ -44,6 +44,11 @@ pub struct BoundaryDecomposition {
     /// Partial assignment of hypergraph vertices implied by non-boundary
     /// G-vertices.
     partial: Vec<Option<Side>>,
+    /// Cross-edge workspace for [`recompute`](Self::recompute); kept so a
+    /// reused decomposition rebuilds `gprime` without allocating.
+    pairs: Vec<(u32, u32)>,
+    /// CSR cursor workspace for [`recompute`](Self::recompute).
+    cursor: Vec<usize>,
 }
 
 const NOT_BOUNDARY: u32 = u32::MAX;
@@ -57,6 +62,56 @@ impl BoundaryDecomposition {
     /// Panics if `cut` does not label exactly `ig.num_g_vertices()`
     /// vertices, or `ig` was not built from `h`.
     pub fn new(h: &Hypergraph, ig: &IntersectionGraph, cut: &GraphCut) -> Self {
+        let mut dec = Self::empty();
+        dec.recompute(h, ig, cut);
+        dec
+    }
+
+    /// An empty decomposition to be filled by [`recompute`](Self::recompute).
+    /// Holds no allocations until first use.
+    pub fn empty() -> Self {
+        Self {
+            boundary: Vec::new(),
+            gprime_of: Vec::new(),
+            gprime: Graph::empty(0),
+            side: Vec::new(),
+            partial: Vec::new(),
+            pairs: Vec::new(),
+            cursor: Vec::new(),
+        }
+    }
+
+    /// An empty decomposition with every buffer pre-reserved for an
+    /// instance of `num_modules` hypergraph vertices and an intersection
+    /// graph of `num_g_vertices` / `num_g_edges`: a later
+    /// [`recompute`](Self::recompute) at or below those sizes allocates
+    /// nothing, which is what the zero-allocation multi-start arena
+    /// relies on.
+    pub fn with_capacity(num_modules: usize, num_g_vertices: usize, num_g_edges: usize) -> Self {
+        let mut gprime = Graph::empty(0);
+        gprime.reserve(num_g_vertices, num_g_edges);
+        Self {
+            boundary: Vec::with_capacity(num_g_vertices),
+            gprime_of: Vec::with_capacity(num_g_vertices),
+            gprime,
+            side: Vec::with_capacity(num_g_vertices),
+            partial: Vec::with_capacity(num_modules),
+            pairs: Vec::with_capacity(num_g_edges),
+            cursor: Vec::with_capacity(num_g_vertices),
+        }
+    }
+
+    /// Recomputes the decomposition for a new cut, reusing every buffer.
+    /// Identical output to [`new`](Self::new) (which delegates here);
+    /// once the buffers have warmed to the instance's sizes, repeated
+    /// calls allocate nothing. All state is overwritten on entry, so a
+    /// decomposition abandoned mid-build self-heals on reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` does not label exactly `ig.num_g_vertices()`
+    /// vertices, or `ig` was not built from `h`.
+    pub fn recompute(&mut self, h: &Hypergraph, ig: &IntersectionGraph, cut: &GraphCut) {
         let g = ig.graph();
         assert_eq!(
             cut.len(),
@@ -65,59 +120,56 @@ impl BoundaryDecomposition {
         );
 
         // 1. Boundary set: any G-vertex with a cross neighbor.
-        let mut gprime_of = vec![NOT_BOUNDARY; g.num_vertices()];
-        let mut boundary = Vec::new();
+        self.gprime_of.clear();
+        self.gprime_of.resize(g.num_vertices(), NOT_BOUNDARY);
+        self.boundary.clear();
         for v in g.vertices() {
             let s = cut.side_of(v);
             if g.neighbors(v).iter().any(|&u| cut.side_of(u) != s) {
-                gprime_of[v as usize] = u32::try_from(boundary.len()).expect("overflow");
-                boundary.push(v);
+                self.gprime_of[v as usize] = u32::try_from(self.boundary.len()).expect("overflow");
+                self.boundary.push(v);
             }
         }
 
         // 2. Boundary graph: only edges that cross the G-cut (the paper
         //    deletes edges internal to B_L or B_R, leaving G′ bipartite).
-        let mut gb = GraphBuilder::new(boundary.len());
-        for (bi, &v) in boundary.iter().enumerate() {
+        self.pairs.clear();
+        for (bi, &v) in self.boundary.iter().enumerate() {
             let s = cut.side_of(v);
             for &u in g.neighbors(v) {
                 if cut.side_of(u) != s {
-                    let bj = gprime_of[u as usize];
+                    let bj = self.gprime_of[u as usize];
                     debug_assert_ne!(bj, NOT_BOUNDARY, "cross neighbor must be boundary");
                     if (bi as u32) < bj {
-                        gb.add_edge(bi as u32, bj);
+                        self.pairs.push((bi as u32, bj));
                     }
                 }
             }
         }
-        let gprime = gb.build();
-        let side: Vec<Side> = boundary.iter().map(|&v| cut.side_of(v)).collect();
+        self.gprime
+            .rebuild_from_pairs(self.boundary.len(), &mut self.pairs, &mut self.cursor);
+        self.side.clear();
+        self.side
+            .extend(self.boundary.iter().map(|&v| cut.side_of(v)));
 
         // 3. Partial bipartition: pins of non-boundary kept hyperedges are
         //    committed to that hyperedge's side. Two non-boundary hyperedges
         //    sharing a module are adjacent in G, hence on the same side (or
         //    they would both be boundary), so the assignment is consistent.
-        let mut partial = vec![None; h.num_vertices()];
+        self.partial.clear();
+        self.partial.resize(h.num_vertices(), None);
         for v in g.vertices() {
-            if gprime_of[v as usize] != NOT_BOUNDARY {
+            if self.gprime_of[v as usize] != NOT_BOUNDARY {
                 continue;
             }
             let s = cut.side_of(v);
             for &p in h.pins(ig.edge_of(v)) {
                 debug_assert!(
-                    partial[p.index()].is_none() || partial[p.index()] == Some(s),
+                    self.partial[p.index()].is_none() || self.partial[p.index()] == Some(s),
                     "inconsistent partial assignment at {p}"
                 );
-                partial[p.index()] = Some(s);
+                self.partial[p.index()] = Some(s);
             }
-        }
-
-        Self {
-            boundary,
-            gprime_of,
-            gprime,
-            side,
-            partial,
         }
     }
 

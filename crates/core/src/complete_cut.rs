@@ -52,7 +52,7 @@ pub enum CompletionStrategy {
 }
 
 /// The outcome of completing a boundary graph: which G′ vertices won.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Completion {
     winner: Vec<bool>,
 }
@@ -125,6 +125,72 @@ pub fn complete(
     c
 }
 
+/// Reusable buffers for the completion step. Warmed buffers make the
+/// default [`CompletionStrategy::MinDegree`] path allocation-free; the
+/// `EngineerWeighted` and `ExactKonig` strategies still allocate
+/// internally (they are off the paper's hot path) but reuse the result
+/// buffer.
+#[derive(Clone, Debug, Default)]
+pub struct CompletionScratch {
+    alive: Vec<bool>,
+    deg: Vec<usize>,
+    heap_buf: Vec<Reverse<(usize, u32)>>,
+    completion: Completion,
+}
+
+impl CompletionScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for boundary graphs of up to `n` vertices and
+    /// `m` edges (the lazy heap holds at most `n + 2m` entries).
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        Self {
+            alive: Vec::with_capacity(n),
+            deg: Vec::with_capacity(n),
+            heap_buf: Vec::with_capacity(n + 2 * m),
+            completion: Completion {
+                winner: Vec::with_capacity(n),
+            },
+        }
+    }
+
+    /// The completion produced by the most recent [`complete_into`].
+    pub fn completion(&self) -> &Completion {
+        &self.completion
+    }
+
+    fn store(&mut self, c: Completion) {
+        self.completion.winner.clear();
+        self.completion.winner.extend_from_slice(&c.winner);
+    }
+}
+
+/// [`complete`] writing into a reusable scratch; read the result with
+/// [`CompletionScratch::completion`]. Identical output to [`complete`].
+pub fn complete_into(
+    strategy: CompletionStrategy,
+    h: &Hypergraph,
+    ig: &IntersectionGraph,
+    dec: &BoundaryDecomposition,
+    scratch: &mut CompletionScratch,
+) {
+    match strategy {
+        CompletionStrategy::MinDegree => complete_min_degree_into(dec.gprime(), scratch),
+        CompletionStrategy::EngineerWeighted => {
+            let c = complete_engineer(h, ig, dec);
+            scratch.store(c);
+        }
+        CompletionStrategy::ExactKonig => {
+            let c = complete_exact(dec.gprime(), dec.sides());
+            scratch.store(c);
+        }
+    }
+    scratch.completion.assert_independent(dec.gprime());
+}
+
 /// The paper's Complete-Cut greedy on an arbitrary graph:
 ///
 /// 1. select the minimum-degree remaining vertex and mark it a winner;
@@ -135,13 +201,30 @@ pub fn complete(
 /// `O((n + m) log n)`, matching the paper's `O(n log n)` for bounded-degree
 /// boundary graphs.
 pub fn complete_min_degree(gprime: &Graph) -> Completion {
+    let mut scratch = CompletionScratch::new();
+    complete_min_degree_into(gprime, &mut scratch);
+    scratch.completion
+}
+
+/// [`complete_min_degree`] writing into a reusable scratch (which the
+/// free function delegates to). The lazy heap is rebuilt from the
+/// scratch's retained buffer via `BinaryHeap::from`, so a warm scratch
+/// performs no allocation at all.
+pub fn complete_min_degree_into(gprime: &Graph, scratch: &mut CompletionScratch) {
     let n = gprime.num_vertices();
-    let mut alive = vec![true; n];
-    let mut winner = vec![false; n];
-    let mut deg: Vec<usize> = (0..n as u32).map(|v| gprime.degree(v)).collect();
-    let mut heap: BinaryHeap<Reverse<(usize, u32)>> = (0..n as u32)
-        .map(|v| Reverse((deg[v as usize], v)))
-        .collect();
+    let alive = &mut scratch.alive;
+    alive.clear();
+    alive.resize(n, true);
+    let winner = &mut scratch.completion.winner;
+    winner.clear();
+    winner.resize(n, false);
+    let deg = &mut scratch.deg;
+    deg.clear();
+    deg.extend((0..n as u32).map(|v| gprime.degree(v)));
+    let mut buf = std::mem::take(&mut scratch.heap_buf);
+    buf.clear();
+    buf.extend((0..n as u32).map(|v| Reverse((deg[v as usize], v))));
+    let mut heap = BinaryHeap::from(buf);
     while let Some(Reverse((d, v))) = heap.pop() {
         if !alive[v as usize] || d != deg[v as usize] {
             continue; // stale entry
@@ -161,7 +244,7 @@ pub fn complete_min_degree(gprime: &Graph) -> Completion {
             }
         }
     }
-    Completion { winner }
+    scratch.heap_buf = heap.into_vec();
 }
 
 /// Exact minimum-loser completion: the losers are a minimum vertex cover of

@@ -35,7 +35,7 @@ use crate::Side;
 /// assert_eq!(cut.side_of(1), Side::Left);
 /// assert_eq!(cut.side_of(3), Side::Right);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct GraphCut {
     side_of: Vec<Side>,
     left_seed: u32,
@@ -134,96 +134,158 @@ pub fn two_front_bfs(g: &Graph, u: u32, v: u32) -> GraphCut {
 ///
 /// Panics if `u == v` or either is out of range.
 pub fn two_front_bfs_with_policy(g: &Graph, u: u32, v: u32, policy: FrontPolicy) -> GraphCut {
-    assert_ne!(u, v, "the two BFS seeds must differ");
-    let n = g.num_vertices();
-    assert!((u as usize) < n && (v as usize) < n, "seed out of range");
+    let mut scratch = TwoFrontScratch::new();
+    scratch.run(g, u, v, policy);
+    scratch.cut
+}
 
-    const UNCLAIMED: u8 = u8::MAX;
-    let mut owner = vec![UNCLAIMED; n];
-    owner[u as usize] = 0;
-    owner[v as usize] = 1;
-    let mut fronts: [Vec<u32>; 2] = [vec![u], vec![v]];
-    let mut claimed = [1usize, 1usize];
-    let mut next: Vec<u32> = Vec::new();
-    let mut round = 0usize;
-    while !fronts[0].is_empty() || !fronts[1].is_empty() {
-        let order = match policy {
-            // Alternate which side expands first each round to keep the
-            // boundary tie-breaking symmetric.
-            FrontPolicy::Alternate => {
-                if round.is_multiple_of(2) {
-                    [0usize, 1]
-                } else {
-                    [1, 0]
+/// Reusable buffers for [`two_front_bfs_with_policy`]. Once warmed to a
+/// graph's vertex count, repeated [`run`](Self::run) calls allocate
+/// nothing — the multi-start engine keeps one of these per worker. Every
+/// buffer is fully reset at the start of `run`, so a scratch that was
+/// abandoned mid-sweep (e.g. by a contained panic) self-heals on reuse.
+#[derive(Clone, Debug, Default)]
+pub struct TwoFrontScratch {
+    owner: Vec<u8>,
+    fronts: [Vec<u32>; 2],
+    next: Vec<u32>,
+    stack: Vec<u32>,
+    cut: GraphCut,
+}
+
+impl TwoFrontScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for graphs of up to `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            owner: Vec::with_capacity(n),
+            fronts: [Vec::with_capacity(n), Vec::with_capacity(n)],
+            next: Vec::with_capacity(n),
+            stack: Vec::with_capacity(n),
+            cut: GraphCut {
+                side_of: Vec::with_capacity(n),
+                left_seed: 0,
+                right_seed: 0,
+            },
+        }
+    }
+
+    /// The cut produced by the most recent [`run`](Self::run).
+    pub fn cut(&self) -> &GraphCut {
+        &self.cut
+    }
+
+    /// Runs the dual-front sweep into this scratch's buffers; read the
+    /// result with [`cut`](Self::cut). Identical output to
+    /// [`two_front_bfs_with_policy`] (which delegates here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either is out of range.
+    pub fn run(&mut self, g: &Graph, u: u32, v: u32, policy: FrontPolicy) {
+        assert_ne!(u, v, "the two BFS seeds must differ");
+        let n = g.num_vertices();
+        assert!((u as usize) < n && (v as usize) < n, "seed out of range");
+
+        const UNCLAIMED: u8 = u8::MAX;
+        let owner = &mut self.owner;
+        owner.clear();
+        owner.resize(n, UNCLAIMED);
+        owner[u as usize] = 0;
+        owner[v as usize] = 1;
+        let fronts = &mut self.fronts;
+        fronts[0].clear();
+        fronts[0].push(u);
+        fronts[1].clear();
+        fronts[1].push(v);
+        let mut claimed = [1usize, 1usize];
+        let next = &mut self.next;
+        next.clear();
+        let mut round = 0usize;
+        while !fronts[0].is_empty() || !fronts[1].is_empty() {
+            let order = match policy {
+                // Alternate which side expands first each round to keep the
+                // boundary tie-breaking symmetric.
+                FrontPolicy::Alternate => {
+                    if round.is_multiple_of(2) {
+                        [0usize, 1]
+                    } else {
+                        [1, 0]
+                    }
+                }
+                // The smaller side expands; if it stalls (empty front), the
+                // other side finishes the sweep.
+                FrontPolicy::SmallerFirst | FrontPolicy::Both => {
+                    let smaller = usize::from(
+                        claimed[1] < claimed[0] || (claimed[1] == claimed[0] && round % 2 == 1),
+                    );
+                    [smaller, 1 - smaller]
+                }
+            };
+            let single_step = policy != FrontPolicy::Alternate;
+            for side in order {
+                if fronts[side].is_empty() {
+                    continue;
+                }
+                next.clear();
+                for &w in &fronts[side] {
+                    for &x in g.neighbors(w) {
+                        if owner[x as usize] == UNCLAIMED {
+                            owner[x as usize] = side as u8;
+                            claimed[side] += 1;
+                            next.push(x);
+                        }
+                    }
+                }
+                std::mem::swap(&mut fronts[side], next);
+                if single_step && !fronts[0].is_empty() && !fronts[1].is_empty() {
+                    break; // re-evaluate which side is smaller
                 }
             }
-            // The smaller side expands; if it stalls (empty front), the
-            // other side finishes the sweep.
-            FrontPolicy::SmallerFirst | FrontPolicy::Both => {
-                let smaller = usize::from(
-                    claimed[1] < claimed[0] || (claimed[1] == claimed[0] && round % 2 == 1),
-                );
-                [smaller, 1 - smaller]
+            round += 1;
+        }
+
+        // Components reached by neither seed: assign whole components to the
+        // currently smaller side.
+        let mut counts = [0usize; 2];
+        for &o in owner.iter() {
+            if o != UNCLAIMED {
+                counts[o as usize] += 1;
             }
-        };
-        let single_step = policy != FrontPolicy::Alternate;
-        for side in order {
-            if fronts[side].is_empty() {
+        }
+        let stack = &mut self.stack;
+        stack.clear();
+        for s in 0..n as u32 {
+            if owner[s as usize] != UNCLAIMED {
                 continue;
             }
-            next.clear();
-            for &w in &fronts[side] {
+            let side = if counts[0] <= counts[1] { 0u8 } else { 1u8 };
+            owner[s as usize] = side;
+            counts[side as usize] += 1;
+            stack.push(s);
+            while let Some(w) = stack.pop() {
                 for &x in g.neighbors(w) {
                     if owner[x as usize] == UNCLAIMED {
-                        owner[x as usize] = side as u8;
-                        claimed[side] += 1;
-                        next.push(x);
+                        owner[x as usize] = side;
+                        counts[side as usize] += 1;
+                        stack.push(x);
                     }
                 }
             }
-            std::mem::swap(&mut fronts[side], &mut next);
-            if single_step && !fronts[0].is_empty() && !fronts[1].is_empty() {
-                break; // re-evaluate which side is smaller
-            }
         }
-        round += 1;
-    }
 
-    // Components reached by neither seed: assign whole components to the
-    // currently smaller side.
-    let mut counts = [0usize; 2];
-    for &o in &owner {
-        if o != UNCLAIMED {
-            counts[o as usize] += 1;
-        }
-    }
-    let mut stack = Vec::new();
-    for s in 0..n as u32 {
-        if owner[s as usize] != UNCLAIMED {
-            continue;
-        }
-        let side = if counts[0] <= counts[1] { 0u8 } else { 1u8 };
-        owner[s as usize] = side;
-        counts[side as usize] += 1;
-        stack.push(s);
-        while let Some(w) = stack.pop() {
-            for &x in g.neighbors(w) {
-                if owner[x as usize] == UNCLAIMED {
-                    owner[x as usize] = side;
-                    counts[side as usize] += 1;
-                    stack.push(x);
-                }
-            }
-        }
-    }
-
-    GraphCut {
-        side_of: owner
-            .into_iter()
-            .map(|o| if o == 0 { Side::Left } else { Side::Right })
-            .collect(),
-        left_seed: u,
-        right_seed: v,
+        self.cut.side_of.clear();
+        self.cut.side_of.extend(
+            owner
+                .iter()
+                .map(|&o| if o == 0 { Side::Left } else { Side::Right }),
+        );
+        self.cut.left_seed = u;
+        self.cut.right_seed = v;
     }
 }
 
@@ -241,51 +303,99 @@ pub fn random_longest_path_endpoints<R: Rng + ?Sized>(
     g: &Graph,
     rng: &mut R,
 ) -> Option<(u32, u32)> {
-    let n = g.num_vertices();
-    if n < 2 {
-        return None;
-    }
-    let start = rng.gen_range(0..n as u32);
-    let first = bfs::bfs(g, start);
-    if first.num_reached() < 2 {
-        // isolated start: fall back to any vertex with an edge
-        let fallback = g.vertices().find(|&v| g.degree(v) > 0)?;
-        return random_longest_path_endpoints_from(g, fallback, rng);
-    }
-    random_longest_path_endpoints_from(g, start, rng)
+    EndpointScratch::new().pick(g, rng).map(|(u, v, _)| (u, v))
 }
 
-fn random_longest_path_endpoints_from<R: Rng + ?Sized>(
-    g: &Graph,
-    start: u32,
-    rng: &mut R,
-) -> Option<(u32, u32)> {
-    let first = bfs::bfs(g, start);
-    if first.num_reached() < 2 {
-        return None;
-    }
-    let u = *deepest_vertices(&first).choose(rng).expect("nonempty");
-    let second = bfs::bfs(g, u);
-    let v = *deepest_vertices(&second).choose(rng).expect("nonempty");
-    if u == v {
-        // start's component had a single vertex at positive depth 0 — can
-        // only happen if u is isolated, which num_reached() >= 2 rules out.
-        return None;
-    }
-    Some((u, v))
+/// Reusable buffers for the longest-BFS-path endpoint draw. Once warmed
+/// to a graph's vertex count, repeated [`pick`](Self::pick) calls
+/// allocate nothing. The RNG draw sequence is byte-identical to
+/// [`random_longest_path_endpoints`] (which delegates here): one
+/// `gen_range` for the start vertex, one `choose` over the deepest level
+/// of the first BFS, one `choose` over the deepest level of the second —
+/// so swapping the scratch path in cannot perturb any seeded run.
+#[derive(Clone, Debug)]
+pub struct EndpointScratch {
+    first: bfs::BfsLevels,
+    second: bfs::BfsLevels,
+    deepest: Vec<u32>,
 }
 
-fn deepest_vertices(levels: &bfs::BfsLevels) -> Vec<u32> {
+impl Default for EndpointScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EndpointScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self {
+            first: bfs::BfsLevels::empty(),
+            second: bfs::BfsLevels::empty(),
+            deepest: Vec::new(),
+        }
+    }
+
+    /// A scratch pre-sized for graphs of up to `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            first: bfs::BfsLevels::with_capacity(n),
+            second: bfs::BfsLevels::with_capacity(n),
+            deepest: Vec::with_capacity(n),
+        }
+    }
+
+    /// Draws a random longest-path endpoint pair, returning
+    /// `(u, v, path_length)` where `path_length = dist(u, v)` — the depth
+    /// of the second BFS, saving the separate distance BFS callers used
+    /// to run. `None` under the same conditions as
+    /// [`random_longest_path_endpoints`].
+    pub fn pick<R: Rng + ?Sized>(&mut self, g: &Graph, rng: &mut R) -> Option<(u32, u32, u32)> {
+        let n = g.num_vertices();
+        if n < 2 {
+            return None;
+        }
+        let start = rng.gen_range(0..n as u32);
+        bfs::bfs_into(g, start, &mut self.first);
+        if self.first.num_reached() < 2 {
+            // isolated start: fall back to any vertex with an edge
+            let fallback = g.vertices().find(|&v| g.degree(v) > 0)?;
+            bfs::bfs_into(g, fallback, &mut self.first);
+            if self.first.num_reached() < 2 {
+                return None; // unreachable: the fallback has an edge
+            }
+        }
+        fill_deepest(&self.first, &mut self.deepest);
+        let u = *self.deepest.choose(rng).expect("nonempty");
+        bfs::bfs_into(g, u, &mut self.second);
+        fill_deepest(&self.second, &mut self.deepest);
+        let v = *self.deepest.choose(rng).expect("nonempty");
+        if u == v {
+            // start's component had a single vertex at positive depth 0 — can
+            // only happen if u is isolated, which num_reached() >= 2 rules out.
+            return None;
+        }
+        Some((u, v, self.second.depth()))
+    }
+}
+
+/// Collects the deepest BFS level into `out` (the singleton source when
+/// the search reached nothing else), preserving visit order so a `choose`
+/// over the buffer matches one over a freshly collected `Vec`.
+fn fill_deepest(levels: &bfs::BfsLevels, out: &mut Vec<u32>) {
+    out.clear();
     let depth = levels.depth();
     if depth == 0 {
-        return vec![levels.source()];
+        out.push(levels.source());
+        return;
     }
-    levels
-        .visit_order()
-        .iter()
-        .copied()
-        .filter(|&v| levels.dist(v) == Some(depth))
-        .collect()
+    out.extend(
+        levels
+            .visit_order()
+            .iter()
+            .copied()
+            .filter(|&v| levels.dist(v) == Some(depth)),
+    );
 }
 
 #[cfg(test)]
@@ -384,6 +494,53 @@ mod tests {
             assert_ne!(u, 3);
             assert_ne!(v, 3);
             assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn scratch_pick_matches_free_function_draw_for_draw() {
+        let graphs = [
+            path(20),
+            Graph::from_edges(4, [(0, 1), (1, 2)]), // vertex 3 isolated
+            Graph::from_edges(12, (0..12u32).map(|i| (i, (i + 1) % 12))),
+            Graph::empty(5),
+        ];
+        let mut scratch = EndpointScratch::with_capacity(20);
+        for (gi, g) in graphs.iter().enumerate() {
+            let mut rng_a = StdRng::seed_from_u64(99 + gi as u64);
+            let mut rng_b = StdRng::seed_from_u64(99 + gi as u64);
+            for round in 0..15 {
+                let free = random_longest_path_endpoints(g, &mut rng_a);
+                let picked = scratch.pick(g, &mut rng_b);
+                assert_eq!(
+                    picked.map(|(u, v, _)| (u, v)),
+                    free,
+                    "graph {gi} round {round}"
+                );
+                if let Some((u, v, len)) = picked {
+                    assert_eq!(bfs::bfs(g, u).dist(v), Some(len), "graph {gi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_front_scratch_reuse_matches_fresh_runs() {
+        let g1 = path(10);
+        let g2 = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let mut scratch = TwoFrontScratch::with_capacity(10);
+        for policy in [
+            FrontPolicy::SmallerFirst,
+            FrontPolicy::Alternate,
+            FrontPolicy::Both,
+        ] {
+            for (g, u, v) in [(&g1, 0u32, 9u32), (&g2, 0, 1), (&g1, 0, 3)] {
+                scratch.run(g, u, v, policy);
+                let fresh = two_front_bfs_with_policy(g, u, v, policy);
+                assert_eq!(scratch.cut().sides(), fresh.sides(), "{policy:?}");
+                assert_eq!(scratch.cut().left_seed(), fresh.left_seed());
+                assert_eq!(scratch.cut().right_seed(), fresh.right_seed());
+            }
         }
     }
 

@@ -73,6 +73,16 @@ impl PhaseStats {
         self.dual_front_bfs += Duration::from_nanos(span_total_ns(events, names::ALG1_DUAL_FRONT));
         self.complete_cut += Duration::from_nanos(span_total_ns(events, names::ALG1_COMPLETE_CUT));
     }
+
+    /// Folds one start's directly measured phase walls (in nanoseconds)
+    /// into the per-phase totals. The zero-allocation engine path
+    /// measures phase walls as plain scalars instead of recording spans
+    /// (span recording allocates), and reports them through here.
+    pub fn record_start_walls(&mut self, lp_ns: u64, dual_ns: u64, cc_ns: u64) {
+        self.longest_path_bfs += Duration::from_nanos(lp_ns);
+        self.dual_front_bfs += Duration::from_nanos(dual_ns);
+        self.complete_cut += Duration::from_nanos(cc_ns);
+    }
 }
 
 /// True if hyperedge `e` has pins on both sides of `bp`.
@@ -150,13 +160,21 @@ pub fn ratio_cut(h: &Hypergraph, bp: &Bipartition) -> f64 {
 /// (FM, SA); exposed here so their invariants can be property-tested
 /// against the ground-truth metrics above.
 pub fn pin_counts(h: &Hypergraph, bp: &Bipartition) -> Vec<[u32; 2]> {
-    let mut counts = vec![[0u32; 2]; h.num_edges()];
+    let mut counts = Vec::new();
+    pin_counts_into(h, bp, &mut counts);
+    counts
+}
+
+/// [`pin_counts`] writing into a reusable buffer (which the free function
+/// delegates to); a warm buffer makes repeated recounts allocation-free.
+pub fn pin_counts_into(h: &Hypergraph, bp: &Bipartition, counts: &mut Vec<[u32; 2]>) {
+    counts.clear();
+    counts.resize(h.num_edges(), [0u32; 2]);
     for e in h.edges() {
         for &p in h.pins(e) {
             counts[e.index()][bp.side(p).index()] += 1;
         }
     }
-    counts
 }
 
 /// A cut summary bundling the standard metrics, convenient for printing.

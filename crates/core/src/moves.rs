@@ -30,8 +30,20 @@ impl<'a> MoveState<'a> {
     ///
     /// Panics if `bp` does not cover `h`'s vertices.
     pub fn new(h: &'a Hypergraph, bp: Bipartition) -> Self {
+        Self::new_reusing(h, bp, Vec::new())
+    }
+
+    /// [`new`](Self::new) reusing a pin-count buffer (typically one taken
+    /// back via [`into_parts`](Self::into_parts)); a warm buffer makes
+    /// rebuilding the state allocation-free. Semantics are identical —
+    /// `new` delegates here with an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bp` does not cover `h`'s vertices.
+    pub fn new_reusing(h: &'a Hypergraph, bp: Bipartition, mut counts_buf: Vec<[u32; 2]>) -> Self {
         assert_eq!(bp.len(), h.num_vertices(), "partition size mismatch");
-        let counts = metrics::pin_counts(h, &bp);
+        metrics::pin_counts_into(h, &bp, &mut counts_buf);
         let cut = metrics::weighted_cut(h, &bp);
         let weights = {
             let (l, r) = bp.weights(h);
@@ -40,7 +52,7 @@ impl<'a> MoveState<'a> {
         Self {
             h,
             bp,
-            counts,
+            counts: counts_buf,
             cut,
             weights,
         }
@@ -61,6 +73,13 @@ impl<'a> MoveState<'a> {
     /// Consumes the state, returning the partition.
     pub fn into_partition(self) -> Bipartition {
         self.bp
+    }
+
+    /// Consumes the state, returning the partition and the pin-count
+    /// buffer so a caller can hand the buffer back to
+    /// [`new_reusing`](Self::new_reusing) for the next rebuild.
+    pub fn into_parts(self) -> (Bipartition, Vec<[u32; 2]>) {
+        (self.bp, self.counts)
     }
 
     /// Current weighted cut.

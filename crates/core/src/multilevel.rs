@@ -40,7 +40,7 @@ use fhp_hypergraph::Hypergraph;
 use fhp_obs::{names, order, Collector};
 
 use crate::metrics::{self, CutReport, Objective};
-use crate::refine::FmRefiner;
+use crate::refine::{FmRefiner, FmScratch};
 use crate::{
     Algorithm1, Bipartition, Bipartitioner, PartitionConfig, PartitionError, PartitionOutcome, Side,
 };
@@ -286,6 +286,10 @@ pub(crate) fn run_vcycle(
     ml.validate()?;
     let flat_config = config.multilevel(None);
     let refiner = FmRefiner::new().max_passes(ml.refine_passes);
+    // One FM scratch serves every refinement in the V-cycle: the finest
+    // level bounds every coarser one, so after the first (finest-sized)
+    // warm-up the per-level refinements stop allocating.
+    let mut fm = FmScratch::with_capacity(h.num_vertices(), h.num_edges());
     let obj = config.objective_value();
     let cap = coarsen_cap(h, ml);
     let mut seq = 0usize;
@@ -321,7 +325,7 @@ pub(crate) fn run_vcycle(
     let scope = collector.scope(next_scope(), None);
     let span = scope.span(names::ML_INITIAL);
     let coarse_out = Algorithm1::new(flat_config).run(&current)?;
-    let mut bp = refiner.refine(&current, coarse_out.bipartition);
+    let mut bp = refiner.refine_with(&current, coarse_out.bipartition, &mut fm);
     drop(span);
     let coarsest_cut = metrics::cut_size(&current, &bp);
     scope.counter(names::ML_COARSEST_CUT, coarsest_cut as u64);
@@ -335,7 +339,7 @@ pub(crate) fn run_vcycle(
         let scope = collector.scope(next_scope(), None);
         let span = scope.span(names::ML_REFINE);
         bp = Bipartition::from_sides(c.project(bp.as_slice()));
-        bp = refiner.refine(fine, bp);
+        bp = refiner.refine_with(fine, bp, &mut fm);
         drop(span);
         let cut = metrics::cut_size(fine, &bp);
         scope.counter(names::ML_LEVEL_SIZE, fine.num_vertices() as u64);
@@ -350,7 +354,7 @@ pub(crate) fn run_vcycle(
     for _ in 1..ml.vcycles {
         let scope = collector.scope(next_scope(), None);
         let span = scope.span(names::ML_CYCLE);
-        let candidate = respecting_cycle(h, ml, cap, &bp, &refiner)?;
+        let candidate = respecting_cycle(h, ml, cap, &bp, &refiner, &mut fm)?;
         if strictly_beats(obj, h, &candidate, &bp) {
             bp = candidate;
         }
@@ -415,6 +419,7 @@ fn respecting_cycle(
     cap: u64,
     incumbent: &Bipartition,
     refiner: &FmRefiner,
+    fm: &mut FmScratch,
 ) -> Result<Bipartition, PartitionError> {
     let mut fines: Vec<Hypergraph> = Vec::new();
     let mut levels: Vec<Contraction> = Vec::new();
@@ -437,10 +442,10 @@ fn respecting_cycle(
         fines.push(std::mem::replace(&mut current, c.coarse().clone()));
         levels.push(c);
     }
-    let mut bp = refiner.refine(&current, Bipartition::from_sides(sides));
+    let mut bp = refiner.refine_with(&current, Bipartition::from_sides(sides), fm);
     for (c, fine) in levels.iter().zip(fines.iter()).rev() {
         bp = Bipartition::from_sides(c.project(bp.as_slice()));
-        bp = refiner.refine(fine, bp);
+        bp = refiner.refine_with(fine, bp, fm);
     }
     Ok(bp)
 }

@@ -240,6 +240,28 @@ impl Bipartition {
         self.cardinality_imbalance() <= r
     }
 
+    /// Resets to `n` vertices all on [`Side::Left`], reusing the buffer —
+    /// the in-place counterpart of [`all_left`](Self::all_left).
+    pub fn reset(&mut self, n: usize) {
+        self.sides.clear();
+        self.sides.resize(n, Side::Left);
+    }
+
+    /// Overwrites this partition with the contents of a side slice,
+    /// reusing the buffer.
+    pub fn clone_from_slice(&mut self, sides: &[Side]) {
+        self.sides.clear();
+        self.sides.extend_from_slice(sides);
+    }
+
+    /// Overwrites this partition with another, reusing the buffer (the
+    /// derived `Clone::clone_from` would reallocate through `Vec<Side>`'s
+    /// default path only when capacities differ; this is explicit and
+    /// guaranteed allocation-free once `self` has enough capacity).
+    pub fn copy_from(&mut self, other: &Bipartition) {
+        self.clone_from_slice(&other.sides);
+    }
+
     /// Swaps the labels of the two sides in place (the cut is unchanged).
     pub fn mirror(&mut self) {
         for s in &mut self.sides {

@@ -88,20 +88,36 @@ impl FmRefiner {
     /// back to the best prefix. Returns the cut improvement (never makes
     /// the cut worse).
     pub fn pass(&self, st: &mut MoveState<'_>, tolerance: u64) -> u64 {
+        self.pass_with(st, tolerance, &mut FmScratch::new())
+    }
+
+    /// [`pass`](Self::pass) with reusable buffers (which the plain method
+    /// delegates to); a warm scratch runs the pass allocation-free.
+    pub fn pass_with(
+        &self,
+        st: &mut MoveState<'_>,
+        tolerance: u64,
+        scratch: &mut FmScratch,
+    ) -> u64 {
         let h = st.hypergraph();
         let n = h.num_vertices();
-        let mut locked = vec![false; n];
-        let mut gains: Vec<i64> = (0..n).map(|i| st.gain(VertexId::new(i))).collect();
-        let mut heap: BinaryHeap<(i64, u32)> = gains
-            .iter()
-            .enumerate()
-            .map(|(i, &g)| (g, i as u32))
-            .collect();
+        let locked = &mut scratch.locked;
+        locked.clear();
+        locked.resize(n, false);
+        let gains = &mut scratch.gains;
+        gains.clear();
+        gains.extend((0..n).map(|i| st.gain(VertexId::new(i))));
+        let mut buf = std::mem::take(&mut scratch.heap_buf);
+        buf.clear();
+        buf.extend(gains.iter().enumerate().map(|(i, &g)| (g, i as u32)));
+        let mut heap = BinaryHeap::from(buf);
         let start_cut = st.cut();
         let mut best_cut = start_cut;
         let mut best_prefix = 0usize;
-        let mut moves: Vec<VertexId> = Vec::new();
-        let mut deferred: Vec<(i64, u32)> = Vec::new();
+        let moves = &mut scratch.moves;
+        moves.clear();
+        let deferred = &mut scratch.deferred;
+        deferred.clear();
         let (mut left_count, mut right_count) = st.partition().counts();
 
         while let Some((g, i)) = heap.pop() {
@@ -174,6 +190,7 @@ impl FmRefiner {
             st.apply_flip(v);
         }
         debug_assert_eq!(st.cut(), best_cut);
+        scratch.heap_buf = heap.into_vec();
         start_cut - best_cut
     }
 
@@ -188,22 +205,84 @@ impl FmRefiner {
     /// Panics if `start` does not cover `h`'s vertices (via
     /// [`MoveState::new`]).
     pub fn refine(&self, h: &Hypergraph, start: Bipartition) -> Bipartition {
+        self.refine_with(h, start, &mut FmScratch::new())
+    }
+
+    /// [`refine`](Self::refine) with reusable buffers (which the plain
+    /// method delegates to). The multilevel V-cycle threads one scratch
+    /// through every per-level refinement so the uncoarsening walk stops
+    /// allocating once the finest level has warmed the buffers.
+    pub fn refine_with(
+        &self,
+        h: &Hypergraph,
+        start: Bipartition,
+        scratch: &mut FmScratch,
+    ) -> Bipartition {
         let start_imbalance = crate::metrics::weight_imbalance(h, &start);
         let tolerance = self.effective_tolerance(h).max(start_imbalance);
-        self.run_passes(h, start, tolerance)
+        self.run_passes_with(h, start, tolerance, scratch)
     }
 
     /// Runs passes until fixpoint (or the pass cap) at an explicit
     /// tolerance — [`refine`](Self::refine) without the adaptive widening,
     /// for callers that manage the balance envelope themselves.
     pub fn run_passes(&self, h: &Hypergraph, start: Bipartition, tolerance: u64) -> Bipartition {
-        let mut st = MoveState::new(h, start);
+        self.run_passes_with(h, start, tolerance, &mut FmScratch::new())
+    }
+
+    /// [`run_passes`](Self::run_passes) with reusable buffers (which the
+    /// plain method delegates to).
+    pub fn run_passes_with(
+        &self,
+        h: &Hypergraph,
+        start: Bipartition,
+        tolerance: u64,
+        scratch: &mut FmScratch,
+    ) -> Bipartition {
+        let mut st = MoveState::new_reusing(h, start, std::mem::take(&mut scratch.counts));
         for _ in 0..self.max_passes {
-            if self.pass(&mut st, tolerance) == 0 {
+            if self.pass_with(&mut st, tolerance, scratch) == 0 {
                 break;
             }
         }
-        st.into_partition()
+        let (bp, counts) = st.into_parts();
+        scratch.counts = counts;
+        bp
+    }
+}
+
+/// Reusable buffers for [`FmRefiner`]'s pass loop: the lock set, the gain
+/// cache, the lazy heap's backing store, the move log, the deferred
+/// queue, and the [`MoveState`] pin-count table. Every buffer is fully
+/// reset at the start of each pass, so a scratch abandoned mid-pass
+/// self-heals on reuse.
+#[derive(Clone, Debug, Default)]
+pub struct FmScratch {
+    locked: Vec<bool>,
+    gains: Vec<i64>,
+    heap_buf: Vec<(i64, u32)>,
+    moves: Vec<VertexId>,
+    deferred: Vec<(i64, u32)>,
+    counts: Vec<[u32; 2]>,
+}
+
+impl FmScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for hypergraphs of up to `n` vertices and `m`
+    /// edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        Self {
+            locked: Vec::with_capacity(n),
+            gains: Vec::with_capacity(n),
+            heap_buf: Vec::with_capacity(2 * n),
+            moves: Vec::with_capacity(n),
+            deferred: Vec::with_capacity(n),
+            counts: Vec::with_capacity(m),
+        }
     }
 }
 

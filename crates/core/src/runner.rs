@@ -152,15 +152,7 @@ where
             let _root = scope.span(names::RUNNER_START);
             // A panic unwinds the work's open span guards before being
             // caught, so the scope's stack is consistent either way.
-            catch_unwind(AssertUnwindSafe(|| work(index, &scope))).map_err(|payload| {
-                if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "start panicked with a non-string payload".to_string()
-                }
-            })
+            catch_unwind(AssertUnwindSafe(|| work(index, &scope))).map_err(panic_message)
         };
         StartRecord {
             index,
@@ -204,6 +196,146 @@ where
         // fhp-audit: allow(panic-site) — the claim loop covers 0..starts exactly once; a hole is an engine bug worth a loud stop
         .map(|slot| slot.expect("every index was claimed exactly once"))
         .collect()
+}
+
+/// [`run_starts_traced`] for hot loops: every worker owns one reusable
+/// arena `A`, created lazily by `make_arena` on the worker's first
+/// claimed start and handed by `&mut` to every start it runs afterwards,
+/// so index-pure per-start work can execute with **zero heap allocation
+/// after warm-up**.
+///
+/// Tracing is opt-in per run: a [`Scope`] is created (and the
+/// `runner.start` root span recorded) only when `collector`
+/// [is enabled](Collector::is_enabled) — recording into a scope buffer
+/// allocates, which would defeat the arena. With a disabled collector the
+/// work closure sees `None` and the records carry empty [`ScopeEvents`].
+///
+/// Returns the records in index order plus every arena the run actually
+/// created (workers that claim no start create none). The difference
+/// `starts − arenas.len()` is the number of times an arena was *reused*
+/// instead of rebuilt — [`RunStats::arena_reuse_hits`] upstream. That
+/// number depends on the worker count, which is why it is reported as a
+/// volatile run stat and never recorded into a scope.
+///
+/// The determinism contract tightens accordingly: `work` must be a pure
+/// function of its index *given an arena in any prior state*, i.e. it
+/// must reset whatever arena state it reads at entry (every scratch type
+/// in this workspace does). Panics are contained exactly as in
+/// [`run_starts_traced`]; the poisoned worker's arena is handed to its
+/// next start as-is, which the reset-at-entry rule makes safe.
+///
+/// [`RunStats::arena_reuse_hits`]: crate::RunStats
+///
+/// # Examples
+///
+/// ```
+/// use fhp_core::runner::run_starts_arena;
+/// use fhp_obs::Collector;
+///
+/// let (records, arenas) = run_starts_arena(
+///     8,
+///     2,
+///     &Collector::disabled(),
+///     Vec::new,
+///     |i, scratch: &mut Vec<usize>, _scope| {
+///         scratch.clear(); // reset-at-entry: correctness can't depend on reuse
+///         scratch.extend(0..i);
+///         scratch.len()
+///     },
+/// );
+/// assert_eq!(records[5].outcome, Ok(5));
+/// assert!(!arenas.is_empty() && arenas.len() <= 2);
+/// ```
+pub fn run_starts_arena<T, A, M, F>(
+    starts: usize,
+    workers: usize,
+    collector: &Collector,
+    make_arena: M,
+    work: F,
+) -> (Vec<StartRecord<T>>, Vec<A>)
+where
+    T: Send,
+    A: Send,
+    M: Fn() -> A + Sync,
+    F: Fn(usize, &mut A, Option<&Scope>) -> T + Sync,
+{
+    let traced = collector.is_enabled();
+    let run_one = |index: usize, arena: &mut A| -> StartRecord<T> {
+        let scope = traced.then(|| collector.scope(order::start(index), Some(index as u32)));
+        // fhp-audit: allow(wallclock-in-fingerprint) — times the volatile wall field only
+        let started = Instant::now();
+        let outcome = {
+            let _root = scope.as_ref().map(|s| s.span(names::RUNNER_START));
+            catch_unwind(AssertUnwindSafe(|| work(index, arena, scope.as_ref())))
+                .map_err(panic_message)
+        };
+        StartRecord {
+            index,
+            wall: started.elapsed(),
+            outcome,
+            events: scope.map(|s| s.finish()).unwrap_or_default(),
+        }
+    };
+
+    let workers = workers.clamp(1, starts.max(1));
+    if workers == 1 {
+        let mut arena = make_arena();
+        let records = (0..starts).map(|i| run_one(i, &mut arena)).collect();
+        return (records, vec![arena]);
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<StartRecord<T>>>> = Mutex::new((0..starts).map(|_| None).collect());
+    let arenas: Mutex<Vec<A>> = Mutex::new(Vec::with_capacity(workers));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut arena: Option<A> = None;
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= starts {
+                        break;
+                    }
+                    let record = run_one(index, arena.get_or_insert_with(&make_arena));
+                    // same poison rationale as run_starts_traced above
+                    let mut slots = slots
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if let Some(slot) = slots.get_mut(index) {
+                        *slot = Some(record);
+                    }
+                }
+                if let Some(arena) = arena {
+                    arenas
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(arena);
+                }
+            });
+        }
+    });
+    let records = slots
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .into_iter()
+        // fhp-audit: allow(panic-site) — the claim loop covers 0..starts exactly once; a hole is an engine bug worth a loud stop
+        .map(|slot| slot.expect("every index was claimed exactly once"))
+        .collect();
+    let arenas = arenas
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    (records, arenas)
+}
+
+/// Renders a contained panic payload as the record's error string.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "start panicked with a non-string payload".to_string()
+    }
 }
 
 /// Resolves a configured thread count: `0` means one worker per
@@ -288,6 +420,104 @@ mod tests {
         let one = run_starts(1, 8, |i| i + 1);
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].outcome, Ok(1));
+    }
+
+    #[test]
+    fn arena_engine_gives_each_worker_one_arena() {
+        let (records, arenas) = run_starts_arena(
+            16,
+            4,
+            &Collector::disabled(),
+            Vec::new,
+            |i, scratch: &mut Vec<usize>, scope| {
+                assert!(scope.is_none(), "disabled collector must not build scopes");
+                scratch.push(i);
+                i * 2
+            },
+        );
+        assert_eq!(records.len(), 16);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!(r.outcome, Ok(i * 2));
+            assert_eq!(r.events, ScopeEvents::default());
+        }
+        assert!(!arenas.is_empty() && arenas.len() <= 4, "{}", arenas.len());
+        // every start touched exactly one arena exactly once
+        let total: usize = arenas.iter().map(Vec::len).sum();
+        assert_eq!(total, 16);
+        assert!(arenas.iter().all(|a| !a.is_empty()));
+    }
+
+    #[test]
+    fn arena_results_match_traced_for_any_worker_count() {
+        let work = |i: usize| {
+            let mut rng = SplitMix64::for_start(11, i);
+            (0..40)
+                .map(|_| rng.gen::<u64>())
+                .fold(0u64, u64::wrapping_add)
+        };
+        let baseline: Vec<_> = run_starts(17, 1, work)
+            .into_iter()
+            .map(|r| r.outcome)
+            .collect();
+        for workers in [1, 2, 8] {
+            let (records, _) = run_starts_arena(
+                17,
+                workers,
+                &Collector::disabled(),
+                || (),
+                |i, _arena, _scope| work(i),
+            );
+            let got: Vec<_> = records.into_iter().map(|r| r.outcome).collect();
+            assert_eq!(got, baseline, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn arena_engine_traces_when_collector_enabled() {
+        let collector = Collector::enabled();
+        let (records, _) = run_starts_arena(
+            3,
+            2,
+            &collector,
+            || (),
+            |i, _arena, scope| {
+                let scope = scope.expect("enabled collector must hand out scopes");
+                scope.counter("probe", i as u64);
+                i
+            },
+        );
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.events.order, order::start(i));
+            assert_eq!(r.events.start_index, Some(i as u32));
+            // RUNNER_START root span + the probe counter
+            assert_eq!(r.events.events.len(), 2);
+        }
+    }
+
+    #[test]
+    fn arena_engine_contains_panics_and_keeps_the_worker_alive() {
+        let (records, arenas) = run_starts_arena(
+            8,
+            2,
+            &Collector::disabled(),
+            Vec::new,
+            |i, scratch: &mut Vec<usize>, _scope| {
+                scratch.push(i);
+                assert!(i != 3, "start {i} poisoned");
+                i
+            },
+        );
+        for r in &records {
+            match r.index {
+                3 => assert!(r.outcome.as_ref().unwrap_err().contains("poisoned")),
+                i => assert_eq!(r.outcome, Ok(i)),
+            }
+        }
+        // the panicking start still ran on a pooled arena and the worker
+        // went on to claim more work afterwards
+        let total: usize = arenas.iter().map(Vec::len).sum();
+        assert_eq!(total, 8);
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Allocation-regression battery for the zero-allocation multi-start hot
+//! loop: after a worker's scratch arena is warm, running more starts must
+//! not touch the heap at all.
+//!
+//! Method: the global allocator is wrapped in a counting shim, and a run
+//! with 32 starts is compared against a run with 16 starts on the same
+//! instance, seed and worker count. Determinism makes the 16-start run a
+//! strict prefix of the 32-start run (start `i` depends only on
+//! `(seed, i)`), and the seeds below are chosen so both runs crown the
+//! same winner — so every per-run fixed cost (dualization, reduction
+//! buffers, report) allocates identically and cancels in the comparison.
+//! The only remaining difference is whatever the extra 16 starts
+//! allocate, which the engine contract says is **zero** — the allocation
+//! counts must be *equal*, not merely close.
+//!
+//! With several workers the one legitimate variable is how many workers
+//! claimed at least one start (each such worker builds one arena), which
+//! the engine reports as `starts − arena_reuse_hits`. Total allocations
+//! are a pure function of that arena count, so the multi-worker
+//! comparison pairs up samples with equal arena counts and requires exact
+//! equality there.
+//!
+//! This is deliberately a single `#[test]` in its own integration binary:
+//! the counter is process-global, and a sibling test thread would bleed
+//! its allocations into the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fhp_core::{Algorithm1, PartitionConfig, PartitionOutcome};
+use fhp_hypergraph::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// Counts every heap acquisition (alloc, alloc_zeroed, realloc) routed
+/// through the global allocator. Frees are not counted — the contract
+/// under test is about acquiring memory in the hot loop.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// A ~120-module pseudo-random circuit-like netlist (tiny LCG, fixed
+/// seed): mixed 2–4-pin signals, connected enough to exercise the whole
+/// pipeline.
+fn circuit_instance() -> Hypergraph {
+    let mut b = HypergraphBuilder::with_vertices(120);
+    // a backbone chain keeps the hypergraph connected so the component
+    // shortcut never fires
+    for i in 0..119 {
+        b.add_edge([VertexId::new(i), VertexId::new(i + 1)])
+            .expect("chain edge");
+    }
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move |bound: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % bound
+    };
+    for _ in 0..160 {
+        let size = 2 + next(3);
+        let mut pins = Vec::with_capacity(size);
+        while pins.len() < size {
+            let v = VertexId::new(next(120));
+            if !pins.contains(&v) {
+                pins.push(v);
+            }
+        }
+        b.add_edge(pins).expect("valid pins");
+    }
+    b.build()
+}
+
+/// Two 8-cliques of 2-pin signals joined by two bridges: a planted cut of
+/// size 2 that nearly every start finds, so the multi-start reduction is
+/// exercised with heavy tie-breaking.
+fn planted_instance() -> Hypergraph {
+    let mut b = HypergraphBuilder::with_vertices(16);
+    for base in [0usize, 8] {
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                b.add_edge([VertexId::new(base + i), VertexId::new(base + j)])
+                    .expect("clique edge");
+            }
+        }
+    }
+    b.add_edge([VertexId::new(0), VertexId::new(8)])
+        .expect("bridge");
+    b.add_edge([VertexId::new(3), VertexId::new(11)])
+        .expect("bridge");
+    b.build()
+}
+
+/// A hub module shared by every signal plus a chain: the intersection
+/// graph is one big clique, the worst case for the dual-front sweep's
+/// boundary machinery.
+fn hub_instance() -> Hypergraph {
+    let mut b = HypergraphBuilder::with_vertices(24);
+    for i in 1..24 {
+        b.add_edge([VertexId::new(0), VertexId::new(i)])
+            .expect("spoke");
+    }
+    for i in 1..23 {
+        b.add_edge([VertexId::new(i), VertexId::new(i + 1)])
+            .expect("chain");
+    }
+    b.build()
+}
+
+/// Runs the engine and returns `(allocations during the run, arenas the
+/// run created, the outcome)`.
+fn measured_run(
+    h: &Hypergraph,
+    starts: usize,
+    threads: usize,
+    seed: u64,
+) -> (u64, u64, PartitionOutcome) {
+    let alg = Algorithm1::new(
+        PartitionConfig::new()
+            .starts(starts)
+            .threads(threads)
+            .seed(seed),
+    );
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let out = alg.run(h).expect("run succeeds");
+    let after = ALLOCS.load(Ordering::SeqCst);
+    let arenas = out.stats.starts as u64 - out.stats.arena_reuse_hits;
+    (after - before, arenas, out)
+}
+
+/// Both runs must crown the same winner, or their per-run fixed costs
+/// (report assembly) would not cancel and the comparison would be
+/// meaningless. The seeds are chosen so this holds; a failure here means
+/// "re-pick the seed", not "the hot loop allocates".
+fn assert_same_winner(name: &str, small: &PartitionOutcome, big: &PartitionOutcome) {
+    assert_eq!(
+        small.stats.chosen_start, big.stats.chosen_start,
+        "{name}: 16- and 32-start runs crowned different winners; pick a seed where the best start is found early"
+    );
+    assert_eq!(small.report.cut_size, big.report.cut_size, "{name}");
+    assert_eq!(small.bipartition, big.bipartition, "{name}");
+}
+
+#[test]
+fn extra_starts_allocate_nothing_once_arenas_are_warm() {
+    let instances = [
+        ("circuit", circuit_instance(), 16u64),
+        ("planted", planted_instance(), 1),
+        ("hub", hub_instance(), 1),
+    ];
+
+    for (name, h, seed) in &instances {
+        // ---- single worker: arena count is pinned to 1, so the whole
+        // run's allocation count must match exactly ----------------------
+        let _warmup = measured_run(h, 32, 1, *seed);
+        let (small_allocs, small_arenas, small_out) = measured_run(h, 16, 1, *seed);
+        let (big_allocs, big_arenas, big_out) = measured_run(h, 32, 1, *seed);
+        assert_eq!(small_arenas, 1, "{name}: single worker builds one arena");
+        assert_eq!(big_arenas, 1, "{name}: single worker builds one arena");
+        assert_same_winner(name, &small_out, &big_out);
+        assert_eq!(
+            big_allocs, small_allocs,
+            "{name} (threads=1): 16 extra starts allocated {} times — the hot loop must not touch the heap after warm-up",
+            big_allocs as i64 - small_allocs as i64
+        );
+
+        // ---- eight workers: the engine may build 1..=8 arenas depending
+        // on how the claim race lands, and each arena has a fixed
+        // allocation cost — so total allocations are a pure function of
+        // the arena count. Pair up a 16-start and a 32-start sample with
+        // equal arena counts and require exact equality; repeated samples
+        // with the same arena count must agree with themselves too. ------
+        let _warmup = measured_run(h, 32, 8, *seed);
+        let mut by_arenas_16: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut by_arenas_32: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut matched = false;
+        for _ in 0..60 {
+            let (allocs, arenas, out_16) = measured_run(h, 16, 8, *seed);
+            if let Some(&prev) = by_arenas_16.get(&arenas) {
+                assert_eq!(
+                    prev, allocs,
+                    "{name} (threads=8, starts=16): two runs with {arenas} arenas allocated differently"
+                );
+            }
+            by_arenas_16.insert(arenas, allocs);
+            let (allocs, arenas, out_32) = measured_run(h, 32, 8, *seed);
+            if let Some(&prev) = by_arenas_32.get(&arenas) {
+                assert_eq!(
+                    prev, allocs,
+                    "{name} (threads=8, starts=32): two runs with {arenas} arenas allocated differently"
+                );
+            }
+            by_arenas_32.insert(arenas, allocs);
+            assert_same_winner(name, &out_16, &out_32);
+            if let Some(common) = by_arenas_16.keys().find(|a| by_arenas_32.contains_key(a)) {
+                assert_eq!(
+                    by_arenas_32[common], by_arenas_16[common],
+                    "{name} (threads=8): with {common} arenas either way, 16 extra starts changed the allocation count"
+                );
+                matched = true;
+                break;
+            }
+        }
+        assert!(
+            matched,
+            "{name}: no 16-start and 32-start samples ever agreed on an arena count; 16-run counts: {by_arenas_16:?}, 32-run counts: {by_arenas_32:?}"
+        );
+    }
+}

@@ -11,7 +11,9 @@
 //!   standing in for the paper's proprietary industry suite;
 //! - [`DisconnectedClusters`] — the pathological `c = 0` case;
 //! - [`PaperInstance`] — the eight Table 2 instances at their published
-//!   sizes.
+//!   sizes;
+//! - [`scaling_instance`] — the standard-cell profile at the 10^5–10^7
+//!   signal tiers used by the `scaling` bench family.
 //!
 //! # Examples
 //!
@@ -37,6 +39,7 @@ mod named;
 mod pathological;
 mod planted;
 mod random;
+mod scaling;
 
 pub use circuit::{CircuitNetlist, Technology};
 pub use error::GenError;
@@ -44,3 +47,4 @@ pub use named::{NamedInstance, PaperInstance};
 pub use pathological::DisconnectedClusters;
 pub use planted::{PlantedBisection, PlantedInstance};
 pub use random::RandomHypergraph;
+pub use scaling::{scaling_instance, SCALING_TIERS};

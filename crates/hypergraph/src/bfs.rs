@@ -37,6 +37,31 @@ pub struct BfsLevels {
 }
 
 impl BfsLevels {
+    /// An empty level structure to be filled by [`bfs_into`]. Holds no
+    /// allocations until first use.
+    pub fn empty() -> Self {
+        Self {
+            source: 0,
+            dist: Vec::new(),
+            order: Vec::new(),
+            depth: 0,
+            farthest: 0,
+        }
+    }
+
+    /// An empty level structure whose buffers are pre-sized for graphs of
+    /// up to `n` vertices, so later [`bfs_into`] calls on such graphs
+    /// allocate nothing.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            source: 0,
+            dist: Vec::with_capacity(n),
+            order: Vec::with_capacity(n),
+            depth: 0,
+            farthest: 0,
+        }
+    }
+
     /// The search's source vertex.
     pub fn source(&self) -> u32 {
         self.source
@@ -83,17 +108,37 @@ impl BfsLevels {
 ///
 /// Panics if `source` is out of range.
 pub fn bfs(g: &Graph, source: u32) -> BfsLevels {
+    let mut levels = BfsLevels::empty();
+    bfs_into(g, source, &mut levels);
+    levels
+}
+
+/// Runs BFS from `source`, reusing `levels`' buffers. Once the buffers
+/// have grown to the graph's vertex count, repeated calls allocate
+/// nothing — this is the hot-loop entry point for the multi-start
+/// engine's scratch arenas. `levels` is fully reset on entry, so its
+/// prior contents (even from a panicked earlier search) never leak
+/// through.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_into(g: &Graph, source: u32, levels: &mut BfsLevels) {
     assert!(
         (source as usize) < g.num_vertices(),
         "bfs source {source} out of range"
     );
-    let mut dist = vec![UNREACHED; g.num_vertices()];
-    let mut order = Vec::new();
+    levels.source = source;
+    levels.dist.clear();
+    levels.dist.resize(g.num_vertices(), UNREACHED);
+    levels.order.clear();
+    levels.depth = 0;
+    levels.farthest = source;
+    let dist = &mut levels.dist;
+    let order = &mut levels.order;
     dist[source as usize] = 0;
     order.push(source);
     let mut head = 0usize;
-    let mut depth = 0u32;
-    let mut farthest = source;
     while head < order.len() {
         let v = order[head];
         head += 1;
@@ -101,20 +146,13 @@ pub fn bfs(g: &Graph, source: u32) -> BfsLevels {
         for &u in g.neighbors(v) {
             if dist[u as usize] == UNREACHED {
                 dist[u as usize] = dv + 1;
-                if dv + 1 >= depth {
-                    depth = dv + 1;
-                    farthest = u;
+                if dv + 1 >= levels.depth {
+                    levels.depth = dv + 1;
+                    levels.farthest = u;
                 }
                 order.push(u);
             }
         }
-    }
-    BfsLevels {
-        source,
-        dist,
-        order,
-        depth,
-        farthest,
     }
 }
 
@@ -318,6 +356,17 @@ mod tests {
     fn bfs_bad_source_panics() {
         let g = Graph::empty(1);
         let _ = bfs(&g, 1);
+    }
+
+    #[test]
+    fn bfs_into_reuse_matches_fresh_runs() {
+        let g1 = cycle(6);
+        let g2 = Graph::from_edges(3, [(0, 1)]);
+        let mut scratch = BfsLevels::with_capacity(6);
+        for (g, src) in [(&g1, 4u32), (&g2, 0), (&g1, 0), (&g2, 2)] {
+            bfs_into(g, src, &mut scratch);
+            assert_eq!(scratch, bfs(g, src), "source {src}");
+        }
     }
 
     #[test]

@@ -60,6 +60,16 @@ impl Graph {
         }
     }
 
+    /// Pre-reserves capacity for `n` vertices and `m` undirected edges,
+    /// so a later [`rebuild_from_pairs`](Self::rebuild_from_pairs) at or
+    /// below those sizes allocates nothing.
+    pub fn reserve(&mut self, n: usize, m: usize) {
+        self.offsets
+            .reserve((n + 1).saturating_sub(self.offsets.len()));
+        self.neighbors
+            .reserve((2 * m).saturating_sub(self.neighbors.len()));
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -141,6 +151,74 @@ impl Graph {
             .binary_search(&v)
             .ok()
             .map(|i| range.start + i)
+    }
+
+    /// Rebuilds this graph in place from a raw pair list, reusing the
+    /// existing CSR buffers (and the caller's `pairs` and `cursor`
+    /// scratch). Semantics match [`Graph::from_edges`]: self-loops are
+    /// dropped, duplicates (in either orientation) collapse, neighbor
+    /// lists come out sorted ascending. `pairs` is consumed as workspace
+    /// (normalized, sorted, deduplicated) but keeps its capacity, so a
+    /// warm caller allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn rebuild_from_pairs(
+        &mut self,
+        n: usize,
+        pairs: &mut Vec<(u32, u32)>,
+        cursor: &mut Vec<usize>,
+    ) {
+        pairs.retain_mut(|p| {
+            let (u, v) = *p;
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u}, {v}) out of range for {n} vertices"
+            );
+            if u == v {
+                return false;
+            }
+            if u > v {
+                *p = (v, u);
+            }
+            true
+        });
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        // Degree count into `cursor`, then prefix-sum into `offsets`.
+        cursor.clear();
+        cursor.resize(n, 0);
+        for &(u, v) in pairs.iter() {
+            cursor[u as usize] += 1;
+            cursor[v as usize] += 1;
+        }
+        self.offsets.clear();
+        self.offsets.push(0);
+        let mut acc = 0usize;
+        for &d in cursor.iter() {
+            acc += d;
+            self.offsets.push(acc);
+        }
+        cursor.clear();
+        cursor.extend_from_slice(&self.offsets[..n]);
+        self.neighbors.clear();
+        self.neighbors.resize(acc, 0);
+        // Same two-pass fill as `GraphBuilder::build_unchecked`: forward
+        // writes each u's higher neighbors, backward appends the lower
+        // ones; a final short per-vertex sort merges the two runs.
+        for &(u, v) in pairs.iter() {
+            self.neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        for &(u, v) in pairs.iter() {
+            self.neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            self.neighbors[self.offsets[v]..self.offsets[v + 1]].sort_unstable();
+        }
     }
 
     /// Builds a graph directly from finished CSR parts.
@@ -371,6 +449,25 @@ mod tests {
             offsets.push(neighbors.len());
         }
         assert_eq!(Graph::from_parts(offsets, neighbors), g);
+    }
+
+    #[test]
+    fn rebuild_from_pairs_matches_from_edges() {
+        let cases: Vec<(usize, Vec<(u32, u32)>)> = vec![
+            (4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]),
+            (5, vec![(4, 2), (2, 0), (2, 3), (1, 2), (2, 4), (2, 2)]),
+            (3, vec![]),
+            (6, vec![(5, 0), (0, 5), (1, 1), (3, 4)]),
+        ];
+        let mut g = Graph::empty(0);
+        let mut pairs = Vec::new();
+        let mut cursor = Vec::new();
+        for (n, edges) in cases {
+            pairs.clear();
+            pairs.extend_from_slice(&edges);
+            g.rebuild_from_pairs(n, &mut pairs, &mut cursor);
+            assert_eq!(g, Graph::from_edges(n, edges));
+        }
     }
 
     #[test]

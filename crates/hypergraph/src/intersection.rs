@@ -81,6 +81,21 @@ pub struct DualizeStats {
     pub shards: usize,
     /// Worker threads the kernel ran with.
     pub threads: usize,
+    /// Generate→sort→dedup passes: 1 for the in-memory kernel and the
+    /// naive builder, `ceil(pairs_generated / cap)` for the streaming
+    /// kernel.
+    pub passes: u64,
+    /// Largest raw (pre-dedup) pair buffer held at any moment. The
+    /// in-memory kernel materializes the whole pair stream across its
+    /// shard buffers, so this equals `pairs_generated`; the streaming
+    /// kernel never exceeds its configured pair cap. A pure function of
+    /// `(instance, threshold, cap)` — never of the thread count.
+    pub peak_pair_buffer: u64,
+    /// Bytes of deduplicated per-pass runs the streaming kernel retired
+    /// out of its bounded pair buffer (12 bytes per unique
+    /// `(pair, multiplicity)` entry, summed over passes); 0 for the
+    /// in-memory kernel.
+    pub bytes_spilled: u64,
     /// Wall-clock time of the whole dualization.
     pub wall: Duration,
 }
@@ -101,6 +116,9 @@ impl DualizeStats {
             filtered_edges: counter_total(events, names::DUALIZE_FILTERED) as usize,
             shards,
             threads,
+            passes: counter_total(events, names::DUALIZE_PASSES),
+            peak_pair_buffer: counter_total(events, names::DUALIZE_PEAK_PAIR_BUFFER),
+            bytes_spilled: counter_total(events, names::DUALIZE_BYTES_SPILLED),
             wall: Duration::from_nanos(span_total_ns(events, names::DUALIZE)),
         }
     }
@@ -126,6 +144,7 @@ impl DualizeStats {
 pub struct Dualizer {
     threshold: Option<usize>,
     threads: usize,
+    pair_cap: Option<usize>,
     collector: Collector,
 }
 
@@ -134,6 +153,7 @@ impl Default for Dualizer {
         Self {
             threshold: None,
             threads: 1,
+            pair_cap: None,
             collector: Collector::disabled(),
         }
     }
@@ -157,6 +177,15 @@ impl Dualizer {
     /// this knob only trades wall-clock time.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Caps the raw pair buffer of [`build_streaming`](Self::build_streaming)
+    /// (default `None` = one pass over the whole pair stream). A cap of 0
+    /// is treated as 1. [`Dualizer::build`] ignores the cap — the
+    /// in-memory kernel always materializes the full pair stream.
+    pub fn pair_cap(mut self, cap: Option<usize>) -> Self {
+        self.pair_cap = cap;
         self
     }
 
@@ -234,10 +263,115 @@ impl Dualizer {
         scope.counter(names::DUALIZE_UNIQUE, unique_edges);
         scope.counter(names::DUALIZE_KEPT, kept.len() as u64);
         scope.counter(names::DUALIZE_FILTERED, (h.num_edges() - kept.len()) as u64);
+        scope.counter(names::DUALIZE_PASSES, 1);
+        scope.counter(names::DUALIZE_PEAK_PAIR_BUFFER, pairs_generated);
+        scope.counter(names::DUALIZE_BYTES_SPILLED, 0);
         drop(root);
 
         let recorded = scope.finish();
         let stats = DualizeStats::from_recorded(&recorded.events, shards, threads);
+        self.collector.adopt(recorded);
+
+        Ok(IntersectionGraph {
+            graph,
+            shared,
+            kept,
+            g_of,
+            threshold: self.threshold,
+            stats,
+        })
+    }
+
+    /// Runs the *streaming* kernel on `h`: the global pair index space is
+    /// cut into chunks of at most [`pair_cap`](Self::pair_cap) pairs
+    /// (splitting hub modules mid-vertex when one module's `C(d, 2)`
+    /// pairs exceed the cap), and each pass generates, sorts and
+    /// run-length-deduplicates only its own chunk before retiring the
+    /// deduped run out of the bounded buffer. The runs are merged with an
+    /// order-insensitive sorted-multiset union, so the built graph,
+    /// mapping and multiplicities are byte-identical to
+    /// [`Dualizer::build`] for every cap and thread count — only
+    /// [`DualizeStats::passes`], [`DualizeStats::peak_pair_buffer`] and
+    /// [`DualizeStats::bytes_spilled`] change.
+    ///
+    /// The chunk plan is a pure function of `(h, threshold, cap)`; chunks
+    /// are the data-parallel work units, claimed by the same
+    /// atomic-counter worker pool as the in-memory kernel's shards.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildGraphError::TooManyGVertices`] if the kept hyperedges
+    /// overflow the `u32` G-vertex id space.
+    pub fn build_streaming(&self, h: &Hypergraph) -> Result<IntersectionGraph, BuildGraphError> {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        let scope = self.collector.scope(order::DUALIZE, None);
+        let root = scope.span(names::DUALIZE);
+
+        let plan = scope.span(names::DUALIZE_PLAN);
+        let (kept, g_of) = keep_map(h, self.threshold)?;
+
+        // Cumulative pair mass: prefix[v] is the global index of module
+        // v's first pair in the vertex-major, row-major enumeration.
+        let mut prefix = Vec::with_capacity(h.num_vertices() + 1);
+        prefix.push(0u64);
+        let mut total_pairs = 0u64;
+        for v in h.vertices() {
+            let kd = h
+                .edges_of(v)
+                .iter()
+                .filter(|e| g_of[e.index()] != FILTERED)
+                .count() as u64;
+            total_pairs += kd * (kd.saturating_sub(1)) / 2;
+            prefix.push(total_pairs);
+        }
+        let cap = match self.pair_cap {
+            Some(c) => (c as u64).max(1),
+            None => total_pairs.max(1),
+        };
+        let passes = if total_pairs == 0 {
+            1
+        } else {
+            total_pairs.div_ceil(cap)
+        };
+        drop(plan);
+
+        let shards_span = scope.span(names::DUALIZE_SHARDS);
+        let runs = run_shards(passes as usize, threads, |c| {
+            let lo = c as u64 * cap;
+            let hi = ((c as u64 + 1) * cap).min(total_pairs);
+            dualize_chunk(h, &g_of, &prefix, lo, hi)
+        });
+        drop(shards_span);
+
+        let pairs_generated: u64 = runs.iter().map(|s| s.generated).sum();
+        debug_assert_eq!(pairs_generated, total_pairs);
+        let peak_pair_buffer = runs.iter().map(|s| s.generated).max().unwrap_or(0);
+        debug_assert!(peak_pair_buffer <= cap);
+        let bytes_spilled: u64 = runs.iter().map(|s| 12 * s.pairs.len() as u64).sum();
+        let merge_span = scope.span(names::DUALIZE_MERGE);
+        let (pairs, counts) = merge_run_tree(runs);
+        drop(merge_span);
+        let unique_edges = pairs.len() as u64;
+        let csr_span = scope.span(names::DUALIZE_CSR);
+        let (graph, shared) = csr_with_weights(kept.len(), &pairs, &counts);
+        drop(csr_span);
+
+        scope.counter(names::DUALIZE_PAIRS, pairs_generated);
+        scope.counter(names::DUALIZE_DUPS, pairs_generated - unique_edges);
+        scope.counter(names::DUALIZE_UNIQUE, unique_edges);
+        scope.counter(names::DUALIZE_KEPT, kept.len() as u64);
+        scope.counter(names::DUALIZE_FILTERED, (h.num_edges() - kept.len()) as u64);
+        scope.counter(names::DUALIZE_PASSES, passes);
+        scope.counter(names::DUALIZE_PEAK_PAIR_BUFFER, peak_pair_buffer);
+        scope.counter(names::DUALIZE_BYTES_SPILLED, bytes_spilled);
+        drop(root);
+
+        let recorded = scope.finish();
+        let stats = DualizeStats::from_recorded(&recorded.events, passes as usize, threads);
         self.collector.adopt(recorded);
 
         Ok(IntersectionGraph {
@@ -392,6 +526,9 @@ impl IntersectionGraph {
         scope.counter(names::DUALIZE_UNIQUE, unique_edges);
         scope.counter(names::DUALIZE_KEPT, kept.len() as u64);
         scope.counter(names::DUALIZE_FILTERED, (h.num_edges() - kept.len()) as u64);
+        scope.counter(names::DUALIZE_PASSES, 1);
+        scope.counter(names::DUALIZE_PEAK_PAIR_BUFFER, pairs_generated);
+        scope.counter(names::DUALIZE_BYTES_SPILLED, 0);
         drop(root);
 
         let recorded = scope.finish();
@@ -558,6 +695,74 @@ fn dualize_shard(h: &Hypergraph, g_of: &[u32], range: std::ops::Range<usize>) ->
     }
     let generated = buf.len() as u64;
     buf.sort_unstable();
+    let (pairs, counts) = rle_dedup(buf);
+    ShardOut {
+        pairs,
+        counts,
+        generated,
+    }
+}
+
+/// Generates, sorts, and run-length-deduplicates one streaming chunk: the
+/// global pair-index range `lo..hi` of the vertex-major, row-major pair
+/// enumeration. `prefix[v]` is the cumulative kept-pair mass before module
+/// `v`, so a chunk boundary can fall *inside* a hub module's pair block —
+/// that is exactly what keeps the raw buffer below the cap when one
+/// module alone exceeds it. Pure function of `(h, g_of, prefix, lo, hi)`.
+fn dualize_chunk(h: &Hypergraph, g_of: &[u32], prefix: &[u64], lo: u64, hi: u64) -> ShardOut {
+    let mut buf: Vec<(u32, u32)> = Vec::new();
+    let mut incident: Vec<u32> = Vec::new();
+    // Last v with prefix[v] <= lo (prefix is non-decreasing, prefix[0]=0).
+    let mut v = prefix.partition_point(|&p| p <= lo) - 1;
+    while v < h.num_vertices() && prefix[v] < hi {
+        let a = lo.max(prefix[v]) - prefix[v];
+        let b = hi.min(prefix[v + 1]) - prefix[v];
+        if a < b {
+            incident.clear();
+            incident.extend(h.edges_of(VertexId::new(v)).iter().filter_map(|e| {
+                let g = g_of[e.index()];
+                (g != FILTERED).then_some(g)
+            }));
+            emit_pair_range(&incident, a, b, &mut buf);
+        }
+        v += 1;
+    }
+    let generated = buf.len() as u64;
+    buf.sort_unstable();
+    let (pairs, counts) = rle_dedup(buf);
+    ShardOut {
+        pairs,
+        counts,
+        generated,
+    }
+}
+
+/// Emits pairs `a..b` (local row-major indices) of the `C(k, 2)` pair
+/// block of one module's ascending incidence list: row `i` pairs
+/// `incident[i]` with each later entry, so row `i` holds `k − 1 − i`
+/// pairs. Skips whole rows outside the window rather than counting
+/// through them one by one.
+fn emit_pair_range(incident: &[u32], a: u64, b: u64, buf: &mut Vec<(u32, u32)>) {
+    let k = incident.len();
+    let mut row_start = 0u64;
+    for i in 0..k {
+        let row_end = row_start + (k - 1 - i) as u64;
+        if row_end > a && row_start < b {
+            let jlo = a.saturating_sub(row_start) as usize;
+            let jhi = (b.min(row_end) - row_start) as usize;
+            for t in jlo..jhi {
+                buf.push((incident[i], incident[i + 1 + t]));
+            }
+        }
+        if row_end >= b {
+            break;
+        }
+        row_start = row_end;
+    }
+}
+
+/// Collapses a sorted pair stream into its unique pairs plus run lengths.
+fn rle_dedup(buf: Vec<(u32, u32)>) -> (Vec<(u32, u32)>, Vec<u32>) {
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     let mut counts: Vec<u32> = Vec::new();
     for p in buf {
@@ -571,11 +776,69 @@ fn dualize_shard(h: &Hypergraph, g_of: &[u32], range: std::ops::Range<usize>) ->
             }
         }
     }
+    (pairs, counts)
+}
+
+/// Two-pointer merge of two sorted unique runs, summing multiplicities of
+/// shared pairs. The result is the sorted multiset union of the inputs.
+fn merge_two(a: ShardOut, b: ShardOut) -> ShardOut {
+    let mut pairs = Vec::with_capacity(a.pairs.len() + b.pairs.len());
+    let mut counts = Vec::with_capacity(a.counts.len() + b.counts.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.pairs.len() && j < b.pairs.len() {
+        match a.pairs[i].cmp(&b.pairs[j]) {
+            std::cmp::Ordering::Less => {
+                pairs.push(a.pairs[i]);
+                counts.push(a.counts[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                pairs.push(b.pairs[j]);
+                counts.push(b.counts[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                pairs.push(a.pairs[i]);
+                counts.push(a.counts[i] + b.counts[j]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    pairs.extend_from_slice(&a.pairs[i..]);
+    counts.extend_from_slice(&a.counts[i..]);
+    pairs.extend_from_slice(&b.pairs[j..]);
+    counts.extend_from_slice(&b.counts[j..]);
     ShardOut {
         pairs,
         counts,
-        generated,
+        generated: a.generated + b.generated,
     }
+}
+
+/// Folds the per-pass runs pairwise into one sorted unique pair list (a
+/// balanced merge tree: O(total · log passes) instead of the linear k-way
+/// scan's O(total · passes), which matters at cap=1). Multiset union is
+/// associative and commutative, so the result is independent of both the
+/// chunking and the fold shape — identical to [`merge_shards`].
+fn merge_run_tree(mut runs: Vec<ShardOut>) -> (Vec<(u32, u32)>, Vec<u32>) {
+    if runs.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    while runs.len() > 1 {
+        let mut folded = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => folded.push(merge_two(a, b)),
+                None => folded.push(a),
+            }
+        }
+        runs = folded;
+    }
+    // fhp-audit: allow(panic-site) — the loop above leaves exactly one run
+    let s = runs.pop().expect("merge tree folds to one run");
+    (s.pairs, s.counts)
 }
 
 /// Runs `work(s)` for every shard across `threads` scoped workers that
@@ -946,5 +1209,113 @@ mod tests {
         let seq = Dualizer::new().threads(1).build(&h).unwrap();
         assert_eq!(auto.graph(), seq.graph());
         assert_eq!(auto.shared, seq.shared);
+    }
+
+    #[test]
+    fn streaming_matches_kernel_on_paper_example() {
+        let h = paper_example();
+        for threshold in [None, Some(3), Some(4), Some(10)] {
+            let oracle = Dualizer::new().threshold(threshold).build(&h).unwrap();
+            let total = oracle.stats().pairs_generated;
+            for cap in [None, Some(1), Some(2), Some(7), Some(10_000)] {
+                for threads in [1, 2, 8] {
+                    let st = Dualizer::new()
+                        .threshold(threshold)
+                        .threads(threads)
+                        .pair_cap(cap)
+                        .build_streaming(&h)
+                        .unwrap();
+                    assert_eq!(st.graph(), oracle.graph(), "cap {cap:?} threads {threads}");
+                    assert_eq!(st.shared, oracle.shared, "cap {cap:?} threads {threads}");
+                    assert_eq!(st.g_of, oracle.g_of);
+                    assert_eq!(st.kept, oracle.kept);
+                    let s = st.stats();
+                    assert_eq!(s.pairs_generated, total);
+                    assert_eq!(s.pairs_generated, s.unique_edges + s.duplicates_merged);
+                    let expect_passes = match cap {
+                        Some(c) if total > 0 => total.div_ceil(c as u64),
+                        _ => 1,
+                    };
+                    assert_eq!(s.passes, expect_passes, "cap {cap:?}");
+                    assert_eq!(s.shards as u64, expect_passes);
+                    let effective = cap.map_or(total.max(1), |c| c as u64);
+                    assert!(s.peak_pair_buffer <= effective, "cap {cap:?}");
+                    assert_eq!(s.bytes_spilled % 12, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_cap_splits_inside_a_hub_module() {
+        // one module shared by 64 signals: C(64, 2) = 2016 pairs in a
+        // single vertex's block, far above the cap — the chunk planner
+        // must split mid-vertex and still reproduce the kernel exactly.
+        let mut b = HypergraphBuilder::with_vertices(1 + 64);
+        for s in 0..64 {
+            b.add_edge([VertexId::new(0), VertexId::new(1 + s)])
+                .unwrap();
+        }
+        let h = b.build();
+        let oracle = Dualizer::new().build(&h).unwrap();
+        assert_eq!(oracle.stats().pairs_generated, 2016);
+        for cap in [1usize, 5, 100, 2015, 2016, 4096] {
+            let st = Dualizer::new()
+                .pair_cap(Some(cap))
+                .threads(2)
+                .build_streaming(&h)
+                .unwrap();
+            assert_eq!(st.graph(), oracle.graph(), "cap {cap}");
+            assert_eq!(st.shared, oracle.shared, "cap {cap}");
+            let s = st.stats();
+            assert!(s.peak_pair_buffer <= cap as u64, "cap {cap}");
+            assert_eq!(s.passes, 2016u64.div_ceil(cap as u64));
+        }
+    }
+
+    #[test]
+    fn streaming_stats_on_in_memory_builds() {
+        // the in-memory kernel and the naive builder report the trivial
+        // streaming counters: one pass, peak = whole stream, no spill
+        let h = paper_example();
+        for ig in [
+            Dualizer::new().build(&h).unwrap(),
+            IntersectionGraph::build_naive_with_threshold(&h, None),
+        ] {
+            let s = ig.stats();
+            assert_eq!(s.passes, 1);
+            assert_eq!(s.peak_pair_buffer, s.pairs_generated);
+            assert_eq!(s.bytes_spilled, 0);
+        }
+    }
+
+    #[test]
+    fn streaming_on_empty_instance() {
+        let h = HypergraphBuilder::with_vertices(3).build();
+        for cap in [None, Some(1)] {
+            let st = Dualizer::new().pair_cap(cap).build_streaming(&h).unwrap();
+            assert_eq!(st.num_g_vertices(), 0);
+            let s = st.stats();
+            assert_eq!(s.pairs_generated, 0);
+            assert_eq!(s.passes, 1);
+            assert_eq!(s.peak_pair_buffer, 0);
+            assert_eq!(s.bytes_spilled, 0);
+        }
+    }
+
+    #[test]
+    fn emit_pair_range_covers_the_block_in_order() {
+        let incident = [2u32, 5, 7, 9]; // C(4, 2) = 6 pairs
+        let mut whole = Vec::new();
+        emit_pair_range(&incident, 0, 6, &mut whole);
+        assert_eq!(whole, vec![(2, 5), (2, 7), (2, 9), (5, 7), (5, 9), (7, 9)]);
+        // every window [a, b) reproduces the matching slice
+        for a in 0..=6u64 {
+            for b in a..=6u64 {
+                let mut win = Vec::new();
+                emit_pair_range(&incident, a, b, &mut win);
+                assert_eq!(win, whole[a as usize..b as usize], "{a}..{b}");
+            }
+        }
     }
 }

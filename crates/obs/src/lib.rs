@@ -96,8 +96,28 @@ pub mod names {
     pub const DUALIZE_KEPT: &str = "dualize.kept_edges";
     /// Counter: edges dropped by the weight threshold.
     pub const DUALIZE_FILTERED: &str = "dualize.filtered_edges";
+    /// Counter: generate→sort→dedup passes the dualizer ran (1 for the
+    /// in-memory kernel; `ceil(pairs / cap)` for the streaming kernel).
+    pub const DUALIZE_PASSES: &str = "dualize.passes";
+    /// Counter: largest raw pair buffer the dualizer held at any moment.
+    /// For the in-memory kernel this is the whole pair stream; for the
+    /// streaming kernel it never exceeds the configured pair cap. A pure
+    /// function of `(instance, threshold, cap)`, never of the thread
+    /// count.
+    pub const DUALIZE_PEAK_PAIR_BUFFER: &str = "dualize.peak_pair_buffer";
+    /// Counter: bytes of deduplicated per-pass runs the streaming kernel
+    /// retired out of the bounded pair buffer (its "spill" volume; 0 for
+    /// the in-memory kernel). Deterministic: 12 bytes per unique
+    /// (pair, multiplicity) entry across all passes.
+    pub const DUALIZE_BYTES_SPILLED: &str = "dualize.bytes_spilled";
     /// Root span of one multi-start attempt (child spans nest under it).
     pub const RUNNER_START: &str = "runner.start";
+    /// Counter name for start evaluations that reused an already-warm
+    /// per-worker scratch arena (`starts − arenas created`). Reported via
+    /// `RunStats` and the bench JSON only — the value depends on the
+    /// worker count, so recording it into a trace scope would break the
+    /// byte-identical-across-thread-counts contract.
+    pub const RUNNER_ARENA_REUSE: &str = "runner.arena_reuse_hits";
     /// Algorithm 1 phase: longest-path endpoint + distance BFS.
     pub const ALG1_LONGEST_PATH: &str = "alg1.longest_path_bfs";
     /// Algorithm 1 phase: dual-front BFS sweep.

@@ -24,8 +24,11 @@ pub struct HarnessConfig {
     /// Instances to generate (cycling through the families).
     pub iters: u64,
     /// Optional wall-clock budget; the run stops early (reporting how far
-    /// it got) once exceeded. Checked between instances, so the budget
-    /// can overshoot by at most one instance's work.
+    /// it got) once exceeded. Checked both between instances and again
+    /// between generating an instance and running its oracle suite — the
+    /// elapsed clock covers generation *and* oracle time, so the budget
+    /// can overshoot by at most one instance's work, never by a whole
+    /// oracle suite started on an already-blown budget.
     pub time_budget: Option<Duration>,
     /// Families to draw from (defaults to all of them).
     pub families: Vec<Family>,
@@ -183,6 +186,16 @@ pub fn run(config: &HarnessConfig) -> HarnessReport {
                 break;
             }
         };
+        // Re-check the budget after generation: the oracle suite is the
+        // expensive half of an iteration, and charging only generation
+        // time against the budget let the suite start (and run for
+        // minutes on a big instance) with the budget already blown.
+        if let Some(budget) = config.time_budget {
+            if start.elapsed() > budget {
+                report.timed_out = true;
+                break;
+            }
+        }
         report.instances += 1;
         *report.per_family.entry(family.counter_name()).or_insert(0) += 1;
 
@@ -295,6 +308,26 @@ mod tests {
         assert!(report.timed_out);
         assert_eq!(report.instances, 0);
         assert!(report.passed());
+    }
+
+    /// Regression: the budget is re-checked *after* generation and
+    /// *before* the oracle suite, so a blown budget means zero oracle
+    /// checks ran — not "one more instance's worth of oracles". (The
+    /// budget used to be charged only at the top of the loop, so the
+    /// expensive oracle half of an iteration always started.)
+    #[test]
+    fn blown_budget_never_starts_the_oracle_suite() {
+        let config = HarnessConfig {
+            iters: 1_000_000,
+            time_budget: Some(Duration::ZERO),
+            ..small_config()
+        };
+        let report = run(&config);
+        assert!(report.timed_out);
+        assert_eq!(report.instances, 0);
+        assert_eq!(report.checks, 0, "oracles ran on a blown budget");
+        assert!(report.per_oracle.is_empty());
+        assert!(report.per_family.is_empty());
     }
 
     /// The end-to-end acceptance test: arm the planted fault (Algorithm

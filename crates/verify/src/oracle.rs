@@ -95,11 +95,12 @@ pub fn check_instance(
     counts: &mut OracleCounts,
 ) -> CheckOutcome {
     let mut outcome = CheckOutcome::default();
-    let oracles: [(&'static str, OracleFn); 8] = [
+    let oracles: [(&'static str, OracleFn); 9] = [
         ("differential", oracle_differential),
         ("pipeline_stages", oracle_pipeline_stages),
         ("thread_invariance", oracle_thread_invariance),
         ("dualize_kernel", oracle_dualize_kernel),
+        ("streaming_dualize", oracle_streaming_dualize),
         ("move_state", oracle_move_state),
         ("multiway", oracle_multiway),
         ("multilevel", oracle_multilevel),
@@ -630,6 +631,91 @@ fn oracle_dualize_kernel(ctx: &Ctx<'_>) -> Result<u64, Violation> {
     Ok(checks)
 }
 
+/// Pair-cap values the streaming oracle sweeps: the degenerate cap=1,
+/// a mid-sized cap, and uncapped (single pass).
+pub const STREAMING_CAPS: [Option<usize>; 3] = [Some(1), Some(16), None];
+
+/// The streaming dualizer against both the in-memory kernel and the
+/// naive pair-spray builder: for every threshold, cap and thread count
+/// the three builds must agree on the CSR, the mapping and the
+/// multiplicities, the stats must balance
+/// (`pairs_generated = unique_edges + duplicates_merged`), the raw pair
+/// buffer must respect the cap, and the pass count must follow
+/// `ceil(pairs / cap)` exactly.
+fn oracle_streaming_dualize(ctx: &Ctx<'_>) -> Result<u64, Violation> {
+    let h = ctx.h;
+    let mut checks = 0;
+    for threshold in [None, Some(3)] {
+        let naive = IntersectionGraph::build_naive_with_threshold(h, threshold);
+        let kernel = fhp_hypergraph::Dualizer::new()
+            .threshold(threshold)
+            .build(h)
+            .map_err(|e| ctx.fail(format!("in-memory dualizer failed: {e}")))?;
+        let total = kernel.stats().pairs_generated;
+        for cap in STREAMING_CAPS {
+            for threads in INVARIANCE_THREADS {
+                let st = fhp_hypergraph::Dualizer::new()
+                    .threshold(threshold)
+                    .threads(threads)
+                    .pair_cap(cap)
+                    .build_streaming(h)
+                    .map_err(|e| ctx.fail(format!("streaming dualizer failed: {e}")))?;
+                let tag = || format!("(threshold {threshold:?}, cap {cap:?}, {threads} threads)");
+                checks += ctx.ensure(st.graph() == kernel.graph(), || {
+                    format!(
+                        "streaming graph {} differs from the in-memory kernel",
+                        tag()
+                    )
+                })?;
+                checks += ctx.ensure(st.graph() == naive.graph(), || {
+                    format!("streaming graph {} differs from the naive builder", tag())
+                })?;
+                for gv in st.graph().vertices() {
+                    checks += ctx.ensure(
+                        st.multiplicities_of(gv) == kernel.multiplicities_of(gv),
+                        || format!("multiplicities of G-vertex {gv} differ {}", tag()),
+                    )?;
+                }
+                for e in h.edges() {
+                    checks += ctx.ensure(st.g_vertex_of(e) == kernel.g_vertex_of(e), || {
+                        format!("kept/filtered mapping of {e} differs {}", tag())
+                    })?;
+                }
+                let s = st.stats();
+                checks += ctx.ensure(
+                    s.pairs_generated == s.unique_edges + s.duplicates_merged,
+                    || format!("stats do not balance {}: {s:?}", tag()),
+                )?;
+                checks += ctx.ensure(s.pairs_generated == total, || {
+                    format!(
+                        "streaming generated {} pairs, the kernel {} {}",
+                        s.pairs_generated,
+                        total,
+                        tag()
+                    )
+                })?;
+                let effective = cap.map_or(total.max(1), |c| c.max(1) as u64);
+                checks += ctx.ensure(s.peak_pair_buffer <= effective, || {
+                    format!(
+                        "peak pair buffer {} exceeds the cap {}",
+                        s.peak_pair_buffer,
+                        tag()
+                    )
+                })?;
+                let expect_passes = if total == 0 {
+                    1
+                } else {
+                    total.div_ceil(effective)
+                };
+                checks += ctx.ensure(s.passes == expect_passes, || {
+                    format!("{} passes, expected {expect_passes} {}", s.passes, tag())
+                })?;
+            }
+        }
+    }
+    Ok(checks)
+}
+
 /// The incremental move engine against ground truth: predicted gains
 /// must match realized cut deltas, and the engine's internal state must
 /// reconcile with a from-scratch recount after a random walk of flips.
@@ -1046,6 +1132,7 @@ mod tests {
             "pipeline_stages",
             "thread_invariance",
             "dualize_kernel",
+            "streaming_dualize",
             "move_state",
             "multiway",
             "multilevel",
