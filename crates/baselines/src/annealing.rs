@@ -14,6 +14,7 @@
 
 use fhp_core::{Bipartition, Bipartitioner, PartitionError};
 use fhp_hypergraph::{Hypergraph, VertexId};
+use fhp_obs::{names, order, Collector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,7 +36,7 @@ use crate::moves::{random_balanced_start, MoveState};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SimulatedAnnealing {
     seed: u64,
     /// Moves attempted per temperature = `moves_factor · |V|`.
@@ -48,6 +49,7 @@ pub struct SimulatedAnnealing {
     patience: usize,
     /// Weight-imbalance tolerance (raised to twice the heaviest vertex).
     imbalance_tolerance: u64,
+    collector: Collector,
 }
 
 impl SimulatedAnnealing {
@@ -61,6 +63,7 @@ impl SimulatedAnnealing {
             initial_acceptance: 0.6,
             patience: 4,
             imbalance_tolerance: 0,
+            collector: Collector::disabled(),
         }
     }
 
@@ -74,6 +77,7 @@ impl SimulatedAnnealing {
             initial_acceptance: 0.8,
             patience: 8,
             imbalance_tolerance: 0,
+            collector: Collector::disabled(),
         }
     }
 
@@ -92,6 +96,15 @@ impl SimulatedAnnealing {
     /// Sets the weight-imbalance tolerance.
     pub fn imbalance_tolerance(mut self, tolerance: u64) -> Self {
         self.imbalance_tolerance = tolerance;
+        self
+    }
+
+    /// Records each run into `collector`: an `sa.walk` span over the
+    /// anneal plus a summary scope with temperature and move counts and
+    /// the best weighted cut. The default collector is disabled, which
+    /// records nothing and costs nothing.
+    pub fn collector(mut self, collector: Collector) -> Self {
+        self.collector = collector;
         self
     }
 
@@ -136,13 +149,23 @@ impl Bipartitioner for SimulatedAnnealing {
         let mut best_cut = st.cut();
         let mut stale_temps = 0usize;
         let moves_per_temp = self.moves_factor * n;
+        let mut temperatures = 0u64;
+        let mut moves_attempted = 0u64;
+        let mut moves_accepted = 0u64;
+        let walk_scope = self
+            .collector
+            .is_enabled()
+            .then(|| self.collector.scope(order::start(0), Some(0)));
+        let walk_span = walk_scope.as_ref().map(|s| s.span(names::SA_WALK));
 
         // Patience only counts once the system has cooled meaningfully —
         // improvement droughts during the hot random-walk phase are normal
         // and must not abort the anneal.
         while (stale_temps < self.patience || temp > 0.05 * initial_temp) && temp > 1e-4 {
             let mut improved = false;
+            temperatures += 1;
             for _ in 0..moves_per_temp {
+                moves_attempted += 1;
                 let v = VertexId::new(rng.gen_range(0..n));
                 // Balance feasibility.
                 let (wl, wr) = st.side_weights();
@@ -159,6 +182,7 @@ impl Bipartitioner for SimulatedAnnealing {
                 if !accept {
                     continue;
                 }
+                moves_accepted += 1;
                 st.apply_flip(v);
                 if st.cut() < best_cut && st.partition().is_valid_cut() {
                     best_cut = st.cut();
@@ -169,8 +193,23 @@ impl Bipartitioner for SimulatedAnnealing {
             stale_temps = if improved { 0 } else { stale_temps + 1 };
             temp *= self.alpha;
         }
+        drop(walk_span);
+        if let Some(s) = walk_scope {
+            self.collector.adopt(s.finish());
+        }
         if !best.is_valid_cut() {
             best.flip(VertexId::new(0));
+        }
+        if self.collector.is_enabled() {
+            let summary = self.collector.scope(order::SUMMARY, None);
+            summary.counter(names::SA_TEMPERATURES, temperatures);
+            summary.counter(names::SA_MOVES_ATTEMPTED, moves_attempted);
+            summary.counter(names::SA_MOVES_ACCEPTED, moves_accepted);
+            summary.counter(
+                names::SA_BEST_CUT,
+                fhp_core::metrics::weighted_cut(h, &best),
+            );
+            self.collector.adopt(summary.finish());
         }
         Ok(best)
     }
@@ -232,6 +271,27 @@ mod tests {
         let a = SimulatedAnnealing::fast(9).bipartition(&h).unwrap();
         let b = SimulatedAnnealing::fast(9).bipartition(&h).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn records_counters_into_enabled_collector() {
+        use fhp_obs::{counter_total, Collector};
+        let h = barbell(4);
+        let collector = Collector::enabled();
+        let sa = SimulatedAnnealing::fast(6).collector(collector.clone());
+        let bp = sa.bipartition(&h).unwrap();
+        let events = collector.snapshot();
+        let temps = counter_total(&events, fhp_obs::names::SA_TEMPERATURES);
+        let attempted = counter_total(&events, fhp_obs::names::SA_MOVES_ATTEMPTED);
+        let accepted = counter_total(&events, fhp_obs::names::SA_MOVES_ACCEPTED);
+        assert!(temps >= 1);
+        assert_eq!(attempted, temps * 4 * h.num_vertices() as u64);
+        assert!(accepted <= attempted);
+        assert_eq!(
+            counter_total(&events, fhp_obs::names::SA_BEST_CUT),
+            metrics::weighted_cut(&h, &bp)
+        );
+        assert!(events.iter().any(|e| e.name == fhp_obs::names::SA_WALK));
     }
 
     #[test]

@@ -11,10 +11,11 @@
 
 use fhp_core::{Bipartition, Bipartitioner, FmRefiner, PartitionError};
 use fhp_hypergraph::Hypergraph;
+use fhp_obs::{names, order, Collector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::moves::random_balanced_start;
+use crate::moves::{random_balanced_start, MoveState};
 
 /// Fiduccia–Mattheyses bipartitioner with an r-style weight-balance
 /// criterion.
@@ -33,11 +34,12 @@ use crate::moves::random_balanced_start;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FiducciaMattheyses {
     seed: u64,
     refiner: FmRefiner,
     restarts: usize,
+    collector: Collector,
 }
 
 impl FiducciaMattheyses {
@@ -48,6 +50,7 @@ impl FiducciaMattheyses {
             seed,
             refiner: FmRefiner::new(),
             restarts: 1,
+            collector: Collector::disabled(),
         }
     }
 
@@ -68,6 +71,34 @@ impl FiducciaMattheyses {
     pub fn restarts(mut self, restarts: usize) -> Self {
         self.restarts = restarts.max(1);
         self
+    }
+
+    /// Records each run into `collector`: one `fm.restart` span per
+    /// restart plus a summary scope with restart/pass counts and the best
+    /// weighted cut. The default collector is disabled, which records
+    /// nothing and costs nothing.
+    pub fn collector(mut self, collector: Collector) -> Self {
+        self.collector = collector;
+        self
+    }
+
+    /// [`FmRefiner::run_passes`] with pass counting: the same
+    /// pass-until-fixpoint loop, returning how many passes actually ran.
+    fn run_passes_counted(
+        &self,
+        h: &Hypergraph,
+        start: Bipartition,
+        tolerance: u64,
+    ) -> (Bipartition, u64) {
+        let mut st = MoveState::new(h, start);
+        let mut passes = 0u64;
+        for _ in 0..self.refiner.max_passes_value() {
+            passes += 1;
+            if self.refiner.pass(&mut st, tolerance) == 0 {
+                break;
+            }
+        }
+        (st.into_partition(), passes)
     }
 
     fn effective_tolerance(&self, h: &Hypergraph) -> u64 {
@@ -99,13 +130,33 @@ impl Bipartitioner for FiducciaMattheyses {
         let tolerance = self.effective_tolerance(h);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(u64, Bipartition)> = None;
-        for _ in 0..self.restarts {
+        let mut total_passes = 0u64;
+        for i in 0..self.restarts {
             let start = random_balanced_start(h, &mut rng);
-            let bp = self.refiner.run_passes(h, start, tolerance);
+            let scope = self
+                .collector
+                .is_enabled()
+                .then(|| self.collector.scope(order::start(i), Some(i as u32)));
+            let span = scope.as_ref().map(|s| s.span(names::FM_RESTART));
+            let (bp, passes) = self.run_passes_counted(h, start, tolerance);
+            drop(span);
+            if let Some(s) = scope {
+                self.collector.adopt(s.finish());
+            }
+            total_passes += passes;
             let cut = fhp_core::metrics::weighted_cut(h, &bp);
             if best.as_ref().is_none_or(|(c, _)| cut < *c) {
                 best = Some((cut, bp));
             }
+        }
+        if self.collector.is_enabled() {
+            let summary = self.collector.scope(order::SUMMARY, None);
+            summary.counter(names::FM_RESTARTS, self.restarts as u64);
+            summary.counter(names::FM_PASSES, total_passes);
+            if let Some((cut, _)) = &best {
+                summary.counter(names::FM_BEST_CUT, *cut);
+            }
+            self.collector.adopt(summary.finish());
         }
         match best {
             Some((_, bp)) => Ok(bp),
@@ -125,7 +176,6 @@ impl Bipartitioner for FiducciaMattheyses {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::moves::MoveState;
     use crate::Exhaustive;
     use fhp_core::metrics;
     use fhp_hypergraph::intersection::paper_example;
@@ -207,6 +257,42 @@ mod tests {
         let a = FiducciaMattheyses::new(3).bipartition(&h).unwrap();
         let b = FiducciaMattheyses::new(3).bipartition(&h).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counted_passes_match_run_passes() {
+        let h = paper_example();
+        let fm = FiducciaMattheyses::new(7);
+        let tol = fm.effective_tolerance(&h);
+        let mut rng = StdRng::seed_from_u64(7);
+        let start = random_balanced_start(&h, &mut rng);
+        let plain = fm.refiner.run_passes(&h, start.clone(), tol);
+        let (counted, passes) = fm.run_passes_counted(&h, start, tol);
+        assert_eq!(plain, counted);
+        assert!(passes >= 1);
+    }
+
+    #[test]
+    fn records_counters_into_enabled_collector() {
+        use fhp_obs::{counter_total, Collector};
+        let h = barbell(4);
+        let collector = Collector::enabled();
+        let fm = FiducciaMattheyses::new(2)
+            .restarts(3)
+            .collector(collector.clone());
+        let bp = fm.bipartition(&h).unwrap();
+        let events = collector.snapshot();
+        assert_eq!(counter_total(&events, fhp_obs::names::FM_RESTARTS), 3);
+        assert!(counter_total(&events, fhp_obs::names::FM_PASSES) >= 3);
+        assert_eq!(
+            counter_total(&events, fhp_obs::names::FM_BEST_CUT),
+            metrics::weighted_cut(&h, &bp)
+        );
+        let spans = events
+            .iter()
+            .filter(|e| e.name == fhp_obs::names::FM_RESTART)
+            .count();
+        assert_eq!(spans, 3);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use fhp_core::{Bipartition, Bipartitioner, PartitionError};
 use fhp_hypergraph::{Hypergraph, VertexId};
+use fhp_obs::{names, order, Collector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,12 +37,13 @@ use crate::moves::{random_balanced_start, MoveState};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct KernighanLin {
     seed: u64,
     max_passes: usize,
     candidates_per_side: usize,
     restarts: usize,
+    collector: Collector,
 }
 
 impl KernighanLin {
@@ -53,6 +55,7 @@ impl KernighanLin {
             max_passes: 16,
             candidates_per_side: 8,
             restarts: 1,
+            collector: Collector::disabled(),
         }
     }
 
@@ -76,8 +79,18 @@ impl KernighanLin {
         self
     }
 
-    /// One full KL pass. Returns the cut improvement (≥ 0).
-    fn pass(&self, st: &mut MoveState<'_>) -> u64 {
+    /// Records each run into `collector`: one `kl.restart` span per
+    /// restart plus a summary scope with restart/pass/swap counts and the
+    /// best weighted cut. The default collector is disabled, which
+    /// records nothing and costs nothing.
+    pub fn collector(mut self, collector: Collector) -> Self {
+        self.collector = collector;
+        self
+    }
+
+    /// One full KL pass. Returns the cut improvement (≥ 0) and the number
+    /// of committed swaps (the kept prefix of the tentative sequence).
+    fn pass(&self, st: &mut MoveState<'_>) -> (u64, u64) {
         let h = st.hypergraph();
         let n = h.num_vertices();
         let mut locked = vec![false; n];
@@ -150,17 +163,25 @@ impl KernighanLin {
         for &(a, b) in swaps[best_prefix..].iter().rev() {
             st.apply_swap(b, a); // undo (sides are opposite again)
         }
-        (start_cut - st.cut() as i64).max(0) as u64
+        let improvement = (start_cut - st.cut() as i64).max(0) as u64;
+        (improvement, best_prefix as u64)
     }
 
-    fn run_once(&self, h: &Hypergraph, start: Bipartition) -> Bipartition {
+    /// Runs passes to fixpoint. Returns the partition plus the pass and
+    /// committed-swap counts, which feed the `kl.*` summary counters.
+    fn run_once(&self, h: &Hypergraph, start: Bipartition) -> (Bipartition, u64, u64) {
         let mut st = MoveState::new(h, start);
+        let mut passes = 0u64;
+        let mut swaps = 0u64;
         for _ in 0..self.max_passes {
-            if self.pass(&mut st) == 0 {
+            let (improvement, committed) = self.pass(&mut st);
+            passes += 1;
+            swaps += committed;
+            if improvement == 0 {
                 break;
             }
         }
-        st.into_partition()
+        (st.into_partition(), passes, swaps)
     }
 }
 
@@ -173,13 +194,36 @@ impl Bipartitioner for KernighanLin {
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(u64, Bipartition)> = None;
-        for _ in 0..self.restarts {
+        let mut total_passes = 0u64;
+        let mut total_swaps = 0u64;
+        for i in 0..self.restarts {
             let start = random_balanced_start(h, &mut rng);
-            let bp = self.run_once(h, start);
+            let scope = self
+                .collector
+                .is_enabled()
+                .then(|| self.collector.scope(order::start(i), Some(i as u32)));
+            let span = scope.as_ref().map(|s| s.span(names::KL_RESTART));
+            let (bp, passes, swaps) = self.run_once(h, start);
+            drop(span);
+            if let Some(s) = scope {
+                self.collector.adopt(s.finish());
+            }
+            total_passes += passes;
+            total_swaps += swaps;
             let cut = fhp_core::metrics::weighted_cut(h, &bp);
             if best.as_ref().is_none_or(|(c, _)| cut < *c) {
                 best = Some((cut, bp));
             }
+        }
+        if self.collector.is_enabled() {
+            let summary = self.collector.scope(order::SUMMARY, None);
+            summary.counter(names::KL_RESTARTS, self.restarts as u64);
+            summary.counter(names::KL_PASSES, total_passes);
+            summary.counter(names::KL_SWAPS, total_swaps);
+            if let Some((cut, _)) = &best {
+                summary.counter(names::KL_BEST_CUT, *cut);
+            }
+            self.collector.adopt(summary.finish());
         }
         match best {
             Some((_, bp)) => Ok(bp),
@@ -250,9 +294,38 @@ mod tests {
         let before = metrics::weighted_cut(&h, &start);
         let kl = KernighanLin::new(9);
         let mut st = MoveState::new(&h, start);
-        let imp = kl.pass(&mut st);
+        let (imp, swaps) = kl.pass(&mut st);
         assert_eq!(st.cut() + imp, before);
         assert!(st.cut() <= before);
+        // Improvement only ever comes from committed swaps.
+        if imp > 0 {
+            assert!(swaps > 0);
+        }
+    }
+
+    #[test]
+    fn records_counters_into_enabled_collector() {
+        use fhp_obs::{counter_total, span_total_ns, Collector};
+        let h = barbell(4);
+        let collector = Collector::enabled();
+        let kl = KernighanLin::new(3)
+            .restarts(2)
+            .collector(collector.clone());
+        let bp = kl.bipartition(&h).unwrap();
+        let events = collector.snapshot();
+        assert_eq!(counter_total(&events, fhp_obs::names::KL_RESTARTS), 2);
+        assert!(counter_total(&events, fhp_obs::names::KL_PASSES) >= 2);
+        assert_eq!(
+            counter_total(&events, fhp_obs::names::KL_BEST_CUT),
+            metrics::weighted_cut(&h, &bp)
+        );
+        // One restart span per restart, each with nonzero duration count.
+        let spans = events
+            .iter()
+            .filter(|e| e.name == fhp_obs::names::KL_RESTART)
+            .count();
+        assert_eq!(spans, 2);
+        let _ = span_total_ns(&events, fhp_obs::names::KL_RESTART);
     }
 
     #[test]

@@ -9,23 +9,28 @@
 //!   collector);
 //! - `disabled`  — an explicitly attached disabled collector (the
 //!   recorders execute, adoption drops the buffers);
+//! - `progress`  — a live [`Progress`] gauge registry attached with no
+//!   sampler draining it (the `--metrics` hot path when nobody looks);
 //! - `enabled`   — full recording plus a snapshot + NDJSON serialization
 //!   of the merged trace.
 //!
-//! The hard assertion (runs in smoke mode too): min-of-N `disabled` wall
-//! is within 5% of min-of-N `baseline`. Min-of-N with up to three
-//! attempts keeps scheduler noise out of the ratio; the margin is
-//! generous because the real cost — a few hundred buffered events per
-//! run — is orders of magnitude below it. The `enabled` ratio is
-//! reported in `BENCH_trace_overhead.json` but not asserted: exporting a
-//! trace is an opt-in diagnostic, not a fast path.
+//! The hard assertions (run in smoke mode too): min-of-N `disabled` and
+//! min-of-N `progress` wall are each within 5% of min-of-N `baseline`.
+//! Min-of-N with up to three attempts keeps scheduler noise out of the
+//! ratio; the margin is generous because the real cost — a few hundred
+//! buffered events or relaxed atomic stores per run — is orders of
+//! magnitude below it. The `enabled` ratio is reported in
+//! `BENCH_trace_overhead.json` but not asserted: exporting a trace is an
+//! opt-in diagnostic, not a fast path.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use std::sync::Arc;
+
 use fhp_bench::hub_instance;
 use fhp_core::{Algorithm1, PartitionConfig};
-use fhp_obs::{Collector, TraceWriter};
+use fhp_obs::{Collector, Gauge, Progress, TraceWriter};
 
 const HUB_SIGNALS: usize = 512;
 const HUB_MODULES: usize = 8;
@@ -61,6 +66,14 @@ fn main() {
             .report
             .cut_size
     };
+    let run_with_progress = |progress: Arc<Progress>| -> usize {
+        Algorithm1::new(config)
+            .progress(Some(progress))
+            .run(&h)
+            .expect("hub instance partitions")
+            .report
+            .cut_size
+    };
 
     let mut accepted = None;
     let mut attempts = Vec::new();
@@ -85,6 +98,43 @@ fn main() {
         panic!(
             "acceptance: disabled-collector runs stayed above {BUDGET}x baseline \
              across {MAX_ATTEMPTS} attempts: {attempts:?}"
+        )
+    });
+
+    // Live gauges attached, no sampler: the `--metrics` hot path when
+    // nobody is looking. Same budget, same retry discipline.
+    let mut progress_accepted = None;
+    let mut progress_attempts = Vec::new();
+    for attempt in 1..=MAX_ATTEMPTS {
+        let (pbase_ns, pbase_cut) = min_wall_ns(samples, || run_with(None));
+        let (prog_ns, prog_cut) = min_wall_ns(samples, || {
+            let progress = Arc::new(Progress::new());
+            let cut = run_with_progress(Arc::clone(&progress));
+            assert_eq!(
+                progress.get(Gauge::StartsDone),
+                starts as u64,
+                "progress gauges were not updated"
+            );
+            cut
+        });
+        assert_eq!(pbase_cut, prog_cut, "an attached progress changed the cut");
+        let prog_ratio = prog_ns as f64 / pbase_ns as f64;
+        println!(
+            "trace_overhead/progress attempt {attempt}: baseline {:.3} ms, \
+             progress {:.3} ms, ratio {prog_ratio:.4}",
+            pbase_ns as f64 / 1e6,
+            prog_ns as f64 / 1e6
+        );
+        progress_attempts.push((pbase_ns, prog_ns, prog_ratio));
+        if prog_ratio < BUDGET {
+            progress_accepted = Some((prog_ns, prog_ratio));
+            break;
+        }
+    }
+    let (prog_ns, prog_ratio) = progress_accepted.unwrap_or_else(|| {
+        panic!(
+            "acceptance: progress-attached runs stayed above {BUDGET}x baseline \
+             across {MAX_ATTEMPTS} attempts: {progress_attempts:?}"
         )
     });
 
@@ -128,6 +178,8 @@ fn main() {
     let _ = writeln!(json, "  \"baseline_min_wall_ns\": {base_ns},");
     let _ = writeln!(json, "  \"disabled_min_wall_ns\": {dis_ns},");
     let _ = writeln!(json, "  \"disabled_ratio\": {ratio:.4},");
+    let _ = writeln!(json, "  \"progress_min_wall_ns\": {prog_ns},");
+    let _ = writeln!(json, "  \"progress_ratio\": {prog_ratio:.4},");
     let _ = writeln!(json, "  \"enabled_min_wall_ns\": {enabled_ns},");
     let _ = writeln!(json, "  \"enabled_ratio\": {enabled_ratio:.4},");
     let _ = writeln!(json, "  \"trace_events\": {events}");

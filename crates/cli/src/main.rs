@@ -29,10 +29,20 @@
 //!                           --multilevel)
 //!       --coarse-size <N>   stop coarsening at N vertices (default 60;
 //!                           requires --multilevel)
-//!       --stats             print per-phase `[stats]` lines (alg1 two-way;
-//!                           other algorithms print a not_instrumented note)
-//!       --trace <FILE>      write an NDJSON event trace (alg1 two-way only)
-//!       --profile           print folded stacks to stderr (alg1 two-way only)
+//!       --stats             print per-phase `[stats]` lines (alg1 and the
+//!                           kl/fm/sa baselines; `random` prints a
+//!                           not_instrumented note)
+//!       --trace <FILE>      write an NDJSON event trace (two-way alg1,
+//!                           kl, fm, or sa)
+//!       --profile           print folded stacks to stderr (two-way alg1,
+//!                           kl, fm, or sa)
+//!       --progress          render live `[progress]` lines to stderr
+//!                           while the run executes
+//!       --metrics <FILE>    write the canonical end-of-run metrics
+//!                           snapshot as NDJSON (byte-identical across
+//!                           --threads; `fhp-trace-check`-valid)
+//!       --metrics-interval <MS>  also stream a timestamped sample block
+//!                           into the --metrics file every MS milliseconds
 //!       --check             re-verify the result through the fhp-verify
 //!                           oracles before reporting it (alg1 only)
 //!   -q, --quiet             print only the cut size
@@ -43,7 +53,10 @@
 //! `--profile` stderr output — quiet governs the report, not the
 //! diagnostics channels.
 
+use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use fhp_baselines::{FiducciaMattheyses, KernighanLin, RandomCut, SimulatedAnnealing};
 use fhp_core::{
@@ -51,7 +64,15 @@ use fhp_core::{
     PartitionConfig, Side,
 };
 use fhp_hypergraph::Netlist;
-use fhp_obs::{folded_stacks, names, order, Collector, TraceWriter};
+use fhp_obs::{
+    folded_stacks, names, order, Collector, Event, Gauge, Progress, Sampler, TraceWriter,
+};
+
+// Every `fhp` process accounts its heap traffic so `--stats`, `--progress`
+// and the metrics stream report real `mem.*` numbers. The shim delegates
+// straight to the system allocator plus three relaxed atomics, so it does
+// not perturb the engine's allocation behaviour — only observes it.
+fhp_obs::install_counting_allocator!();
 
 struct Options {
     path: Option<String>,
@@ -71,6 +92,9 @@ struct Options {
     stats: bool,
     trace: Option<String>,
     profile: bool,
+    progress: bool,
+    metrics: Option<String>,
+    metrics_interval: Option<u64>,
     check: bool,
     quiet: bool,
     blocks: usize,
@@ -96,6 +120,9 @@ fn parse_args() -> Result<Options, String> {
         stats: false,
         trace: None,
         profile: false,
+        progress: false,
+        metrics: None,
+        metrics_interval: None,
         check: false,
         quiet: false,
         blocks: 2,
@@ -169,6 +196,17 @@ fn parse_args() -> Result<Options, String> {
             "--stats" => opts.stats = true,
             "--trace" => opts.trace = Some(value("--trace")?),
             "--profile" => opts.profile = true,
+            "--progress" => opts.progress = true,
+            "--metrics" => opts.metrics = Some(value("--metrics")?),
+            "--metrics-interval" => {
+                let ms: u64 = value("--metrics-interval")?
+                    .parse()
+                    .map_err(|_| "metrics interval must be a positive integer (ms)".to_string())?;
+                if ms == 0 {
+                    return Err("metrics interval must be at least 1 ms".to_string());
+                }
+                opts.metrics_interval = Some(ms);
+            }
             "--check" => opts.check = true,
             "-q" | "--quiet" => opts.quiet = true,
             "--place" => {
@@ -212,6 +250,9 @@ fn parse_args() -> Result<Options, String> {
         if opts.coarse_size.is_some() {
             return Err("--coarse-size requires --multilevel".to_string());
         }
+    }
+    if opts.metrics_interval.is_some() && opts.metrics.is_none() {
+        return Err("--metrics-interval requires --metrics".to_string());
     }
     Ok(opts)
 }
@@ -297,17 +338,16 @@ fn main() -> ExitCode {
         .completion(completion)
         .objective(opts.objective)
         .multilevel(ml_mode);
-    let partitioner: Box<dyn Bipartitioner> = match opts.algorithm.as_str() {
-        "alg1" => Box::new(Algorithm1::new(alg1_config)),
-        "kl" => Box::new(KernighanLin::new(opts.seed)),
-        "fm" => Box::new(FiducciaMattheyses::new(opts.seed)),
-        "sa" => Box::new(SimulatedAnnealing::thorough(opts.seed)),
-        "random" => Box::new(RandomCut::balanced(opts.seed)),
-        other => {
-            eprintln!("error: unknown algorithm `{other}` (alg1|kl|fm|sa|random)");
-            return ExitCode::from(2);
-        }
-    };
+    if !matches!(
+        opts.algorithm.as_str(),
+        "alg1" | "kl" | "fm" | "sa" | "random"
+    ) {
+        eprintln!(
+            "error: unknown algorithm `{}` (alg1|kl|fm|sa|random)",
+            opts.algorithm
+        );
+        return ExitCode::from(2);
+    }
 
     // The V-cycle engine lives inside alg1's two-way path: the baselines,
     // the recursive multiway driver and the placer never dispatch into it,
@@ -316,22 +356,31 @@ fn main() -> ExitCode {
         eprintln!("error: --multilevel is only supported for two-way alg1 runs");
         return ExitCode::from(2);
     }
-    // --trace/--profile are instrumented only for two-way alg1: reject
-    // unsupported combinations loudly instead of writing an empty trace.
+    // --trace/--profile cover two-way alg1 and the instrumented kl/fm/sa
+    // baselines; `random` has no recorders, and the placement/multiway
+    // drivers never thread a collector through. Reject unsupported
+    // combinations loudly instead of writing an empty trace.
     let tracing = opts.trace.is_some() || opts.profile;
-    if tracing && (opts.algorithm != "alg1" || opts.place.is_some() || opts.blocks > 2) {
+    let instrumented = matches!(opts.algorithm.as_str(), "alg1" | "kl" | "fm" | "sa");
+    if tracing && (!instrumented || opts.place.is_some() || opts.blocks > 2) {
         let flag = if opts.trace.is_some() {
             "--trace"
         } else {
             "--profile"
         };
-        eprintln!("error: {flag} is only supported for two-way alg1 runs");
+        eprintln!("error: {flag} is only supported for two-way alg1/kl/fm/sa runs");
         return ExitCode::from(2);
     }
     // --stats on placement/multiway runs is still an error; on the
-    // non-instrumented baselines it degrades to an explicit note.
+    // non-instrumented `random` baseline it degrades to an explicit note.
     if opts.stats && (opts.place.is_some() || opts.blocks > 2) {
         eprintln!("error: --stats is only supported for two-way runs");
+        return ExitCode::from(2);
+    }
+    // Live telemetry follows the same boundary: the placement and
+    // multiway drivers spawn their own engines and report nothing.
+    if (opts.progress || opts.metrics.is_some()) && (opts.place.is_some() || opts.blocks > 2) {
+        eprintln!("error: --progress/--metrics are only supported for two-way runs");
         return ExitCode::from(2);
     }
     // --check re-derives the engine's self-reported metrics through the
@@ -345,13 +394,46 @@ fn main() -> ExitCode {
         return run_place(&opts, &netlist, rows, cols);
     }
     if opts.blocks > 2 {
-        return run_multiway(&opts, &netlist, partitioner);
+        return run_multiway(&opts, &netlist);
     }
-    let collector = if tracing {
+    // The collector exists before the partitioner so the baselines can
+    // record into it; `--stats` on a baseline needs the counters even
+    // when no trace file is requested.
+    let baseline_stats = opts.stats && opts.algorithm != "alg1";
+    let collector = if tracing || baseline_stats {
         Collector::enabled()
     } else {
         Collector::disabled()
     };
+    let partitioner: Box<dyn Bipartitioner> = match opts.algorithm.as_str() {
+        "kl" => Box::new(KernighanLin::new(opts.seed).collector(collector.clone())),
+        "fm" => Box::new(FiducciaMattheyses::new(opts.seed).collector(collector.clone())),
+        "sa" => Box::new(SimulatedAnnealing::thorough(opts.seed).collector(collector.clone())),
+        "random" => Box::new(RandomCut::balanced(opts.seed)),
+        _ => Box::new(Algorithm1::new(alg1_config)),
+    };
+
+    // Live telemetry: a lock-free gauge registry the hot paths update,
+    // plus an optional sampler thread that renders it while the run is
+    // in flight. `--metrics` without an interval skips the sampler and
+    // only writes the deterministic end-of-run snapshot.
+    let progress = (opts.progress || opts.metrics.is_some()).then(|| Arc::new(Progress::new()));
+    let mut metrics_sink: Option<Box<dyn Write + Send>> = None;
+    if let (Some(_), Some(path)) = (opts.metrics_interval, opts.metrics.as_deref()) {
+        match std::fs::File::create(path) {
+            Ok(f) => metrics_sink = Some(Box::new(std::io::BufWriter::new(f))),
+            Err(e) => {
+                eprintln!("error: cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let sampler = progress.as_ref().and_then(|p| {
+        (opts.progress || metrics_sink.is_some()).then(|| {
+            let interval = Duration::from_millis(opts.metrics_interval.unwrap_or(500));
+            Sampler::spawn(Arc::clone(p), interval, opts.progress, metrics_sink.take())
+        })
+    });
     let meta = collector.scope(order::META, None);
     meta.counter(names::RUN_MODULES, h.num_vertices() as u64);
     meta.counter(names::RUN_SIGNALS, h.num_edges() as u64);
@@ -361,39 +443,85 @@ fn main() -> ExitCode {
 
     // fhp-audit: allow(wallclock-in-fingerprint) — times the human-facing summary line only
     let started = std::time::Instant::now();
-    let (bp, run_stats) =
-        if opts.algorithm == "alg1" && (opts.stats || tracing || opts.check || opts.multilevel) {
-            match Algorithm1::new(alg1_config)
-                .collector(collector.clone())
-                .run(h)
-            {
-                Ok(out) => {
-                    if opts.check {
-                        match fhp_verify::check_outcome_consistency(h, &out) {
-                            Ok(n) => println!("[check] report_consistency ok ({n} checks)"),
-                            Err(v) => {
-                                eprintln!("error: {v}");
-                                return ExitCode::FAILURE;
-                            }
+    let (bp, run_stats) = if opts.algorithm == "alg1"
+        && (opts.stats || tracing || opts.check || opts.multilevel || progress.is_some())
+    {
+        match Algorithm1::new(alg1_config)
+            .collector(collector.clone())
+            .progress(progress.clone())
+            .run(h)
+        {
+            Ok(out) => {
+                if opts.check {
+                    match fhp_verify::check_outcome_consistency(h, &out) {
+                        Ok(n) => println!("[check] report_consistency ok ({n} checks)"),
+                        Err(v) => {
+                            eprintln!("error: {v}");
+                            return ExitCode::FAILURE;
                         }
                     }
-                    (out.bipartition, Some(out.stats))
                 }
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
+                (out.bipartition, Some(out.stats))
             }
-        } else {
-            match partitioner.bipartition(h) {
-                Ok(bp) => (bp, None),
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
             }
-        };
+        }
+    } else {
+        match partitioner.bipartition(h) {
+            Ok(bp) => (bp, None),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
     let elapsed = started.elapsed();
+    let report = metrics::CutReport::new(h, &bp);
+
+    // Finalize the live gauges with the reported cut (the baselines only
+    // feed `BestCut` here) and the allocator accounting, stop the
+    // sampler, then write the deterministic end-of-run snapshot.
+    if let Some(p) = &progress {
+        p.record_min(Gauge::BestCut, report.cut_size as u64);
+        p.sync_alloc_gauges();
+    }
+    if let Some(s) = sampler {
+        s.finish();
+    }
+    if let (Some(path), Some(p)) = (&opts.metrics, &progress) {
+        // With a sampling interval the file already holds the live sample
+        // stream; append the canonical snapshot after it. Without one the
+        // snapshot is the whole file — and is byte-identical across
+        // thread counts.
+        let file = if opts.metrics_interval.is_some() {
+            std::fs::OpenOptions::new().append(true).open(path)
+        } else {
+            std::fs::File::create(path)
+        };
+        let write = file.and_then(|f| {
+            let mut out = std::io::BufWriter::new(f);
+            fhp_obs::progress::write_canonical_snapshot(p, &mut out)
+        });
+        if let Err(e) = write {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Heap accounting goes into the trace as `mem.*` counters under the
+    // dedicated volatile scope — `fhp-trace-check` accepts them, canonical
+    // comparisons drop them wholesale (allocation counts depend on
+    // scheduling).
+    if collector.is_enabled() {
+        let mem = fhp_obs::alloc::stats();
+        let scope = collector.scope(order::MEM, None);
+        scope.counter(names::MEM_LIVE_BYTES, mem.live_bytes);
+        scope.counter(names::MEM_PEAK_BYTES, mem.peak_bytes);
+        scope.counter(names::MEM_ALLOCS, mem.allocs);
+        collector.adopt(scope.finish());
+    }
 
     // Diagnostics channels are independent of --quiet: the trace file and
     // the profile's stderr output are emitted either way.
@@ -415,14 +543,14 @@ fn main() -> ExitCode {
         eprint!("{}", folded_stacks(&events));
     }
 
-    let report = metrics::CutReport::new(h, &bp);
     if opts.quiet {
         println!("{}", report.cut_size);
         if opts.stats {
             match &run_stats {
                 Some(stats) => print_stats(stats),
-                None => println!("[stats] not_instrumented {}", opts.algorithm),
+                None => print_baseline_stats(&events, &opts.algorithm),
             }
+            print_mem_stats();
         }
         return ExitCode::SUCCESS;
     }
@@ -474,14 +602,47 @@ fn main() -> ExitCode {
     if opts.stats {
         match &run_stats {
             Some(stats) => print_stats(stats),
-            // The baselines have no phase recorders: say so explicitly
-            // rather than printing nothing (the flag always has a visible
-            // effect on two-way runs).
-            None => println!("[stats] not_instrumented {}", opts.algorithm),
+            None => print_baseline_stats(&events, &opts.algorithm),
         }
+        print_mem_stats();
     }
     println!("elapsed: {elapsed:?}");
     ExitCode::SUCCESS
+}
+
+/// Prints `[stats]` lines for a baseline run from its collected counter
+/// events (`kl.*`/`fm.*`/`sa.*` summary counters, dots flattened to
+/// underscores). Algorithms with no recorders — `random` — keep the
+/// explicit note so the flag always has a visible effect.
+fn print_baseline_stats(events: &[Event], algorithm: &str) {
+    let mut totals: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for event in events {
+        if let Some(value) = event.counter_value() {
+            // Run metadata and heap accounting print through their own
+            // channels; the algorithm's counters are the payload here.
+            if event.name.starts_with("run.") || event.name.starts_with("mem.") {
+                continue;
+            }
+            *totals.entry(event.name).or_insert(0) += value;
+        }
+    }
+    if totals.is_empty() {
+        println!("[stats] not_instrumented {algorithm}");
+        return;
+    }
+    for (name, value) in totals {
+        println!("[stats] {} {value}", name.replace('.', "_"));
+    }
+}
+
+/// Prints the process heap accounting as `[stats] mem_*` lines (live and
+/// peak bytes, allocation count — from the counting allocator installed
+/// at the top of this binary).
+fn print_mem_stats() {
+    let mem = fhp_obs::alloc::stats();
+    println!("[stats] mem_live_bytes {}", mem.live_bytes);
+    println!("[stats] mem_peak_bytes {}", mem.peak_bytes);
+    println!("[stats] mem_allocs {}", mem.allocs);
 }
 
 /// Prints the run's phase-level diagnostics as stable `[stats] key value`
@@ -598,7 +759,7 @@ fn run_place(opts: &Options, netlist: &Netlist, rows: usize, cols: usize) -> Exi
     ExitCode::SUCCESS
 }
 
-fn run_multiway(opts: &Options, netlist: &Netlist, _two_way: Box<dyn Bipartitioner>) -> ExitCode {
+fn run_multiway(opts: &Options, netlist: &Netlist) -> ExitCode {
     use fhp_core::multiway::recursive_bisection;
     let h = netlist.hypergraph();
     // fhp-audit: allow(wallclock-in-fingerprint) — times the human-facing summary line only
@@ -688,13 +849,19 @@ fn usage() -> &'static str {
      \x20     --coarse-size <N> stop coarsening at N vertices (default 60;\n\
      \x20                       requires --multilevel)\n\
      \x20     --stats           print per-phase `[stats] key value` lines\n\
-     \x20                       (dualization counters + phase wall times;\n\
-     \x20                       two-way alg1 — other algorithms print a\n\
-     \x20                       `[stats] not_instrumented` note)\n\
+     \x20                       (dualization counters + phase wall times for\n\
+     \x20                       alg1; restart/pass/move counters for kl/fm/sa;\n\
+     \x20                       `random` prints a not_instrumented note)\n\
      \x20     --trace <FILE>    write an NDJSON event trace of the run\n\
-     \x20                       (two-way alg1 only)\n\
+     \x20                       (two-way alg1, kl, fm, or sa)\n\
      \x20     --profile         print folded stacks to stderr for flamegraph\n\
-     \x20                       tooling (two-way alg1 only)\n\
+     \x20                       tooling (two-way alg1, kl, fm, or sa)\n\
+     \x20     --progress        render live `[progress]` lines to stderr while\n\
+     \x20                       the run executes\n\
+     \x20     --metrics <FILE>  write the canonical end-of-run metrics snapshot\n\
+     \x20                       as NDJSON (byte-identical across --threads)\n\
+     \x20     --metrics-interval <MS>  also stream timestamped samples into the\n\
+     \x20                       --metrics file every MS milliseconds\n\
      \x20     --check           recount the cut, balance and side weights\n\
      \x20                       through the fhp-verify oracles and fail the\n\
      \x20                       run on any mismatch (alg1 only)\n\

@@ -74,6 +74,9 @@ fn stats_flag_prints_phase_lines() {
         "chosen_start",
         "num_g_vertices",
         "boundary_len",
+        "mem_live_bytes",
+        "mem_peak_bytes",
+        "mem_allocs",
     ] {
         assert!(
             stdout.contains(&format!("[stats] {key} ")),
@@ -128,38 +131,92 @@ fn stats_flag_rejected_outside_two_way_runs() {
 }
 
 #[test]
-fn stats_on_baselines_prints_not_instrumented_note() {
-    for alg in ["kl", "fm", "sa", "random"] {
+fn stats_on_baselines_prints_real_counters() {
+    let expect: [(&str, &[&str]); 3] = [
+        (
+            "kl",
+            &["kl_restarts", "kl_passes", "kl_swaps", "kl_best_cut"],
+        ),
+        ("fm", &["fm_restarts", "fm_passes", "fm_best_cut"]),
+        (
+            "sa",
+            &[
+                "sa_temperatures",
+                "sa_moves_attempted",
+                "sa_moves_accepted",
+                "sa_best_cut",
+            ],
+        ),
+    ];
+    for (alg, keys) in expect {
         let (stdout, stderr, ok) = run(&["--demo", "--stats", "-a", alg]);
         assert!(ok, "{alg}: {stderr}");
-        assert!(
-            stdout.contains(&format!("[stats] not_instrumented {alg}")),
-            "{alg}:\n{stdout}"
-        );
-        // quiet keeps the cut first but the note still appears
-        let (quiet, _, ok) = run(&["--demo", "--stats", "-a", alg, "-q"]);
-        assert!(ok);
-        assert!(quiet.lines().next().unwrap().trim().parse::<u64>().is_ok());
-        assert!(quiet.contains("not_instrumented"), "{alg}:\n{quiet}");
+        for key in keys {
+            assert!(
+                stdout.contains(&format!("[stats] {key} ")),
+                "{alg} missing {key}:\n{stdout}"
+            );
+        }
+        assert!(!stdout.contains("not_instrumented"), "{alg}:\n{stdout}");
     }
+    // quiet keeps the cut first but the counters still appear
+    let (quiet, _, ok) = run(&["--demo", "--stats", "-a", "kl", "-q"]);
+    assert!(ok);
+    assert!(quiet.lines().next().unwrap().trim().parse::<u64>().is_ok());
+    assert!(quiet.contains("[stats] kl_best_cut"), "{quiet}");
 }
 
 #[test]
-fn trace_and_profile_rejected_outside_two_way_alg1() {
+fn stats_on_random_keeps_the_not_instrumented_note() {
+    let (stdout, stderr, ok) = run(&["--demo", "--stats", "-a", "random"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("[stats] not_instrumented random"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn trace_and_profile_rejected_outside_instrumented_two_way_runs() {
     let dir = std::env::temp_dir();
     let trace = dir.join("fhp_cli_reject.ndjson");
     let trace = trace.to_str().unwrap();
     for args in [
-        &["--demo", "--trace", trace, "-a", "kl"][..],
+        &["--demo", "--trace", trace, "-a", "random"][..],
         &["--demo", "--trace", trace, "-k", "3"][..],
         &["--demo", "--trace", trace, "--place", "2x2"][..],
-        &["--demo", "--profile", "-a", "fm"][..],
+        &["--demo", "--profile", "-a", "random"][..],
     ] {
         let (_, stderr, ok) = run(args);
         assert!(!ok, "{args:?}");
         assert!(
             stderr.contains("--trace") || stderr.contains("--profile"),
             "{stderr}"
+        );
+    }
+}
+
+#[test]
+fn baseline_trace_writes_valid_ndjson_with_restart_spans() {
+    for (alg, span, counter) in [
+        ("kl", "\"name\":\"kl.restart\"", "\"name\":\"kl.best_cut\""),
+        ("fm", "\"name\":\"fm.restart\"", "\"name\":\"fm.best_cut\""),
+        ("sa", "\"name\":\"sa.walk\"", "\"name\":\"sa.best_cut\""),
+    ] {
+        let path = std::env::temp_dir().join(format!("fhp_cli_trace_{alg}.ndjson"));
+        let path_s = path.to_str().unwrap();
+        let (_, stderr, ok) = run(&["--demo", "-a", alg, "--trace", path_s]);
+        assert!(ok, "{alg}: {stderr}");
+        let text = std::fs::read_to_string(&path).expect("trace written");
+        for line in text.lines() {
+            fhp_obs::json::validate_trace_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
+        assert!(text.contains(span), "{alg}:\n{text}");
+        assert!(text.contains(counter), "{alg}:\n{text}");
+        // heap accounting rides along in the volatile mem scope
+        assert!(
+            text.contains("\"name\":\"mem.peak_bytes\""),
+            "{alg}:\n{text}"
         );
     }
 }
@@ -210,25 +267,129 @@ fn trace_is_canonically_identical_across_thread_counts() {
         assert!(ok, "{stderr}");
         let text = std::fs::read_to_string(&path).expect("trace written");
         // strip the volatile fields (timings, thread lane) the same way
-        // fhp_obs::canonical_line does, via the parsed event values
+        // fhp_obs::canonical_line does, via the parsed event values; drop
+        // `mem.*` events wholesale — allocation counts depend on
+        // scheduling, so they are volatile as whole events
         text.lines()
-            .map(|l| {
+            .filter_map(|l| {
                 let v = fhp_obs::json::parse(l).expect("valid json");
+                if let Some(fhp_obs::json::Json::Str(name)) = v.get("name") {
+                    if fhp_obs::is_volatile_event(name) {
+                        return None;
+                    }
+                }
                 let pick = |k: &str| format!("{:?}", v.get(k));
-                format!(
+                Some(format!(
                     "{}|{}|{}|{}|{}",
                     pick("name"),
                     pick("kind"),
                     pick("start_index"),
                     pick("stack"),
                     pick("fields")
-                )
+                ))
             })
             .collect()
     };
     let one = canonical("1");
     assert_eq!(one, canonical("2"), "threads 2 diverged");
     assert_eq!(one, canonical("8"), "threads 8 diverged");
+}
+
+#[test]
+fn metrics_snapshot_is_byte_identical_across_thread_counts() {
+    let snapshot = |threads: &str| -> String {
+        let path = std::env::temp_dir().join(format!("fhp_cli_metrics_t{threads}.ndjson"));
+        let path_s = path.to_str().unwrap();
+        let (_, stderr, ok) = run(&[
+            "--demo",
+            "--metrics",
+            path_s,
+            "-s",
+            "8",
+            "--seed",
+            "0",
+            "--threads",
+            threads,
+        ]);
+        assert!(ok, "{stderr}");
+        std::fs::read_to_string(&path).expect("metrics written")
+    };
+    let one = snapshot("1");
+    assert_eq!(one, snapshot("2"), "threads 2 diverged");
+    assert_eq!(one, snapshot("8"), "threads 8 diverged");
+    assert!(!one.is_empty());
+    for line in one.lines() {
+        fhp_obs::json::validate_trace_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+    for key in [
+        "progress.dualize_passes_done",
+        "progress.dualize_pairs_retired",
+        "progress.starts_done",
+        "progress.best_cut",
+    ] {
+        assert!(one.contains(key), "missing {key}:\n{one}");
+    }
+    // volatile gauges never reach the canonical form
+    assert!(!one.contains("mem."), "{one}");
+    // the final best-cut gauge equals the reported demo cut
+    let best = one
+        .lines()
+        .find(|l| l.contains("progress.best_cut"))
+        .expect("best cut line");
+    assert!(best.contains("\"value\":2"), "{best}");
+}
+
+#[test]
+fn progress_flag_renders_live_lines() {
+    let (stdout, stderr, ok) = run(&["--demo", "--progress", "-q"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout.lines().next().unwrap().trim(), "2");
+    // the sampler's final line always lands, however short the run
+    assert!(stderr.contains("[progress]"), "{stderr}");
+    assert!(stderr.contains("done"), "{stderr}");
+    assert!(stderr.contains("best cut 2"), "{stderr}");
+}
+
+#[test]
+fn metrics_interval_streams_trace_valid_samples() {
+    let path = std::env::temp_dir().join("fhp_cli_metrics_stream.ndjson");
+    let path_s = path.to_str().unwrap();
+    let (_, stderr, ok) = run(&[
+        "--demo",
+        "--metrics",
+        path_s,
+        "--metrics-interval",
+        "1",
+        "-s",
+        "50",
+    ]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&path).expect("metrics written");
+    for line in text.lines() {
+        fhp_obs::json::validate_trace_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+    }
+    // the canonical snapshot is appended after any live samples
+    assert!(text.contains("progress.best_cut"), "{text}");
+
+    let (_, stderr, ok) = run(&["--demo", "--metrics-interval", "5"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--metrics-interval requires --metrics"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn progress_and_metrics_rejected_outside_two_way_runs() {
+    for args in [
+        &["--demo", "--progress", "-k", "3"][..],
+        &["--demo", "--progress", "--place", "2x2"][..],
+        &["--demo", "--metrics", "/tmp/fhp_cli_m.ndjson", "-k", "3"][..],
+    ] {
+        let (_, stderr, ok) = run(args);
+        assert!(!ok, "{args:?}");
+        assert!(stderr.contains("--progress/--metrics"), "{stderr}");
+    }
 }
 
 #[test]

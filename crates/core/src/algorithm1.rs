@@ -23,10 +23,11 @@
 //! returned cut has size 0, while move-based heuristics typically get stuck
 //! at a locally-minimum cut of size `Θ(|E|)` (§4).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use fhp_hypergraph::{Dualizer, Hypergraph, IntersectionGraph, VertexId};
-use fhp_obs::{names, order, Collector, Histogram, Scope};
+use fhp_obs::{names, order, Collector, Gauge, Histogram, Progress, Scope};
 
 use crate::boundary::BoundaryDecomposition;
 use crate::complete_cut::{
@@ -421,6 +422,7 @@ impl PartitionOutcome {
 pub struct Algorithm1 {
     config: PartitionConfig,
     collector: Collector,
+    progress: Option<Arc<Progress>>,
 }
 
 impl Algorithm1 {
@@ -429,6 +431,7 @@ impl Algorithm1 {
         Self {
             config,
             collector: Collector::disabled(),
+            progress: None,
         }
     }
 
@@ -440,6 +443,16 @@ impl Algorithm1 {
     /// the same local buffers.
     pub fn collector(mut self, collector: Collector) -> Self {
         self.collector = collector;
+        self
+    }
+
+    /// Attaches a live [`Progress`] registry: start totals are planned
+    /// into it up front, `StartsDone`/`BestCut` tick as workers retire
+    /// starts, and the dualizer's pass/pair gauges are forwarded. All
+    /// updates are relaxed atomics on pre-existing slots, so the
+    /// zero-allocation contract of the hot loop is untouched.
+    pub fn progress(mut self, progress: Option<Arc<Progress>>) -> Self {
+        self.progress = progress;
         self
     }
 
@@ -472,7 +485,13 @@ impl Algorithm1 {
         // Multilevel mode: the V-cycle owns the whole run (its inner
         // engine runs strip this field, so recursion bottoms out there).
         if let Some(ml) = self.config.multilevel {
-            return crate::multilevel::run_vcycle(h, &self.config, &ml, &self.collector);
+            return crate::multilevel::run_vcycle(
+                h,
+                &self.config,
+                &ml,
+                &self.collector,
+                self.progress.as_deref(),
+            );
         }
 
         // Pathological case (§4): a disconnected hypergraph has a cut of
@@ -515,7 +534,8 @@ impl Algorithm1 {
             .threshold(self.config.edge_size_threshold)
             .threads(self.config.threads)
             .pair_cap(self.config.pair_cap)
-            .collector(self.collector.clone());
+            .collector(self.collector.clone())
+            .progress(self.progress.clone());
         let ig = if self.config.streaming_dualize {
             dualizer.build_streaming(h)?
         } else {
@@ -527,12 +547,25 @@ impl Algorithm1 {
         };
         let workers = resolve_threads(self.config.threads).clamp(1, self.config.starts);
         let config = self.config;
+        let progress = self.progress.as_deref();
+        if let Some(p) = progress {
+            p.add(Gauge::StartsTotal, self.config.starts as u64);
+        }
         let (records, arenas) = run_starts_arena(
             self.config.starts,
             workers,
             &self.collector,
             || StartArena::for_instance(h, &ig),
-            |start, arena, scope| evaluate_start(h, &ig, &config, start, arena, scope),
+            |start, arena, scope| {
+                let outcome = evaluate_start(h, &ig, &config, start, arena, scope);
+                if let Some(p) = progress {
+                    p.add(Gauge::StartsDone, 1);
+                    if let Some(c) = outcome.candidate {
+                        p.record_min(Gauge::BestCut, c.cut_size as u64);
+                    }
+                }
+                outcome
+            },
         );
         let arena_reuse_hits = (records.len() - arenas.len()) as u64;
 

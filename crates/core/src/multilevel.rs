@@ -37,7 +37,7 @@
 
 use fhp_hypergraph::contract::{heavy_pair_clustering, heavy_pair_clustering_within, Contraction};
 use fhp_hypergraph::Hypergraph;
-use fhp_obs::{names, order, Collector};
+use fhp_obs::{names, order, Collector, Gauge, Progress};
 
 use crate::metrics::{self, CutReport, Objective};
 use crate::refine::{FmRefiner, FmScratch};
@@ -282,6 +282,7 @@ pub(crate) fn run_vcycle(
     config: &PartitionConfig,
     ml: &MultilevelConfig,
     collector: &Collector,
+    progress: Option<&Progress>,
 ) -> Result<PartitionOutcome, PartitionError> {
     ml.validate()?;
     let flat_config = config.multilevel(None);
@@ -319,6 +320,9 @@ pub(crate) fn run_vcycle(
         levels.push(c);
         drop(span);
         collector.adopt(scope.finish());
+        if let Some(p) = progress {
+            p.record_max(Gauge::MlLevels, levels.len() as u64);
+        }
     }
 
     // ---- coarsest-level initial partition ----------------------------
@@ -348,7 +352,12 @@ pub(crate) fn run_vcycle(
         level_partitions.push(bp.clone());
         level_cuts.push(cut);
     }
-    let mut cycle_cuts = vec![metrics::cut_size(h, &bp)];
+    let first_cycle_cut = metrics::cut_size(h, &bp);
+    let mut cycle_cuts = vec![first_cycle_cut];
+    if let Some(p) = progress {
+        p.add(Gauge::MlVcyclesDone, 1);
+        p.record_min(Gauge::BestCut, first_cycle_cut as u64);
+    }
 
     // ---- extra V-cycles: partition-respecting re-coarsening ----------
     for _ in 1..ml.vcycles {
@@ -363,6 +372,10 @@ pub(crate) fn run_vcycle(
         scope.counter(names::ML_CYCLE_CUT, cut as u64);
         collector.adopt(scope.finish());
         cycle_cuts.push(cut);
+        if let Some(p) = progress {
+            p.add(Gauge::MlVcyclesDone, 1);
+            p.record_min(Gauge::BestCut, cut as u64);
+        }
     }
 
     // ---- flat guard --------------------------------------------------

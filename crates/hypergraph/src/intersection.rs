@@ -42,10 +42,12 @@
 //! edges inserted, and wall time.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use fhp_obs::{counter_total, names, order, span_total_ns, Collector, Event, Scope};
+use fhp_obs::{
+    counter_total, names, order, span_total_ns, Collector, Event, Gauge, Progress, Scope,
+};
 
 use crate::{BuildGraphError, EdgeId, Graph, GraphBuilder, Hypergraph, VertexId};
 
@@ -146,6 +148,7 @@ pub struct Dualizer {
     threads: usize,
     pair_cap: Option<usize>,
     collector: Collector,
+    progress: Option<Arc<Progress>>,
 }
 
 impl Default for Dualizer {
@@ -155,6 +158,7 @@ impl Default for Dualizer {
             threads: 1,
             pair_cap: None,
             collector: Collector::disabled(),
+            progress: None,
         }
     }
 }
@@ -195,6 +199,16 @@ impl Dualizer {
     /// is how [`DualizeStats`] is derived — but nothing is retained.
     pub fn collector(mut self, collector: Collector) -> Self {
         self.collector = collector;
+        self
+    }
+
+    /// Attaches a live [`Progress`] registry: pass totals are planned
+    /// into it up front and `DualizePassesDone` / `DualizePairsRetired`
+    /// tick as the kernel's parallel sections complete. Updates are
+    /// relaxed atomic adds — no locks, no allocation — so attaching one
+    /// does not perturb the hot loop.
+    pub fn progress(mut self, progress: Option<Arc<Progress>>) -> Self {
+        self.progress = progress;
         self
     }
 
@@ -242,11 +256,22 @@ impl Dualizer {
         // One span covers the whole parallel section: per-shard spans
         // would make the event count a function of the threads knob and
         // break cross-thread-count trace identity.
+        if let Some(p) = self.progress.as_deref() {
+            p.add(Gauge::DualizePassesTotal, 1);
+        }
         let shards_span = scope.span(names::DUALIZE_SHARDS);
+        let progress = self.progress.as_deref();
         let shard_out = run_shards(shards, threads, |s| {
-            dualize_shard(h, &g_of, bounds[s]..bounds[s + 1])
+            let out = dualize_shard(h, &g_of, bounds[s]..bounds[s + 1]);
+            if let Some(p) = progress {
+                p.add(Gauge::DualizePairsRetired, out.generated);
+            }
+            out
         });
         drop(shards_span);
+        if let Some(p) = progress {
+            p.add(Gauge::DualizePassesDone, 1);
+        }
 
         let pairs_generated: u64 = shard_out.iter().map(|s| s.generated).sum();
         debug_assert_eq!(pairs_generated, total_pairs);
@@ -339,11 +364,20 @@ impl Dualizer {
         };
         drop(plan);
 
+        if let Some(p) = self.progress.as_deref() {
+            p.add(Gauge::DualizePassesTotal, passes);
+        }
         let shards_span = scope.span(names::DUALIZE_SHARDS);
+        let progress = self.progress.as_deref();
         let runs = run_shards(passes as usize, threads, |c| {
             let lo = c as u64 * cap;
             let hi = ((c as u64 + 1) * cap).min(total_pairs);
-            dualize_chunk(h, &g_of, &prefix, lo, hi)
+            let out = dualize_chunk(h, &g_of, &prefix, lo, hi);
+            if let Some(p) = progress {
+                p.add(Gauge::DualizePairsRetired, out.generated);
+                p.add(Gauge::DualizePassesDone, 1);
+            }
+            out
         });
         drop(shards_span);
 

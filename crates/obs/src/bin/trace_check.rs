@@ -1,7 +1,7 @@
 //! `fhp-trace-check` — validates NDJSON trace files written by `--trace`.
 //!
 //! ```text
-//! fhp-trace-check <trace.ndjson>...
+//! fhp-trace-check [--summary] <trace.ndjson>...
 //! ```
 //!
 //! Every line of every file must parse as a JSON object carrying the full
@@ -9,15 +9,81 @@
 //! correctly typed values. Exits 0 and prints a per-file summary when all
 //! lines validate; prints `file:line: error` diagnostics and exits 1
 //! otherwise. Used by CI to gate the demo trace artifact.
+//!
+//! With `--summary`, each valid file is also aggregated per event name —
+//! span call counts and total durations, counter event counts and value
+//! sums — so CI logs show where a run spent its time without jq
+//! gymnastics.
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use fhp_obs::json::validate_trace_line;
+use fhp_obs::json::{parse, validate_trace_line, Json};
+
+#[derive(Default)]
+struct Aggregate {
+    kind: String,
+    events: u64,
+    total_dur_ns: u64,
+    value_sum: u64,
+}
+
+fn aggregate(text: &str) -> BTreeMap<String, Aggregate> {
+    let mut per_name: BTreeMap<String, Aggregate> = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        // Lines already validated; skip defensively on any surprise.
+        let Ok(event) = parse(line) else { continue };
+        let (Some(Json::Str(name)), Some(Json::Str(kind))) = (event.get("name"), event.get("kind"))
+        else {
+            continue;
+        };
+        let entry = per_name.entry(name.clone()).or_default();
+        entry.kind = kind.clone();
+        entry.events += 1;
+        if let Some(Json::Num(dur)) = event.get("dur_ns") {
+            entry.total_dur_ns += *dur as u64;
+        }
+        if let Some(Json::Num(v)) = event.get("fields").and_then(|f| f.get("value")) {
+            entry.value_sum += *v as u64;
+        }
+    }
+    per_name
+}
+
+fn print_summary(path: &str, text: &str) {
+    println!("{path}: per-phase summary");
+    println!(
+        "  {:<32} {:>8} {:>16} {:>16}",
+        "name", "events", "total_dur_ns", "value_sum"
+    );
+    for (name, agg) in aggregate(text) {
+        match agg.kind.as_str() {
+            "span" => println!(
+                "  {:<32} {:>8} {:>16} {:>16}",
+                name, agg.events, agg.total_dur_ns, "-"
+            ),
+            _ => println!(
+                "  {:<32} {:>8} {:>16} {:>16}",
+                name, agg.events, "-", agg.value_sum
+            ),
+        }
+    }
+}
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut summary = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--summary" => summary = true,
+            _ => paths.push(arg),
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: fhp-trace-check <trace.ndjson>...");
+        eprintln!("usage: fhp-trace-check [--summary] <trace.ndjson>...");
         return ExitCode::from(2);
     }
     let mut failed = false;
@@ -51,11 +117,40 @@ fn main() -> ExitCode {
             failed = true;
         } else {
             println!("{path}: {events} events ok");
+            if summary {
+                print_summary(path, &text);
+            }
         }
     }
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_aggregates_spans_and_counters_per_name() {
+        let text = concat!(
+            "{\"name\":\"dualize.shards\",\"kind\":\"span\",\"start_ns\":5,\"dur_ns\":100,",
+            "\"start_index\":null,\"thread\":0,\"stack\":\"dualize\",\"fields\":{}}\n",
+            "{\"name\":\"dualize.shards\",\"kind\":\"span\",\"start_ns\":7,\"dur_ns\":40,",
+            "\"start_index\":null,\"thread\":1,\"stack\":\"dualize\",\"fields\":{}}\n",
+            "{\"name\":\"alg1.start_cut_size\",\"kind\":\"counter\",\"start_ns\":0,\"dur_ns\":0,",
+            "\"start_index\":0,\"thread\":0,\"stack\":\"\",\"fields\":{\"value\":9}}\n",
+            "{\"name\":\"alg1.start_cut_size\",\"kind\":\"counter\",\"start_ns\":0,\"dur_ns\":0,",
+            "\"start_index\":1,\"thread\":0,\"stack\":\"\",\"fields\":{\"value\":5}}\n",
+        );
+        let agg = aggregate(text);
+        assert_eq!(agg.len(), 2);
+        let spans = &agg["dualize.shards"];
+        assert_eq!((spans.events, spans.total_dur_ns), (2, 140));
+        assert_eq!(spans.kind, "span");
+        let cuts = &agg["alg1.start_cut_size"];
+        assert_eq!((cuts.events, cuts.value_sum), (2, 14));
     }
 }

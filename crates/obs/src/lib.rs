@@ -21,21 +21,32 @@
 //! `dur_ns`, and `thread` must be a pure function of the run's inputs
 //! (instance, seed, start count) — never of the thread count or
 //! scheduling. [`writer::canonical_line`] serializes exactly the
-//! deterministic subset.
+//! deterministic subset. Events whose name carries the `mem.` prefix are
+//! volatile **wholesale** (allocator tallies depend on scheduling);
+//! [`writer::is_volatile_event`] names that rule and canonical
+//! comparisons drop such events entirely.
+//!
+//! Live telemetry rides on the same contract: [`progress`] adds a
+//! lock-free gauge registry updated from the hot paths, and [`alloc`]
+//! adds opt-in heap accounting (installed in a binary via
+//! [`install_counting_allocator!`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 mod collector;
 mod event;
 mod histogram;
 pub mod json;
+pub mod progress;
 pub mod writer;
 
 pub use collector::{Collector, Scope, ScopeEvents, SpanGuard};
 pub use event::{counter_total, span_total_ns, Counter, Event, EventKind, FieldValue};
 pub use histogram::{Histogram, NUM_BUCKETS};
-pub use writer::{canonical_line, folded_stacks, ndjson_line, TraceWriter};
+pub use progress::{Gauge, Progress, Sampler};
+pub use writer::{canonical_line, folded_stacks, is_volatile_event, ndjson_line, TraceWriter};
 
 /// Deterministic scope merge keys. Callers pick a key per scope from run
 /// structure — phase constants for singleton scopes, [`start`](order::start)
@@ -67,6 +78,11 @@ pub mod order {
     /// The `fhp-verify` harness's counter scope. Sorts after every
     /// per-start scope and before the summary.
     pub const VERIFY: u64 = u64::MAX - 1;
+    /// Memory-telemetry scope (`mem.*` counters from the counting
+    /// allocator). Volatile wholesale — canonical comparisons skip it by
+    /// name prefix — but ordered after every per-start scope (and before
+    /// verify/summary) so full traces still merge deterministically.
+    pub const MEM: u64 = u64::MAX - 2;
     /// Run summary scope (chosen start, best cut, distributions). Sorts
     /// last.
     pub const SUMMARY: u64 = u64::MAX;
@@ -178,6 +194,56 @@ pub mod names {
     /// Counter: 1 if the flat guard's partition strictly beat the V-cycle's
     /// and was returned instead, else 0.
     pub const ML_USED_FLAT_GUARD: &str = "ml.used_flat_guard";
+    /// Gauge: dualize passes completed so far.
+    pub const PROGRESS_DUALIZE_PASSES_DONE: &str = "progress.dualize_passes_done";
+    /// Gauge: dualize passes planned.
+    pub const PROGRESS_DUALIZE_PASSES_TOTAL: &str = "progress.dualize_passes_total";
+    /// Gauge: intersection pairs retired through the dualizer.
+    pub const PROGRESS_DUALIZE_PAIRS_RETIRED: &str = "progress.dualize_pairs_retired";
+    /// Gauge: multi-start attempts completed so far.
+    pub const PROGRESS_STARTS_DONE: &str = "progress.starts_done";
+    /// Gauge: multi-start attempts planned.
+    pub const PROGRESS_STARTS_TOTAL: &str = "progress.starts_total";
+    /// Gauge: best cut size seen so far.
+    pub const PROGRESS_BEST_CUT: &str = "progress.best_cut";
+    /// Gauge: coarsening levels the V-cycle built.
+    pub const PROGRESS_ML_LEVELS: &str = "progress.ml_levels";
+    /// Gauge: V-cycles completed.
+    pub const PROGRESS_ML_VCYCLES_DONE: &str = "progress.ml_vcycles_done";
+    /// Gauge/counter: live heap bytes (volatile — `mem.` prefix).
+    pub const MEM_LIVE_BYTES: &str = "mem.live_bytes";
+    /// Gauge/counter: peak heap bytes (volatile — `mem.` prefix).
+    pub const MEM_PEAK_BYTES: &str = "mem.peak_bytes";
+    /// Gauge/counter: heap acquisitions (volatile — `mem.` prefix).
+    pub const MEM_ALLOCS: &str = "mem.allocs";
+    /// Span: one Kernighan–Lin restart.
+    pub const KL_RESTART: &str = "kl.restart";
+    /// Counter: KL restarts executed.
+    pub const KL_RESTARTS: &str = "kl.restarts";
+    /// Counter: KL improvement passes executed across restarts.
+    pub const KL_PASSES: &str = "kl.passes";
+    /// Counter: KL pair swaps committed across restarts.
+    pub const KL_SWAPS: &str = "kl.swaps";
+    /// Counter: best weighted cut KL achieved.
+    pub const KL_BEST_CUT: &str = "kl.best_cut";
+    /// Span: one Fiduccia–Mattheyses restart.
+    pub const FM_RESTART: &str = "fm.restart";
+    /// Counter: FM restarts executed.
+    pub const FM_RESTARTS: &str = "fm.restarts";
+    /// Counter: FM refinement passes executed across restarts.
+    pub const FM_PASSES: &str = "fm.passes";
+    /// Counter: best weighted cut FM achieved.
+    pub const FM_BEST_CUT: &str = "fm.best_cut";
+    /// Span: the simulated-annealing walk.
+    pub const SA_WALK: &str = "sa.walk";
+    /// Counter: temperature plateaus the annealer visited.
+    pub const SA_TEMPERATURES: &str = "sa.temperatures";
+    /// Counter: moves the annealer attempted.
+    pub const SA_MOVES_ATTEMPTED: &str = "sa.moves_attempted";
+    /// Counter: moves the annealer accepted.
+    pub const SA_MOVES_ACCEPTED: &str = "sa.moves_accepted";
+    /// Counter: best weighted cut the annealer achieved.
+    pub const SA_BEST_CUT: &str = "sa.best_cut";
     /// Counter: instances the verify harness generated and checked.
     pub const VERIFY_INSTANCES: &str = "verify.instances";
     /// Counter: individual oracle assertions the verify harness ran.
@@ -201,6 +267,7 @@ mod tests {
             order::start(usize::from(u16::MAX)),
             order::ml(0),
             order::ml(1 << 16),
+            order::MEM,
             order::VERIFY,
             order::SUMMARY,
         ];

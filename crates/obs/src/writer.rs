@@ -94,6 +94,15 @@ pub fn canonical_line(event: &Event) -> String {
     line(event, false)
 }
 
+/// Whether an event is volatile **wholesale** — its value, not just its
+/// timing, may depend on thread count or scheduling. Today that is
+/// exactly the `mem.` name prefix (allocator tallies). Canonical
+/// comparisons must drop these events entirely rather than merely
+/// stripping their timing keys.
+pub fn is_volatile_event(name: &str) -> bool {
+    name.starts_with("mem.")
+}
+
 /// Writes event sequences as NDJSON to any [`io::Write`] sink.
 ///
 /// # Examples
@@ -212,6 +221,15 @@ mod tests {
         assert!(!canonical_line(&a).contains("dur_ns"));
         assert!(!canonical_line(&a).contains("start_ns"));
         assert!(!canonical_line(&a).contains("thread"));
+    }
+
+    #[test]
+    fn mem_prefix_marks_events_volatile_wholesale() {
+        assert!(is_volatile_event("mem.live_bytes"));
+        assert!(is_volatile_event("mem.allocs"));
+        assert!(!is_volatile_event("memx"));
+        assert!(!is_volatile_event("progress.best_cut"));
+        assert!(!is_volatile_event("dualize.pairs_generated"));
     }
 
     #[test]

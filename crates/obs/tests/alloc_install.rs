@@ -1,0 +1,51 @@
+//! End-to-end proof of the opt-in counting allocator: this integration
+//! binary installs `install_counting_allocator!` and checks that real
+//! heap traffic shows up in `fhp_obs::alloc::stats()` and flows into the
+//! `mem.*` gauges via `Progress::sync_alloc_gauges`.
+//!
+//! A single `#[test]` on purpose: the tallies are process-global and a
+//! sibling test thread would bleed its allocations into the deltas.
+
+use fhp_obs::progress::{Gauge, Progress};
+
+fhp_obs::install_counting_allocator!();
+
+#[test]
+fn installed_allocator_feeds_stats_and_gauges() {
+    let before = fhp_obs::alloc::stats();
+    assert!(
+        before.allocs > 0,
+        "the test harness itself allocates before main; zero means the shim is not installed"
+    );
+
+    let buf: Vec<u8> = Vec::with_capacity(1 << 20);
+    let during = fhp_obs::alloc::stats();
+    assert!(
+        during.allocs > before.allocs,
+        "the Vec allocation was counted"
+    );
+    assert!(
+        during.live_bytes >= before.live_bytes + (1 << 20),
+        "live bytes grew by at least the Vec's capacity ({} -> {})",
+        before.live_bytes,
+        during.live_bytes
+    );
+    assert!(during.peak_bytes >= during.live_bytes);
+    drop(buf);
+    let after = fhp_obs::alloc::stats();
+    assert!(
+        after.live_bytes <= during.live_bytes - (1 << 20),
+        "dropping the Vec returned its bytes ({} -> {})",
+        during.live_bytes,
+        after.live_bytes
+    );
+    assert!(
+        after.peak_bytes >= during.live_bytes,
+        "peak survives the free"
+    );
+
+    let progress = Progress::new();
+    progress.sync_alloc_gauges();
+    assert!(progress.get(Gauge::MemPeakBytes) >= 1 << 20);
+    assert!(progress.get(Gauge::MemAllocs) > 0);
+}

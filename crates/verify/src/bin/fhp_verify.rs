@@ -19,11 +19,14 @@
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-use fhp_obs::{order, Event, EventKind, FieldValue, TraceWriter};
+use fhp_obs::{order, Event, EventKind, FieldValue, Progress, Sampler, TraceWriter};
 use fhp_verify::gen::Family;
 use fhp_verify::harness::{self, HarnessConfig, HarnessReport};
+
+fhp_obs::install_counting_allocator!();
 
 const USAGE: &str = "\
 fhp-verify: deterministic oracle harness for the fhp workspace
@@ -39,6 +42,7 @@ OPTIONS:
                       circuit planted random hub star chain grid
     --threads N       base worker count for engine runs (default 1;
                       the invariance oracle always sweeps 1/2/8)
+    --progress        render live [progress] lines on stderr
     --ndjson PATH     write fhp-obs counter NDJSON to PATH
     --repro PREFIX    where to write PREFIX.hgr + PREFIX.cmd on a
                       violation (default fhp-verify-repro)
@@ -52,6 +56,7 @@ struct Options {
     time_budget: Option<Duration>,
     families: Vec<Family>,
     threads: usize,
+    progress: bool,
     ndjson: Option<String>,
     repro: String,
     replay: Option<String>,
@@ -65,6 +70,7 @@ impl Default for Options {
             time_budget: None,
             families: Vec::new(),
             threads: 1,
+            progress: false,
             ndjson: None,
             repro: "fhp-verify-repro".to_string(),
             replay: None,
@@ -99,6 +105,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 opts.threads = n as usize;
             }
+            "--progress" => opts.progress = true,
             "--ndjson" => opts.ndjson = Some(value("--ndjson")?.clone()),
             "--repro" => opts.repro = value("--repro")?.clone(),
             "--replay" => opts.replay = Some(value("--replay")?.clone()),
@@ -133,6 +140,10 @@ fn main() -> ExitCode {
         return replay(path, &opts);
     }
 
+    let progress = opts.progress.then(|| Arc::new(Progress::new()));
+    let sampler = progress
+        .as_ref()
+        .map(|p| Sampler::spawn(Arc::clone(p), Duration::from_millis(500), true, None));
     let config = HarnessConfig {
         seed: opts.seed,
         iters: opts.iters,
@@ -143,8 +154,12 @@ fn main() -> ExitCode {
             opts.families.clone()
         },
         threads: opts.threads,
+        progress: progress.clone(),
     };
     let report = harness::run(&config);
+    if let Some(sampler) = sampler {
+        sampler.finish();
+    }
 
     println!(
         "fhp-verify: seed {} · {} instances · {} oracle checks{}",

@@ -8,9 +8,11 @@
 //! and the counters it reports are byte-identical whatever `--threads`
 //! or wall-clock conditions were.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use fhp_hypergraph::{hgr, Hypergraph};
+use fhp_obs::{Gauge, Progress};
 
 use crate::gen::Family;
 use crate::oracle::{check_instance, OracleCounts, Violation};
@@ -35,6 +37,11 @@ pub struct HarnessConfig {
     /// Base worker count for single engine runs (the invariance oracle
     /// always sweeps 1/2/8 regardless).
     pub threads: usize,
+    /// Optional live gauges: each harness iteration is one "start"
+    /// (`StartsTotal` is planned up front, `StartsDone` ticks per
+    /// instance), so a [`fhp_obs::Sampler`] attached by the caller can
+    /// render long fuzzing runs. `None` costs nothing.
+    pub progress: Option<Arc<Progress>>,
 }
 
 impl Default for HarnessConfig {
@@ -45,6 +52,7 @@ impl Default for HarnessConfig {
             time_budget: None,
             families: Family::ALL.to_vec(),
             threads: 1,
+            progress: None,
         }
     }
 }
@@ -148,6 +156,9 @@ pub fn run(config: &HarnessConfig) -> HarnessReport {
     } else {
         config.families.clone()
     };
+    if let Some(p) = &config.progress {
+        p.add(Gauge::StartsTotal, config.iters);
+    }
 
     for index in 0..config.iters {
         if let Some(budget) = config.time_budget {
@@ -206,6 +217,10 @@ pub fn run(config: &HarnessConfig) -> HarnessReport {
             &mut report.per_oracle,
         );
         report.checks += outcome.checks;
+        if let Some(p) = &config.progress {
+            p.add(Gauge::StartsDone, 1);
+            p.sync_alloc_gauges();
+        }
         if let Some(violation) = outcome.violation {
             let failure = shrink_failure(config, family, index, instance.hypergraph, violation);
             report.shrink_steps = failure.shrink_steps;
@@ -275,6 +290,7 @@ mod tests {
             time_budget: None,
             families: Family::ALL.to_vec(),
             threads: 1,
+            progress: None,
         }
     }
 
@@ -285,6 +301,19 @@ mod tests {
         assert_eq!(report.instances, 14);
         assert!(report.checks > 0);
         assert!(!report.timed_out);
+    }
+
+    #[test]
+    fn attached_progress_gauges_track_instances() {
+        let progress = Arc::new(Progress::new());
+        let config = HarnessConfig {
+            progress: Some(Arc::clone(&progress)),
+            ..small_config()
+        };
+        let report = run(&config);
+        assert!(report.passed());
+        assert_eq!(progress.get(Gauge::StartsTotal), config.iters);
+        assert_eq!(progress.get(Gauge::StartsDone), report.instances);
     }
 
     #[test]
