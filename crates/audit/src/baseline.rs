@@ -1,11 +1,25 @@
-//! The ratchet baseline: grandfathered finding counts, per rule per
-//! crate, that may only go down.
+//! The ratchet baseline, v2: grandfathered finding **sites**, not counts.
 //!
-//! `audit-baseline.json` is a flat JSON object mapping `<crate>/<rule>`
-//! buckets to counts. [`compare`] fails a run the moment any bucket
-//! *rises* above its committed count; `fhp-audit --update-baseline`
-//! rewrites the file with the current counts once a burndown lands. The
-//! file is committed, so loosening it is a reviewable diff, not a flag.
+//! The PR-4 baseline was a per-crate count map — honest about volume,
+//! blind to identity. A new `unwrap()` in `crates/core` was invisible as
+//! long as an old one died in the same PR, because counts can be traded.
+//! v2 keys every grandfathered finding by a content fingerprint:
+//!
+//! ```text
+//! <crate>/<path>:<rule>:<fnv1a64 of the trimmed source line>
+//! ```
+//!
+//! so a finding that merely *moves* (line shifts above it) keeps its key
+//! and stays grandfathered, while any genuinely new site — new code, or
+//! an edited line that must be re-reviewed — is a key the baseline has
+//! never seen and fails the run. Deleted sites auto-ratchet: their keys
+//! can never excuse a different site, and `fhp-audit --rebaseline`
+//! drops them from the committed file.
+//!
+//! `audit-baseline.json` is `{"format": 2, "sites": {<key>: <count>}}`;
+//! the count absorbs byte-identical duplicate sites in one file (two
+//! `v[i]` on identical lines). The retired per-crate format is detected
+//! and refused with an error naming the migration command.
 
 use std::collections::BTreeMap;
 
@@ -13,27 +27,55 @@ use fhp_obs::json::{self, Json};
 
 use crate::rules::Finding;
 
-/// Counts per `<crate>/<rule>` bucket. `BTreeMap` so serialization and
+/// Occurrence counts per site key. `BTreeMap` so serialization and
 /// comparison order never depend on hash state.
 pub type Counts = BTreeMap<String, u64>;
 
-/// Buckets the findings of one run.
+/// FNV-1a 64-bit — the same zero-dependency hash the engine uses for
+/// fingerprints; stability across platforms is the whole point.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content fingerprint of a finding: the hash of its trimmed source
+/// line. Line numbers are deliberately excluded — moved code keeps its
+/// identity; edited code loses it and gets re-reviewed.
+pub fn fingerprint(f: &Finding) -> String {
+    format!("{:016x}", fnv1a64(f.snippet.as_bytes()))
+}
+
+/// The full baseline key of a finding:
+/// `<crate>/<path>:<rule>:<fingerprint>`.
+pub fn site_key(f: &Finding) -> String {
+    format!(
+        "{}/{}:{}:{}",
+        f.crate_name,
+        f.path,
+        f.rule.id(),
+        fingerprint(f)
+    )
+}
+
+/// Buckets the findings of one run by site key.
 pub fn count_findings(findings: &[Finding]) -> Counts {
     let mut counts = Counts::new();
     for f in findings {
-        *counts
-            .entry(format!("{}/{}", f.crate_name, f.rule.id()))
-            .or_insert(0) += 1;
+        *counts.entry(site_key(f)).or_insert(0) += 1;
     }
     counts
 }
 
-/// One bucket whose current count differs from the baseline.
+/// One site whose current count differs from the baseline.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Delta {
-    /// The `<crate>/<rule>` bucket key.
-    pub bucket: String,
-    /// Grandfathered count (0 if the bucket is new).
+    /// The site key.
+    pub site: String,
+    /// Grandfathered count (0 if the site is new).
     pub baseline: u64,
     /// Count in the current run.
     pub current: u64,
@@ -42,10 +84,10 @@ pub struct Delta {
 /// The ratchet verdict for one run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Comparison {
-    /// Buckets that rose above the baseline — these fail the run.
+    /// Sites above their grandfathered count — any entry fails the run.
     pub regressions: Vec<Delta>,
-    /// Buckets now below the baseline — the ratchet can be tightened
-    /// with `--update-baseline`.
+    /// Sites below their grandfathered count (usually deleted) — the
+    /// ratchet tightens with `--rebaseline`.
     pub improvements: Vec<Delta>,
 }
 
@@ -56,19 +98,19 @@ impl Comparison {
     }
 }
 
-/// Compares current counts against the baseline. Every bucket present on
-/// either side is considered; a bucket absent from the baseline is
-/// grandfathered at zero.
+/// Compares current site counts against the baseline. Every key present
+/// on either side is considered; a key absent from the baseline is
+/// grandfathered at zero, i.e. any new site is a regression.
 pub fn compare(current: &Counts, baseline: &Counts) -> Comparison {
     let mut cmp = Comparison::default();
-    let mut buckets: Vec<&String> = current.keys().chain(baseline.keys()).collect();
-    buckets.sort();
-    buckets.dedup();
-    for bucket in buckets {
-        let cur = current.get(bucket).copied().unwrap_or(0);
-        let base = baseline.get(bucket).copied().unwrap_or(0);
+    let mut keys: Vec<&String> = current.keys().chain(baseline.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let cur = current.get(key).copied().unwrap_or(0);
+        let base = baseline.get(key).copied().unwrap_or(0);
         let delta = Delta {
-            bucket: bucket.clone(),
+            site: key.clone(),
             baseline: base,
             current: cur,
         };
@@ -81,14 +123,13 @@ pub fn compare(current: &Counts, baseline: &Counts) -> Comparison {
     cmp
 }
 
-/// Serializes counts as the committed baseline file: a sorted, indented
-/// JSON object with integer values and a trailing newline. Byte-stable
-/// for identical counts.
+/// Serializes site counts as the committed v2 baseline file: format tag,
+/// then a sorted, indented object. Byte-stable for identical counts.
 pub fn to_json(counts: &Counts) -> String {
-    let mut out = String::from("{\n");
-    for (i, (bucket, count)) in counts.iter().enumerate() {
-        out.push_str("  \"");
-        out.push_str(&fhp_obs::writer::json_escape(bucket));
+    let mut out = String::from("{\n  \"format\": 2,\n  \"sites\": {\n");
+    for (i, (key, count)) in counts.iter().enumerate() {
+        out.push_str("    \"");
+        out.push_str(&fhp_obs::writer::json_escape(key));
         out.push_str("\": ");
         out.push_str(&count.to_string());
         if i + 1 < counts.len() {
@@ -96,28 +137,54 @@ pub fn to_json(counts: &Counts) -> String {
         }
         out.push('\n');
     }
-    out.push_str("}\n");
+    out.push_str("  }\n}\n");
     out
 }
 
-/// Parses a baseline file (as written by [`to_json`], though any JSON
-/// object of non-negative integers is accepted).
+/// The error message for the retired per-crate format — it must name the
+/// migration command, because "your baseline is stale" without a next
+/// step is how people reach for `--no-verify`.
+pub const STALE_FORMAT_ERROR: &str = "audit-baseline.json uses the retired per-crate count \
+     format; run `fhp-audit --rebaseline` to migrate it to the per-site format";
+
+/// Parses a v2 baseline file. A JSON object without the `"format": 2`
+/// tag is recognized as the retired per-crate format and refused with
+/// [`STALE_FORMAT_ERROR`].
 pub fn from_json(text: &str) -> Result<Counts, String> {
     let value = json::parse(text)?;
     let Json::Obj(pairs) = value else {
         return Err("baseline must be a JSON object".to_string());
     };
+    let format = pairs.iter().find_map(|(k, v)| match (k.as_str(), v) {
+        ("format", Json::Num(n)) => Some(*n),
+        _ => None,
+    });
+    match format {
+        Some(n) => {
+            if n != 2.0 {
+                return Err(format!("unsupported baseline format {n}"));
+            }
+        }
+        None => return Err(STALE_FORMAT_ERROR.to_string()),
+    }
+    let sites = pairs.iter().find_map(|(k, v)| match (k.as_str(), v) {
+        ("sites", Json::Obj(sites)) => Some(sites),
+        _ => None,
+    });
+    let Some(sites) = sites else {
+        return Err("baseline is missing the \"sites\" object".to_string());
+    };
     let mut counts = Counts::new();
-    for (bucket, v) in pairs {
+    for (key, v) in sites {
         let Json::Num(n) = v else {
-            return Err(format!("bucket \"{bucket}\" has a non-numeric count"));
+            return Err(format!("site \"{key}\" has a non-numeric count"));
         };
-        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+        if *n < 0.0 || n.fract() != 0.0 || *n > u64::MAX as f64 {
             return Err(format!(
-                "bucket \"{bucket}\" count {n} is not a non-negative integer"
+                "site \"{key}\" count {n} is not a non-negative integer"
             ));
         }
-        counts.insert(bucket, n as u64);
+        counts.insert(key.clone(), *n as u64);
     }
     Ok(counts)
 }
@@ -127,84 +194,112 @@ mod tests {
     use super::*;
     use crate::rules::Rule;
 
-    fn finding(crate_name: &str, rule: Rule) -> Finding {
+    fn finding(crate_name: &str, rule: Rule, line: u32, snippet: &str) -> Finding {
         Finding {
             rule,
             path: format!("crates/{crate_name}/src/x.rs"),
             crate_name: crate_name.to_string(),
-            line: 1,
+            line,
             col: 1,
             detail: String::new(),
+            snippet: snippet.to_string(),
+            item: String::new(),
         }
     }
 
     #[test]
-    fn counts_bucket_by_crate_and_rule() {
-        let findings = vec![
-            finding("core", Rule::PanicSite),
-            finding("core", Rule::PanicSite),
-            finding("gen", Rule::PanicSite),
-            finding("core", Rule::NondetIter),
-        ];
-        let counts = count_findings(&findings);
-        assert_eq!(counts.get("core/panic-site"), Some(&2));
-        assert_eq!(counts.get("gen/panic-site"), Some(&1));
-        assert_eq!(counts.get("core/nondet-iter"), Some(&1));
+    fn site_keys_carry_crate_path_rule_and_hash() {
+        let f = finding("core", Rule::PanicSite, 10, "v[i];");
+        let key = site_key(&f);
+        assert!(key.starts_with("core/crates/core/src/x.rs:panic-site:"));
+        assert_eq!(
+            key.len(),
+            "core/crates/core/src/x.rs:panic-site:".len() + 16
+        );
     }
 
     #[test]
-    fn ratchet_fails_on_rise_only() {
-        let mut base = Counts::new();
-        base.insert("core/panic-site".into(), 3);
-        base.insert("gen/panic-site".into(), 1);
+    fn moved_lines_keep_their_key_but_edits_lose_it() {
+        let at_10 = finding("core", Rule::PanicSite, 10, "let x = v[i];");
+        let at_90 = finding("core", Rule::PanicSite, 90, "let x = v[i];");
+        assert_eq!(site_key(&at_10), site_key(&at_90));
+        let edited = finding("core", Rule::PanicSite, 10, "let x = v[i + 1];");
+        assert_ne!(site_key(&at_10), site_key(&edited));
+    }
 
-        let mut up = Counts::new();
-        up.insert("core/panic-site".into(), 4);
-        up.insert("gen/panic-site".into(), 1);
-        let cmp = compare(&up, &base);
+    #[test]
+    fn duplicate_identical_sites_count() {
+        let f = finding("core", Rule::PanicSite, 10, "v[i];");
+        let g = finding("core", Rule::PanicSite, 20, "v[i];");
+        let counts = count_findings(&[f.clone(), g]);
+        assert_eq!(counts.get(&site_key(&f)), Some(&2));
+    }
+
+    #[test]
+    fn new_sites_regress_even_when_totals_shrink() {
+        // the count-trading loophole the per-site baseline closes: one
+        // old site deleted, one new site added, total unchanged
+        let old = finding("core", Rule::PanicSite, 10, "old_line();");
+        let new = finding("core", Rule::PanicSite, 10, "new_line();");
+        let baseline = count_findings(&[old]);
+        let current = count_findings(std::slice::from_ref(&new));
+        let cmp = compare(&current, &baseline);
         assert!(!cmp.is_clean());
         assert_eq!(cmp.regressions.len(), 1);
-        assert_eq!(cmp.regressions[0].bucket, "core/panic-site");
-
-        let mut down = Counts::new();
-        down.insert("core/panic-site".into(), 2);
-        down.insert("gen/panic-site".into(), 1);
-        let cmp = compare(&down, &base);
-        assert!(cmp.is_clean());
-        assert_eq!(cmp.improvements.len(), 1);
-
-        // a bucket with no baseline entry is grandfathered at zero
-        let mut fresh = Counts::new();
-        fresh.insert("obs/nondet-iter".into(), 1);
-        let cmp = compare(&fresh, &base);
-        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].site, site_key(&new));
         assert_eq!(cmp.regressions[0].baseline, 0);
+        // and the deleted site is an improvement, prompting --rebaseline
+        assert_eq!(cmp.improvements.len(), 1);
+    }
+
+    #[test]
+    fn unchanged_sites_are_clean() {
+        let f = finding("core", Rule::PanicSite, 10, "v[i];");
+        let counts = count_findings(&[f]);
+        let cmp = compare(&counts, &counts.clone());
+        assert!(cmp.is_clean());
+        assert!(cmp.improvements.is_empty());
     }
 
     #[test]
     fn json_roundtrip_is_stable() {
         let mut counts = Counts::new();
-        counts.insert("core/panic-site".into(), 12);
-        counts.insert("baselines/panic-site".into(), 3);
+        counts.insert(
+            "core/crates/core/src/x.rs:panic-site:00ff00ff00ff00ff".into(),
+            2,
+        );
+        counts.insert(
+            "gen/crates/gen/src/y.rs:nondet-iter:0123456789abcdef".into(),
+            1,
+        );
         let text = to_json(&counts);
-        assert_eq!(from_json(&text).unwrap(), counts);
-        assert_eq!(to_json(&from_json(&text).unwrap()), text);
-        assert!(text.starts_with("{\n  \"baselines/panic-site\": 3,\n"));
+        assert_eq!(from_json(&text), Ok(counts.clone()));
+        assert_eq!(to_json(&from_json(&text).unwrap_or_default()), text);
+        assert!(text.starts_with("{\n  \"format\": 2,\n  \"sites\": {\n"));
     }
 
     #[test]
-    fn empty_counts_serialize_to_empty_object() {
+    fn empty_counts_serialize_to_empty_sites() {
         let counts = Counts::new();
-        assert_eq!(to_json(&counts), "{\n}\n");
-        assert_eq!(from_json("{\n}\n").unwrap(), counts);
+        let text = to_json(&counts);
+        assert_eq!(from_json(&text), Ok(counts));
+    }
+
+    #[test]
+    fn stale_per_crate_format_is_refused_by_name() {
+        let legacy = "{\n  \"core/panic-site\": 194,\n  \"gen/panic-site\": 35\n}\n";
+        let err = from_json(legacy).err().unwrap_or_default();
+        assert!(err.contains("--rebaseline"), "{err}");
+        assert!(err.contains("per-crate"), "{err}");
     }
 
     #[test]
     fn malformed_baselines_are_rejected() {
         assert!(from_json("[]").is_err());
-        assert!(from_json("{\"a\": -1}").is_err());
-        assert!(from_json("{\"a\": 1.5}").is_err());
-        assert!(from_json("{\"a\": \"x\"}").is_err());
+        assert!(from_json("{\"format\": 3, \"sites\": {}}").is_err());
+        assert!(from_json("{\"format\": 2}").is_err());
+        assert!(from_json("{\"format\": 2, \"sites\": {\"a\": -1}}").is_err());
+        assert!(from_json("{\"format\": 2, \"sites\": {\"a\": 1.5}}").is_err());
         assert!(from_json("not json").is_err());
     }
 }

@@ -1,17 +1,12 @@
-//! File and region classification: which contract a piece of code is
-//! held to depends on *where* it lives.
+//! File classification: which contract a piece of code is held to
+//! depends on *where* it lives.
 //!
-//! Two axes:
-//!
-//! - **File kind**, from the path: library code vs integration tests vs
-//!   benches vs examples. The panic-safety contract binds library code
-//!   only — a test that unwraps is asserting, not failing.
-//! - **`#[cfg(test)]` regions**, from the token stream: unit-test modules
-//!   and `#[test]` functions inside library files are test code too, so
-//!   the classifier brace-matches every item carrying a `test` attribute
-//!   and reports a per-line mask.
-
-use crate::lexer::{Tok, TokKind};
+//! This module owns the **path** axis: library code vs integration tests
+//! vs benches vs examples, and which crate a file belongs to. The panic-
+//! safety contract binds library code only — a test that unwraps is
+//! asserting, not failing. The finer-grained **scope** axis (`#[cfg(test)]`
+//! regions inside library files) moved to [`crate::syntax`], which parses
+//! real item boundaries instead of brace-counting heuristics.
 
 /// Which target a file belongs to, judged from its path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,110 +58,9 @@ pub fn crate_of(path: &str) -> &str {
     "fhp"
 }
 
-/// Marks every line that is inside an item carrying a `test` attribute —
-/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]` and friends. The
-/// result is indexed by 1-based line number (index 0 unused).
-///
-/// The scan is attribute-driven: on seeing `#[...]` whose tokens include
-/// the identifier `test`, it marks from the attribute through the end of
-/// the annotated item — the matching `}` of the item's body, or the `;`
-/// of a body-less item.
-pub fn test_line_mask(toks: &[Tok], num_lines: usize) -> Vec<bool> {
-    let mut mask = vec![false; num_lines + 2];
-    let code: Vec<&Tok> = toks
-        .iter()
-        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
-        .collect();
-    let mut i = 0;
-    while let Some(t) = code.get(i) {
-        if t.text == "#" && code.get(i + 1).is_some_and(|t| t.text == "[") {
-            let attr_line = t.line;
-            let (end, has_test) = scan_attribute(&code, i + 1);
-            if has_test {
-                let item_end = scan_item_end(&code, end + 1);
-                let last_line = code
-                    .get(item_end.min(code.len().saturating_sub(1)))
-                    .map_or(attr_line, |t| t.line);
-                for line in attr_line..=last_line {
-                    if let Some(slot) = mask.get_mut(line as usize) {
-                        *slot = true;
-                    }
-                }
-                i = end + 1;
-                continue;
-            }
-            i = end + 1;
-            continue;
-        }
-        i += 1;
-    }
-    mask
-}
-
-/// From the `[` at `open`, returns (index of the matching `]`, whether the
-/// attribute tokens include the identifier `test`).
-fn scan_attribute(code: &[&Tok], open: usize) -> (usize, bool) {
-    let mut depth = 0usize;
-    let mut has_test = false;
-    let mut i = open;
-    while let Some(t) = code.get(i) {
-        match t.text.as_str() {
-            "[" => depth += 1,
-            "]" => {
-                depth -= 1;
-                if depth == 0 {
-                    return (i, has_test);
-                }
-            }
-            "test" if t.kind == TokKind::Ident => has_test = true,
-            _ => {}
-        }
-        i += 1;
-    }
-    (code.len().saturating_sub(1), has_test)
-}
-
-/// From the token after an attribute, returns the index of the token that
-/// ends the annotated item: the `}` matching its first body brace, or a
-/// top-level `;` for body-less items. Intervening attributes and
-/// signature tokens are skipped; parens and brackets are depth-tracked so
-/// a `;` inside them does not end the item.
-fn scan_item_end(code: &[&Tok], start: usize) -> usize {
-    let mut i = start;
-    let mut paren = 0isize;
-    while let Some(t) = code.get(i) {
-        match t.text.as_str() {
-            "(" | "[" => paren += 1,
-            ")" | "]" => paren -= 1,
-            ";" if paren == 0 => return i,
-            "{" if paren == 0 => {
-                let mut depth = 0usize;
-                while let Some(t) = code.get(i) {
-                    match t.text.as_str() {
-                        "{" => depth += 1,
-                        "}" => {
-                            depth -= 1;
-                            if depth == 0 {
-                                return i;
-                            }
-                        }
-                        _ => {}
-                    }
-                    i += 1;
-                }
-                return code.len().saturating_sub(1);
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    code.len().saturating_sub(1)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
 
     #[test]
     fn path_kinds() {
@@ -187,62 +81,5 @@ mod tests {
         assert_eq!(crate_of("crates/obs/src/bin/trace_check.rs"), "obs");
         assert_eq!(crate_of("src/lib.rs"), "fhp");
         assert_eq!(crate_of("tests/determinism.rs"), "fhp");
-    }
-
-    fn masked_lines(src: &str) -> Vec<usize> {
-        let toks = lex(src);
-        let mask = test_line_mask(&toks, src.lines().count());
-        mask.iter()
-            .enumerate()
-            .filter(|(_, &m)| m)
-            .map(|(i, _)| i)
-            .collect()
-    }
-
-    #[test]
-    fn cfg_test_module_is_masked() {
-        let src = "fn lib() {}\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                   fn t() { x.unwrap(); }\n\
-                   }\n\
-                   fn lib2() {}\n";
-        assert_eq!(masked_lines(src), vec![2, 3, 4, 5]);
-    }
-
-    #[test]
-    fn test_fn_is_masked() {
-        let src = "fn a() {}\n#[test]\nfn t() {\n  y();\n}\nfn b() {}\n";
-        assert_eq!(masked_lines(src), vec![2, 3, 4, 5]);
-    }
-
-    #[test]
-    fn other_attributes_are_not_masked() {
-        let src = "#[derive(Debug)]\nstruct S;\n#[allow(dead_code)]\nfn f() {}\n";
-        assert_eq!(masked_lines(src), Vec::<usize>::new());
-    }
-
-    #[test]
-    fn cfg_any_with_test_is_masked() {
-        let src = "#[cfg(any(test, feature = \"x\"))]\nmod helpers {\n}\n";
-        assert_eq!(masked_lines(src), vec![1, 2, 3]);
-    }
-
-    #[test]
-    fn bodyless_item_masks_to_semicolon() {
-        let src = "#[cfg(test)]\nuse super::*;\nfn live() {}\n";
-        assert_eq!(masked_lines(src), vec![1, 2]);
-    }
-
-    #[test]
-    fn string_test_is_not_an_attribute_match() {
-        let src = "#[doc = \"test\"]\nfn f() {}\n";
-        assert_eq!(masked_lines(src), Vec::<usize>::new());
-    }
-
-    #[test]
-    fn semicolon_inside_signature_parens_does_not_end_item() {
-        let src = "#[cfg(test)]\nfn t(a: [u8; 4]) {\n  body();\n}\nfn live() {}\n";
-        assert_eq!(masked_lines(src), vec![1, 2, 3, 4]);
     }
 }

@@ -435,6 +435,53 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_block_comments_balance() {
+        // three levels, with pragma-looking and panic-looking text inside;
+        // everything up to the final matching close is ONE comment token
+        let src = "/* 1 /* 2 /* fhp-audit: allow(panic-site) — fake */ x.unwrap() */ 3 */ live";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 2, "{toks:?}");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks[0].1.contains("fake"));
+        assert_eq!(toks[1], (TokKind::Ident, "live".into()));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_ignore_inner_terminators() {
+        // a `"#` inside an r##"..."## body must not close the literal
+        let src = "let s = r##\"inner \"# quote .unwrap()\"## ; after";
+        let toks = kinds(src);
+        let raw = toks.iter().find(|(k, _)| *k == TokKind::RawStr);
+        assert!(
+            raw.is_some_and(|(_, t)| t.contains(".unwrap()")),
+            "{toks:?}"
+        );
+        assert_eq!(toks.last(), Some(&(TokKind::Ident, "after".into())));
+    }
+
+    #[test]
+    fn lifetimes_in_generics_do_not_eat_code() {
+        // `'a` in generic position, then a real char literal, then code
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'b' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].1, "'b'");
+    }
+
+    #[test]
+    fn multiline_literals_keep_line_numbers_honest() {
+        let src = "a\n\"two\nline\"\n/* block\ncomment */\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text == "b");
+        assert_eq!(b.map(|t| t.line), Some(6));
+    }
+
+    #[test]
     fn unterminated_literals_do_not_hang() {
         for src in ["\"open", "r#\"open", "/* open", "'", "b'"] {
             let toks = lex(src);

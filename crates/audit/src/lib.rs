@@ -10,17 +10,23 @@
 //! - [`lexer`] — a lightweight Rust lexer (comments, strings, raw
 //!   strings, char-vs-lifetime) so text in comments and literals can
 //!   never be mistaken for code;
-//! - [`classify`] — lib/test/bench/example file classification plus
-//!   `#[cfg(test)]`/`#[test]` region masking;
-//! - [`rules`] — the rule set (`panic-site`, `nondet-iter`,
-//!   `wallclock-in-fingerprint`, `missing-forbid-unsafe`,
-//!   `invalid-pragma`) and the `// fhp-audit: allow(<rule>) — <reason>`
-//!   suppression pragma, reasons mandatory;
-//! - [`baseline`] — the committed ratchet (`audit-baseline.json`):
-//!   existing findings are grandfathered per rule per crate, any *rise*
-//!   fails the run, `--update-baseline` tightens it;
-//! - [`report`] — findings exported as `fhp_obs` counter events, so
-//!   `fhp-trace-check` validates the NDJSON artifact;
+//! - [`syntax`] — a recursive-descent item/block parser over the token
+//!   stream: fn/impl/mod boundaries, attribute attachment, and real
+//!   `#[cfg(test)]` scopes (the v2 upgrade from line heuristics);
+//! - [`classify`] — lib/test/bench/example file classification by path;
+//! - [`rules`] — the nine rules (`panic-site`, `nondet-iter`,
+//!   `wallclock-in-fingerprint`, `as-cast-truncation`,
+//!   `atomic-ordering`, `float-in-ordering`, `ignored-result`,
+//!   `missing-forbid-unsafe`, `invalid-pragma`) and the
+//!   `// fhp-audit: allow(<rule>) — <reason>` suppression pragma,
+//!   reasons mandatory;
+//! - [`baseline`] — the committed per-site ratchet
+//!   (`audit-baseline.json`): every grandfathered finding keyed by
+//!   `crate/path:rule:content-hash`, so any *new* site fails the run
+//!   and `--rebaseline` tightens after a burn-down;
+//! - [`report`] — findings exported as `fhp_obs` counter events with
+//!   per-rule aggregate counters, so `fhp-trace-check` validates the
+//!   NDJSON artifact and `fhp-perf --counts-only` gates the totals;
 //! - [`workspace`] — the deterministic file walk.
 //!
 //! Like `fhp-obs`, the crate is zero-dependency by necessity (no registry
@@ -35,8 +41,9 @@ pub mod classify;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod syntax;
 pub mod workspace;
 
-pub use baseline::{compare, count_findings, Comparison, Counts, Delta};
+pub use baseline::{compare, count_findings, fingerprint, site_key, Comparison, Counts, Delta};
 pub use classify::{crate_of, file_kind, FileKind};
 pub use rules::{audit_source, AuditConfig, Finding, Rule, ALL_RULES};

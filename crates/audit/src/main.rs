@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! fhp-audit --workspace [--root DIR] [--baseline FILE] [--ndjson FILE]
-//!           [--update-baseline] [--list]
+//!           [--counts-ndjson FILE] [--rebaseline] [--list]
 //! ```
 //!
-//! Scans every auditable `.rs` file, buckets findings per rule per crate,
-//! and compares against the committed ratchet baseline. Exit codes:
-//! 0 clean, 1 ratchet regression, 2 usage or I/O error.
+//! Scans every auditable `.rs` file, keys findings by per-site
+//! fingerprint, and compares against the committed ratchet baseline. Any
+//! site the baseline has never seen fails the run; `--rebaseline`
+//! rewrites the committed file (and is the migration path from the
+//! retired per-crate count format). Exit codes: 0 clean, 1 ratchet
+//! regression, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,19 +21,21 @@ struct Args {
     root: PathBuf,
     baseline: Option<PathBuf>,
     ndjson: Option<PathBuf>,
-    update_baseline: bool,
+    counts_ndjson: Option<PathBuf>,
+    rebaseline: bool,
     list: bool,
 }
 
 const USAGE: &str = "usage: fhp-audit --workspace [--root DIR] [--baseline FILE] \
-                     [--ndjson FILE] [--update-baseline] [--list]";
+                     [--ndjson FILE] [--counts-ndjson FILE] [--rebaseline] [--list]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         baseline: None,
         ndjson: None,
-        update_baseline: false,
+        counts_ndjson: None,
+        rebaseline: false,
         list: false,
     };
     let mut saw_workspace = false;
@@ -41,7 +46,16 @@ fn parse_args() -> Result<Args, String> {
             "--root" => args.root = PathBuf::from(take(&mut it, "--root")?),
             "--baseline" => args.baseline = Some(PathBuf::from(take(&mut it, "--baseline")?)),
             "--ndjson" => args.ndjson = Some(PathBuf::from(take(&mut it, "--ndjson")?)),
-            "--update-baseline" => args.update_baseline = true,
+            "--counts-ndjson" => {
+                args.counts_ndjson = Some(PathBuf::from(take(&mut it, "--counts-ndjson")?));
+            }
+            "--rebaseline" => args.rebaseline = true,
+            "--update-baseline" => {
+                return Err(format!(
+                    "`--update-baseline` was retired with the per-crate count baseline; \
+                     use `--rebaseline`\n{USAGE}"
+                ));
+            }
             "--list" => args.list = true,
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
@@ -99,12 +113,20 @@ fn run() -> Result<bool, String> {
         );
     }
 
+    if let Some(counts_path) = &args.counts_ndjson {
+        let file = std::fs::File::create(counts_path)
+            .map_err(|e| format!("cannot create {}: {e}", counts_path.display()))?;
+        report::write_counts_ndjson(&findings, file)
+            .map_err(|e| format!("cannot write {}: {e}", counts_path.display()))?;
+        println!("wrote per-rule counters to {}", counts_path.display());
+    }
+
     let counts = baseline::count_findings(&findings);
-    if args.update_baseline {
+    if args.rebaseline {
         std::fs::write(&baseline_path, baseline::to_json(&counts))
             .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
         println!(
-            "baseline updated: {} buckets, {} findings -> {}",
+            "baseline rewritten: {} sites, {} findings -> {}",
             counts.len(),
             findings.len(),
             baseline_path.display()
@@ -118,7 +140,7 @@ fn run() -> Result<bool, String> {
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             eprintln!(
-                "note: no baseline at {} (run with --update-baseline to create one); \
+                "note: no baseline at {} (run with --rebaseline to create one); \
                  comparing against zero",
                 baseline_path.display()
             );
@@ -129,15 +151,15 @@ fn run() -> Result<bool, String> {
 
     let cmp = baseline::compare(&counts, &committed);
     println!(
-        "audited {} files: {} findings in {} buckets",
+        "audited {} files: {} findings at {} sites",
         files.len(),
         findings.len(),
         counts.len()
     );
-    for d in &cmp.improvements {
+    if !cmp.improvements.is_empty() {
         println!(
-            "  tightenable: {} {} -> {} (run --update-baseline)",
-            d.bucket, d.baseline, d.current
+            "  {} site(s) below baseline — tighten with --rebaseline",
+            cmp.improvements.len()
         );
     }
     if cmp.is_clean() {
@@ -146,21 +168,16 @@ fn run() -> Result<bool, String> {
     }
     for d in &cmp.regressions {
         eprintln!(
-            "REGRESSION {}: baseline {}, now {}",
-            d.bucket, d.baseline, d.current
+            "NEW SITE {}: baseline {}, now {}",
+            d.site, d.baseline, d.current
         );
-        let (crate_name, rule_id) = d.bucket.split_once('/').unwrap_or((d.bucket.as_str(), ""));
-        for f in findings
-            .iter()
-            .filter(|f| f.crate_name == crate_name && f.rule.id() == rule_id)
-        {
+        for f in findings.iter().filter(|f| baseline::site_key(f) == d.site) {
             eprintln!("  {}", report::render(f));
         }
     }
     eprintln!(
-        "fix the findings above, suppress a justified one with \
-         `// fhp-audit: allow(<rule>) — <reason>`, or (for reviewed debt) \
-         re-run with --update-baseline"
+        "fix the findings above, or suppress a justified one with \
+         `// fhp-audit: allow(<rule>) — <reason>`"
     );
     Ok(false)
 }

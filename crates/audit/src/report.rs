@@ -4,60 +4,95 @@
 //! exactly like it validates traces.
 //!
 //! Every finding is one counter event named `audit.<rule>` with the
-//! location and detail in its `fields`; a final `audit.findings_total`
-//! counter closes the stream (so an all-clean run still emits a
-//! well-formed, non-empty NDJSON file). Events carry no wall-clock data
-//! and `scope_order` is the finding's rank in the sorted finding list, so
-//! the canonical and full serializations are both byte-stable.
+//! location, detail, baseline site key, and enclosing item in its
+//! `fields`. After the per-finding events come the aggregate per-rule
+//! counters `audit.count.<rule>` — always all nine, zero included, so
+//! `fhp-perf --counts-only` can gate the distribution against a
+//! committed snapshot without key-set drift — and a final
+//! `audit.findings_total` closes the stream (an all-clean run still
+//! emits well-formed, non-empty NDJSON). Events carry no wall-clock data
+//! and `scope_order` is the event's rank, so the canonical and full
+//! serializations are both byte-stable.
 
 use std::io::{self, Write};
 
 use fhp_obs::{Event, EventKind, FieldValue, TraceWriter};
 
-use crate::rules::Finding;
+use crate::baseline::site_key;
+use crate::rules::{Finding, ALL_RULES};
 
-/// Converts sorted findings into the NDJSON event sequence.
-pub fn events(findings: &[Finding]) -> Vec<Event> {
-    let mut out: Vec<Event> = findings
-        .iter()
-        .enumerate()
-        .map(|(i, f)| Event {
-            name: f.rule.event_name(),
-            kind: EventKind::Counter,
-            stack: Vec::new(),
-            start_ns: 0,
-            dur_ns: 0,
-            scope_order: i as u64,
-            start_index: None,
-            thread: 0,
-            fields: vec![
-                ("value", FieldValue::U64(1)),
-                ("file", FieldValue::Str(f.path.clone())),
-                ("line", FieldValue::U64(u64::from(f.line))),
-                ("col", FieldValue::U64(u64::from(f.col))),
-                ("crate", FieldValue::Str(f.crate_name.clone())),
-                ("detail", FieldValue::Str(f.detail.clone())),
-            ],
-        })
-        .collect();
-    out.push(Event {
-        name: "audit.findings_total",
+fn counter(name: &'static str, scope_order: u64, fields: Vec<(&'static str, FieldValue)>) -> Event {
+    Event {
+        name,
         kind: EventKind::Counter,
         stack: Vec::new(),
         start_ns: 0,
         dur_ns: 0,
-        scope_order: u64::MAX,
+        scope_order,
         start_index: None,
         thread: 0,
-        fields: vec![("value", FieldValue::U64(findings.len() as u64))],
-    });
+        fields,
+    }
+}
+
+/// The aggregate tail of every audit stream: one `audit.count.<rule>`
+/// counter per rule (zeros included) and the closing
+/// `audit.findings_total`.
+pub fn count_events(findings: &[Finding], first_scope_order: u64) -> Vec<Event> {
+    let mut out = Vec::with_capacity(ALL_RULES.len() + 1);
+    for (i, rule) in ALL_RULES.into_iter().enumerate() {
+        let n = findings.iter().filter(|f| f.rule == rule).count() as u64;
+        out.push(counter(
+            rule.count_event_name(),
+            first_scope_order.saturating_add(i as u64),
+            vec![("value", FieldValue::U64(n))],
+        ));
+    }
+    out.push(counter(
+        "audit.findings_total",
+        u64::MAX,
+        vec![("value", FieldValue::U64(findings.len() as u64))],
+    ));
+    out
+}
+
+/// Converts sorted findings into the full NDJSON event sequence:
+/// per-finding events, then the aggregate tail.
+pub fn events(findings: &[Finding]) -> Vec<Event> {
+    let mut out: Vec<Event> = findings
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            counter(
+                f.rule.event_name(),
+                i as u64,
+                vec![
+                    ("value", FieldValue::U64(1)),
+                    ("file", FieldValue::Str(f.path.clone())),
+                    ("line", FieldValue::U64(u64::from(f.line))),
+                    ("col", FieldValue::U64(u64::from(f.col))),
+                    ("crate", FieldValue::Str(f.crate_name.clone())),
+                    ("item", FieldValue::Str(f.item.clone())),
+                    ("site", FieldValue::Str(site_key(f))),
+                    ("detail", FieldValue::Str(f.detail.clone())),
+                ],
+            )
+        })
+        .collect();
+    out.extend(count_events(findings, findings.len() as u64));
     out
 }
 
 /// Writes the findings as NDJSON to `sink` (one line per finding plus the
-/// closing total).
+/// aggregate tail).
 pub fn write_ndjson<W: Write>(findings: &[Finding], sink: W) -> io::Result<()> {
     TraceWriter::new(sink).write_events(&events(findings))
+}
+
+/// Writes only the aggregate per-rule counters — the shape committed
+/// under `ci/baselines/` and gated by `fhp-perf --counts-only`.
+pub fn write_counts_ndjson<W: Write>(findings: &[Finding], sink: W) -> io::Result<()> {
+    TraceWriter::new(sink).write_events(&count_events(findings, 0))
 }
 
 /// The one-line human rendering of a finding, `path:line:col: rule:
@@ -86,6 +121,8 @@ mod tests {
             line: 7,
             col: 3,
             detail: "`.unwrap()` call".into(),
+            snippet: "v.unwrap();".into(),
+            item: "f".into(),
         }
     }
 
@@ -95,23 +132,39 @@ mod tests {
         write_ndjson(&[finding()], &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
+        // 1 finding + 9 per-rule counters + findings_total
+        assert_eq!(lines.len(), 1 + ALL_RULES.len() + 1);
         for line in &lines {
             fhp_obs::json::validate_trace_line(line).unwrap();
         }
         assert!(lines[0].contains("\"name\":\"audit.panic-site\""));
         assert!(lines[0].contains("\"file\":\"crates/core/src/x.rs\""));
-        assert!(lines[1].contains("\"name\":\"audit.findings_total\""));
+        assert!(lines[0].contains("\"item\":\"f\""));
+        assert!(lines[0].contains("\"site\":\"core/crates/core/src/x.rs:panic-site:"));
+        assert!(lines[1].contains("\"name\":\"audit.count.panic-site\""));
         assert!(lines[1].contains("\"value\":1"));
+        let last = lines.last().unwrap();
+        assert!(last.contains("\"name\":\"audit.findings_total\""));
+        assert!(last.contains("\"value\":1"));
     }
 
     #[test]
-    fn empty_run_still_emits_the_total() {
+    fn aggregate_counters_cover_every_rule_even_at_zero() {
         let mut buf = Vec::new();
-        write_ndjson(&[], &mut buf).unwrap();
+        write_counts_ndjson(&[], &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        assert_eq!(text.lines().count(), 1);
-        fhp_obs::json::validate_trace_line(text.trim_end()).unwrap();
+        assert_eq!(text.lines().count(), ALL_RULES.len() + 1);
+        for rule in ALL_RULES {
+            assert!(
+                text.contains(&format!("\"name\":\"{}\"", rule.count_event_name())),
+                "missing counter for {}",
+                rule.id()
+            );
+        }
+        for line in text.lines() {
+            fhp_obs::json::validate_trace_line(line).unwrap();
+            assert!(line.contains("\"value\":0") || line.contains("findings_total"));
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The audit rules: what the determinism and panic-safety contracts mean
-//! at the token level, plus the inline suppression pragma.
+//! at the token level, now judged against the scope structure from
+//! [`crate::syntax`], plus the inline suppression pragma.
 //!
 //! Every rule produces [`Finding`]s; policy (which findings are
 //! grandfathered) lives in [`crate::baseline`], not here. Suppression is
@@ -9,17 +10,22 @@
 //! // fhp-audit: allow(panic-site) — claim loop covers every index exactly once
 //! ```
 //!
-//! A pragma suppresses findings of its rule on its own line and on the
-//! line directly below (so it can trail a statement or sit above one). A
-//! pragma with an unknown rule or a missing reason is itself a finding
+//! A pragma suppresses findings of its rule on its own line (trailing
+//! form) or on the code it precedes: attribute lines are skipped and a
+//! pragma standing before an item declaration covers the item's header
+//! (attributes + signature through the body-opening line). Stacked
+//! pragmas for different rules above one line all attach. A blank line
+//! breaks attachment — suppression never reaches past visible distance.
+//! A pragma with an unknown rule or a missing reason is itself a finding
 //! (`invalid-pragma`) and suppresses nothing — a reasonless allow is how
 //! contracts rot.
 
-use crate::classify::{crate_of, file_kind, test_line_mask, FileKind};
+use crate::classify::{crate_of, file_kind, FileKind};
 use crate::lexer::{lex, Tok, TokKind};
+use crate::syntax::FileSyntax;
 
 /// The rule set. `InvalidPragma` is the meta-rule that keeps the other
-/// four honest.
+/// eight honest.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
@@ -31,6 +37,18 @@ pub enum Rule {
     /// `Instant`/`SystemTime` in library code outside the tracing and
     /// bench crates (wall-clock must never feed deterministic output).
     WallclockInFingerprint,
+    /// A narrowing `as` cast in non-test library code — silent
+    /// truncation; use `try_from`/`from` or justify.
+    AsCastTruncation,
+    /// An explicit atomic `Ordering::*` without a justification pragma;
+    /// `SeqCst` is additionally called out as strongest-by-default.
+    AtomicOrdering,
+    /// `partial_cmp`/`total_cmp` feeding an ordering in library code —
+    /// float comparisons are where multilevel ratings lose determinism.
+    FloatInOrdering,
+    /// `let _ =` discarding a value (typically a `Result`) in non-test
+    /// library code.
+    IgnoredResult,
     /// A `lib.rs` without `#![forbid(unsafe_code)]`.
     MissingForbidUnsafe,
     /// A malformed `fhp-audit:` pragma.
@@ -38,10 +56,14 @@ pub enum Rule {
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 9] = [
     Rule::PanicSite,
     Rule::NondetIter,
     Rule::WallclockInFingerprint,
+    Rule::AsCastTruncation,
+    Rule::AtomicOrdering,
+    Rule::FloatInOrdering,
+    Rule::IgnoredResult,
     Rule::MissingForbidUnsafe,
     Rule::InvalidPragma,
 ];
@@ -53,6 +75,10 @@ impl Rule {
             Rule::PanicSite => "panic-site",
             Rule::NondetIter => "nondet-iter",
             Rule::WallclockInFingerprint => "wallclock-in-fingerprint",
+            Rule::AsCastTruncation => "as-cast-truncation",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::FloatInOrdering => "float-in-ordering",
+            Rule::IgnoredResult => "ignored-result",
             Rule::MissingForbidUnsafe => "missing-forbid-unsafe",
             Rule::InvalidPragma => "invalid-pragma",
         }
@@ -64,8 +90,27 @@ impl Rule {
             Rule::PanicSite => "audit.panic-site",
             Rule::NondetIter => "audit.nondet-iter",
             Rule::WallclockInFingerprint => "audit.wallclock-in-fingerprint",
+            Rule::AsCastTruncation => "audit.as-cast-truncation",
+            Rule::AtomicOrdering => "audit.atomic-ordering",
+            Rule::FloatInOrdering => "audit.float-in-ordering",
+            Rule::IgnoredResult => "audit.ignored-result",
             Rule::MissingForbidUnsafe => "audit.missing-forbid-unsafe",
             Rule::InvalidPragma => "audit.invalid-pragma",
+        }
+    }
+
+    /// The NDJSON event name of this rule's aggregate per-run counter.
+    pub fn count_event_name(self) -> &'static str {
+        match self {
+            Rule::PanicSite => "audit.count.panic-site",
+            Rule::NondetIter => "audit.count.nondet-iter",
+            Rule::WallclockInFingerprint => "audit.count.wallclock-in-fingerprint",
+            Rule::AsCastTruncation => "audit.count.as-cast-truncation",
+            Rule::AtomicOrdering => "audit.count.atomic-ordering",
+            Rule::FloatInOrdering => "audit.count.float-in-ordering",
+            Rule::IgnoredResult => "audit.count.ignored-result",
+            Rule::MissingForbidUnsafe => "audit.count.missing-forbid-unsafe",
+            Rule::InvalidPragma => "audit.count.invalid-pragma",
         }
     }
 
@@ -90,6 +135,11 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable description of the specific violation.
     pub detail: String,
+    /// The source line's text, trimmed — the content component of the
+    /// per-site baseline fingerprint (moves survive, edits re-review).
+    pub snippet: String,
+    /// `::`-joined path of the enclosing `fn`/`impl`/`mod`, if any.
+    pub item: String,
 }
 
 /// Which crates each contract binds. The defaults encode this workspace's
@@ -104,6 +154,9 @@ pub struct AuditConfig {
     /// Crates exempt from `wallclock-in-fingerprint`: the tracing
     /// substrate (timing is its job) and the bench helpers.
     pub wallclock_exempt_crates: Vec<String>,
+    /// Files exempt from `atomic-ordering`: the gauge registry whose
+    /// whole design document is its relaxed-atomics contract.
+    pub atomic_exempt_paths: Vec<String>,
 }
 
 impl Default for AuditConfig {
@@ -111,6 +164,7 @@ impl Default for AuditConfig {
         Self {
             determinism_crates: vec!["core".into(), "hypergraph".into(), "obs".into()],
             wallclock_exempt_crates: vec!["obs".into(), "bench".into()],
+            atomic_exempt_paths: vec!["crates/obs/src/progress.rs".into()],
         }
     }
 }
@@ -178,6 +232,52 @@ fn parse_allow(rest: &str) -> (Result<Rule, String>, Option<String>) {
     (rule, reason)
 }
 
+/// An inclusive line range a valid pragma suppresses for its rule.
+#[derive(Clone, Debug)]
+struct Suppression {
+    rule: Rule,
+    first: u32,
+    last: u32,
+}
+
+/// Computes the line range a pragma covers: its own line for trailing
+/// pragmas; for standalone pragmas, the code it precedes — walking over
+/// comment-only lines (stacked pragmas) and attribute groups, and
+/// widening to the item header when the target is an item declaration.
+/// Blank lines break attachment.
+fn pragma_coverage(p: &Pragma, fs: &FileSyntax<'_>, transparent: &[bool]) -> Option<(u32, u32)> {
+    let trailing = fs.code.iter().any(|t| t.line == p.line);
+    if trailing {
+        return Some((p.line, p.line));
+    }
+    let mut idx = fs.code.iter().position(|t| t.line > p.line)?;
+    let mut allowed = p.line + 1;
+    loop {
+        while transparent.get(allowed as usize).copied().unwrap_or(false) {
+            allowed += 1;
+        }
+        let t = fs.code.get(idx)?;
+        if t.line > allowed {
+            return None; // a blank line broke the attachment
+        }
+        if fs.in_attr.get(idx).copied() == Some(true) {
+            let mut last_line = t.line;
+            while fs.in_attr.get(idx).copied() == Some(true) {
+                last_line = fs.code.get(idx)?.line;
+                idx += 1;
+            }
+            allowed = last_line + 1;
+            continue;
+        }
+        let target_line = t.line;
+        if let Some(item) = fs.item_declared_at(target_line) {
+            let (_, header_end) = item.header_lines();
+            return Some((p.line, header_end.max(target_line)));
+        }
+        return Some((p.line, target_line));
+    }
+}
+
 /// Keywords that may legitimately precede a `[` without it being an index
 /// expression (slice patterns, array literals in statements).
 fn is_keyword(s: &str) -> bool {
@@ -219,6 +319,59 @@ fn is_keyword(s: &str) -> bool {
     )
 }
 
+/// Integer `as` targets strictly narrower than this workspace's 64-bit
+/// word (plus `f32`, which cannot even hold `u32` exactly).
+fn narrow_cast_target(ty: &str) -> bool {
+    matches!(ty, "u8" | "u16" | "u32" | "i8" | "i16" | "i32" | "f32")
+}
+
+/// Whether a numeric literal provably fits the narrowing target — the
+/// false-positive guard for `as-cast-truncation`.
+fn literal_fits(num: &str, ty: &str) -> bool {
+    let cleaned: String = num.chars().filter(|&c| c != '_').collect();
+    let lower = cleaned.to_ascii_lowercase();
+    // strip a type suffix like `u8` / `i32` / `f32`
+    let body = [
+        "u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64", "isize", "f32", "f64",
+    ]
+    .iter()
+    .find_map(|s| lower.strip_suffix(s))
+    .unwrap_or(&lower);
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        u128::from_str_radix(hex, 16).ok()
+    } else if let Some(oct) = body.strip_prefix("0o") {
+        u128::from_str_radix(oct, 8).ok()
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        u128::from_str_radix(bin, 2).ok()
+    } else {
+        body.parse::<u128>().ok()
+    };
+    let Some(value) = value else {
+        return false; // float or unparsable literal: no guarantee
+    };
+    let max: u128 = match ty {
+        "u8" => u128::from(u8::MAX),
+        "u16" => u128::from(u16::MAX),
+        "u32" => u128::from(u32::MAX),
+        "i8" => i8::MAX as u128,
+        "i16" => i16::MAX as u128,
+        "i32" => i32::MAX as u128,
+        // f32 represents integers exactly up to 2^24
+        "f32" => 1 << 24,
+        _ => return false,
+    };
+    value <= max
+}
+
+/// The atomic `Ordering` variants (disjoint from `cmp::Ordering`'s
+/// `Less`/`Equal`/`Greater`, so no import analysis is needed).
+fn atomic_ordering_variant(name: &str) -> bool {
+    matches!(
+        name,
+        "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+    )
+}
+
 /// Audits one file's source text. `path` must be workspace-relative; it
 /// drives the file/crate classification.
 pub fn audit_source(path: &str, src: &str, config: &AuditConfig) -> Vec<Finding> {
@@ -226,57 +379,158 @@ pub fn audit_source(path: &str, src: &str, config: &AuditConfig) -> Vec<Finding>
     let crate_name = crate_of(path).to_string();
     let toks = lex(src);
     let num_lines = src.lines().count();
-    let test_mask = test_line_mask(&toks, num_lines);
-    let in_test = |line: u32| test_mask.get(line as usize).copied().unwrap_or(false);
+    let fs = FileSyntax::new(&toks, num_lines);
+    let in_test = |line: u32| fs.in_test(line);
     let file_pragmas = pragmas(&toks);
+    let source_lines: Vec<&str> = src.lines().collect();
+
+    // lines that hold only comments are transparent to pragma attachment
+    let mut transparent = vec![false; num_lines + 2];
+    for t in &toks {
+        if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            if let Some(slot) = transparent.get_mut(t.line as usize) {
+                *slot = true;
+            }
+        }
+    }
+    for t in &fs.code {
+        if let Some(slot) = transparent.get_mut(t.line as usize) {
+            *slot = false;
+        }
+    }
 
     let mut raw: Vec<Finding> = Vec::new();
-    let mut push = |rule: Rule, t: &Tok, detail: String| {
+    let mut push = |rule: Rule, line: u32, col: u32, detail: String| {
         raw.push(Finding {
             rule,
             path: path.to_string(),
             crate_name: crate_name.clone(),
-            line: t.line,
-            col: t.col,
+            line,
+            col,
             detail,
+            snippet: source_lines
+                .get(line.saturating_sub(1) as usize)
+                .map_or(String::new(), |l| l.trim().to_string()),
+            item: fs.enclosing_item(line).unwrap_or_default(),
         });
     };
 
-    let code: Vec<&Tok> = toks
-        .iter()
-        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
-        .collect();
-
-    let panic_applies = kind == FileKind::Lib;
+    let lib_code = kind == FileKind::Lib;
     let nondet_applies = config.determinism_crates.contains(&crate_name);
-    let wallclock_applies =
-        kind == FileKind::Lib && !config.wallclock_exempt_crates.contains(&crate_name);
+    let wallclock_applies = lib_code && !config.wallclock_exempt_crates.contains(&crate_name);
+    let atomic_applies = lib_code && !config.atomic_exempt_paths.iter().any(|p| p == path);
 
+    let code = &fs.code;
     for (i, t) in code.iter().enumerate() {
         let prev = i.checked_sub(1).and_then(|j| code.get(j));
         let next = code.get(i + 1);
+        let in_attr = fs.in_attr.get(i).copied().unwrap_or(false);
         match t.kind {
             TokKind::Ident => {
                 let followed_by = |p: &str| next.is_some_and(|n| n.text == p);
                 let preceded_by_dot = prev.is_some_and(|p| p.text == ".");
-                if panic_applies && !in_test(t.line) {
+                if lib_code && !in_test(t.line) {
                     if matches!(t.text.as_str(), "unwrap" | "expect")
                         && preceded_by_dot
                         && followed_by("(")
                     {
-                        push(Rule::PanicSite, t, format!("`.{}()` call", t.text));
+                        push(
+                            Rule::PanicSite,
+                            t.line,
+                            t.col,
+                            format!("`.{}()` call", t.text),
+                        );
                     } else if matches!(
                         t.text.as_str(),
                         "panic" | "unreachable" | "todo" | "unimplemented"
                     ) && followed_by("!")
                     {
-                        push(Rule::PanicSite, t, format!("`{}!` macro", t.text));
+                        push(
+                            Rule::PanicSite,
+                            t.line,
+                            t.col,
+                            format!("`{}!` macro", t.text),
+                        );
+                    }
+                    if t.text == "as" && !in_attr {
+                        if let Some(ty) = next.filter(|n| n.kind == TokKind::Ident) {
+                            if narrow_cast_target(&ty.text) {
+                                let provably_widens = prev.is_some_and(|p| match p.kind {
+                                    TokKind::Char => true, // char/byte as uN widens
+                                    TokKind::Num => literal_fits(&p.text, &ty.text),
+                                    _ => false,
+                                });
+                                if !provably_widens {
+                                    push(
+                                        Rule::AsCastTruncation,
+                                        t.line,
+                                        t.col,
+                                        format!(
+                                            "narrowing `as {}` cast — use `try_from` or justify",
+                                            ty.text
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if matches!(t.text.as_str(), "partial_cmp" | "total_cmp")
+                        && preceded_by_dot
+                        && followed_by("(")
+                    {
+                        let detail = if t.text == "partial_cmp" {
+                            "`partial_cmp` feeding an ordering — NaN makes it partial; \
+                             use `total_cmp` or justify"
+                                .to_string()
+                        } else {
+                            "`total_cmp` ordering on floats — justify that both inputs \
+                             are bitwise-deterministic"
+                                .to_string()
+                        };
+                        push(Rule::FloatInOrdering, t.line, t.col, detail);
+                    }
+                    if t.text == "let"
+                        && next.is_some_and(|n| n.text == "_")
+                        && code.get(i + 2).is_some_and(|n| n.text == "=")
+                        && code.get(i + 3).is_none_or(|n| n.text != "=")
+                    {
+                        push(
+                            Rule::IgnoredResult,
+                            t.line,
+                            t.col,
+                            "`let _ =` discards a value — handle the `Result`, bind it, \
+                             or justify"
+                                .to_string(),
+                        );
+                    }
+                }
+                if atomic_applies && !in_test(t.line) && t.text == "Ordering" {
+                    let variant = code.get(i + 3).filter(|v| {
+                        code.get(i + 1).is_some_and(|a| a.text == ":")
+                            && code.get(i + 2).is_some_and(|b| b.text == ":")
+                            && v.kind == TokKind::Ident
+                            && atomic_ordering_variant(&v.text)
+                    });
+                    if let Some(v) = variant {
+                        let detail = if v.text == "SeqCst" {
+                            "`Ordering::SeqCst` — strongest-by-default; pick the weakest \
+                             sufficient ordering and justify"
+                                .to_string()
+                        } else {
+                            format!(
+                                "`Ordering::{}` — atomic orderings need a written \
+                                 justification",
+                                v.text
+                            )
+                        };
+                        push(Rule::AtomicOrdering, t.line, t.col, detail);
                     }
                 }
                 if nondet_applies && matches!(t.text.as_str(), "HashMap" | "HashSet") {
                     push(
                         Rule::NondetIter,
-                        t,
+                        t.line,
+                        t.col,
                         format!("`{}` in a determinism-contract crate", t.text),
                     );
                 }
@@ -286,12 +540,13 @@ pub fn audit_source(path: &str, src: &str, config: &AuditConfig) -> Vec<Finding>
                 {
                     push(
                         Rule::WallclockInFingerprint,
-                        t,
+                        t.line,
+                        t.col,
                         format!("`{}` outside tracing/bench code", t.text),
                     );
                 }
             }
-            TokKind::Punct if t.text == "[" && panic_applies && !in_test(t.line) => {
+            TokKind::Punct if t.text == "[" && lib_code && !in_test(t.line) && !in_attr => {
                 let indexable = prev.is_some_and(|p| match p.kind {
                     TokKind::Ident => !is_keyword(&p.text),
                     TokKind::Punct => matches!(p.text.as_str(), ")" | "]"),
@@ -299,7 +554,12 @@ pub fn audit_source(path: &str, src: &str, config: &AuditConfig) -> Vec<Finding>
                 });
                 if indexable {
                     let base = prev.map_or(String::new(), |p| p.text.clone());
-                    push(Rule::PanicSite, t, format!("slice index `{base}[..]`"));
+                    push(
+                        Rule::PanicSite,
+                        t.line,
+                        t.col,
+                        format!("slice index `{base}[..]`"),
+                    );
                 }
             }
             _ => {}
@@ -320,19 +580,35 @@ pub fn audit_source(path: &str, src: &str, config: &AuditConfig) -> Vec<Finding>
                 line: 1,
                 col: 1,
                 detail: "missing `#![forbid(unsafe_code)]`".to_string(),
+                snippet: source_lines
+                    .first()
+                    .map_or(String::new(), |l| l.trim().to_string()),
+                item: String::new(),
             });
         }
     }
 
-    // apply suppression, then report malformed pragmas
+    // resolve each valid pragma to its coverage, then filter
+    let suppressions: Vec<Suppression> = file_pragmas
+        .iter()
+        .filter_map(|p| match (&p.rule, &p.reason) {
+            (Ok(rule), Some(_)) => {
+                pragma_coverage(p, &fs, &transparent).map(|(first, last)| Suppression {
+                    rule: *rule,
+                    first,
+                    last,
+                })
+            }
+            _ => None,
+        })
+        .collect();
+
     let mut findings: Vec<Finding> = raw
         .into_iter()
         .filter(|f| {
-            !file_pragmas.iter().any(|p| {
-                p.rule == Ok(f.rule)
-                    && p.reason.is_some()
-                    && (p.line == f.line || p.line + 1 == f.line)
-            })
+            !suppressions
+                .iter()
+                .any(|s| s.rule == f.rule && s.first <= f.line && f.line <= s.last)
         })
         .collect();
     for p in &file_pragmas {
@@ -349,6 +625,10 @@ pub fn audit_source(path: &str, src: &str, config: &AuditConfig) -> Vec<Finding>
                 line: p.line,
                 col: p.col,
                 detail: problem,
+                snippet: source_lines
+                    .get(p.line.saturating_sub(1) as usize)
+                    .map_or(String::new(), |l| l.trim().to_string()),
+                item: fs.enclosing_item(p.line).unwrap_or_default(),
             });
         }
     }
@@ -377,6 +657,8 @@ mod tests {
         assert_eq!(rules_of(&f), vec![Rule::PanicSite; 4]);
         assert_eq!(f[0].line, 2);
         assert_eq!(f[0].detail, "`.unwrap()` call");
+        assert_eq!(f[0].snippet, "a.unwrap();");
+        assert_eq!(f[0].item, "f");
     }
 
     #[test]
@@ -467,6 +749,76 @@ mod tests {
         assert!(not_lib.is_empty());
     }
 
+    // ------------------------------------------------ new rule families
+
+    #[test]
+    fn narrowing_casts_flag_and_widening_guards_hold() {
+        let f = audit_lib("fn f(x: usize) -> u32 { x as u32 }\n");
+        assert_eq!(rules_of(&f), vec![Rule::AsCastTruncation]);
+        assert!(f[0].detail.contains("as u32"));
+        // 64-bit and pointer-width targets never narrow on this workspace
+        assert!(audit_lib("fn f(x: u32) -> u64 { x as u64 }\n").is_empty());
+        assert!(audit_lib("fn f(x: u32) -> usize { x as usize }\n").is_empty());
+        // literals that provably fit, and char/byte sources, are guarded
+        assert!(audit_lib("fn f() -> u8 { 200 as u8 }\n").is_empty());
+        assert!(audit_lib("fn f() -> u32 { 0xFFFF as u32 }\n").is_empty());
+        assert!(audit_lib("fn f() -> u32 { 'a' as u32 }\n").is_empty());
+        // a literal that does NOT fit still flags
+        assert_eq!(
+            rules_of(&audit_lib("fn f() -> u8 { 300 as u8 }\n")),
+            vec![Rule::AsCastTruncation]
+        );
+        // `use x as y` renames are not casts
+        assert!(audit_lib("use std::io::Error as u32e;\n").is_empty());
+    }
+
+    #[test]
+    fn atomic_orderings_demand_justification() {
+        let src = "fn f() { x.load(Ordering::Relaxed); }\n";
+        let f = audit_lib(src);
+        assert_eq!(rules_of(&f), vec![Rule::AtomicOrdering]);
+        assert!(f[0].detail.contains("Relaxed"));
+        let seqcst = audit_lib("fn f() { x.store(1, Ordering::SeqCst); }\n");
+        assert!(seqcst[0].detail.contains("strongest-by-default"));
+        // cmp::Ordering variants are a different type entirely
+        assert!(audit_lib("fn f() -> Ordering { Ordering::Less }\n").is_empty());
+        // the gauge registry file is exempt by config
+        let exempt = audit_source("crates/obs/src/progress.rs", src, &AuditConfig::default());
+        assert!(exempt.is_empty());
+        // a justified site is clean
+        let justified = "fn f() {\n  // fhp-audit: allow(atomic-ordering) — monotonic counter, \
+                         no cross-thread edges\n  x.load(Ordering::Relaxed);\n}\n";
+        assert!(audit_lib(justified).is_empty());
+    }
+
+    #[test]
+    fn float_comparisons_in_orderings_flag() {
+        let f =
+            audit_lib("fn f(a: f64, b: f64) { v.sort_by(|a, b| a.partial_cmp(&b).unwrap()); }\n");
+        assert!(rules_of(&f).contains(&Rule::FloatInOrdering));
+        assert!(rules_of(&f).contains(&Rule::PanicSite), "the unwrap too");
+        let t = audit_lib("fn f(a: f64, b: f64) { a.total_cmp(&b); }\n");
+        assert_eq!(rules_of(&t), vec![Rule::FloatInOrdering]);
+        assert!(t[0].detail.contains("total_cmp"));
+        // integer comparisons via cmp are fine
+        assert!(audit_lib("fn f(a: u64, b: u64) { a.cmp(&b); }\n").is_empty());
+    }
+
+    #[test]
+    fn ignored_results_flag_with_named_binding_guard() {
+        let f = audit_lib("fn f() { let _ = fallible(); }\n");
+        assert_eq!(rules_of(&f), vec![Rule::IgnoredResult]);
+        // a named discard documents intent and is visible in reviews
+        assert!(audit_lib("fn f() { let _ignored = fallible(); }\n").is_empty());
+        // match arms with `_ =>` are not discards
+        assert!(audit_lib("fn f() { match x { _ => {} } }\n").is_empty());
+        // test code is exempt
+        let test_src = "#[cfg(test)]\nmod tests {\n  fn t() { let _ = f(); }\n}\n";
+        assert!(audit_lib(test_src).is_empty());
+    }
+
+    // ------------------------------------------------ pragma attachment
+
     #[test]
     fn pragma_suppresses_same_and_next_line() {
         let trailing = "fn f() { a.unwrap(); } // fhp-audit: allow(panic-site) — checked above\n";
@@ -475,6 +827,50 @@ mod tests {
         assert!(audit_lib(above).is_empty());
         let too_far = "// fhp-audit: allow(panic-site) — checked above\n\nfn f() { a.unwrap(); }\n";
         assert_eq!(rules_of(&audit_lib(too_far)), vec![Rule::PanicSite]);
+    }
+
+    #[test]
+    fn pragma_reaches_items_through_attributes() {
+        // the PR-4 adjacency bug: an attribute line between pragma and
+        // item broke suppression; pragmas now attach to the item
+        let over_attr = "// fhp-audit: allow(nondet-iter) — fixture map, iteration order unused\n\
+                         #[derive(Debug)]\n\
+                         struct S(HashMap<u32, u32>);\n";
+        assert!(
+            audit_lib(over_attr).is_empty(),
+            "{:?}",
+            audit_lib(over_attr)
+        );
+        let under_attr = "#[derive(Debug)]\n\
+                          // fhp-audit: allow(nondet-iter) — fixture map, iteration order unused\n\
+                          struct S(HashMap<u32, u32>);\n";
+        assert!(
+            audit_lib(under_attr).is_empty(),
+            "{:?}",
+            audit_lib(under_attr)
+        );
+        // multi-attribute stacks too
+        let stacked = "// fhp-audit: allow(nondet-iter) — fixture map, iteration order unused\n\
+                       #[derive(Debug)]\n#[derive(Clone)]\nstruct S(HashMap<u32, u32>);\n";
+        assert!(audit_lib(stacked).is_empty());
+    }
+
+    #[test]
+    fn stacked_pragmas_for_different_rules_all_attach() {
+        let src = "fn f(v: &[u64], i: usize) -> u32 {\n\
+                   // fhp-audit: allow(panic-site) — i bounded by caller contract\n\
+                   // fhp-audit: allow(as-cast-truncation) — values < 2^32 by construction\n\
+                   v[i] as u32\n}\n";
+        assert!(audit_lib(src).is_empty(), "{:?}", audit_lib(src));
+    }
+
+    #[test]
+    fn pragma_covers_multiline_item_headers() {
+        let src = "// fhp-audit: allow(as-cast-truncation) — header cast audited\n\
+                   fn f(\n  x: usize,\n) -> u32 {\n  let y = x as u32;\n  y\n}\n";
+        // the cast on line 5 is inside the body, NOT the header: the
+        // item-attached pragma must not blanket the body
+        assert_eq!(rules_of(&audit_lib(src)), vec![Rule::AsCastTruncation]);
     }
 
     #[test]

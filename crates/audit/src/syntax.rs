@@ -1,0 +1,684 @@
+//! A lightweight recursive-descent item/block parser on top of the
+//! lexer: just enough *scope* structure for the audit rules to reason
+//! about — no expressions, no types, no validation.
+//!
+//! The token-level rules of PR 4 knew only lines. That made two classes
+//! of decisions wrong at the margins:
+//!
+//! - **attribute attachment**: a suppression pragma above
+//!   `#[derive(Debug)] struct S(..)` never reached the item, because the
+//!   attribute line sat between pragma and finding;
+//! - **test masking**: `#[cfg(test)]` regions were brace-matched by a
+//!   flat scan that could not see nesting or multi-line attributes.
+//!
+//! [`FileSyntax`] fixes both: it builds an item tree (fn / mod / impl /
+//! struct / enum / trait / const / use …) with each item's attributes
+//! attached, derives the per-line test mask from `test`-carrying
+//! attributes on real items, tracks which tokens sit inside attribute
+//! groups (so `#[cfg(feature = "x")]` brackets are never mistaken for
+//! index expressions), and answers "which item is declared at line L"
+//! so pragmas can attach to the item they precede.
+//!
+//! The parser never fails: unknown constructs are skipped token-by-token
+//! and anonymous blocks (`if`/`loop`/closure bodies) are descended into
+//! so nested items are still found. Like the lexer, degraded input
+//! degrades the answer, never the run.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of item a node in the tree is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (free, method, or trait-provided).
+    Fn,
+    /// `mod`, inline or out-of-line.
+    Mod,
+    /// `impl` block.
+    Impl,
+    /// `struct` or `union`.
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `trait`.
+    Trait,
+    /// `const` or `static` item.
+    Const,
+    /// `type` alias.
+    TypeAlias,
+    /// `use` declaration or `extern crate`.
+    Use,
+    /// `macro_rules!` definition.
+    Macro,
+    /// `extern "C" { .. }` block.
+    ExternBlock,
+}
+
+/// One parsed item with attribute and body extent, in source order.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// The item's kind.
+    pub kind: ItemKind,
+    /// The item's name (first identifier after the keyword), or the
+    /// trait/type head for `impl` blocks. Best-effort, display-only.
+    pub name: String,
+    /// 1-based line of the first attached attribute (== `decl_line` when
+    /// the item has no attributes).
+    pub attr_line: u32,
+    /// 1-based line of the introducing keyword.
+    pub decl_line: u32,
+    /// Line of the `{` opening the item's body, if it has one.
+    pub body_open_line: Option<u32>,
+    /// Last line of the item (closing `}` or terminating `;`).
+    pub end_line: u32,
+    /// Whether the item's own attributes carry the identifier `test`
+    /// (`#[test]`, `#[cfg(test)]`, `#[cfg(any(test, ..))]`, …).
+    pub is_test: bool,
+    /// Items nested in this item's body.
+    pub children: Vec<Item>,
+}
+
+impl Item {
+    /// The lines of the item's *header*: attributes + declaration through
+    /// the body-opening line (or the whole item when bodyless). This is
+    /// the region a preceding pragma attaches to.
+    pub fn header_lines(&self) -> (u32, u32) {
+        (self.decl_line, self.body_open_line.unwrap_or(self.end_line))
+    }
+}
+
+/// The parsed scope structure of one file.
+pub struct FileSyntax<'a> {
+    /// Code tokens: the input with comment tokens stripped.
+    pub code: Vec<&'a Tok>,
+    /// Parallel to `code`: whether the token sits inside an attribute
+    /// group `#[...]` / `#![...]` (the delimiters included).
+    pub in_attr: Vec<bool>,
+    /// The item tree, in source order.
+    pub items: Vec<Item>,
+    test_mask: Vec<bool>,
+}
+
+impl<'a> FileSyntax<'a> {
+    /// Parses a lexed token stream. `num_lines` bounds the test mask.
+    pub fn new(toks: &'a [Tok], num_lines: usize) -> Self {
+        let code: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let in_attr = attr_token_mask(&code);
+        let mut parser = Parser {
+            code: &code,
+            pos: 0,
+        };
+        let mut items = Vec::new();
+        parser.parse_block(&mut items);
+        let mut test_mask = vec![false; num_lines + 2];
+        mark_test_items(&items, &mut test_mask);
+        Self {
+            code,
+            in_attr,
+            items,
+            test_mask,
+        }
+    }
+
+    /// Whether 1-based `line` is inside a `test`-attributed item.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_mask.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// The item (innermost first not needed — declaration is unique)
+    /// whose declaration starts at `line`, searching the whole tree.
+    pub fn item_declared_at(&self, line: u32) -> Option<&Item> {
+        fn find(items: &[Item], line: u32) -> Option<&Item> {
+            for item in items {
+                if item.decl_line == line {
+                    return Some(item);
+                }
+                if let Some(found) = find(&item.children, line) {
+                    return Some(found);
+                }
+            }
+            None
+        }
+        find(&self.items, line)
+    }
+
+    /// The name of the innermost `fn`/`impl`/`mod` item whose span
+    /// contains `line`, as a `::`-joined path — display context for
+    /// findings.
+    pub fn enclosing_item(&self, line: u32) -> Option<String> {
+        fn descend(items: &[Item], line: u32, path: &mut Vec<String>) -> bool {
+            for item in items {
+                if item.attr_line <= line && line <= item.end_line {
+                    if matches!(item.kind, ItemKind::Fn | ItemKind::Impl | ItemKind::Mod) {
+                        path.push(item.name.clone());
+                    }
+                    descend(&item.children, line, path);
+                    return true;
+                }
+            }
+            false
+        }
+        let mut path = Vec::new();
+        descend(&self.items, line, &mut path);
+        if path.is_empty() {
+            None
+        } else {
+            Some(path.join("::"))
+        }
+    }
+}
+
+/// Marks `attr..=end` lines of every `test`-attributed item.
+fn mark_test_items(items: &[Item], mask: &mut [bool]) {
+    for item in items {
+        if item.is_test {
+            for line in item.attr_line..=item.end_line {
+                if let Some(slot) = mask.get_mut(line as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        mark_test_items(&item.children, mask);
+    }
+}
+
+/// Marks every token belonging to an attribute group `#[...]`/`#![...]`,
+/// delimiters included.
+fn attr_token_mask(code: &[&Tok]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        let is_hash = code.get(i).is_some_and(|t| t.text == "#");
+        let open_at = if is_hash && code.get(i + 1).is_some_and(|t| t.text == "[") {
+            Some(i + 1)
+        } else if is_hash
+            && code.get(i + 1).is_some_and(|t| t.text == "!")
+            && code.get(i + 2).is_some_and(|t| t.text == "[")
+        {
+            Some(i + 2)
+        } else {
+            None
+        };
+        let Some(open) = open_at else {
+            i += 1;
+            continue;
+        };
+        let close = matching_bracket(code, open);
+        for slot in mask.iter_mut().take(close + 1).skip(i) {
+            *slot = true;
+        }
+        i = close + 1;
+    }
+    mask
+}
+
+/// Index of the `]` matching the `[` at `open` (best-effort: the last
+/// token on unbalanced input).
+fn matching_bracket(code: &[&Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while let Some(t) = code.get(i) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Keywords that introduce an item the parser models.
+fn item_keyword(text: &str) -> Option<ItemKind> {
+    match text {
+        "fn" => Some(ItemKind::Fn),
+        "mod" => Some(ItemKind::Mod),
+        "impl" => Some(ItemKind::Impl),
+        "struct" | "union" => Some(ItemKind::Struct),
+        "enum" => Some(ItemKind::Enum),
+        "trait" => Some(ItemKind::Trait),
+        "const" | "static" => Some(ItemKind::Const),
+        "type" => Some(ItemKind::TypeAlias),
+        "use" => Some(ItemKind::Use),
+        "macro_rules" => Some(ItemKind::Macro),
+        "extern" => Some(ItemKind::ExternBlock),
+        _ => None,
+    }
+}
+
+struct Parser<'a, 'b> {
+    code: &'b [&'a Tok],
+    pos: usize,
+}
+
+impl Parser<'_, '_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.code.get(self.pos).copied()
+    }
+
+    fn peek_text(&self, offset: usize) -> &str {
+        self.code
+            .get(self.pos + offset)
+            .map_or("", |t| t.text.as_str())
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Parses items until end of input or an unmatched `}` (which is
+    /// consumed — it closes the caller's block). Returns the line of
+    /// that closing `}`, if one ended the block.
+    fn parse_block(&mut self, out: &mut Vec<Item>) -> Option<u32> {
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "}" => {
+                    let line = t.line;
+                    self.bump();
+                    return Some(line);
+                }
+                "{" => {
+                    // anonymous block (if/loop/match/closure body):
+                    // descend so nested items are still found
+                    self.bump();
+                    self.parse_block(out);
+                }
+                "#" => {
+                    if self.peek_text(1) == "[" {
+                        self.parse_attributed_item(out);
+                    } else if self.peek_text(1) == "!" && self.peek_text(2) == "[" {
+                        // inner attribute `#![..]`: skip the group
+                        self.bump();
+                        self.bump();
+                        self.skip_bracket_group();
+                    } else {
+                        self.bump();
+                    }
+                }
+                text => {
+                    if item_keyword(text).is_some() && t.kind == TokKind::Ident {
+                        self.parse_item(t.line, false, out);
+                    } else {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// At the `[` of an attribute group (cursor on `#`): consumes the
+    /// group, reporting whether it contains the identifier `test`.
+    fn consume_attr(&mut self) -> bool {
+        self.bump(); // #
+        let open = self.pos;
+        let close = matching_bracket(self.code, open);
+        let mut has_test = false;
+        while self.pos <= close && self.pos < self.code.len() {
+            if let Some(t) = self.peek() {
+                if t.kind == TokKind::Ident && t.text == "test" {
+                    has_test = true;
+                }
+            }
+            self.bump();
+        }
+        has_test
+    }
+
+    /// At a `#[`: consumes the attribute run, then the item it
+    /// decorates (if one follows).
+    fn parse_attributed_item(&mut self, out: &mut Vec<Item>) {
+        let attr_line = self.peek().map_or(0, |t| t.line);
+        let mut is_test = false;
+        while self.peek_text(0) == "#" && self.peek_text(1) == "[" {
+            is_test |= self.consume_attr();
+        }
+        // visibility: `pub`, `pub(crate)`, `pub(in path)`
+        self.skip_visibility();
+        // fn modifiers: `unsafe`, `async`, `default`, `extern "C"`
+        while matches!(self.peek_text(0), "unsafe" | "async" | "default") {
+            self.bump();
+        }
+        if self.peek_text(0) == "extern"
+            && self
+                .code
+                .get(self.pos + 1)
+                .is_some_and(|t| t.kind == TokKind::Str)
+            && self.peek_text(2) == "fn"
+        {
+            self.bump();
+            self.bump();
+        }
+        let Some(t) = self.peek() else { return };
+        if item_keyword(&t.text).is_some() && t.kind == TokKind::Ident {
+            let decl_line = t.line;
+            self.parse_item_inner(attr_line, decl_line, is_test, out);
+        }
+        // attrs on non-items (statements, expressions): nothing to attach
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.peek_text(0) == "pub" {
+            self.bump();
+            if self.peek_text(0) == "(" {
+                let mut depth = 0usize;
+                while let Some(t) = self.peek() {
+                    match t.text.as_str() {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth = depth.saturating_sub(1);
+                            self.bump();
+                            if depth == 0 {
+                                return;
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn skip_bracket_group(&mut self) {
+        let close = matching_bracket(self.code, self.pos);
+        self.pos = (close + 1).min(self.code.len());
+    }
+
+    /// At an item keyword without preceding attributes.
+    fn parse_item(&mut self, decl_line: u32, is_test: bool, out: &mut Vec<Item>) {
+        self.parse_item_inner(decl_line, decl_line, is_test, out);
+    }
+
+    /// At the introducing keyword: parses one item and appends it.
+    fn parse_item_inner(
+        &mut self,
+        attr_line: u32,
+        decl_line: u32,
+        is_test: bool,
+        out: &mut Vec<Item>,
+    ) {
+        let Some(kw) = self.peek() else { return };
+        let Some(mut kind) = item_keyword(&kw.text) else {
+            return;
+        };
+        let kw_text = kw.text.clone();
+        self.bump();
+        // `const fn` / `extern crate` / `extern "C" fn` reshape the kind
+        if kind == ItemKind::Const && self.peek_text(0) == "fn" {
+            kind = ItemKind::Fn;
+            self.bump();
+        }
+        if kind == ItemKind::ExternBlock {
+            if self.peek_text(0) == "crate" {
+                kind = ItemKind::Use;
+            } else if self.peek().is_some_and(|t| t.kind == TokKind::Str) {
+                self.bump(); // the ABI string
+                if self.peek_text(0) == "fn" {
+                    kind = ItemKind::Fn;
+                    self.bump();
+                }
+            }
+        }
+        if kind == ItemKind::Macro && self.peek_text(0) == "!" {
+            self.bump();
+        }
+        let name = self
+            .peek()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_else(|| kw_text.clone());
+
+        let mut item = Item {
+            kind,
+            name,
+            attr_line,
+            decl_line,
+            body_open_line: None,
+            end_line: decl_line,
+            is_test,
+            children: Vec::new(),
+        };
+
+        // scan the header: stop at the body `{` or the terminating `;`
+        // at bracket depth 0
+        let mut depth = 0usize;
+        let body_open = loop {
+            let Some(t) = self.peek() else {
+                item.end_line = self.last_line().unwrap_or(decl_line);
+                out.push(item);
+                return;
+            };
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => {
+                    item.end_line = t.line;
+                    self.bump();
+                    out.push(item);
+                    return;
+                }
+                "{" if depth == 0 => break t.line,
+                "}" if depth == 0 => {
+                    // malformed header ran into the enclosing close:
+                    // end the item here, let the caller consume the `}`
+                    item.end_line = t.line;
+                    out.push(item);
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        };
+        item.body_open_line = Some(body_open);
+        self.bump(); // the `{`
+
+        match kind {
+            ItemKind::Fn
+            | ItemKind::Mod
+            | ItemKind::Impl
+            | ItemKind::Trait
+            | ItemKind::ExternBlock
+            | ItemKind::Macro
+            | ItemKind::Const => {
+                let close_line = self.parse_block(&mut item.children);
+                item.end_line = close_line.or_else(|| self.last_line()).unwrap_or(body_open);
+            }
+            _ => {
+                // struct/enum/union/type bodies hold no items: skip to
+                // the matching `}` by depth count
+                let mut brace = 1usize;
+                let mut end = body_open;
+                while let Some(t) = self.peek() {
+                    match t.text.as_str() {
+                        "{" => brace += 1,
+                        "}" => {
+                            brace -= 1;
+                            if brace == 0 {
+                                end = t.line;
+                                self.bump();
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    end = t.line;
+                    self.bump();
+                }
+                item.end_line = end;
+            }
+        }
+        out.push(item);
+    }
+
+    fn last_line(&self) -> Option<u32> {
+        self.code.last().map(|t| t.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn syntax(src: &str) -> (Vec<Tok>, usize) {
+        (lex(src), src.lines().count())
+    }
+
+    fn masked_lines(src: &str) -> Vec<usize> {
+        let (toks, n) = syntax(src);
+        let fs = FileSyntax::new(&toks, n);
+        (1..=n).filter(|&l| fs.in_test(l as u32)).collect()
+    }
+
+    #[test]
+    fn flat_items_have_spans_and_names() {
+        let src = "fn alpha() {\n  body();\n}\nstruct S {\n  x: u32,\n}\nconst K: u32 = 3;\n";
+        let (toks, n) = syntax(src);
+        let fs = FileSyntax::new(&toks, n);
+        assert_eq!(fs.items.len(), 3);
+        let [a, s, k] = &fs.items[..] else {
+            panic!("expected 3 items, got {:#?}", fs.items)
+        };
+        assert_eq!((a.kind, a.name.as_str()), (ItemKind::Fn, "alpha"));
+        assert_eq!((a.decl_line, a.body_open_line, a.end_line), (1, Some(1), 3));
+        assert_eq!((s.kind, s.name.as_str()), (ItemKind::Struct, "S"));
+        assert_eq!((s.decl_line, s.end_line), (4, 6));
+        assert_eq!((k.kind, k.name.as_str()), (ItemKind::Const, "K"));
+        assert_eq!((k.decl_line, k.end_line), (7, 7));
+    }
+
+    #[test]
+    fn nested_items_build_a_tree() {
+        let src = "mod outer {\n  fn inner() {\n    let f = || {\n      fn deepest() {}\n    };\n  }\n}\n";
+        let (toks, n) = syntax(src);
+        let fs = FileSyntax::new(&toks, n);
+        assert_eq!(fs.items.len(), 1);
+        let outer = fs.items.first().expect("outer");
+        assert_eq!(outer.kind, ItemKind::Mod);
+        let inner = outer.children.first().expect("inner");
+        assert_eq!((inner.kind, inner.name.as_str()), (ItemKind::Fn, "inner"));
+        let deepest = inner.children.first().expect("deepest");
+        assert_eq!(deepest.name, "deepest");
+        assert_eq!(
+            fs.enclosing_item(4).as_deref(),
+            Some("outer::inner::deepest")
+        );
+        assert_eq!(fs.enclosing_item(6).as_deref(), Some("outer::inner"));
+    }
+
+    #[test]
+    fn cfg_test_mod_masks_nested_and_multiline_attrs() {
+        let src = "fn live() {}\n\
+                   #[cfg(\n  test\n)]\n\
+                   mod tests {\n\
+                     fn helper() { x.unwrap(); }\n\
+                     mod deeper { fn t() {} }\n\
+                   }\n\
+                   fn live2() {}\n";
+        assert_eq!(masked_lines(src), vec![2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn test_fn_between_lib_fns_masks_exactly() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n  y();\n}\nfn b() {}\n";
+        assert_eq!(masked_lines(src), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn derive_then_test_attribute_stack_masks() {
+        let src = "#[derive(Debug)]\n#[cfg(test)]\nstruct Fixture {\n  v: u32,\n}\nfn live() {}\n";
+        assert_eq!(masked_lines(src), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_mask() {
+        let src = "#[derive(Debug)]\nstruct S;\n#[allow(dead_code)]\nfn f() {}\n";
+        assert_eq!(masked_lines(src), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn doc_string_test_is_not_a_test_attr() {
+        let src = "#[doc = \"test\"]\nfn f() {}\n";
+        assert_eq!(masked_lines(src), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn bodyless_test_item_masks_to_semicolon() {
+        let src = "#[cfg(test)]\nuse super::*;\nfn live() {}\n";
+        assert_eq!(masked_lines(src), vec![1, 2]);
+    }
+
+    #[test]
+    fn item_declared_at_sees_attributed_items() {
+        let src = "#[derive(Debug)]\nstruct S {\n  v: u32,\n}\n";
+        let (toks, n) = syntax(src);
+        let fs = FileSyntax::new(&toks, n);
+        let item = fs.item_declared_at(2).expect("struct at line 2");
+        assert_eq!(item.attr_line, 1);
+        assert_eq!(item.header_lines(), (2, 2));
+        assert!(fs.item_declared_at(3).is_none());
+    }
+
+    #[test]
+    fn attr_token_mask_covers_groups() {
+        let src = "#[cfg(feature = \"x\")]\nfn f(v: &[u8]) -> u8 { v.len() as u8 }\n";
+        let (toks, n) = syntax(src);
+        let fs = FileSyntax::new(&toks, n);
+        let brackets: Vec<(usize, bool)> = fs
+            .code
+            .iter()
+            .zip(&fs.in_attr)
+            .filter(|(t, _)| t.text == "[")
+            .map(|(t, &m)| (t.line as usize, m))
+            .collect();
+        assert_eq!(brackets, vec![(1, true), (2, false)]);
+    }
+
+    #[test]
+    fn const_fn_and_extern_variants_parse() {
+        let src = "const fn cf() {}\nextern crate alloc;\nextern \"C\" {\n  fn c_side();\n}\n";
+        let (toks, n) = syntax(src);
+        let fs = FileSyntax::new(&toks, n);
+        let kinds: Vec<ItemKind> = fs.items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![ItemKind::Fn, ItemKind::Use, ItemKind::ExternBlock]
+        );
+    }
+
+    #[test]
+    fn impl_blocks_nest_methods() {
+        let src = "impl Widget {\n  #[cfg(test)]\n  fn probe(&self) {}\n  fn real(&self) {}\n}\n";
+        let (toks, n) = syntax(src);
+        let fs = FileSyntax::new(&toks, n);
+        let imp = fs.items.first().expect("impl");
+        assert_eq!(imp.kind, ItemKind::Impl);
+        assert_eq!(imp.children.len(), 2);
+        assert_eq!(masked_lines(src), vec![2, 3]);
+    }
+
+    #[test]
+    fn semicolons_inside_array_types_do_not_end_items() {
+        let src = "#[cfg(test)]\nfn t(a: [u8; 4]) {\n  body();\n}\nfn live() {}\n";
+        assert_eq!(masked_lines(src), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unbalanced_input_terminates() {
+        for src in ["fn f() {", "}", "#[cfg(test)", "impl {", "mod m { fn f() {"] {
+            let (toks, n) = syntax(src);
+            let fs = FileSyntax::new(&toks, n);
+            // no panic, and the mask is still addressable
+            let _probe = fs.in_test(1);
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! Fixture battery: every rule against a file with known violations,
 //! the tricky non-violations (test code, string literals, raw strings,
-//! pragma suppression), exact counts, NDJSON stability — and the
-//! ratchet's exit codes end-to-end through the real binary.
+//! pragma suppression, provably-widening casts), exact counts, NDJSON
+//! stability — and the per-site ratchet's exit codes end-to-end through
+//! the real binary, including the legacy-format refusal and an injected
+//! finding in a copy of a real core file.
 //!
 //! The fixtures live under `tests/fixtures/`; the workspace walker
 //! skips that directory, so they never leak into the self-audit.
@@ -9,7 +11,7 @@
 use std::path::Path;
 use std::process::Command;
 
-use fhp_audit::{audit_source, baseline, report, AuditConfig, Finding, Rule};
+use fhp_audit::{audit_source, baseline, report, AuditConfig, Finding, Rule, ALL_RULES};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -46,6 +48,9 @@ fn panic_site_fixture_exact_counts() {
             "slice index `xs[..]`",
         ]
     );
+    // v2 metadata: every finding carries its snippet and enclosing item
+    assert!(findings.iter().all(|f| !f.snippet.is_empty()));
+    assert!(findings.iter().all(|f| f.item == "flagged"));
 }
 
 #[test]
@@ -140,6 +145,84 @@ fn pragma_fixture_exact_counts() {
 }
 
 #[test]
+fn as_cast_fixture_exact_counts() {
+    let src = fixture("as_cast.rs");
+    let findings = audit_source(
+        "crates/widgets/src/as_cast.rs",
+        &src,
+        &AuditConfig::default(),
+    );
+    // usize->u32, u64->u16, f64->f32, and the overflowing 300-as-u8; the
+    // widening/word-width/fitting-literal/char guards and the suppressed
+    // and test-code casts stay silent.
+    assert_eq!(count(&findings, Rule::AsCastTruncation), 4, "{findings:#?}");
+    assert_eq!(findings.len(), 4);
+    assert!(findings[0].detail.contains("as u32"));
+}
+
+#[test]
+fn atomic_ordering_fixture_counts_and_exempt_path() {
+    let src = fixture("atomic_ordering.rs");
+    let config = AuditConfig::default();
+    let findings = audit_source("crates/widgets/src/atomic_ordering.rs", &src, &config);
+    // SeqCst, AcqRel, Relaxed; cmp::Ordering variants, the suppressed
+    // load, and the test module stay silent.
+    assert_eq!(count(&findings, Rule::AtomicOrdering), 3, "{findings:#?}");
+    assert_eq!(findings.len(), 3);
+    assert!(findings
+        .iter()
+        .any(|f| f.detail.contains("strongest-by-default")));
+    // the gauge registry is exempt wholesale
+    let exempt = audit_source("crates/obs/src/progress.rs", &src, &config);
+    assert_eq!(count(&exempt, Rule::AtomicOrdering), 0, "{exempt:#?}");
+}
+
+#[test]
+fn float_ordering_fixture_exact_counts() {
+    let src = fixture("float_ordering.rs");
+    let findings = audit_source(
+        "crates/widgets/src/float_ordering.rs",
+        &src,
+        &AuditConfig::default(),
+    );
+    assert_eq!(count(&findings, Rule::FloatInOrdering), 2, "{findings:#?}");
+    assert_eq!(findings.len(), 2);
+}
+
+#[test]
+fn ignored_result_fixture_exact_counts() {
+    let src = fixture("ignored_result.rs");
+    let findings = audit_source(
+        "crates/widgets/src/ignored_result.rs",
+        &src,
+        &AuditConfig::default(),
+    );
+    assert_eq!(count(&findings, Rule::IgnoredResult), 1, "{findings:#?}");
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].item, "flagged");
+}
+
+#[test]
+fn pragma_attr_adjacency_fixture_both_layouts() {
+    let src = fixture("pragma_attr.rs");
+    let findings = audit_source(
+        "crates/core/src/pragma_attr.rs",
+        &src,
+        &AuditConfig::default(),
+    );
+    // the bare `use`, the body field beyond the header, and the
+    // pragma-less struct; above-attr, below-attr, and stacked-attr
+    // pragmas all suppress their header lines.
+    assert_eq!(count(&findings, Rule::NondetIter), 3, "{findings:#?}");
+    assert_eq!(findings.len(), 3);
+    let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+    assert!(findings.iter().all(|f| f.rule == Rule::NondetIter));
+    // use-line, BodyField's field line, NoPragma's header line — in order
+    assert_eq!(lines.len(), 3);
+    assert!(lines.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
 fn fixture_ndjson_is_stable_and_checker_valid() {
     let src = fixture("panic_site.rs");
     let findings = audit_source(
@@ -155,18 +238,22 @@ fn fixture_ndjson_is_stable_and_checker_valid() {
 
     let text = String::from_utf8(first).unwrap();
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), findings.len() + 1); // findings + total
+    // findings + one aggregate counter per rule + the closing total
+    assert_eq!(lines.len(), findings.len() + ALL_RULES.len() + 1);
     for line in &lines {
         fhp_obs::json::validate_trace_line(line)
             .unwrap_or_else(|e| panic!("fhp-trace-check would reject {line}: {e}"));
     }
     assert!(lines[0].contains("\"name\":\"audit.panic-site\""));
+    assert!(lines[0].contains("\"site\":\"widgets/crates/widgets/src/panic_site.rs:panic-site:"));
+    assert!(text.contains("\"name\":\"audit.count.panic-site\""));
+    assert!(text.contains("\"name\":\"audit.count.ignored-result\""));
     assert!(lines[lines.len() - 1].contains("\"name\":\"audit.findings_total\""));
     assert!(lines[lines.len() - 1].contains("\"value\":5"));
 }
 
 #[test]
-fn baseline_counts_round_trip_through_json() {
+fn baseline_site_keys_round_trip_through_json() {
     let src = fixture("pragmas.rs");
     let findings = audit_source(
         "crates/widgets/src/pragmas.rs",
@@ -174,22 +261,71 @@ fn baseline_counts_round_trip_through_json() {
         &AuditConfig::default(),
     );
     let counts = baseline::count_findings(&findings);
-    assert_eq!(counts.get("widgets/panic-site"), Some(&4));
-    assert_eq!(counts.get("widgets/invalid-pragma"), Some(&2));
+    // every key carries crate/path:rule:hash16
+    assert_eq!(counts.values().sum::<u64>(), findings.len() as u64);
+    for key in counts.keys() {
+        assert!(
+            key.starts_with("widgets/crates/widgets/src/pragmas.rs:"),
+            "{key}"
+        );
+        let hash = key.rsplit(':').next().unwrap_or_default();
+        assert_eq!(hash.len(), 16, "{key}");
+    }
     let json = baseline::to_json(&counts);
-    assert_eq!(baseline::from_json(&json).unwrap(), counts);
+    assert_eq!(baseline::from_json(&json), Ok(counts));
 }
 
-/// End-to-end through the real binary: a fresh mini-workspace fails
-/// against a zero baseline, `--update-baseline` grandfathers it, a new
-/// violation is a regression, and fixing past the baseline is reported
-/// tightenable but green.
+/// The audit must hold itself to its own contracts: `crates/audit`
+/// library code is finding-free, no grandfathering.
 #[test]
-fn ratchet_exit_codes_end_to_end() {
-    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("ratchet_e2e");
+fn self_audit_is_finding_free() {
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let config = AuditConfig::default();
+    let mut entries: Vec<_> = std::fs::read_dir(&src_dir)
+        .expect("read crates/audit/src")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty());
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src = std::fs::read_to_string(&path).expect("read source");
+        let findings = audit_source(&format!("crates/audit/src/{name}"), &src, &config);
+        assert_eq!(
+            findings,
+            Vec::new(),
+            "crates/audit/src/{name} must stay self-clean"
+        );
+    }
+}
+
+fn run_audit(root: &Path, extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fhp-audit"));
+    cmd.arg("--workspace").arg("--root").arg(root).args(extra);
+    cmd.output().expect("run fhp-audit")
+}
+
+fn fresh_root(name: &str) -> std::path::PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
     if root.exists() {
         std::fs::remove_dir_all(&root).unwrap(); // stale state from a prior run
     }
+    root
+}
+
+/// End-to-end through the real binary: a fresh mini-workspace fails
+/// against a zero baseline, `--rebaseline` grandfathers it, a *moved*
+/// site stays grandfathered, a new site is a regression even at equal
+/// totals, and the legacy per-crate format is refused by name.
+#[test]
+fn ratchet_exit_codes_end_to_end() {
+    let root = fresh_root("ratchet_e2e");
     let src_dir = root.join("crates/core/src");
     std::fs::create_dir_all(&src_dir).unwrap();
     let lib = src_dir.join("lib.rs");
@@ -199,47 +335,134 @@ fn ratchet_exit_codes_end_to_end() {
     )
     .unwrap();
 
-    let run = |extra: &[&str]| {
-        let mut cmd = Command::new(env!("CARGO_BIN_EXE_fhp-audit"));
-        cmd.arg("--workspace").arg("--root").arg(&root).args(extra);
-        cmd.output().expect("run fhp-audit")
-    };
-
     // No baseline yet: one unwrap vs zero — regression, exit 1.
-    let out = run(&[]);
+    let out = run_audit(&root, &[]);
     assert_eq!(out.status.code(), Some(1), "{out:?}");
-    assert!(String::from_utf8_lossy(&out.stderr).contains("core/panic-site"));
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        stderr.contains("NEW SITE core/crates/core/src/lib.rs:panic-site:"),
+        "{stderr}"
+    );
 
     // Grandfather it, then the same tree is clean.
-    assert_eq!(run(&["--update-baseline"]).status.code(), Some(0));
-    assert_eq!(run(&[]).status.code(), Some(0));
+    assert_eq!(run_audit(&root, &["--rebaseline"]).status.code(), Some(0));
+    assert_eq!(run_audit(&root, &[]).status.code(), Some(0));
 
-    // One more unwrap is a regression again.
+    // The site MOVES (new lines above it): fingerprints are content-
+    // keyed, so the baseline still recognizes it — clean.
     std::fs::write(
         &lib,
-        "#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\npub fn g(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        "#![forbid(unsafe_code)]\n\n// a comment pushing the site down\n\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
     )
     .unwrap();
-    let out = run(&[]);
-    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let out = run_audit(&root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "moved site must survive: {out:?}"
+    );
 
-    // Fixing below the baseline is green (and tightenable).
+    // A NEW site at unchanged total (old site deleted, new one added) is
+    // a regression — the count-trading loophole is closed.
+    std::fs::write(
+        &lib,
+        "#![forbid(unsafe_code)]\npub fn g(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .unwrap();
+    let out = run_audit(&root, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("NEW SITE"), "{stderr}");
+
+    // Deleting the finding entirely is green and reported tightenable.
     std::fs::write(
         &lib,
         "#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
     )
     .unwrap();
-    let out = run(&[]);
+    let out = run_audit(&root, &[]);
     assert_eq!(out.status.code(), Some(0), "{out:?}");
-    assert!(String::from_utf8_lossy(&out.stdout).contains("tightenable"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--rebaseline"));
 
-    // The NDJSON side channel stays checker-valid whatever the verdict.
+    // The NDJSON side channels stay checker-valid whatever the verdict.
     let ndjson = root.join("audit-findings.ndjson");
-    let out = run(&["--ndjson", ndjson.to_str().unwrap()]);
+    let counts = root.join("audit-counts.ndjson");
+    let out = run_audit(
+        &root,
+        &[
+            "--ndjson",
+            ndjson.to_str().unwrap(),
+            "--counts-ndjson",
+            counts.to_str().unwrap(),
+        ],
+    );
     assert_eq!(out.status.code(), Some(0), "{out:?}");
-    let text = std::fs::read_to_string(&ndjson).unwrap();
-    assert!(!text.is_empty());
-    for line in text.lines() {
-        fhp_obs::json::validate_trace_line(line).unwrap();
+    for path in [&ndjson, &counts] {
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            fhp_obs::json::validate_trace_line(line).unwrap();
+        }
     }
+    let counts_text = std::fs::read_to_string(&counts).unwrap();
+    assert_eq!(counts_text.lines().count(), ALL_RULES.len() + 1);
+}
+
+/// The migration path: a legacy per-crate baseline is refused with an
+/// error naming `--rebaseline`, the retired flag points at it too, and
+/// `--rebaseline` itself overwrites the stale file with format 2.
+#[test]
+fn legacy_baseline_is_refused_by_name() {
+    let root = fresh_root("legacy_e2e");
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .unwrap();
+    let baseline_path = root.join("audit-baseline.json");
+    std::fs::write(&baseline_path, "{\n  \"core/panic-site\": 1\n}\n").unwrap();
+
+    let out = run_audit(&root, &[]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("--rebaseline"), "{stderr}");
+    assert!(stderr.contains("per-crate"), "{stderr}");
+
+    let out = run_audit(&root, &["--update-baseline"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--rebaseline"));
+
+    assert_eq!(run_audit(&root, &["--rebaseline"]).status.code(), Some(0));
+    let migrated = std::fs::read_to_string(&baseline_path).unwrap();
+    assert!(migrated.contains("\"format\": 2"), "{migrated}");
+    assert_eq!(run_audit(&root, &[]).status.code(), Some(0));
+}
+
+/// The CI self-test in library form: copy a *real* core source file into
+/// a scratch workspace, grandfather it, inject a synthetic `unwrap()`,
+/// and prove the gate exits nonzero on the new site.
+#[test]
+fn injected_finding_in_real_core_file_fails_the_gate() {
+    let real = Path::new(env!("CARGO_MANIFEST_DIR")).join("../core/src/partition.rs");
+    let src =
+        std::fs::read_to_string(&real).unwrap_or_else(|e| panic!("read {}: {e}", real.display()));
+
+    let root = fresh_root("injected_e2e");
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    let copy = src_dir.join("partition.rs");
+    std::fs::write(&copy, &src).unwrap();
+
+    assert_eq!(run_audit(&root, &["--rebaseline"]).status.code(), Some(0));
+    assert_eq!(run_audit(&root, &[]).status.code(), Some(0));
+
+    let injected = format!("{src}\npub fn audit_canary(x: Option<u32>) -> u32 {{ x.unwrap() }}\n");
+    std::fs::write(&copy, injected).unwrap();
+    let out = run_audit(&root, &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("partition.rs"), "{stderr}");
+    assert!(stderr.contains("unwrap"), "{stderr}");
 }

@@ -1,0 +1,37 @@
+//! Fixture: narrowing `as` casts — the positives, the provably-widening
+//! guards, the suppression, and the test mask. Counts pinned by the
+//! integration test.
+
+pub fn flagged(x: usize, y: u64, f: f64) -> (u32, u16, f32) {
+    let a = x as u32; // finding 1: usize -> u32 truncates on 64-bit
+    let b = y as u16; // finding 2
+    let c = f as f32; // finding 3: f64 -> f32 loses precision
+    (a, b, c)
+}
+
+pub fn not_flagged(x: u32) -> u64 {
+    let widen = x as u64; // widening: never flagged
+    let word = x as usize; // word-width target: never flagged
+    let lit = 200 as u8; // literal provably fits u8
+    let hex = 0xFFFF_FFFF as u32; // literal fits u32 exactly
+    let ch = 'a' as u32; // char source always widens into u32
+    widen + word as u64 + u64::from(lit) + u64::from(hex) + u64::from(ch)
+}
+
+pub fn overflowing_literal() -> u8 {
+    300 as u8 // finding 4: the literal does NOT fit
+}
+
+pub fn suppressed(x: usize) -> u32 {
+    // fhp-audit: allow(as-cast-truncation) — fixture: x < 2^32 by construction
+    x as u32 // suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_cast_freely() {
+        let x: usize = 7;
+        assert_eq!(x as u32, 7); // not a finding: test code
+    }
+}

@@ -1,0 +1,36 @@
+//! Fixture: atomic `Ordering::*` sightings. Audited under a normal lib
+//! path (findings) and under the exempt gauge-registry path (clean).
+//! `cmp::Ordering` variants must never match.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn flagged(c: &AtomicU64) -> u64 {
+    c.store(1, Ordering::SeqCst); // finding 1: SeqCst-by-default
+    c.fetch_add(1, Ordering::AcqRel); // finding 2
+    c.load(Ordering::Relaxed) // finding 3
+}
+
+pub fn not_flagged(a: u32, b: u32) -> std::cmp::Ordering {
+    // cmp::Ordering variants are a different type entirely
+    match a.cmp(&b) {
+        std::cmp::Ordering::Less => std::cmp::Ordering::Less,
+        other => other,
+    }
+}
+
+pub fn suppressed(c: &AtomicU64) -> u64 {
+    // fhp-audit: allow(atomic-ordering) — fixture: monotonic counter, no cross-thread edges
+    c.load(Ordering::Relaxed) // suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_pick_any_ordering() {
+        let c = AtomicU64::new(0);
+        c.store(2, Ordering::SeqCst); // not a finding: test code
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    }
+}

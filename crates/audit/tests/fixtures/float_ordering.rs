@@ -1,0 +1,27 @@
+//! Fixture: float comparisons feeding orderings — `partial_cmp` and
+//! `total_cmp` positives, the integer-`cmp` guard, the suppression, and
+//! the test mask.
+
+pub fn flagged(v: &mut [f64], a: f32, b: f32) {
+    v.sort_by(|x, y| x.total_cmp(y)); // finding 1: total_cmp
+    let _ord = a.partial_cmp(&b); // finding 2: partial_cmp
+}
+
+pub fn not_flagged(a: u64, b: u64) -> std::cmp::Ordering {
+    // integer cmp is total and deterministic — never flagged
+    a.cmp(&b)
+}
+
+pub fn suppressed(gains: &mut [(f64, u32)]) {
+    // fhp-audit: allow(float-in-ordering) — fixture: gains are exact sums of i32 weights
+    gains.sort_by(|x, y| x.0.total_cmp(&y.0)); // suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_compare_floats() {
+        let got = 1.0f64.partial_cmp(&2.0); // not a finding: test code
+        assert_eq!(got, Some(std::cmp::Ordering::Less));
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixture: `let _ =` discards — the positive, the named-binding and
+//! `?`-operator guards, the match-arm lookalike, the suppression, and
+//! the test mask.
+
+fn fallible() -> Result<(), String> {
+    Ok(())
+}
+
+pub fn flagged() {
+    let _ = fallible(); // finding 1: silently dropped Result
+}
+
+pub fn not_flagged() -> Result<(), String> {
+    // a named discard is visible in review and greppable
+    let _best_effort = fallible();
+    // propagation handles the error properly
+    fallible()?;
+    // a `_ =>` match arm is not a discard
+    match fallible() {
+        Ok(()) => {}
+        _ => {}
+    }
+    Ok(())
+}
+
+pub fn suppressed() {
+    // fhp-audit: allow(ignored-result) — fixture: best-effort cleanup, failure is benign
+    let _ = fallible(); // suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_discard() {
+        let _ = fallible(); // not a finding: test code
+    }
+}

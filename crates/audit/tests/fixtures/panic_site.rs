@@ -14,7 +14,7 @@ pub fn flagged(xs: &[u32], maybe: Option<u32>) -> u32 {
     a + b + xs[0] // finding 5: slice index
 }
 
-pub fn not_flagged(xs: &[u32]) -> u32 {
+pub fn not_flagged(xs: &[u32]) -> u64 {
     // A panic spelled inside a string literal is data, not code.
     let msg = "please do not panic!(now) or .unwrap() anything";
     // Raw strings too, even ones that quote the pragma syntax.
@@ -24,7 +24,7 @@ pub fn not_flagged(xs: &[u32]) -> u32 {
     let first = xs.first().copied().unwrap_or(0);
     // A macro's `[` is not an index expression either.
     let v = vec![1u32, 2, 3];
-    first + (msg.len() + raw.len()) as u32 + v.len() as u32
+    u64::from(first) + (msg.len() + raw.len() + v.len()) as u64
 }
 
 pub fn suppressed(maybe: Option<u32>) -> u32 {

@@ -1,0 +1,30 @@
+//! Fixture: the pragma-vs-attribute adjacency bug class (PR-4 regression).
+//! A pragma above an attribute-decorated item must suppress findings in
+//! the item's header; the same pragma below the attribute must too; body
+//! lines beyond the header stay un-blanketed. The counts are pinned by
+//! the integration test, audited under a determinism-contract crate path
+//! so every `HashMap` mention is a finding unless suppressed.
+
+use std::collections::HashMap; // finding 1: un-suppressed use
+
+// fhp-audit: allow(nondet-iter) — fixture: pragma ABOVE the attribute still reaches the item
+#[derive(Default)]
+pub struct AboveAttr(pub HashMap<u32, u32>); // suppressed: header line
+
+#[derive(Default)]
+// fhp-audit: allow(nondet-iter) — fixture: pragma BELOW the attribute reaches the item
+pub struct BelowAttr(pub HashMap<u32, u32>); // suppressed: header line
+
+// fhp-audit: allow(nondet-iter) — fixture: pragma over a stacked attribute pile
+#[derive(Default)]
+#[allow(dead_code)]
+pub struct StackedAttrs(pub HashMap<u32, u32>); // suppressed: header line
+
+// fhp-audit: allow(nondet-iter) — fixture: header coverage must NOT blanket the body
+#[derive(Default)]
+pub struct BodyField {
+    pub m: HashMap<u32, u32>, // finding 2: body line beyond the item header
+}
+
+#[derive(Default)]
+pub struct NoPragma(pub HashMap<u32, u32>); // finding 3: no pragma anywhere

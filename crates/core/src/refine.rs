@@ -109,7 +109,7 @@ impl FmRefiner {
         gains.extend((0..n).map(|i| st.gain(VertexId::new(i))));
         let mut buf = std::mem::take(&mut scratch.heap_buf);
         buf.clear();
-        buf.extend(gains.iter().enumerate().map(|(i, &g)| (g, i as u32)));
+        buf.extend(gains.iter().enumerate().map(|(i, &g)| (g, i as u32))); // fhp-audit: allow(as-cast-truncation) — pin index fits u32 by the VertexId representation
         let mut heap = BinaryHeap::from(buf);
         let start_cut = st.cut();
         let mut best_cut = start_cut;
@@ -179,7 +179,7 @@ impl FmRefiner {
                     if let Some(slot) = gains.get_mut(p.index()) {
                         if *slot != g2 {
                             *slot = g2;
-                            heap.push((g2, p.index() as u32));
+                            heap.push((g2, p.index() as u32)); // fhp-audit: allow(as-cast-truncation) — pin index fits u32 by the VertexId representation
                         }
                     }
                 }

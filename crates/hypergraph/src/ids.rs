@@ -55,7 +55,7 @@ macro_rules! impl_id {
             #[inline]
             pub fn new(index: usize) -> Self {
                 Self(
-                    u32::try_from(index).expect(concat!(stringify!($name), " index overflows u32")),
+                    u32::try_from(index).expect(concat!(stringify!($name), " index overflows u32")), // fhp-audit: allow(panic-site) — documented `# Panics` contract of id construction
                 )
             }
 
@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn ids_hash_and_default() {
         use std::collections::HashSet; // fhp-audit: allow(nondet-iter) — tests the Hash impl; the set is len-checked, never iterated
-        let set: HashSet<VertexId> = [VertexId::new(1), VertexId::new(1), VertexId::new(2)]
+        let set: HashSet<VertexId> = [VertexId::new(1), VertexId::new(1), VertexId::new(2)] // fhp-audit: allow(nondet-iter) — len-checked only; never iterated
             .into_iter()
             .collect();
         assert_eq!(set.len(), 2);

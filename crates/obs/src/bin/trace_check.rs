@@ -13,7 +13,11 @@
 //! With `--summary`, each valid file is also aggregated per event name —
 //! span call counts and total durations, counter event counts and value
 //! sums — so CI logs show where a run spent its time without jq
-//! gymnastics.
+//! gymnastics. Files carrying `fhp-audit` findings additionally get an
+//! "audit debt by rule" section: the `audit.count.<rule>` aggregate
+//! counters are authoritative when present, with per-finding
+//! `audit.<rule>` events as the fallback, so the burn-down number is
+//! readable straight from the CI log.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -53,13 +57,55 @@ fn aggregate(text: &str) -> BTreeMap<String, Aggregate> {
     per_name
 }
 
+/// Audit debt per rule: `audit.count.<rule>` counter values when the
+/// aggregate counters are present (the authoritative tally — emitted
+/// even for zero-finding rules), else the per-finding `audit.<rule>`
+/// event counts. Empty map when the file carries no audit events.
+fn audit_debt(per_name: &BTreeMap<String, Aggregate>) -> BTreeMap<String, u64> {
+    let counters: BTreeMap<String, u64> = per_name
+        .iter()
+        .filter_map(|(name, agg)| {
+            let rule = name.strip_prefix("audit.count.")?;
+            Some((rule.to_string(), agg.value_sum))
+        })
+        .collect();
+    if !counters.is_empty() {
+        return counters;
+    }
+    per_name
+        .iter()
+        .filter_map(|(name, agg)| {
+            let rule = name.strip_prefix("audit.")?;
+            if rule == "findings_total" || rule.starts_with("count.") {
+                return None;
+            }
+            Some((rule.to_string(), agg.events))
+        })
+        .collect()
+}
+
+fn print_audit_debt(per_name: &BTreeMap<String, Aggregate>) {
+    let debt = audit_debt(per_name);
+    if debt.is_empty() {
+        return;
+    }
+    println!("  audit debt by rule");
+    let mut total = 0u64;
+    for (rule, n) in &debt {
+        println!("    {rule:<30} {n:>8}");
+        total += n;
+    }
+    println!("    {:<30} {total:>8}", "TOTAL");
+}
+
 fn print_summary(path: &str, text: &str) {
     println!("{path}: per-phase summary");
     println!(
         "  {:<32} {:>8} {:>16} {:>16}",
         "name", "events", "total_dur_ns", "value_sum"
     );
-    for (name, agg) in aggregate(text) {
+    let per_name = aggregate(text);
+    for (name, agg) in &per_name {
         match agg.kind.as_str() {
             "span" => println!(
                 "  {:<32} {:>8} {:>16} {:>16}",
@@ -71,6 +117,7 @@ fn print_summary(path: &str, text: &str) {
             ),
         }
     }
+    print_audit_debt(&per_name);
 }
 
 fn main() -> ExitCode {
@@ -152,5 +199,47 @@ mod tests {
         assert_eq!(spans.kind, "span");
         let cuts = &agg["alg1.start_cut_size"];
         assert_eq!((cuts.events, cuts.value_sum), (2, 14));
+    }
+
+    #[test]
+    fn audit_debt_prefers_aggregate_counters() {
+        let text = concat!(
+            "{\"name\":\"audit.panic-site\",\"kind\":\"counter\",\"start_ns\":0,\"dur_ns\":0,",
+            "\"start_index\":0,\"thread\":0,\"stack\":\"\",\"fields\":{\"value\":1}}\n",
+            "{\"name\":\"audit.count.panic-site\",\"kind\":\"counter\",\"start_ns\":0,\"dur_ns\":0,",
+            "\"start_index\":null,\"thread\":0,\"stack\":\"\",\"fields\":{\"value\":163}}\n",
+            "{\"name\":\"audit.count.nondet-iter\",\"kind\":\"counter\",\"start_ns\":0,\"dur_ns\":0,",
+            "\"start_index\":null,\"thread\":0,\"stack\":\"\",\"fields\":{\"value\":0}}\n",
+            "{\"name\":\"audit.findings_total\",\"kind\":\"counter\",\"start_ns\":0,\"dur_ns\":0,",
+            "\"start_index\":null,\"thread\":0,\"stack\":\"\",\"fields\":{\"value\":163}}\n",
+        );
+        let debt = audit_debt(&aggregate(text));
+        assert_eq!(debt.len(), 2, "counters win; per-finding events ignored");
+        assert_eq!(debt["panic-site"], 163);
+        assert_eq!(debt["nondet-iter"], 0, "zero-finding rules stay visible");
+    }
+
+    #[test]
+    fn audit_debt_falls_back_to_per_finding_events() {
+        let text = concat!(
+            "{\"name\":\"audit.panic-site\",\"kind\":\"counter\",\"start_ns\":0,\"dur_ns\":0,",
+            "\"start_index\":0,\"thread\":0,\"stack\":\"\",\"fields\":{\"value\":1}}\n",
+            "{\"name\":\"audit.panic-site\",\"kind\":\"counter\",\"start_ns\":0,\"dur_ns\":0,",
+            "\"start_index\":1,\"thread\":0,\"stack\":\"\",\"fields\":{\"value\":1}}\n",
+            "{\"name\":\"audit.as-cast-truncation\",\"kind\":\"counter\",\"start_ns\":0,\"dur_ns\":0,",
+            "\"start_index\":2,\"thread\":0,\"stack\":\"\",\"fields\":{\"value\":1}}\n",
+        );
+        let debt = audit_debt(&aggregate(text));
+        assert_eq!(debt["panic-site"], 2);
+        assert_eq!(debt["as-cast-truncation"], 1);
+    }
+
+    #[test]
+    fn audit_debt_is_empty_for_plain_traces() {
+        let text = concat!(
+            "{\"name\":\"dualize.shards\",\"kind\":\"span\",\"start_ns\":5,\"dur_ns\":100,",
+            "\"start_index\":null,\"thread\":0,\"stack\":\"dualize\",\"fields\":{}}\n",
+        );
+        assert!(audit_debt(&aggregate(text)).is_empty());
     }
 }

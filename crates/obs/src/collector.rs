@@ -32,7 +32,7 @@ use crate::Histogram;
 static NEXT_THREAD_LANE: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
-    static THREAD_LANE: u64 = NEXT_THREAD_LANE.fetch_add(1, Ordering::Relaxed);
+    static THREAD_LANE: u64 = NEXT_THREAD_LANE.fetch_add(1, Ordering::Relaxed); // fhp-audit: allow(atomic-ordering) — thread-lane allocator: unique ids are all that is needed; no synchronizes-with
 }
 
 /// Process-local lane id of the calling OS thread (first use wins a fresh
@@ -140,7 +140,7 @@ impl Collector {
             self.inner
                 .scopes
                 .lock()
-                .expect("no recording panics hold this lock")
+                .expect("no recording panics hold this lock") // fhp-audit: allow(panic-site) — mutex poisoning implies a recording panic already unwinding; nothing to salvage
                 .push(scope);
         }
     }
@@ -154,7 +154,7 @@ impl Collector {
             .inner
             .scopes
             .lock()
-            .expect("no recording panics hold this lock")
+            .expect("no recording panics hold this lock") // fhp-audit: allow(panic-site) — mutex poisoning implies a recording panic already unwinding; nothing to salvage
             .clone();
         scopes.sort_by_key(|s| (s.order, s.start_index));
         scopes.into_iter().flat_map(|s| s.events).collect()

@@ -75,7 +75,7 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        self.counts[Self::bucket_index(value)] += 1;
+        self.counts[Self::bucket_index(value)] += 1; // fhp-audit: allow(panic-site) — bucket_index returns < counts.len() by construction
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
     }

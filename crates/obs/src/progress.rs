@@ -182,7 +182,7 @@ impl Progress {
 /// `dualize 17/17 passes · 67108864 pairs · starts 12/16 · best cut 42`.
 /// Segments with no signal yet (zero totals) are omitted.
 pub fn render_line(progress: &Progress) -> String {
-    use std::fmt::Write as _;
+    use crate::writer::put;
     let mut out = String::with_capacity(96);
     let sep = |out: &mut String| {
         if !out.is_empty() {
@@ -191,49 +191,60 @@ pub fn render_line(progress: &Progress) -> String {
     };
     let passes_total = progress.get(Gauge::DualizePassesTotal);
     if passes_total > 0 {
-        let _ = write!(
-            out,
-            "dualize {}/{} passes",
-            progress.get(Gauge::DualizePassesDone),
-            passes_total
+        put(
+            &mut out,
+            format_args!(
+                "dualize {}/{} passes",
+                progress.get(Gauge::DualizePassesDone),
+                passes_total
+            ),
         );
         sep(&mut out);
-        let _ = write!(out, "{} pairs", progress.get(Gauge::DualizePairsRetired));
+        put(
+            &mut out,
+            format_args!("{} pairs", progress.get(Gauge::DualizePairsRetired)),
+        );
     }
     let starts_total = progress.get(Gauge::StartsTotal);
     if starts_total > 0 {
         sep(&mut out);
-        let _ = write!(
-            out,
-            "starts {}/{}",
-            progress.get(Gauge::StartsDone),
-            starts_total
+        put(
+            &mut out,
+            format_args!(
+                "starts {}/{}",
+                progress.get(Gauge::StartsDone),
+                starts_total
+            ),
         );
     }
     let best = progress.get(Gauge::BestCut);
     if best != u64::MAX {
         sep(&mut out);
-        let _ = write!(out, "best cut {best}");
+        put(&mut out, format_args!("best cut {best}"));
     }
     let levels = progress.get(Gauge::MlLevels);
     if levels > 0 {
         sep(&mut out);
-        let _ = write!(
-            out,
-            "ml {} levels / {} vcycles",
-            levels,
-            progress.get(Gauge::MlVcyclesDone)
+        put(
+            &mut out,
+            format_args!(
+                "ml {} levels / {} vcycles",
+                levels,
+                progress.get(Gauge::MlVcyclesDone)
+            ),
         );
     }
     let peak = progress.get(Gauge::MemPeakBytes);
     if peak > 0 {
         sep(&mut out);
-        let _ = write!(
-            out,
-            "mem {} live / {} peak / {} allocs",
-            human_bytes(progress.get(Gauge::MemLiveBytes)),
-            human_bytes(peak),
-            progress.get(Gauge::MemAllocs)
+        put(
+            &mut out,
+            format_args!(
+                "mem {} live / {} peak / {} allocs",
+                human_bytes(progress.get(Gauge::MemLiveBytes)),
+                human_bytes(peak),
+                progress.get(Gauge::MemAllocs)
+            ),
         );
     }
     if out.is_empty() {
@@ -376,9 +387,12 @@ impl Sampler {
                     if let Some(out) = sink.as_mut() {
                         let elapsed = started.elapsed().as_nanos() as u64;
                         for event in sample_events(&thread_progress, elapsed) {
+                            // fhp-audit: allow(ignored-result) — telemetry is best-effort; a closed sink must not kill the run
                             let _ = out.write_all(writer::ndjson_line(&event).as_bytes());
+                            // fhp-audit: allow(ignored-result) — telemetry is best-effort; a closed sink must not kill the run
                             let _ = out.write_all(b"\n");
                         }
+                        // fhp-audit: allow(ignored-result) — telemetry is best-effort; a closed sink must not kill the run
                         let _ = out.flush();
                     }
                 }
@@ -410,6 +424,7 @@ impl Sampler {
                 *stopped = true;
             }
             self.shared.wake.notify_all();
+            // fhp-audit: allow(ignored-result) — a panicked sampler thread already logged; join error adds nothing
             let _ = handle.join();
             if self.stderr {
                 self.progress.sync_alloc_gauges();
