@@ -1,0 +1,159 @@
+//! `fhp-serve-client` — in-tree NDJSON client for `fhp serve`.
+//!
+//! Two modes:
+//!
+//! - `--connect HOST:PORT --requests FILE [--out FILE]`: drive a TCP
+//!   `fhp serve` session request-by-request (send one line, wait for the
+//!   reply line) and print each reply in **canonicalized** form —
+//!   volatile `serve.lat.*` subtrees zeroed, canonical key-preserving
+//!   serialization — so transcripts compare byte-for-byte across runs
+//!   and thread counts.
+//! - `--canonicalize`: filter mode; read reply lines on stdin, print the
+//!   canonicalized form of each to stdout. Used to normalize the stdin
+//!   transport's transcript the same way as the TCP one.
+//!
+//! Exit status is non-zero on connection/IO failure or if the server
+//! hangs up before answering every request.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+use fhp_obs::json;
+
+struct Options {
+    connect: Option<String>,
+    requests: Option<String>,
+    out: Option<String>,
+    canonicalize: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        connect: None,
+        requests: None,
+        out: None,
+        canonicalize: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, name: &str| {
+        args.next().ok_or_else(|| format!("{name} expects a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => opts.connect = Some(value(&mut args, "--connect")?),
+            "--requests" => opts.requests = Some(value(&mut args, "--requests")?),
+            "--out" => opts.out = Some(value(&mut args, "--out")?),
+            "--canonicalize" => opts.canonicalize = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if opts.canonicalize {
+        if opts.connect.is_some() || opts.requests.is_some() {
+            return Err("--canonicalize takes no --connect/--requests".to_string());
+        }
+    } else if opts.connect.is_none() || opts.requests.is_none() {
+        return Err("need --connect HOST:PORT and --requests FILE (or --canonicalize)".to_string());
+    }
+    Ok(opts)
+}
+
+/// Zeroes volatile subtrees and re-serializes canonically; lines that are
+/// not valid JSON pass through unchanged (so protocol bugs stay visible
+/// in transcripts instead of crashing the client).
+fn canonical(line: &str) -> String {
+    match json::parse(line) {
+        Ok(mut v) => {
+            json::canonicalize_volatile(&mut v);
+            v.to_canonical_string()
+        }
+        Err(_) => line.to_string(),
+    }
+}
+
+fn run_canonicalize() -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(out, "{}", canonical(&line))?;
+    }
+    out.flush()
+}
+
+fn run_session(connect: &str, requests_path: &str, out_path: Option<&str>) -> Result<(), String> {
+    let requests =
+        std::fs::read_to_string(requests_path).map_err(|e| format!("read {requests_path}: {e}"))?;
+    let stream =
+        std::net::TcpStream::connect(connect).map_err(|e| format!("connect {connect}: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone connection: {e}"))?,
+    );
+    let mut writer = BufWriter::new(stream);
+    let mut sink: Box<dyn Write> = match out_path {
+        Some(p) => Box::new(BufWriter::new(
+            std::fs::File::create(p).map_err(|e| format!("create {p}: {e}"))?,
+        )),
+        None => Box::new(std::io::stdout()),
+    };
+    for request in requests.lines() {
+        if request.trim().is_empty() {
+            continue;
+        }
+        writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send request: {e}"))?;
+        let mut reply = String::new();
+        let n = reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("read reply: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection before replying".to_string());
+        }
+        writeln!(sink, "{}", canonical(reply.trim_end_matches(['\n', '\r'])))
+            .map_err(|e| format!("write transcript: {e}"))?;
+    }
+    sink.flush().map_err(|e| format!("flush transcript: {e}"))?;
+    // Drain whatever the server still sends (e.g. after shutdown) so the
+    // socket closes cleanly on both ends.
+    let mut rest = Vec::new();
+    // fhp-audit: allow(ignored-result) — post-shutdown drain; the transcript is already complete
+    let _ = reader.read_to_end(&mut rest);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!(
+                "error: {msg}\n\nusage: fhp-serve-client --connect HOST:PORT --requests FILE [--out FILE]\n\
+                 \x20      fhp-serve-client --canonicalize < replies.ndjson"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let result = if opts.canonicalize {
+        run_canonicalize().map_err(|e| format!("canonicalize: {e}"))
+    } else {
+        run_session(
+            opts.connect.as_deref().unwrap_or_default(),
+            opts.requests.as_deref().unwrap_or_default(),
+            opts.out.as_deref(),
+        )
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

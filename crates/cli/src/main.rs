@@ -74,6 +74,8 @@ use fhp_obs::{
 // not perturb the engine's allocation behaviour — only observes it.
 fhp_obs::install_counting_allocator!();
 
+mod serve;
+
 struct Options {
     path: Option<String>,
     demo: bool,
@@ -270,6 +272,11 @@ i: 6 7 9 10
 ";
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("serve") {
+        // fhp-audit: allow(panic-site) — argv has at least 2 entries when argv[1] == "serve"
+        return serve::run(&argv[2..]);
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {
@@ -827,6 +834,8 @@ fn run_multiway(opts: &Options, netlist: &Netlist) -> ExitCode {
 fn usage() -> &'static str {
     "usage: fhp <netlist-file> [options]\n\
      \x20      fhp --demo [options]\n\
+     \x20      fhp serve [serve-options]   (NDJSON partition service over\n\
+     \x20                                   stdin or --tcp; see README)\n\
      \n\
      options:\n\
      \x20 -a, --algorithm <alg1|kl|fm|sa|random>  partitioner (default alg1)\n\

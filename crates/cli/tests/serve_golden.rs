@@ -1,0 +1,110 @@
+//! Golden-session pin for `fhp serve`: a committed request transcript and
+//! the committed canonicalized reply bytes it must produce — identically
+//! at `--threads 1`, `2` and `8`, over stdin and over TCP.
+//!
+//! Canonicalization (see `fhp_obs::json::canonicalize_volatile`) zeroes
+//! only the `serve.lat.*` latency subtrees of `stats`; every other byte
+//! of every reply is pinned, fingerprints included. Regenerate the golden
+//! file with:
+//!
+//! ```text
+//! fhp serve < crates/cli/tests/golden/serve_session.requests.ndjson \
+//!   | fhp-serve-client --canonicalize \
+//!   > crates/cli/tests/golden/serve_session.replies.ndjson
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+use fhp_obs::json;
+
+const REQUESTS: &str = include_str!("golden/serve_session.requests.ndjson");
+const REPLIES: &str = include_str!("golden/serve_session.replies.ndjson");
+
+fn canonicalize(raw: &str) -> String {
+    let mut out = String::new();
+    for line in raw.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut v = json::parse(line).unwrap_or_else(|e| panic!("invalid reply ({e}): {line}"));
+        json::canonicalize_volatile(&mut v);
+        out.push_str(&v.to_canonical_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn stdin_transcript(threads: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fhp"))
+        .args(["serve", "--threads", threads])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(REQUESTS.as_bytes())
+        .expect("requests fit the pipe");
+    let out = child.wait_with_output().expect("server exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    canonicalize(&String::from_utf8(out.stdout).expect("UTF-8 replies"))
+}
+
+#[test]
+fn golden_session_is_byte_identical_across_thread_counts() {
+    for threads in ["1", "2", "8"] {
+        let transcript = stdin_transcript(threads);
+        assert_eq!(
+            transcript, REPLIES,
+            "canonicalized transcript at --threads {threads} deviates from the golden file"
+        );
+    }
+}
+
+#[test]
+fn tcp_transport_produces_the_same_golden_transcript() {
+    let mut server = Command::new(env!("CARGO_BIN_EXE_fhp"))
+        .args(["serve", "--tcp"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut banner = String::new();
+    BufReader::new(server.stdout.take().expect("piped stdout"))
+        .read_line(&mut banner)
+        .expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("[serve] listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let requests = std::env::temp_dir().join(format!("fhp-golden-reqs-{}", std::process::id()));
+    std::fs::write(&requests, REQUESTS).expect("write requests file");
+    let client = Command::new(env!("CARGO_BIN_EXE_fhp-serve-client"))
+        .args(["--connect", &addr, "--requests"])
+        .arg(&requests)
+        .output()
+        .expect("client runs");
+    std::fs::remove_file(&requests).ok();
+    assert!(
+        client.status.success(),
+        "client stderr: {}",
+        String::from_utf8_lossy(&client.stderr)
+    );
+    let transcript = String::from_utf8(client.stdout).expect("UTF-8 transcript");
+    assert_eq!(
+        transcript, REPLIES,
+        "TCP transcript deviates from the golden file"
+    );
+    let status = server.wait().expect("server exits after shutdown");
+    assert!(status.success());
+}

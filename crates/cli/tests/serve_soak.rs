@@ -1,0 +1,164 @@
+//! Concurrency soak for `fhp serve --tcp`: several reader connections
+//! hammer `query_cut`/`fingerprint` while a writer applies a long edit
+//! sequence on its own connection. Every reply must be a complete,
+//! well-formed line with the right request id (no torn or lost replies),
+//! and the final fingerprint must equal what a single-client stdin replay
+//! of the same edit sequence produces.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+use fhp_obs::json::{self, Json};
+
+const READERS: usize = 4;
+const READS_PER_READER: usize = 50;
+const EDITS: usize = 24;
+
+fn partition_request() -> String {
+    let nets: Vec<String> = (0..11).map(|i| format!("[{},{}]", i, i + 1)).collect();
+    format!(
+        "{{\"id\":1,\"verb\":\"partition\",\"modules\":12,\"nets\":[{}],\"seed\":9,\"starts\":4}}",
+        nets.join(",")
+    )
+}
+
+fn edit_request(i: usize) -> String {
+    format!(
+        "{{\"id\":{},\"verb\":\"edit\",\"op\":\"add_net\",\"pins\":[{},{}],\"weight\":1}}",
+        100 + i,
+        i % 12,
+        (i + 3) % 12
+    )
+}
+
+/// Sends one request line and reads one reply line.
+fn roundtrip(writer: &mut impl Write, reader: &mut impl BufRead, request: &str) -> Json {
+    writer
+        .write_all(request.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .expect("request sends");
+    let mut reply = String::new();
+    let n = reader.read_line(&mut reply).expect("reply reads");
+    assert!(n > 0, "server hung up instead of replying to: {request}");
+    json::parse(reply.trim_end()).unwrap_or_else(|e| panic!("torn reply ({e}): {reply}"))
+}
+
+fn connect(addr: &str) -> (std::io::BufWriter<TcpStream>, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connects");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (std::io::BufWriter::new(stream), reader)
+}
+
+fn fp_of(reply: &Json) -> String {
+    match reply.get("fp") {
+        Some(Json::Str(fp)) => fp.clone(),
+        other => panic!("no fingerprint in reply: {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_readers_see_whole_replies_and_state_matches_stdin_replay() {
+    let mut server = Command::new(env!("CARGO_BIN_EXE_fhp"))
+        .args(["serve", "--tcp"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut banner = String::new();
+    BufReader::new(server.stdout.take().expect("piped stdout"))
+        .read_line(&mut banner)
+        .expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("[serve] listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    // Writer loads the instance first so readers always have state to query.
+    let (mut wtx, mut wrx) = connect(&addr);
+    let loaded = roundtrip(&mut wtx, &mut wrx, &partition_request());
+    assert_eq!(loaded.get("ok"), Some(&Json::Bool(true)), "{loaded:?}");
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (mut tx, mut rx) = connect(&addr);
+                for i in 0..READS_PER_READER {
+                    let id = 10_000 + r * READS_PER_READER + i;
+                    let verb = if i % 2 == 0 {
+                        "query_cut"
+                    } else {
+                        "fingerprint"
+                    };
+                    let req = format!("{{\"id\":{id},\"verb\":\"{verb}\"}}");
+                    let reply = roundtrip(&mut tx, &mut rx, &req);
+                    // Complete, correctly-routed, well-formed: ok is true,
+                    // the id echoes, and the verb-specific field is present.
+                    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+                    assert_eq!(reply.get("id"), Some(&Json::Num(id as f64)), "{reply:?}");
+                    if verb == "query_cut" {
+                        assert!(reply.get("cut").is_some(), "{reply:?}");
+                    } else {
+                        assert!(reply.get("fp").is_some(), "{reply:?}");
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Writer applies the edit sequence while the readers are live.
+    for i in 0..EDITS {
+        let reply = roundtrip(&mut wtx, &mut wrx, &edit_request(i));
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+    }
+    for handle in readers {
+        handle.join().expect("reader thread panicked");
+    }
+    let final_fp = fp_of(&roundtrip(
+        &mut wtx,
+        &mut wrx,
+        "{\"id\":2,\"verb\":\"fingerprint\"}",
+    ));
+    let bye = roundtrip(&mut wtx, &mut wrx, "{\"id\":3,\"verb\":\"shutdown\"}");
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+    assert!(server.wait().expect("server exits").success());
+
+    // From-scratch replay of the same session over stdin, single client.
+    let mut script = partition_request();
+    script.push('\n');
+    for i in 0..EDITS {
+        script.push_str(&edit_request(i));
+        script.push('\n');
+    }
+    script.push_str("{\"id\":2,\"verb\":\"fingerprint\"}\n{\"id\":3,\"verb\":\"shutdown\"}\n");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fhp"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("replay server starts");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(script.as_bytes())
+        .expect("script fits the pipe");
+    let out = child.wait_with_output().expect("replay exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("UTF-8");
+    let replay_fp = stdout
+        .lines()
+        .rev()
+        .map(|l| json::parse(l).expect("valid reply"))
+        .find(|r| r.get("verb") == Some(&Json::Str("fingerprint".to_string())))
+        .map(|r| fp_of(&r))
+        .expect("replay produced a fingerprint");
+    assert_eq!(
+        final_fp, replay_fp,
+        "TCP session with concurrent readers diverged from the stdin replay"
+    );
+}

@@ -56,6 +56,7 @@ mod partition;
 pub mod boundary;
 pub mod complete_cut;
 pub mod dual_bfs;
+pub mod engine;
 pub mod granularize;
 pub mod matching;
 pub mod metrics;
@@ -71,6 +72,9 @@ pub use algorithm1::{
 };
 pub use complete_cut::CompletionStrategy;
 pub use dual_bfs::FrontPolicy;
+pub use engine::{
+    Delta, Edit, EngineConfig, EngineError, EngineStats, PartitionEngine, RepairKind,
+};
 pub use error::PartitionError;
 pub use metrics::{CutReport, Objective, PhaseStats};
 pub use multilevel::{Multilevel, MultilevelConfig, MultilevelStats};

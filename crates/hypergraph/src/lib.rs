@@ -44,6 +44,7 @@ mod ids;
 pub mod bfs;
 pub mod contract;
 pub mod hgr;
+pub mod incremental;
 pub mod intersection;
 pub mod netlist;
 pub mod stats;
@@ -54,5 +55,6 @@ pub use error::{BuildGraphError, BuildHypergraphError, ParseHgrError, ParseNetli
 pub use graph::{Graph, GraphBuilder};
 pub use hypergraph::{Hypergraph, HypergraphBuilder};
 pub use ids::{EdgeId, VertexId};
+pub use incremental::{DynamicNetlist, IncrementalError};
 pub use intersection::{DualizeStats, Dualizer, IntersectionGraph};
 pub use netlist::Netlist;

@@ -34,6 +34,93 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Serializes the value back to JSON in canonical spacing: no
+    /// whitespace, object keys in stored order, and numbers that are
+    /// exactly representable integers emitted without a fraction. Two
+    /// structurally equal values always serialize to identical bytes, so
+    /// the golden-session comparisons can `cmp` re-serialized replies.
+    pub fn to_canonical_string(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
+    fn write_canonical(&self, out: &mut String) {
+        use crate::writer::{json_escape, put};
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                // Integral f64s within the exact range print as integers —
+                // the form the writer emits for counters.
+                if n.fract() == 0.0 && n.abs() < 9_007_199_254_740_992.0 {
+                    put(out, format_args!("{}", *n as i64)); // fhp-audit: allow(as-cast-truncation) — integral and within ±2^53, exact in i64
+                } else {
+                    put(out, format_args!("{n}"));
+                }
+            }
+            Json::Str(s) => put(out, format_args!("\"{}\"", json_escape(s))),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_canonical(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    put(out, format_args!("\"{}\":", json_escape(k)));
+                    v.write_canonical(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Zeroes every number reachable under an object key that
+/// [`is_volatile_event`](crate::writer::is_volatile_event) classifies as
+/// volatile (e.g. `serve.lat.*` latency histograms, `mem.*` tallies),
+/// recursing through the rest of the document unchanged. Applying this
+/// and [`Json::to_canonical_string`] to a server reply yields the
+/// thread-count-invariant byte form the golden session test pins.
+pub fn canonicalize_volatile(value: &mut Json) {
+    match value {
+        Json::Obj(pairs) => {
+            for (key, v) in pairs.iter_mut() {
+                if crate::writer::is_volatile_event(key) {
+                    zero_numbers(v);
+                } else {
+                    canonicalize_volatile(v);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for item in items.iter_mut() {
+                canonicalize_volatile(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Recursively zeroes every number in a subtree (strings, bools and
+/// structure survive — only the measurements go).
+fn zero_numbers(value: &mut Json) {
+    match value {
+        Json::Num(n) => *n = 0.0,
+        Json::Arr(items) => items.iter_mut().for_each(zero_numbers),
+        Json::Obj(pairs) => pairs.iter_mut().for_each(|(_, v)| zero_numbers(v)),
+        _ => {}
+    }
 }
 
 struct Parser<'a> {
@@ -392,6 +479,34 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn canonical_serialization_round_trips() {
+        let line = r#"{"id":3,"ok":true,"verb":"stats","cut":42,"arr":[1,"x",null],"f":2.5}"#;
+        let v = parse(line).unwrap();
+        assert_eq!(v.to_canonical_string(), line);
+        // Re-parsing the canonical form is a fixed point.
+        let again = parse(&v.to_canonical_string()).unwrap();
+        assert_eq!(again.to_canonical_string(), line);
+        // Large integers within 2^53 stay integral.
+        assert_eq!(
+            parse("9007199254740991").unwrap().to_canonical_string(),
+            "9007199254740991"
+        );
+    }
+
+    #[test]
+    fn canonicalize_volatile_zeroes_latency_subtrees_only() {
+        let mut v = parse(
+            r#"{"cut":7,"lat":{"serve.lat.edit":{"count":3,"total_ns":999},"serve.lat.stats":[1,2]},"edits":5}"#,
+        )
+        .unwrap();
+        canonicalize_volatile(&mut v);
+        assert_eq!(
+            v.to_canonical_string(),
+            r#"{"cut":7,"lat":{"serve.lat.edit":{"count":0,"total_ns":0},"serve.lat.stats":[0,0]},"edits":5}"#
+        );
     }
 
     #[test]

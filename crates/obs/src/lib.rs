@@ -252,6 +252,16 @@ pub mod names {
     pub const VERIFY_VIOLATIONS: &str = "verify.violations";
     /// Counter: accepted reductions the verify shrinker applied.
     pub const VERIFY_SHRINK_STEPS: &str = "verify.shrink_steps";
+    /// Gauge: edits the partition engine has applied.
+    pub const ENGINE_EDITS: &str = "engine.edits";
+    /// Gauge: edits repaired incrementally (localized FM, no full rerun).
+    pub const ENGINE_INCREMENTAL_HITS: &str = "engine.incremental_hits";
+    /// Gauge: edits that fell back to a full from-scratch recompute.
+    pub const ENGINE_FULL_RECOMPUTES: &str = "engine.full_recomputes";
+    /// Name prefix of the per-verb serve latency histograms. Everything
+    /// under it is volatile wholesale (wall-clock buckets) — see
+    /// [`crate::writer::is_volatile_event`].
+    pub const SERVE_LAT_PREFIX: &str = "serve.lat.";
 }
 
 #[cfg(test)]

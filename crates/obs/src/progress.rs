@@ -53,6 +53,12 @@ pub enum Gauge {
     MlLevels,
     /// V-cycles completed.
     MlVcyclesDone,
+    /// Edits the long-lived partition engine has applied.
+    EngineEdits,
+    /// Engine edits repaired incrementally (localized FM refinement).
+    EngineIncrementalHits,
+    /// Engine edits that fell back to a full from-scratch recompute.
+    EngineFullRecomputes,
     /// Live heap bytes (volatile; needs the counting allocator).
     MemLiveBytes,
     /// Peak heap bytes (volatile; needs the counting allocator).
@@ -64,7 +70,7 @@ pub enum Gauge {
 
 impl Gauge {
     /// Every gauge, in canonical emission order.
-    pub const ALL: [Gauge; 11] = [
+    pub const ALL: [Gauge; 14] = [
         Gauge::DualizePassesDone,
         Gauge::DualizePassesTotal,
         Gauge::DualizePairsRetired,
@@ -73,6 +79,9 @@ impl Gauge {
         Gauge::BestCut,
         Gauge::MlLevels,
         Gauge::MlVcyclesDone,
+        Gauge::EngineEdits,
+        Gauge::EngineIncrementalHits,
+        Gauge::EngineFullRecomputes,
         Gauge::MemLiveBytes,
         Gauge::MemPeakBytes,
         Gauge::MemAllocs,
@@ -89,6 +98,9 @@ impl Gauge {
             Gauge::BestCut => crate::names::PROGRESS_BEST_CUT,
             Gauge::MlLevels => crate::names::PROGRESS_ML_LEVELS,
             Gauge::MlVcyclesDone => crate::names::PROGRESS_ML_VCYCLES_DONE,
+            Gauge::EngineEdits => crate::names::ENGINE_EDITS,
+            Gauge::EngineIncrementalHits => crate::names::ENGINE_INCREMENTAL_HITS,
+            Gauge::EngineFullRecomputes => crate::names::ENGINE_FULL_RECOMPUTES,
             Gauge::MemLiveBytes => crate::names::MEM_LIVE_BYTES,
             Gauge::MemPeakBytes => crate::names::MEM_PEAK_BYTES,
             Gauge::MemAllocs => crate::names::MEM_ALLOCS,
@@ -231,6 +243,19 @@ pub fn render_line(progress: &Progress) -> String {
                 "ml {} levels / {} vcycles",
                 levels,
                 progress.get(Gauge::MlVcyclesDone)
+            ),
+        );
+    }
+    let edits = progress.get(Gauge::EngineEdits);
+    if edits > 0 {
+        sep(&mut out);
+        put(
+            &mut out,
+            format_args!(
+                "engine {} edits ({} incr / {} full)",
+                edits,
+                progress.get(Gauge::EngineIncrementalHits),
+                progress.get(Gauge::EngineFullRecomputes)
             ),
         );
     }
@@ -460,8 +485,8 @@ mod tests {
             );
             if !mem {
                 assert!(
-                    gauge.name().starts_with("progress."),
-                    "{}: deterministic gauges use the progress. prefix",
+                    gauge.name().starts_with("progress.") || gauge.name().starts_with("engine."),
+                    "{}: deterministic gauges use the progress. or engine. prefix",
                     gauge.name()
                 );
             }

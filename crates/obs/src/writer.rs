@@ -116,12 +116,14 @@ pub fn canonical_line(event: &Event) -> String {
 }
 
 /// Whether an event is volatile **wholesale** — its value, not just its
-/// timing, may depend on thread count or scheduling. Today that is
-/// exactly the `mem.` name prefix (allocator tallies). Canonical
-/// comparisons must drop these events entirely rather than merely
-/// stripping their timing keys.
+/// timing, may depend on thread count or scheduling. Today that is the
+/// `mem.` name prefix (allocator tallies) and the `serve.lat.` prefix
+/// (per-verb serving latency histograms, which are wall-clock buckets).
+/// Canonical comparisons must drop these events entirely — or zero their
+/// values, see [`crate::json::canonicalize_volatile`] — rather than
+/// merely stripping their timing keys.
 pub fn is_volatile_event(name: &str) -> bool {
-    name.starts_with("mem.")
+    name.starts_with("mem.") || name.starts_with(crate::names::SERVE_LAT_PREFIX)
 }
 
 /// Writes event sequences as NDJSON to any [`io::Write`] sink.
@@ -248,7 +250,11 @@ mod tests {
     fn mem_prefix_marks_events_volatile_wholesale() {
         assert!(is_volatile_event("mem.live_bytes"));
         assert!(is_volatile_event("mem.allocs"));
+        assert!(is_volatile_event("serve.lat.partition"));
+        assert!(is_volatile_event("serve.lat.query_cut"));
         assert!(!is_volatile_event("memx"));
+        assert!(!is_volatile_event("serve.latency"));
+        assert!(!is_volatile_event("engine.edits"));
         assert!(!is_volatile_event("progress.best_cut"));
         assert!(!is_volatile_event("dualize.pairs_generated"));
     }

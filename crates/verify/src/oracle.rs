@@ -27,10 +27,10 @@ use fhp_core::dual_bfs::{random_longest_path_endpoints, two_front_bfs};
 use fhp_core::multilevel::{coarsen_cap, coarsen_sequence};
 use fhp_core::multiway::recursive_bisection;
 use fhp_core::{
-    Algorithm1, Bipartition, Bipartitioner, CompletionStrategy, MultilevelConfig, PartitionConfig,
-    PartitionError, PartitionOutcome, Side,
+    Algorithm1, Bipartition, Bipartitioner, CompletionStrategy, Edit, EngineConfig, EngineError,
+    MultilevelConfig, PartitionConfig, PartitionEngine, PartitionError, PartitionOutcome, Side,
 };
-use fhp_hypergraph::{bfs, hgr, Graph, Hypergraph, IntersectionGraph};
+use fhp_hypergraph::{bfs, hgr, DynamicNetlist, EdgeId, Graph, Hypergraph, IntersectionGraph};
 use rand::rngs::SplitMix64;
 use rand::{Rng, SeedableRng};
 
@@ -95,7 +95,7 @@ pub fn check_instance(
     counts: &mut OracleCounts,
 ) -> CheckOutcome {
     let mut outcome = CheckOutcome::default();
-    let oracles: [(&'static str, OracleFn); 9] = [
+    let oracles: [(&'static str, OracleFn); 10] = [
         ("differential", oracle_differential),
         ("pipeline_stages", oracle_pipeline_stages),
         ("thread_invariance", oracle_thread_invariance),
@@ -105,6 +105,7 @@ pub fn check_instance(
         ("multiway", oracle_multiway),
         ("multilevel", oracle_multilevel),
         ("hgr_roundtrip", oracle_hgr_roundtrip),
+        ("incremental", oracle_incremental),
     ];
     for (name, oracle) in oracles {
         let ctx = Ctx {
@@ -1061,6 +1062,336 @@ fn oracle_multilevel(ctx: &Ctx<'_>) -> Result<u64, Violation> {
     Ok(checks)
 }
 
+/// Seeded edit scripts the incremental oracle replays per instance.
+pub const INCREMENTAL_SCRIPTS: usize = 2;
+
+/// Edits per generated script.
+pub const INCREMENTAL_SCRIPT_LEN: usize = 12;
+
+/// Thread counts the incremental oracle's engine pair runs at; the whole
+/// edit history must fingerprint identically on both.
+pub const INCREMENTAL_ENGINE_THREADS: [usize; 2] = [1, 8];
+
+/// Replay-eval budget for minimizing a diverging edit script.
+const INCREMENTAL_SHRINK_EVALS: usize = 64;
+
+/// The incremental-vs-scratch differential: seeded edit scripts are
+/// replayed through [`PartitionEngine`]s at two thread counts, and after
+/// **every** edit the engine's view is diffed against a from-scratch
+/// rebuild — the dual rows against a fresh [`IntersectionGraph`] of the
+/// materialized netlist, the maintained cut against a pin-by-pin recount,
+/// the fingerprints across thread counts, and rejected edits against
+/// identical rejections. On divergence the script itself is greedily
+/// minimized (drop-one-edit passes under a replay budget) and embedded in
+/// the violation, so reproductions carry both the shrunk instance and the
+/// shrunk edit history.
+fn oracle_incremental(ctx: &Ctx<'_>) -> Result<u64, Violation> {
+    let h = ctx.h;
+    let mut checks = 0;
+    for script_index in 0..INCREMENTAL_SCRIPTS {
+        let mut rng = SplitMix64::seed_from_u64(
+            ctx.seed ^ 0x696e_6372u64 ^ (script_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let script = generate_edit_script(h, INCREMENTAL_SCRIPT_LEN, &mut rng)
+            .map_err(|e| ctx.fail(format!("edit-script generation failed: {e}")))?;
+        match replay_edit_script(h, ctx.seed, &script) {
+            Ok(c) => checks += c,
+            Err(detail) => {
+                let minimized = minimize_edit_script(h, ctx.seed, script);
+                return Err(ctx.fail(format!(
+                    "incremental vs scratch diverged: {detail}; minimized script \
+                     ({} edits): {minimized:?}",
+                    minimized.len()
+                )));
+            }
+        }
+    }
+    Ok(checks)
+}
+
+fn sample_distinct(items: &[u32], k: usize, rng: &mut SplitMix64) -> Vec<u32> {
+    let mut picked = Vec::new();
+    let mut tries = 0;
+    while picked.len() < k && tries < 32 {
+        tries += 1;
+        // fhp-audit: allow(panic-site) — gen_range is bounded by the slice length, checked non-empty
+        let x = items[rng.gen_range(0..items.len())];
+        if !picked.contains(&x) {
+            picked.push(x);
+        }
+    }
+    picked
+}
+
+/// Applies an edit to the generation replica (plain [`DynamicNetlist`],
+/// no partition machinery), so scripts stay structurally valid.
+fn apply_to_replica(nl: &mut DynamicNetlist, edit: &Edit) -> Result<(), String> {
+    let r = match edit {
+        Edit::AddNet { pins, weight } => nl.add_net(pins, *weight).map(|_| ()),
+        Edit::RemoveNet { net } => nl.remove_net(*net),
+        Edit::AddModule { weight } => nl.add_module(*weight).map(|_| ()),
+        Edit::RemoveModule { module } => nl.remove_module(*module),
+        Edit::ReweightModule { module, weight } => nl.reweight_module(*module, *weight),
+        Edit::PinChange { net, module, add } => nl.pin_change(*net, *module, *add),
+    };
+    r.map_err(|e| e.to_string())
+}
+
+/// Generates a seeded, mostly-valid edit script against a replica of the
+/// instance. Roughly one edit in eight is an intentionally invalid
+/// request (a dead net id), pinning that both engines reject identically.
+fn generate_edit_script(
+    h: &Hypergraph,
+    len: usize,
+    rng: &mut SplitMix64,
+) -> Result<Vec<Edit>, String> {
+    let mut replica = DynamicNetlist::from_hypergraph(h).map_err(|e| e.to_string())?;
+    let mut script = Vec::with_capacity(len);
+    let mut guard = 0;
+    while script.len() < len && guard < len * 24 {
+        guard += 1;
+        if rng.gen_bool(0.125) {
+            script.push(Edit::RemoveNet {
+                // fhp-audit: allow(as-cast-truncation) — slot counts fit u32 by the stable-id representation
+                net: replica.net_slots() as u32 + 7,
+            });
+            continue;
+        }
+        let modules: Vec<u32> = replica.live_modules().collect();
+        let nets: Vec<u32> = replica.live_nets().collect();
+        let edit = match rng.gen_range(0u32..6) {
+            0 if !modules.is_empty() => {
+                let want = rng.gen_range(2usize..=4).min(modules.len());
+                let pins = sample_distinct(&modules, want, rng);
+                Some(Edit::AddNet {
+                    pins,
+                    weight: rng.gen_range(1u64..=3),
+                })
+            }
+            1 if !nets.is_empty() => Some(Edit::RemoveNet {
+                // fhp-audit: allow(panic-site) — gen_range is bounded by the slice length, checked non-empty
+                net: nets[rng.gen_range(0..nets.len())],
+            }),
+            2 => Some(Edit::AddModule {
+                weight: rng.gen_range(1u64..=3),
+            }),
+            3 => {
+                let isolated: Vec<u32> = modules
+                    .iter()
+                    .copied()
+                    .filter(|&m| replica.incident_nets(m).is_some_and(<[u32]>::is_empty))
+                    .collect();
+                if isolated.is_empty() {
+                    None
+                } else {
+                    Some(Edit::RemoveModule {
+                        // fhp-audit: allow(panic-site) — gen_range is bounded by the slice length, checked non-empty
+                        module: isolated[rng.gen_range(0..isolated.len())],
+                    })
+                }
+            }
+            4 if !modules.is_empty() => Some(Edit::ReweightModule {
+                // fhp-audit: allow(panic-site) — gen_range is bounded by the slice length, checked non-empty
+                module: modules[rng.gen_range(0..modules.len())],
+                weight: rng.gen_range(1u64..=5),
+            }),
+            5 if !nets.is_empty() => {
+                // fhp-audit: allow(panic-site) — gen_range is bounded by the slice length, checked non-empty
+                let net = nets[rng.gen_range(0..nets.len())];
+                let pins = replica.net_pins(net).unwrap_or(&[]).to_vec();
+                if rng.gen_bool(0.5) {
+                    let spare: Vec<u32> = modules
+                        .iter()
+                        .copied()
+                        .filter(|m| !pins.contains(m))
+                        .collect();
+                    if spare.is_empty() {
+                        None
+                    } else {
+                        Some(Edit::PinChange {
+                            net,
+                            // fhp-audit: allow(panic-site) — gen_range is bounded by the slice length, checked non-empty
+                            module: spare[rng.gen_range(0..spare.len())],
+                            add: true,
+                        })
+                    }
+                } else if pins.len() >= 2 {
+                    Some(Edit::PinChange {
+                        net,
+                        // fhp-audit: allow(panic-site) — gen_range is bounded by the slice length, checked non-empty
+                        module: pins[rng.gen_range(0..pins.len())],
+                        add: false,
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let Some(edit) = edit else { continue };
+        if apply_to_replica(&mut replica, &edit).is_err() {
+            continue;
+        }
+        script.push(edit);
+    }
+    Ok(script)
+}
+
+/// Diffs the engine's maintained state against a from-scratch rebuild of
+/// the dual: every live net's neighbor row must match a fresh
+/// [`IntersectionGraph`] built on the materialized hypergraph.
+fn dual_matches_scratch(
+    nl: &DynamicNetlist,
+    mat: &Hypergraph,
+    net_ids: &[u32],
+) -> Result<u64, String> {
+    let ig = IntersectionGraph::build(mat);
+    let mut checks = 0;
+    for (ci, &stable) in net_ids.iter().enumerate() {
+        let Some(gv) = ig.g_vertex_of(EdgeId::new(ci)) else {
+            return Err(format!("scratch dual dropped live net {stable}"));
+        };
+        let mut expected: Vec<(u32, u32)> = ig
+            .graph()
+            .neighbors(gv)
+            .iter()
+            .zip(ig.multiplicities_of(gv))
+            // fhp-audit: allow(panic-site) — g-vertices map to in-range compact net ids by construction
+            .map(|(&ng, &m)| (net_ids[ig.edge_of(ng).index()], m))
+            .collect();
+        expected.sort_unstable();
+        let got = nl
+            .dual_neighbors(stable)
+            .ok_or_else(|| format!("engine has no dual row for live net {stable}"))?;
+        if got != expected.as_slice() {
+            return Err(format!(
+                "dual row of net {stable} diverges: engine {got:?}, scratch {expected:?}"
+            ));
+        }
+        checks += 1;
+    }
+    Ok(checks)
+}
+
+/// Replays one edit script through engines at [`INCREMENTAL_ENGINE_THREADS`]
+/// and diffs engine state against scratch rebuilds after every edit.
+/// Returns the check count, or a divergence description.
+fn replay_edit_script(h: &Hypergraph, seed: u64, script: &[Edit]) -> Result<u64, String> {
+    let mut engines = Vec::new();
+    for threads in INCREMENTAL_ENGINE_THREADS {
+        let config = EngineConfig::new()
+            .partition(PartitionConfig::new().starts(4).seed(seed).threads(threads));
+        let mut engine = PartitionEngine::new(config);
+        engine
+            .load(h)
+            .map_err(|e| format!("engine load at {threads} threads failed: {e}"))?;
+        engines.push(engine);
+    }
+    let mut checks = 0;
+    // fhp-audit: allow(panic-site) — engines holds one entry per thread count, at least one
+    if engines[1..]
+        // fhp-audit: allow(panic-site) — engines holds one entry per thread count, at least one
+        .iter()
+        // fhp-audit: allow(panic-site) — engines holds one entry per thread count, at least one
+        .any(|e| e.fingerprint() != engines[0].fingerprint())
+    {
+        return Err("initial load fingerprints differ across thread counts".to_string());
+    }
+    checks += 1;
+    for (i, edit) in script.iter().enumerate() {
+        let results: Vec<Result<fhp_core::Delta, EngineError>> =
+            engines.iter_mut().map(|e| e.apply(edit)).collect();
+        // fhp-audit: allow(panic-site) — one result per engine, at least one
+        if results[1..].iter().any(|r| r != &results[0]) {
+            return Err(format!(
+                "edit {i} ({edit:?}): outcomes differ across thread counts: {results:?}"
+            ));
+        }
+        checks += 1;
+        // fhp-audit: allow(panic-site) — engines holds one entry per thread count, at least one
+        let engine = &engines[0];
+        // fhp-audit: allow(panic-site) — one result per engine, at least one
+        match &results[0] {
+            Err(_) => {
+                // A rejected edit must leave every engine's state
+                // untouched — fingerprints still agree below.
+            }
+            Ok(delta) => {
+                if delta.fingerprint != engine.fingerprint() {
+                    return Err(format!(
+                        "edit {i} ({edit:?}): delta fingerprint {} but engine reports {}",
+                        delta.fingerprint,
+                        engine.fingerprint()
+                    ));
+                }
+                checks += 1;
+                let Some(nl) = engine.netlist() else {
+                    return Err(format!("edit {i}: engine lost its netlist"));
+                };
+                nl.verify_dual()
+                    .map_err(|e| format!("edit {i} ({edit:?}): dual recount failed: {e}"))?;
+                checks += 1;
+                let Some((mat, module_ids, net_ids)) = engine.materialize() else {
+                    return Err(format!("edit {i}: engine cannot materialize"));
+                };
+                let bp = Bipartition::from_fn(mat.num_vertices(), |v| {
+                    // fhp-audit: allow(panic-site) — materialize returns one stable id per compact vertex
+                    engine.side_of(module_ids[v.index()]).unwrap_or(Side::Left)
+                });
+                let recount = recompute_weighted_cut(&mat, &bp);
+                if recount != delta.cut_after || recount != engine.cut() {
+                    return Err(format!(
+                        "edit {i} ({edit:?}): engine cut {} / delta {} but scratch recount {recount}",
+                        engine.cut(),
+                        delta.cut_after
+                    ));
+                }
+                checks += 1;
+                checks += dual_matches_scratch(nl, &mat, &net_ids)
+                    .map_err(|e| format!("edit {i} ({edit:?}): {e}"))?;
+            }
+        }
+        // fhp-audit: allow(panic-site) — engines holds one entry per thread count, at least one
+        if engines[1..]
+            // fhp-audit: allow(panic-site) — engines holds one entry per thread count, at least one
+            .iter()
+            // fhp-audit: allow(panic-site) — engines holds one entry per thread count, at least one
+            .any(|e| e.fingerprint() != engines[0].fingerprint())
+        {
+            return Err(format!(
+                "edit {i} ({edit:?}): fingerprints drifted across thread counts"
+            ));
+        }
+        checks += 1;
+    }
+    Ok(checks)
+}
+
+/// Greedy drop-one-edit minimization of a diverging script, under a
+/// replay budget. The divergence need not stay the *same* failure — any
+/// failing subsequence is a smaller reproduction.
+fn minimize_edit_script(h: &Hypergraph, seed: u64, script: Vec<Edit>) -> Vec<Edit> {
+    let mut current = script;
+    let mut evals = 0;
+    let mut progressed = true;
+    while progressed && evals < INCREMENTAL_SHRINK_EVALS {
+        progressed = false;
+        let mut i = 0;
+        while i < current.len() && evals < INCREMENTAL_SHRINK_EVALS {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            evals += 1;
+            if replay_edit_script(h, seed, &candidate).is_err() {
+                current = candidate;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    current
+}
+
 /// Independent weight-imbalance recount (shares no code with
 /// `fhp_core::metrics`).
 fn imbalance_slow(h: &Hypergraph, bp: &Bipartition) -> u64 {
@@ -1137,6 +1468,7 @@ mod tests {
             "multiway",
             "multilevel",
             "hgr_roundtrip",
+            "incremental",
         ] {
             assert!(c.get(name).copied().unwrap_or(0) > 0, "oracle {name} idle");
         }
@@ -1174,6 +1506,19 @@ mod tests {
         out.bipartition.flip(fhp_hypergraph::VertexId::new(0));
         let err = check_outcome_consistency(&h, &out).expect_err("tamper must be caught");
         assert_eq!(err.oracle, "report_consistency");
+    }
+
+    #[test]
+    fn edit_scripts_are_seed_deterministic_and_replay_clean() {
+        let h = paper_example();
+        let mut rng_a = SplitMix64::seed_from_u64(77);
+        let mut rng_b = SplitMix64::seed_from_u64(77);
+        let a = generate_edit_script(&h, INCREMENTAL_SCRIPT_LEN, &mut rng_a).unwrap();
+        let b = generate_edit_script(&h, INCREMENTAL_SCRIPT_LEN, &mut rng_b).unwrap();
+        assert_eq!(a, b, "same seed must yield the same script");
+        assert!(!a.is_empty());
+        let checks = replay_edit_script(&h, 77, &a).expect("replay stays consistent");
+        assert!(checks > a.len() as u64);
     }
 
     #[test]
