@@ -30,7 +30,16 @@ use fhp_obs::json::{self, Json};
 use fhp_obs::{names, Gauge, Progress, Sampler};
 
 /// Hard cap on one request line; longer input gets an `oversized` error.
+/// The reader never buffers more than this (plus one byte) per line, so a
+/// client streaming bytes without a newline cannot grow server memory.
 const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Cap on the summed weight of all live nets (2^53 − 1). `cut` reply
+/// fields are sums of net weights emitted as JSON numbers, which are
+/// exact only up to 2^53; fingerprints already travel as strings, and
+/// this cap keeps every numeric reply field exact instead of silently
+/// rounding. Enforced at `partition` load and on `add_net` edits.
+const MAX_TOTAL_NET_WEIGHT: u64 = (1 << 53) - 1;
 
 struct ServeOptions {
     tcp: Option<String>,
@@ -125,6 +134,10 @@ struct ServerState {
     /// Per-verb `(count, total_ns)` latency tallies — volatile by the
     /// `serve.lat.` prefix rule; zeroed by canonicalization.
     lat: BTreeMap<&'static str, (u64, u64)>,
+    /// Summed weight of the live nets, maintained across `partition` /
+    /// `add_net` / `remove_net` so the [`MAX_TOTAL_NET_WEIGHT`] cap can
+    /// be enforced without rescanning the netlist per edit.
+    total_net_weight: u64,
     threads: usize,
     seed: u64,
     starts: usize,
@@ -145,6 +158,7 @@ impl ServerState {
             engine,
             verb_counts: BTreeMap::new(),
             lat: BTreeMap::new(),
+            total_net_weight: 0,
             threads: opts.threads,
             seed: opts.seed,
             starts: opts.starts,
@@ -284,6 +298,13 @@ fn handle_partition(
             w
         }
     };
+    let total_net_weight = net_weights
+        .iter()
+        .try_fold(0u64, |acc, &w| acc.checked_add(w))
+        .filter(|&t| t <= MAX_TOTAL_NET_WEIGHT)
+        .ok_or_else(|| {
+            format!("total net weight exceeds {MAX_TOTAL_NET_WEIGHT} (cut replies must stay exact JSON numbers)")
+        })?;
     let seed = get_u64_or(v, "seed", state.seed)?;
     let starts =
         usize::try_from(get_u64_or(v, "starts", state.starts as u64)?).unwrap_or(state.starts);
@@ -332,6 +353,7 @@ fn handle_partition(
         .engine
         .load(&h)
         .map_err(|e| format!("partition failed: {e}"))?;
+    state.total_net_weight = total_net_weight;
     Ok(vec![
         ("modules", num(h.num_vertices() as u64)),
         ("nets", num(h.num_edges() as u64)),
@@ -481,34 +503,69 @@ fn dispatch(state: &mut ServerState, line: &str) -> (String, bool) {
             Err(detail) => (error_reply(id, "bad_request", &detail), false),
         },
         "edit" => match parse_edit(&v) {
-            Ok(edit) => match state.engine.apply(&edit) {
-                Ok(delta) => {
-                    let mut pairs = ok_head(id, verb);
-                    let op = match v.get("op") {
-                        Some(Json::Str(op)) => op.clone(),
-                        _ => String::new(),
-                    };
-                    pairs.extend([
-                        ("op", Json::Str(op)),
-                        ("cut", num(delta.cut_after)),
-                        ("repair", Json::Str(delta.repair.as_str().to_string())),
-                        ("damaged", num(delta.damaged_modules as u64)),
-                        ("new_id", opt_num(delta.new_id)),
-                        ("fp", fp_str(delta.fingerprint)),
-                    ]);
-                    (reply_obj(pairs), false)
+            Ok(edit) => {
+                // Weight-cap bookkeeping: `add_net` may push the summed
+                // net weight past the exact-JSON-number cap (rejected
+                // before the engine runs); `remove_net` frees its net's
+                // weight, captured before the slot is tombstoned.
+                let added = match &edit {
+                    Edit::AddNet { weight, .. } => *weight,
+                    _ => 0,
+                };
+                let removed = match &edit {
+                    Edit::RemoveNet { net } => state
+                        .engine
+                        .netlist()
+                        .and_then(|nl| nl.net_weight(*net))
+                        .unwrap_or(0),
+                    _ => 0,
+                };
+                if state.total_net_weight.saturating_add(added) > MAX_TOTAL_NET_WEIGHT {
+                    (
+                        error_reply(
+                            id,
+                            "bad_request",
+                            &format!("edit would push total net weight past {MAX_TOTAL_NET_WEIGHT} (cut replies must stay exact JSON numbers)"),
+                        ),
+                        false,
+                    )
+                } else {
+                    match state.engine.apply(&edit) {
+                        Ok(delta) => {
+                            state.total_net_weight =
+                                (state.total_net_weight + added).saturating_sub(removed);
+                            let mut pairs = ok_head(id, verb);
+                            let op = match v.get("op") {
+                                Some(Json::Str(op)) => op.clone(),
+                                _ => String::new(),
+                            };
+                            pairs.extend([
+                                ("op", Json::Str(op)),
+                                ("cut", num(delta.cut_after)),
+                                ("repair", Json::Str(delta.repair.as_str().to_string())),
+                                ("damaged", num(delta.damaged_modules as u64)),
+                                ("new_id", opt_num(delta.new_id)),
+                                ("fp", fp_str(delta.fingerprint)),
+                            ]);
+                            (reply_obj(pairs), false)
+                        }
+                        Err(EngineError::NotLoaded) => (
+                            error_reply(
+                                id,
+                                "no_instance",
+                                "load an instance with `partition` first",
+                            ),
+                            false,
+                        ),
+                        Err(EngineError::Structure(e)) => {
+                            (error_reply(id, "edit_rejected", &e.to_string()), false)
+                        }
+                        Err(EngineError::Partition(e)) => {
+                            (error_reply(id, "partition_failed", &e.to_string()), false)
+                        }
+                    }
                 }
-                Err(EngineError::NotLoaded) => (
-                    error_reply(id, "no_instance", "load an instance with `partition` first"),
-                    false,
-                ),
-                Err(EngineError::Structure(e)) => {
-                    (error_reply(id, "edit_rejected", &e.to_string()), false)
-                }
-                Err(EngineError::Partition(e)) => {
-                    (error_reply(id, "partition_failed", &e.to_string()), false)
-                }
-            },
+            }
             Err(detail) => (error_reply(id, "bad_request", &detail), false),
         },
         "query_cut" => {
@@ -553,17 +610,61 @@ fn dispatch(state: &mut ServerState, line: &str) -> (String, bool) {
     (reply, shutdown)
 }
 
-/// Reads one `\n`-terminated line as raw bytes; `None` at EOF.
-fn read_request_line(reader: &mut impl BufRead) -> std::io::Result<Option<Vec<u8>>> {
+/// One request line, read under the [`MAX_LINE_BYTES`] buffering cap.
+enum RequestLine {
+    /// A complete line (terminator stripped) within the cap.
+    Line(Vec<u8>),
+    /// The line ran past the cap; its remainder was discarded without
+    /// being buffered, and the stream is positioned after its newline
+    /// (or at EOF).
+    Oversized,
+}
+
+/// Reads one `\n`-terminated line as raw bytes; `None` at EOF. At most
+/// `MAX_LINE_BYTES + 1` bytes are ever buffered per line — a client that
+/// streams bytes without a newline gets [`RequestLine::Oversized`] and
+/// the rest of its line is drained chunk-by-chunk, not accumulated.
+fn read_request_line(reader: &mut impl BufRead) -> std::io::Result<Option<RequestLine>> {
     let mut buf = Vec::new();
-    let n = reader.read_until(b'\n', &mut buf)?;
+    // UFCS so `take` borrows the reader instead of consuming it — the
+    // drain loop below still needs it after the capped read.
+    let n =
+        std::io::Read::take(&mut *reader, MAX_LINE_BYTES as u64 + 1).read_until(b'\n', &mut buf)?;
     if n == 0 {
         return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') && n > MAX_LINE_BYTES {
+        // Cap hit mid-line: skip to the next newline with bounded memory.
+        loop {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                break; // EOF
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    reader.consume(pos + 1);
+                    break;
+                }
+                None => {
+                    let len = chunk.len();
+                    reader.consume(len);
+                }
+            }
+        }
+        return Ok(Some(RequestLine::Oversized));
     }
     while matches!(buf.last(), Some(b'\n' | b'\r')) {
         buf.pop();
     }
-    Ok(Some(buf))
+    Ok(Some(RequestLine::Line(buf)))
+}
+
+fn oversized_reply() -> String {
+    error_reply(
+        None,
+        "oversized",
+        &format!("request exceeds {MAX_LINE_BYTES} bytes"),
+    )
 }
 
 /// Turns one raw request line into a reply (or `None` for blank lines),
@@ -574,14 +675,7 @@ fn serve_line(state: &mut ServerState, raw: &[u8]) -> Option<(String, bool)> {
         return None;
     }
     if raw.len() > MAX_LINE_BYTES {
-        return Some((
-            error_reply(
-                None,
-                "oversized",
-                &format!("request exceeds {MAX_LINE_BYTES} bytes"),
-            ),
-            false,
-        ));
+        return Some((oversized_reply(), false));
     }
     match std::str::from_utf8(raw) {
         Ok(line) => Some(dispatch(state, line)),
@@ -679,15 +773,16 @@ fn serve_stdin(
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     loop {
-        let raw = match read_request_line(&mut reader) {
-            Ok(Some(raw)) => raw,
+        let outcome = match read_request_line(&mut reader) {
+            Ok(Some(RequestLine::Line(raw))) => serve_line(&mut state, &raw),
+            Ok(Some(RequestLine::Oversized)) => Some((oversized_reply(), false)),
             Ok(None) => break,
             Err(e) => {
                 eprintln!("[serve] error: stdin read failed: {e}");
                 break;
             }
         };
-        let Some((reply, shutdown)) = serve_line(&mut state, &raw) else {
+        let Some((reply, shutdown)) = outcome else {
             continue;
         };
         // One write per reply, newline included, then flush: the client
@@ -792,15 +887,20 @@ fn serve_connection(
     let mut writer = std::io::BufWriter::new(stream);
     loop {
         let raw = match read_request_line(&mut reader) {
-            Ok(Some(raw)) => raw,
+            Ok(Some(RequestLine::Line(raw))) => Some(raw),
+            Ok(Some(RequestLine::Oversized)) => None,
             Ok(None) | Err(_) => return,
         };
         // The engine lock covers dispatch only; each connection writes to
         // its own socket from its own thread, one write_all per reply, so
-        // replies are never torn or interleaved.
-        let outcome = {
-            let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
-            serve_line(&mut guard, &raw)
+        // replies are never torn or interleaved. Oversized lines never
+        // touch the engine, so they skip the lock entirely.
+        let outcome = match raw {
+            Some(raw) => {
+                let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
+                serve_line(&mut guard, &raw)
+            }
+            None => Some((oversized_reply(), false)),
         };
         let Some((reply, shutdown)) = outcome else {
             continue;
@@ -928,6 +1028,73 @@ mod tests {
         assert!(
             serve_line(&mut st, b"   ").is_none(),
             "blank lines are skipped"
+        );
+    }
+
+    #[test]
+    fn read_request_line_buffers_at_most_the_cap() {
+        use std::io::Cursor;
+        // A line at exactly the cap passes through intact.
+        let mut exact = vec![b'a'; MAX_LINE_BYTES];
+        exact.push(b'\n');
+        exact.extend_from_slice(b"next\n");
+        let mut r = Cursor::new(exact);
+        match read_request_line(&mut r).expect("read") {
+            Some(RequestLine::Line(raw)) => assert_eq!(raw.len(), MAX_LINE_BYTES),
+            _ => panic!("expected a full line at the cap"),
+        }
+        // One byte over: oversized, and the reader resumes cleanly at the
+        // next line.
+        let mut over = vec![b'a'; MAX_LINE_BYTES + 1];
+        over.push(b'\n');
+        over.extend_from_slice(b"next\n");
+        let mut r = Cursor::new(over);
+        assert!(matches!(
+            read_request_line(&mut r).expect("read"),
+            Some(RequestLine::Oversized)
+        ));
+        match read_request_line(&mut r).expect("read") {
+            Some(RequestLine::Line(raw)) => assert_eq!(raw, b"next"),
+            _ => panic!("expected the next line after an oversized one"),
+        }
+        // A newline-less flood drains to EOF without being accumulated.
+        let mut r = Cursor::new(vec![b'x'; 4 * MAX_LINE_BYTES]);
+        assert!(matches!(
+            read_request_line(&mut r).expect("read"),
+            Some(RequestLine::Oversized)
+        ));
+        assert!(read_request_line(&mut r).expect("read").is_none());
+    }
+
+    #[test]
+    fn total_net_weight_is_capped_to_exact_json_numbers() {
+        let mut st = state();
+        // Two nets whose weights sum past 2^53 − 1: rejected at load.
+        let half = MAX_TOTAL_NET_WEIGHT / 2 + 1;
+        let line = format!(
+            "{{\"id\":1,\"verb\":\"partition\",\"modules\":4,\"nets\":[[0,1],[2,3]],\"net_weights\":[{half},{half}]}}"
+        );
+        let (reply, _) = dispatch(&mut st, &line);
+        assert!(reply.contains("total net weight"), "reply: {reply}");
+        // Load just below the cap, then an add_net that would cross it.
+        let line = format!(
+            "{{\"id\":2,\"verb\":\"partition\",\"modules\":4,\"nets\":[[0,1],[2,3]],\"net_weights\":[{},1]}}",
+            MAX_TOTAL_NET_WEIGHT - 2
+        );
+        dispatch_ok(&mut st, &line);
+        let (reply, _) = dispatch(
+            &mut st,
+            "{\"id\":3,\"verb\":\"edit\",\"op\":\"add_net\",\"pins\":[0,2],\"weight\":2}",
+        );
+        assert!(reply.contains("total net weight"), "reply: {reply}");
+        // Removing a net frees its weight, letting the same add through.
+        dispatch_ok(
+            &mut st,
+            "{\"id\":4,\"verb\":\"edit\",\"op\":\"remove_net\",\"net\":1}",
+        );
+        dispatch_ok(
+            &mut st,
+            "{\"id\":5,\"verb\":\"edit\",\"op\":\"add_net\",\"pins\":[0,2],\"weight\":2}",
         );
     }
 

@@ -202,20 +202,47 @@ fn oversized_lines_are_rejected_without_reading_the_payload_as_json() {
 
 #[test]
 fn deep_nesting_is_an_error_not_a_crash() {
-    // A few thousand nested arrays: whatever the parser does, the server
-    // must answer with a typed error and keep serving.
+    // Balanced nesting well past the parser's depth cap, then a bracket
+    // bomb filling the entire 1 MiB line budget (the worst depth a
+    // single request line can carry): each must earn a typed error reply
+    // — never a stack overflow — and leave the server answering the next
+    // well-formed request.
     let mut nested = String::from(r#"{"id":1,"verb":"partition","modules":2,"nets":"#);
     nested.push_str(&"[".repeat(3000));
     nested.push_str(&"]".repeat(3000));
     nested.push('}');
     let mut input = nested.into_bytes();
     input.push(b'\n');
+    let mut bomb = String::from(r#"{"id":2,"verb":"partition","modules":2,"nets":"#);
+    bomb.push_str(&"[".repeat((1 << 20) - bomb.len()));
+    input.extend_from_slice(bomb.as_bytes());
+    input.push(b'\n');
+    input.extend_from_slice(VALID_PARTITION.as_bytes());
+    input.push(b'\n');
+    let replies = serve_bytes(&input);
+    assert_eq!(replies.len(), 3);
+    for reply in &replies[..2] {
+        assert_eq!(error_kind(&parse_reply(reply)), "parse_error");
+    }
+    let last = parse_reply(&replies[2]);
+    assert_eq!(last.get("ok"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn unterminated_flood_is_bounded_and_rejected() {
+    // 8 MiB with no newline at all: the server answers one `oversized`
+    // error at EOF without accumulating the flood, and exits cleanly.
+    let mut input = vec![b'x'; 8 << 20];
+    let replies = serve_bytes(&input);
+    assert_eq!(replies.len(), 1);
+    assert_eq!(error_kind(&parse_reply(&replies[0])), "oversized");
+    // With a newline after the flood, serving resumes on the next line.
+    input.push(b'\n');
     input.extend_from_slice(VALID_PARTITION.as_bytes());
     input.push(b'\n');
     let replies = serve_bytes(&input);
     assert_eq!(replies.len(), 2);
-    let first = parse_reply(&replies[0]);
-    assert_eq!(first.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(error_kind(&parse_reply(&replies[0])), "oversized");
     let last = parse_reply(&replies[1]);
     assert_eq!(last.get("ok"), Some(&Json::Bool(true)));
 }

@@ -7,7 +7,10 @@
 //! writer's own code would prove nothing. It is a strict recursive-descent
 //! parser over the full JSON grammar (RFC 8259), including `\uXXXX`
 //! escapes with surrogate pairs; numbers are parsed as `f64`, which is
-//! lossy above 2^53 but fine for validation.
+//! lossy above 2^53 but fine for validation. Container nesting is capped
+//! at [`MAX_DEPTH`] levels: the parser also fronts `fhp serve`, where an
+//! unauthenticated 1 MiB request line could otherwise nest ~500k deep
+//! and overflow the recursive-descent call stack.
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -123,9 +126,17 @@ fn zero_numbers(value: &mut Json) {
     }
 }
 
+/// Maximum container nesting depth the parser accepts. Recursive descent
+/// spends one stack frame per level, so the bound must sit far below the
+/// thread stack size regardless of input length; 128 is deeper than any
+/// trace line or serve request while rejecting bracket bombs long before
+/// the stack is at risk.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -133,6 +144,7 @@ impl<'a> Parser<'a> {
         Self {
             bytes: s.as_bytes(),
             pos: 0,
+            depth: 0,
         }
     }
 
@@ -182,12 +194,25 @@ impl<'a> Parser<'a> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'{') => self.nested(Self::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
         }
+    }
+
+    /// Runs one container parse (`array`/`object`) one level deeper,
+    /// erroring past [`MAX_DEPTH`] instead of recursing toward a stack
+    /// overflow.
+    fn nested(&mut self, f: fn(&mut Parser<'a>) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let value = f(self);
+        self.depth -= 1;
+        value
     }
 
     fn hex4(&mut self) -> Result<u16, String> {
@@ -479,6 +504,24 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        let at_limit = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&at_limit).is_ok());
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&too_deep).unwrap_err().contains("nesting"));
+        // Bracket bombs the size of a full serve request line (1 MiB)
+        // must error, not overflow the stack.
+        assert!(parse(&"[".repeat(1 << 20)).unwrap_err().contains("nesting"));
+        assert!(parse(&"{\"a\":".repeat(200_000))
+            .unwrap_err()
+            .contains("nesting"));
     }
 
     #[test]
